@@ -1,0 +1,101 @@
+// Ablation: FIFO sizing vs reconfiguration outages. The case study's
+// modules talk through registered streaming FIFOs; while a region
+// reconfigures, its stage is offline and the upstream FIFO must absorb the
+// arrivals or they are dropped. For every region of the proposed
+// partitioning we measure (by simulation) the minimum FIFO depth that hides
+// one reconfiguration, and compare it with the analytic bound
+// arrivals-during-outage. This connects the paper's frame-count objective
+// to a concrete buffer-sizing budget: halving a region's frames halves the
+// buffering its neighbours need.
+#include <iostream>
+
+#include "core/partitioner.hpp"
+#include "reconfig/icap.hpp"
+#include "stream/pipeline.hpp"
+#include "synth/ip_library.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prpart;
+
+/// True when a two-stage pipeline with the given head-FIFO depth survives
+/// an outage of `outage_cycles` on stage 1 without dropping anything.
+bool survives(std::size_t depth, std::uint64_t outage_cycles,
+              std::uint32_t arrival_interval) {
+  StreamingPipeline p({{"up", 1, depth}, {"victim", 1, depth}},
+                      arrival_interval);
+  p.run(64);  // settle
+  p.set_offline(1, true);
+  p.run(outage_cycles);
+  p.set_offline(1, false);
+  p.run(outage_cycles + 1000);  // drain
+  return p.stats().dropped == 0;
+}
+
+std::size_t min_depth(std::uint64_t outage_cycles,
+                      std::uint32_t arrival_interval) {
+  std::size_t lo = 1, hi = 1;
+  while (!survives(hi, outage_cycles, arrival_interval)) {
+    hi *= 2;
+    if (hi > (std::size_t{1} << 22)) return hi;  // give up: unbuffably long
+  }
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (survives(mid, outage_cycles, arrival_interval))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const Design design = synth::wireless_receiver_design();
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = 64;
+  opt.search.max_move_evaluations = 2'000'000;
+  const PartitionerResult r = partition_design(design, {6800, 64, 150}, opt);
+  if (!r.feasible) {
+    std::cerr << "case study infeasible\n";
+    return 1;
+  }
+
+  const IcapModel icap;
+  const double stream_clock_hz = 200e6;
+  const std::uint32_t arrival_interval = 4;  // one sample every 4 cycles
+
+  std::cout << "=== Ablation: FIFO depth needed to hide one region "
+               "reconfiguration ===\n";
+  std::cout << "stream clock 200 MHz, one item per " << arrival_interval
+            << " cycles; ICAP at "
+            << icap.effective_bandwidth_bps() / 1000000 << " MB/s\n\n";
+
+  TextTable t({"Region", "Frames", "Outage", "Arrivals in outage",
+               "Min FIFO depth (simulated)"});
+  for (std::size_t reg = 0; reg < r.proposed.eval.regions.size(); ++reg) {
+    const RegionReport& region = r.proposed.eval.regions[reg];
+    if (region.frames == 0) continue;
+    const std::uint64_t outage_ns = icap.reconfiguration_ns(region.frames);
+    const auto outage_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(outage_ns) * 1e-9 * stream_clock_hz);
+    const std::uint64_t analytic = outage_cycles / arrival_interval + 1;
+    const std::size_t simulated = min_depth(outage_cycles, arrival_interval);
+    t.add_row({"PRR" + std::to_string(reg + 1),
+               with_commas(region.frames),
+               fixed(static_cast<double>(outage_ns) / 1e3, 0) + " us",
+               with_commas(analytic), with_commas(simulated)});
+  }
+  std::cout << t.render();
+  std::cout << "\nReading: the simulated minimum is ~half the "
+               "arrivals-during-outage bound because the chain has two "
+               "FIFOs of that depth sharing the backlog. Either way, large "
+               "regions (the video decoder) need ~10^5 buffered samples -- "
+               "on-chip FIFOs cannot hide them, which is why minimising "
+               "reconfiguration time at the partitioning level (this "
+               "paper) rather than buffering it away is the right lever.\n";
+  return 0;
+}

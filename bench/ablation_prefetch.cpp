@@ -1,0 +1,108 @@
+// Ablation: configuration prefetching (related work [4]) on top of the
+// proposed partitioning. While the system sits in a configuration, idle
+// regions are speculatively loaded for the Markov-predicted successor;
+// correct predictions remove those loads from the transition's critical
+// path. We measure stall reduction across synthetic designs and predictor
+// skews.
+#include <iostream>
+
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "reconfig/controller.hpp"
+#include "reconfig/prefetch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prpart;
+
+/// A skewed environment: from each state one successor carries probability
+/// `hot`, the rest share the remainder. Higher `hot` = more predictable.
+MarkovChain skewed_chain(Rng& rng, std::size_t n, double hot) {
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t favourite = (i + 1 + rng.below(n - 1)) % n;
+    if (favourite == i) favourite = (i + 1) % n;
+    const double rest = (1.0 - hot) / static_cast<double>(n - 1);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) p[i][j] = rest;
+    p[i][favourite] = hot;
+    // Renormalise exactly (one `rest` slot was replaced by `hot`).
+    double sum = 0;
+    for (double v : p[i]) sum += v;
+    for (double& v : p[i]) v /= sum;
+  }
+  return MarkovChain(std::move(p));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t designs = 30;
+  const int steps = 2000;
+  std::cout << "=== Ablation: configuration prefetching ===\n";
+  std::cout << designs << " synthetic designs x " << steps
+            << " environment-driven transitions, predictor = the true "
+               "environment chain\n\n";
+
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const auto suite = generate_synthetic_suite(909, designs);
+  PartitionerOptions opt;
+  opt.search.max_move_evaluations = 400'000;
+
+  TextTable t({"Predictability", "Designs", "Mean stall reduction",
+               "Prefetch accuracy"});
+  for (const double hot : {0.4, 0.7, 0.95}) {
+    double sum_reduction = 0.0;
+    double sum_accuracy = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      const Design& d = suite[i].design;
+      const std::size_t n = d.configurations().size();
+      if (n < 3) continue;
+      const DevicePartitionResult dp =
+          partition_on_smallest_device(d, lib, opt);
+      if (!dp.result.feasible) continue;
+
+      Rng chain_rng(3000 + i);
+      const MarkovChain env = skewed_chain(chain_rng, n, hot);
+      PrefetchingController pre(d, dp.result.proposed.scheme,
+                                dp.result.proposed.eval, env);
+      ReconfigurationController plain(d, dp.result.proposed.scheme,
+                                      dp.result.proposed.eval);
+      Rng walk_rng(4000 + i);
+      pre.boot(0);
+      plain.boot(0);
+      std::size_t state = 0;
+      for (int s = 0; s < steps; ++s) {
+        state = env.sample_next(walk_rng, state);
+        pre.transition(state);
+        plain.transition(state);
+      }
+      if (plain.stats().total_frames == 0) continue;
+      ++counted;
+      sum_reduction +=
+          100.0 *
+          (static_cast<double>(plain.stats().total_frames) -
+           static_cast<double>(pre.stats().stall_frames)) /
+          static_cast<double>(plain.stats().total_frames);
+      const std::uint64_t attempts = pre.stats().useful_prefetches +
+                                     pre.stats().wasted_prefetches;
+      if (attempts > 0)
+        sum_accuracy += 100.0 *
+                        static_cast<double>(pre.stats().useful_prefetches) /
+                        static_cast<double>(attempts);
+    }
+    const double denom = counted ? static_cast<double>(counted) : 1.0;
+    t.add_row({fixed(hot, 2), std::to_string(counted),
+               fixed(sum_reduction / denom, 1) + "%",
+               fixed(sum_accuracy / denom, 1) + "%"});
+  }
+  std::cout << t.render();
+  std::cout << "\nReading: prefetching rides on the partitioner's output -- "
+               "the more predictable the environment, the more of the "
+               "remaining reconfiguration time it hides; with near-uniform "
+               "environments it approaches a no-op, never a loss.\n";
+  return 0;
+}

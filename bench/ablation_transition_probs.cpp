@@ -1,0 +1,82 @@
+// Ablation (paper's future work, end of §V): how much does the uniform-pair
+// proxy (Eq. 10) disagree with a probability-weighted cost when transition
+// statistics are known? For a set of synthetic designs we compare the
+// scheme ranked best by the proxy against per-design random Markov
+// environments, and report how often the proxy's winner stays the winner.
+#include <iostream>
+
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "reconfig/markov.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prpart;
+
+  const std::size_t designs = 40;
+  const std::size_t chains_per_design = 8;
+  std::cout << "=== Ablation: uniform-pair proxy (Eq. 10) vs probability-"
+               "weighted cost ===\n";
+  std::cout << designs << " synthetic designs x " << chains_per_design
+            << " random Markov environments each\n\n";
+
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const auto suite = generate_synthetic_suite(77, designs);
+  PartitionerOptions opt;
+  opt.search.max_move_evaluations = 400'000;
+
+  std::size_t proxy_winner_holds = 0, comparisons = 0;
+  double max_rel_gap = 0.0;
+  double sum_rel_gap = 0.0;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Design& d = suite[i].design;
+    const DevicePartitionResult dp =
+        partition_on_smallest_device(d, lib, opt);
+    if (!dp.result.feasible) continue;
+    const std::size_t n = d.configurations().size();
+    if (n < 3) continue;
+
+    const SchemeEvaluation& proposed = dp.result.proposed.eval;
+    const SchemeEvaluation& modular = dp.result.modular.eval;
+    const bool proxy_prefers_proposed =
+        proposed.total_frames <= modular.total_frames;
+
+    Rng rng(1000 + i);
+    for (std::size_t k = 0; k < chains_per_design; ++k) {
+      const MarkovChain env = MarkovChain::random(rng, n);
+      const double wp = expected_frames_per_transition(proposed, n, env);
+      const double wm = expected_frames_per_transition(modular, n, env);
+      const bool weighted_prefers_proposed = wp <= wm;
+      ++comparisons;
+      if (proxy_prefers_proposed == weighted_prefers_proposed)
+        ++proxy_winner_holds;
+
+      const double up = expected_frames_per_transition(
+          proposed, n, MarkovChain::uniform(n));
+      if (up > 0) {
+        const double gap = std::abs(wp - up) / up;
+        sum_rel_gap += gap;
+        max_rel_gap = std::max(max_rel_gap, gap);
+      }
+    }
+  }
+
+  std::cout << "proxy's preferred scheme also wins under the weighted model: "
+            << proxy_winner_holds << "/" << comparisons << " = "
+            << fixed(100.0 * static_cast<double>(proxy_winner_holds) /
+                         static_cast<double>(comparisons),
+                     1)
+            << "%\n";
+  std::cout << "weighted cost vs uniform proxy for the proposed scheme: mean "
+               "relative gap "
+            << fixed(100.0 * sum_rel_gap / static_cast<double>(comparisons), 1)
+            << "%, max " << fixed(100.0 * max_rel_gap, 1) << "%\n";
+  std::cout << "\nReading: the proxy is a good ranking signal when "
+               "transition statistics are unknown (the adaptive-systems "
+               "setting of the paper), but per-environment costs can deviate "
+               "substantially -- the motivation for the paper's future "
+               "work.\n";
+  return 0;
+}

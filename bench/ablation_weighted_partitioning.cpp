@@ -1,0 +1,102 @@
+// Ablation (paper's future work): partition FOR the environment. When
+// transition probabilities are known, the search can minimise the
+// probability-weighted cost instead of the uniform Eq. 10 proxy. We compare
+// the two resulting schemes under the true environment across synthetic
+// designs with skewed Markov environments.
+#include <iostream>
+
+#include "core/clustering.hpp"
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "reconfig/markov.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prpart;
+
+/// Integer pair weights from a chain's stationary flow:
+/// w[i][j] ~ (pi_i P_ij + pi_j P_ji) scaled to 10^6.
+PairWeights weights_from_chain(const MarkovChain& chain) {
+  const std::size_t n = chain.states();
+  const std::vector<double> pi = chain.stationary();
+  PairWeights w(n, std::vector<std::uint32_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double flow =
+          pi[i] * chain.probability(i, j) + pi[j] * chain.probability(j, i);
+      w[i][j] = static_cast<std::uint32_t>(flow * 1e6) + 1;
+    }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t designs = 40;
+  std::cout << "=== Ablation: environment-aware (weighted) partitioning ===\n";
+  std::cout << designs << " synthetic designs, each with a random skewed "
+               "Markov environment\n\n";
+
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const auto suite = generate_synthetic_suite(31337, designs);
+
+  std::size_t compared = 0, weighted_wins = 0, ties = 0;
+  double sum_improvement = 0.0, best_improvement = 0.0;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const Design& d = suite[i].design;
+    const std::size_t n = d.configurations().size();
+    if (n < 3) continue;
+    Rng rng(500 + i);
+    const MarkovChain env = MarkovChain::random(rng, n);
+    const PairWeights w = weights_from_chain(env);
+
+    PartitionerOptions uniform_opt;
+    uniform_opt.search.max_move_evaluations = 400'000;
+    PartitionerOptions weighted_opt = uniform_opt;
+    weighted_opt.search.pair_weights = &w;
+
+    // Same device for both: smallest workable under the uniform objective.
+    const DevicePartitionResult base =
+        partition_on_smallest_device(d, lib, uniform_opt);
+    if (!base.result.feasible) continue;
+    const PartitionerResult weighted =
+        partition_design(d, base.device->capacity(), weighted_opt);
+    if (!weighted.feasible) continue;
+
+    const double cost_uniform_scheme = expected_frames_per_transition(
+        base.result.proposed.eval, n, env);
+    const double cost_weighted_scheme =
+        expected_frames_per_transition(weighted.proposed.eval, n, env);
+    ++compared;
+    if (cost_weighted_scheme < cost_uniform_scheme - 1e-9) ++weighted_wins;
+    if (std::abs(cost_weighted_scheme - cost_uniform_scheme) <= 1e-9) ++ties;
+    if (cost_uniform_scheme > 0) {
+      const double improvement =
+          (cost_uniform_scheme - cost_weighted_scheme) / cost_uniform_scheme *
+          100.0;
+      sum_improvement += improvement;
+      best_improvement = std::max(best_improvement, improvement);
+    }
+  }
+
+  TextTable t({"Metric", "Value"});
+  t.add_row({"designs compared", std::to_string(compared)});
+  t.add_row({"weighted scheme strictly better", std::to_string(weighted_wins)});
+  t.add_row({"ties", std::to_string(ties)});
+  t.add_row({"mean expected-cost improvement",
+             prpart::fixed(sum_improvement / static_cast<double>(compared ? compared : 1),
+                          2) +
+                 "%"});
+  t.add_row({"best improvement", prpart::fixed(best_improvement, 2) + "%"});
+  std::cout << t.render();
+  std::cout << "\nReading: when the adaptation statistics are known, feeding "
+               "them into the search (the paper's proposed future work) "
+               "lowers the realised reconfiguration cost; with unknown "
+               "statistics the uniform Eq. 10 proxy remains the right "
+               "default.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Microbenchmarks of the algorithm stages (google-benchmark): clustering,
+// covering, compatibility, and the full search, as a function of design
+// size. The paper reports "a few seconds to one minute" per design for its
+// Python implementation; these benches document the C++ costs.
+#include <benchmark/benchmark.h>
+
+#include "core/clustering.hpp"
+#include "core/compatibility.hpp"
+#include "core/covering.hpp"
+#include "core/partitioner.hpp"
+#include "core/search.hpp"
+#include "design/synthetic.hpp"
+#include "synth/ip_library.hpp"
+
+namespace {
+
+using namespace prpart;
+
+/// Deterministic synthetic design with `modules` modules (seeded by size).
+Design sized_design(std::uint32_t modules) {
+  SyntheticOptions opt;
+  opt.min_modules = modules;
+  opt.max_modules = modules;
+  Rng rng(9000 + modules);
+  return generate_synthetic(rng, CircuitClass::DspAndMemory, opt).design;
+}
+
+void BM_ConnectivityMatrix(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ConnectivityMatrix m(d);
+    benchmark::DoNotOptimize(m.modes());
+  }
+}
+BENCHMARK(BM_ConnectivityMatrix)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Clustering(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  const ConnectivityMatrix m(d);
+  for (auto _ : state) {
+    auto partitions = enumerate_base_partitions(d, m);
+    benchmark::DoNotOptimize(partitions.size());
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CoveringAllCandidateSets(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  const ConnectivityMatrix m(d);
+  const auto partitions = enumerate_base_partitions(d, m);
+  const auto order = covering_order(partitions);
+  for (auto _ : state) {
+    std::size_t sets = 0;
+    for (std::size_t skip = 0; skip < order.size(); ++skip) {
+      if (!cover(partitions, m, order, skip).complete) break;
+      ++sets;
+    }
+    benchmark::DoNotOptimize(sets);
+  }
+}
+BENCHMARK(BM_CoveringAllCandidateSets)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_Compatibility(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  const ConnectivityMatrix m(d);
+  const auto partitions = enumerate_base_partitions(d, m);
+  for (auto _ : state) {
+    CompatibilityTable compat(m, partitions);
+    benchmark::DoNotOptimize(compat.size());
+  }
+}
+BENCHMARK(BM_Compatibility)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_FullSearch(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  const ResourceVec lower = d.largest_configuration_area() + d.static_base();
+  const ResourceVec budget{lower.clbs + lower.clbs / 3, lower.brams + 8,
+                           lower.dsps + 8};
+  PartitionerOptions opt;
+  opt.search.max_move_evaluations = 400'000;
+  for (auto _ : state) {
+    auto r = partition_design(d, budget, opt);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_FullSearch)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudyPartitioning(benchmark::State& state) {
+  const Design d = synth::wireless_receiver_design();
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = 64;
+  opt.search.max_move_evaluations = 4'000'000;
+  for (auto _ : state) {
+    auto r = partition_design(d, synth::wireless_receiver_budget(), opt);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_CaseStudyPartitioning)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Reproduces Figs. 7 and 8: total and worst-case reconfiguration time of
+// the proposed scheme vs the one-module-per-region and single-region
+// schemes over the synthetic design suite, sorted by target FPGA size.
+// Also reports the §V text statistics (escalated designs, designs fitting a
+// smaller FPGA than modular needs).
+//
+// Series data is written to fig7.csv / fig8.csv in the working directory;
+// the console shows per-device aggregates (the figures' visual shape).
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench/sweep_common.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prpart;
+  using namespace prpart::bench;
+
+  const std::size_t count = sweep_design_count();
+  std::cout << "=== Figs. 7 & 8: synthetic sweep over " << count
+            << " designs (paper: 1000; set PRPART_DESIGNS to override) ===\n";
+  const SweepResult sweep = run_sweep(2013, count);
+  const auto rows = sorted_by_device(sweep);
+
+  // CSV dumps: one row per design in device-sorted order (the x-axis).
+  {
+    std::ofstream f7("fig7.csv");
+    CsvWriter csv(f7, {"x", "device", "class", "proposed_total",
+                       "modular_total", "single_total"});
+    std::size_t x = 0;
+    for (const SweepRow* r : rows)
+      csv.row({std::to_string(x++), r->device, to_string(r->circuit_class),
+               std::to_string(r->proposed_total),
+               std::to_string(r->modular_total),
+               std::to_string(r->single_total)});
+    std::ofstream f8("fig8.csv");
+    CsvWriter csv8(f8, {"x", "device", "proposed_worst", "modular_worst",
+                        "single_worst"});
+    x = 0;
+    for (const SweepRow* r : rows)
+      csv8.row({std::to_string(x++), r->device,
+                std::to_string(r->proposed_worst),
+                std::to_string(r->modular_worst),
+                std::to_string(r->single_worst)});
+  }
+  std::cout << "wrote fig7.csv and fig8.csv (" << rows.size() << " rows)\n\n";
+
+  // Console shape: per-device mean of each series.
+  struct Agg {
+    std::size_t n = 0;
+    double p_total = 0, m_total = 0, s_total = 0;
+    double p_worst = 0, m_worst = 0, s_worst = 0;
+  };
+  std::map<std::size_t, std::pair<std::string, Agg>> per_device;
+  for (const SweepRow* r : rows) {
+    auto& [name, a] = per_device[r->device_index];
+    name = r->device;
+    ++a.n;
+    a.p_total += static_cast<double>(r->proposed_total);
+    a.m_total += static_cast<double>(r->modular_total);
+    a.s_total += static_cast<double>(r->single_total);
+    a.p_worst += static_cast<double>(r->proposed_worst);
+    a.m_worst += static_cast<double>(r->modular_worst);
+    a.s_worst += static_cast<double>(r->single_worst);
+  }
+
+  std::cout << "Fig. 7 shape: mean TOTAL reconfiguration time (frames) per "
+               "target device\n";
+  TextTable t7({"Device", "Designs", "Proposed", "1 Module/Region",
+                "Single region"});
+  for (auto& [idx, entry] : per_device) {
+    auto& [name, a] = entry;
+    const auto n = static_cast<double>(a.n);
+    t7.add_row({name, std::to_string(a.n),
+                with_commas(static_cast<std::uint64_t>(a.p_total / n)),
+                with_commas(static_cast<std::uint64_t>(a.m_total / n)),
+                with_commas(static_cast<std::uint64_t>(a.s_total / n))});
+  }
+  std::cout << t7.render() << "\n";
+
+  std::cout << "Fig. 8 shape: mean WORST-CASE reconfiguration time (frames) "
+               "per target device\n";
+  TextTable t8({"Device", "Designs", "Proposed", "1 Module/Region",
+                "Single region"});
+  for (auto& [idx, entry] : per_device) {
+    auto& [name, a] = entry;
+    const auto n = static_cast<double>(a.n);
+    t8.add_row({name, std::to_string(a.n),
+                with_commas(static_cast<std::uint64_t>(a.p_worst / n)),
+                with_commas(static_cast<std::uint64_t>(a.m_worst / n)),
+                with_commas(static_cast<std::uint64_t>(a.s_worst / n))});
+  }
+  std::cout << t8.render() << "\n";
+
+  // §V text statistics.
+  std::size_t beats_modular_total = 0, beats_single_total = 0;
+  std::size_t beats_modular_worst = 0, ge_single_worst = 0;
+  for (const SweepRow* r : rows) {
+    if (r->proposed_total < r->modular_total) ++beats_modular_total;
+    if (r->proposed_total < r->single_total) ++beats_single_total;
+    if (r->proposed_worst < r->modular_worst) ++beats_modular_worst;
+    if (r->proposed_worst <= r->single_worst) ++ge_single_worst;
+  }
+  const auto pct = [&](std::size_t n) {
+    return fixed(100.0 * static_cast<double>(n) /
+                     static_cast<double>(sweep.designs),
+                 1) +
+           "%";
+  };
+  std::cout << "Sweep statistics (paper values in parentheses):\n";
+  std::cout << "  designs escalated to a larger FPGA : " << sweep.escalated
+            << "/" << sweep.designs << " = " << pct(sweep.escalated)
+            << "  (201/1000 = 20.1%)\n";
+  std::cout << "  designs on a smaller FPGA than modular needs: "
+            << sweep.smaller_than_modular << " (13)\n";
+  std::cout << "  proposed beats modular on total time: "
+            << pct(beats_modular_total) << " (73%)\n";
+  std::cout << "  proposed beats single-region on total time: "
+            << pct(beats_single_total) << " (100%)\n";
+  std::cout << "  proposed beats modular on worst case: "
+            << pct(beats_modular_worst) << " (70%)\n";
+  std::cout << "  proposed <= single-region on worst case: "
+            << pct(ge_single_worst) << " (87.5%)\n";
+  std::cout << "  sweep wall time: " << fixed(sweep.seconds, 1) << " s ("
+            << fixed(sweep.seconds / static_cast<double>(sweep.designs) * 1e3,
+                     1)
+            << " ms/design; paper: seconds to one minute per design)\n";
+  return 0;
+}

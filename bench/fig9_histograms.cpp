@@ -1,0 +1,54 @@
+// Reproduces Fig. 9: histograms of the percentage change of the proposed
+// algorithm's reconfiguration time against the two baseline schemes, on the
+// same synthetic suite as Figs. 7-8:
+//   (a) total  vs one-module-per-region   (b) total  vs single-region
+//   (c) worst  vs one-module-per-region   (d) worst  vs single-region
+#include <iostream>
+
+#include "bench/sweep_common.hpp"
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace prpart;
+  using namespace prpart::bench;
+
+  const std::size_t count = sweep_design_count();
+  std::cout << "=== Fig. 9: percentage-improvement histograms over " << count
+            << " designs (paper: 1000; set PRPART_DESIGNS to override) ===\n\n";
+  const SweepResult sweep = run_sweep(2013, count);
+
+  // Buckets match the paper's axis: -10% to 100% in 10% steps.
+  Histogram a(-10, 100, 11), b(-10, 100, 11), c(-10, 100, 11),
+      d(-10, 100, 11);
+  auto change = [](std::uint64_t baseline, std::uint64_t proposed) {
+    if (baseline == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(baseline) - static_cast<double>(proposed)) /
+           static_cast<double>(baseline);
+  };
+  for (const SweepRow& r : sweep.rows) {
+    a.add(change(r.modular_total, r.proposed_total));
+    b.add(change(r.single_total, r.proposed_total));
+    c.add(change(r.modular_worst, r.proposed_worst));
+    d.add(change(r.single_worst, r.proposed_worst));
+  }
+
+  std::cout << a.render(
+      "(a) total reconfiguration time vs one module per region");
+  std::cout << "\n" << b.render("(b) total reconfiguration time vs single region");
+  std::cout << "\n"
+            << c.render("(c) worst reconfiguration time vs one module per region");
+  std::cout << "\n" << d.render("(d) worst reconfiguration time vs single region");
+
+  std::cout << "\nFractions improved (paper values in parentheses):\n";
+  std::cout << "  (a) > 0%: " << fixed(100 * a.fraction_above(0), 1)
+            << "% (73%)\n";
+  std::cout << "  (b) > 0%: " << fixed(100 * b.fraction_above(0), 1)
+            << "% (100%)\n";
+  std::cout << "  (c) > 0%: " << fixed(100 * c.fraction_above(0), 1)
+            << "% (70%)\n";
+  std::cout << "  (d) >= 0%: " << fixed(100 * d.fraction_above(-1e-9), 1)
+            << "% (87.5%)\n";
+  return 0;
+}

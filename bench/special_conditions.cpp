@@ -1,0 +1,63 @@
+// Reproduces §IV-D "Special Conditions": designs without mode relations
+// (the example borrowed from related work [7]: CAN->FIR vs
+// Ethernet->FPU->CRC). Each one-off module gets a single mode; absence is
+// mode 0 and no connectivity-matrix column is allocated for it. The bench
+// prints the matrix and the partitioning found at two budgets.
+#include <iostream>
+
+#include "core/connectivity.hpp"
+#include "core/partitioner.hpp"
+#include "core/report.hpp"
+#include "design/builder.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prpart;
+
+  const Design design =
+      DesignBuilder("special-conditions")
+          .module("CAN", {{"C1", {120, 1, 0}}})
+          .module("FIR", {{"F1", {200, 0, 6}}})
+          .module("Eth", {{"E1", {340, 4, 0}}})
+          .module("FPU", {{"P1", {500, 0, 12}}})
+          .module("CRC", {{"R1", {60, 0, 0}}})
+          .configuration("conf1", {{"CAN", "C1"}, {"FIR", "F1"}})
+          .configuration("conf2",
+                         {{"Eth", "E1"}, {"FPU", "P1"}, {"CRC", "R1"}})
+          .build();
+
+  std::cout << "=== §IV-D special conditions: one-off modules, mode 0 = "
+               "absent ===\n\n";
+
+  const ConnectivityMatrix matrix(design);
+  std::cout << "Connectivity matrix (" << matrix.configs() << " x "
+            << matrix.modes() << "; no column for mode 0):\n";
+  TextTable m({"Config", "C1", "F1", "E1", "P1", "R1"});
+  for (std::size_t c = 0; c < matrix.configs(); ++c) {
+    std::vector<std::string> row = {design.configurations()[c].name};
+    for (std::size_t j = 0; j < matrix.modes(); ++j)
+      row.push_back(matrix.at(c, j) ? "1" : "0");
+    m.add_row(row);
+  }
+  std::cout << m.render() << "\n";
+
+  for (const ResourceVec budget :
+       {ResourceVec{2000, 10, 20}, ResourceVec{960, 5, 16}}) {
+    std::cout << "--- budget " << budget.to_string() << " ---\n";
+    const PartitionerResult r = partition_design(design, budget);
+    if (!r.feasible) {
+      std::cout << "infeasible\n\n";
+      continue;
+    }
+    std::cout << render_scheme_comparison(r);
+    std::cout << "Proposed partitioning:\n"
+              << render_scheme_partitions(design, r.base_partitions,
+                                          r.proposed.scheme)
+              << "\n";
+  }
+  std::cout << "Reading: with room to spare, every module sits in its own "
+               "never-reconfigured slot (zero total time); when squeezed "
+               "below the sum of both configurations, modes of different "
+               "configurations share regions, exactly as §IV-D describes.\n";
+  return 0;
+}

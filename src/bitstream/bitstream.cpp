@@ -1,0 +1,89 @@
+#include "bitstream/bitstream.hpp"
+
+#include "device/tiles.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+namespace {
+
+std::uint32_t payload_crc(const std::vector<std::uint32_t>& words,
+                          std::size_t from) {
+  // FNV-1a over the payload words; a stand-in for the device CRC.
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = from; i < words.size(); ++i) {
+    h ^= words[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+Bitstream generate_bitstream(const Design& design,
+                             const std::vector<BasePartition>& partitions,
+                             const SchemeEvaluation& evaluation,
+                             std::size_t region, std::size_t member) {
+  require(region < evaluation.regions.size(), "region out of range");
+  const RegionReport& report = evaluation.regions[region];
+
+  Bitstream b;
+  b.region = region;
+  b.frames = report.frames;
+
+  // Which master-list partition this member is requires the scheme; callers
+  // use generate_bitstreams for that. Here `member` is already the
+  // master-list index.
+  require(member < partitions.size(), "partition out of range");
+  b.partition = member;
+  b.name = design.name() + ".prr" + std::to_string(region + 1) + "." +
+           partitions[member].label(design);
+
+  const std::uint64_t payload_words = b.frames * arch::kWordsPerFrame;
+  b.words.resize(bitstream_layout::kHeaderWords + payload_words);
+  // Deterministic payload: seeded by (region, partition).
+  Rng rng((static_cast<std::uint64_t>(region) << 32) ^ member ^
+          (0xb17557eaull * design.mode_count()));
+  for (std::size_t i = bitstream_layout::kHeaderWords; i < b.words.size(); ++i)
+    b.words[i] = static_cast<std::uint32_t>(rng.next());
+
+  b.words[0] = bitstream_layout::kSyncWord;
+  b.words[1] = static_cast<std::uint32_t>(region);
+  b.words[2] = static_cast<std::uint32_t>(member);
+  b.words[3] = static_cast<std::uint32_t>(b.frames);
+  b.words[4] = payload_crc(b.words, bitstream_layout::kHeaderWords);
+  return b;
+}
+
+std::vector<Bitstream> generate_bitstreams(
+    const Design& design, const std::vector<BasePartition>& partitions,
+    const PartitionScheme& scheme, const SchemeEvaluation& evaluation) {
+  require(scheme.regions.size() == evaluation.regions.size(),
+          "scheme does not match evaluation");
+  std::vector<Bitstream> out;
+  for (std::size_t r = 0; r < scheme.regions.size(); ++r)
+    for (std::size_t p : scheme.regions[r].members)
+      out.push_back(generate_bitstream(design, partitions, evaluation, r, p));
+  return out;
+}
+
+std::uint64_t total_bytes(const std::vector<Bitstream>& set) {
+  std::uint64_t bytes = 0;
+  for (const Bitstream& b : set) bytes += b.bytes();
+  return bytes;
+}
+
+void validate_bitstream(const Bitstream& b) {
+  if (b.words.size() !=
+      bitstream_layout::kHeaderWords + b.frames * arch::kWordsPerFrame)
+    throw ParseError("bitstream '" + b.name + "' has wrong size");
+  if (b.words.empty() || b.words[0] != bitstream_layout::kSyncWord)
+    throw ParseError("bitstream '" + b.name + "' missing sync word");
+  if (b.words[3] != b.frames)
+    throw ParseError("bitstream '" + b.name + "' frame count mismatch");
+  if (b.words[4] != payload_crc(b.words, bitstream_layout::kHeaderWords))
+    throw ParseError("bitstream '" + b.name + "' CRC mismatch");
+}
+
+}  // namespace prpart

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "design/design.hpp"
+
+namespace prpart {
+
+/// A synthetic partial bitstream: frame-accurate in size, with a small
+/// header modelled on the Virtex-5 configuration packets (UG191). This
+/// substrate stands in for step 7 of the tool flow ("a complete
+/// configuration bitstream and partial bitstreams for each region under
+/// different configurations are generated"); the runtime simulator and the
+/// benches only depend on sizes being exactly frames * 41 words plus the
+/// fixed header.
+struct Bitstream {
+  std::string name;
+  std::size_t region = 0;
+  std::size_t partition = 0;  ///< master-list base partition index
+  std::uint64_t frames = 0;
+  std::vector<std::uint32_t> words;  ///< header + payload
+
+  /// Bytes on the storage medium.
+  std::uint64_t bytes() const { return words.size() * 4; }
+};
+
+/// Header layout of the synthetic bitstreams.
+namespace bitstream_layout {
+inline constexpr std::uint32_t kSyncWord = 0xAA995566;
+/// sync, region id, partition id, frame count, payload CRC placeholder.
+inline constexpr std::size_t kHeaderWords = 5;
+}  // namespace bitstream_layout
+
+/// Generates the partial bitstream for one (region, base partition) pair of
+/// an evaluated scheme. Payload content is a deterministic function of
+/// (region, partition), so regenerated bitstreams are bit-identical.
+Bitstream generate_bitstream(const Design& design,
+                             const std::vector<BasePartition>& partitions,
+                             const SchemeEvaluation& evaluation,
+                             std::size_t region, std::size_t member);
+
+/// All partial bitstreams of a scheme: one per (region, member) pair. This
+/// is the artefact set a deployment would store in external memory.
+std::vector<Bitstream> generate_bitstreams(
+    const Design& design, const std::vector<BasePartition>& partitions,
+    const PartitionScheme& scheme, const SchemeEvaluation& evaluation);
+
+/// Total storage bytes of a bitstream set.
+std::uint64_t total_bytes(const std::vector<Bitstream>& set);
+
+/// Validates header integrity and size of a bitstream; throws ParseError on
+/// corruption. Used by tests and the runtime example.
+void validate_bitstream(const Bitstream& b);
+
+}  // namespace prpart

@@ -1,0 +1,81 @@
+#include "bitstream/config_memory.hpp"
+
+#include "bitstream/bitstream.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+ConfigMemory::ConfigMemory(const Device& device) : map_(device) {
+  words_.assign(map_.total_frames() * arch::kWordsPerFrame, 0);
+}
+
+void ConfigMemory::write_frame(const FrameAddress& a,
+                               std::span<const std::uint32_t> words) {
+  require(words.size() == arch::kWordsPerFrame,
+          "a frame is exactly 41 words");
+  const std::uint64_t base = map_.linear_index(a) * arch::kWordsPerFrame;
+  for (std::size_t i = 0; i < words.size(); ++i) words_[base + i] = words[i];
+  ++frame_writes_;
+}
+
+std::span<const std::uint32_t> ConfigMemory::read_frame(
+    const FrameAddress& a) const {
+  const std::uint64_t base = map_.linear_index(a) * arch::kWordsPerFrame;
+  return {words_.data() + base, arch::kWordsPerFrame};
+}
+
+std::vector<FrameAddress> frames_of_placement(
+    const Device& device, const RegionPlacement& placement) {
+  const FrameMap map(device);
+  std::vector<FrameAddress> out;
+  for (std::uint32_t row = placement.row; row < placement.row + placement.height;
+       ++row) {
+    for (std::uint32_t col = placement.col;
+         col < placement.col + placement.width; ++col) {
+      const std::uint32_t minors = map.frames_in_column(col);
+      for (std::uint32_t minor = 0; minor < minors; ++minor)
+        out.push_back(FrameAddress{row, col, minor});
+    }
+  }
+  return out;
+}
+
+PlacedBitstream::PlacedBitstream(const Device& device,
+                                 const RegionPlacement& placement,
+                                 std::uint64_t payload_seed, std::string name)
+    : name_(std::move(name)) {
+  const std::vector<FrameAddress> frames = frames_of_placement(device,
+                                                               placement);
+  frames_ = frames.size();
+  // Layout: sync word, frame count, then per frame: packed FAR + 41 words.
+  words_.reserve(2 + frames.size() * (1 + arch::kWordsPerFrame));
+  words_.push_back(bitstream_layout::kSyncWord);
+  words_.push_back(static_cast<std::uint32_t>(frames.size()));
+  Rng rng(payload_seed);
+  for (const FrameAddress& a : frames) {
+    words_.push_back(a.pack());
+    for (std::uint32_t w = 0; w < arch::kWordsPerFrame; ++w)
+      words_.push_back(static_cast<std::uint32_t>(rng.next()));
+  }
+}
+
+void PlacedBitstream::apply(ConfigMemory& memory) const {
+  if (words_.size() < 2 || words_[0] != bitstream_layout::kSyncWord)
+    throw ParseError("placed bitstream '" + name_ + "' missing sync word");
+  const std::uint32_t count = words_[1];
+  const std::size_t expected = 2 + std::size_t{count} * (1 + arch::kWordsPerFrame);
+  if (words_.size() != expected)
+    throw ParseError("placed bitstream '" + name_ + "' has wrong size");
+  std::size_t pos = 2;
+  for (std::uint32_t f = 0; f < count; ++f) {
+    const FrameAddress a = FrameAddress::unpack(words_[pos++]);
+    if (!memory.frame_map().valid(a))
+      throw ParseError("placed bitstream '" + name_ +
+                       "' addresses an invalid frame");
+    memory.write_frame(a, {words_.data() + pos, arch::kWordsPerFrame});
+    pos += arch::kWordsPerFrame;
+  }
+}
+
+}  // namespace prpart

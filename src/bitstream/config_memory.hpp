@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/frame_address.hpp"
+#include "device/tiles.hpp"
+#include "floorplan/floorplanner.hpp"
+
+namespace prpart {
+
+/// Simulated configuration memory of one device: a word array addressed by
+/// frame. Placed partial bitstreams are applied through it, which lets the
+/// tests verify the central PR safety property — a partial reconfiguration
+/// touches exactly the frames of its region's rectangle and nothing else.
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const Device& device);
+
+  const FrameMap& frame_map() const { return map_; }
+
+  void write_frame(const FrameAddress& a,
+                   std::span<const std::uint32_t> words);
+  std::span<const std::uint32_t> read_frame(const FrameAddress& a) const;
+
+  /// Total frame writes performed (reconfiguration traffic).
+  std::uint64_t frame_writes() const { return frame_writes_; }
+
+  /// Snapshot for diffing in tests.
+  std::vector<std::uint32_t> snapshot() const { return words_; }
+
+ private:
+  FrameMap map_;
+  std::vector<std::uint32_t> words_;
+  std::uint64_t frame_writes_ = 0;
+};
+
+/// All frame addresses inside a floorplanned region rectangle, in FAR
+/// order. A region is reconfigured by rewriting exactly these frames.
+std::vector<FrameAddress> frames_of_placement(const Device& device,
+                                              const RegionPlacement& placement);
+
+/// A frame-addressed partial bitstream: a header followed by
+/// (packed FAR, 41 data words) packets covering a region rectangle.
+/// This is the placed counterpart of the size-only Bitstream: its length is
+/// determined by the floorplan rather than the resource estimate.
+class PlacedBitstream {
+ public:
+  /// Builds the bitstream for `placement`, with payload words derived
+  /// deterministically from `payload_seed`.
+  PlacedBitstream(const Device& device, const RegionPlacement& placement,
+                  std::uint64_t payload_seed, std::string name);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t bytes() const { return words_.size() * 4; }
+  const std::vector<std::uint32_t>& words() const { return words_; }
+
+  /// Writes every packet into the configuration memory. Throws ParseError
+  /// on malformed packets (wrong sync word, bad FAR).
+  void apply(ConfigMemory& memory) const;
+
+ private:
+  std::string name_;
+  std::uint64_t frames_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace prpart

@@ -1,0 +1,38 @@
+#include "bitstream/frame_address.hpp"
+
+#include "device/tiles.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+FrameMap::FrameMap(const Device& device) : device_(device) {
+  column_offset_.reserve(device.columns().size());
+  for (std::uint32_t c = 0; c < device.columns().size(); ++c) {
+    column_offset_.push_back(frames_per_row_);
+    frames_per_row_ += frames_in_column(c);
+  }
+  total_frames_ = frames_per_row_ * device.rows();
+}
+
+std::uint32_t FrameMap::frames_in_column(std::uint32_t major) const {
+  require(major < device_.columns().size(), "column index out of range");
+  switch (device_.columns()[major]) {
+    case BlockType::Clb: return arch::kFramesPerClbTile;
+    case BlockType::Bram: return arch::kFramesPerBramTile;
+    case BlockType::Dsp: return arch::kFramesPerDspTile;
+  }
+  return 0;
+}
+
+bool FrameMap::valid(const FrameAddress& a) const {
+  return a.row < device_.rows() && a.major < device_.columns().size() &&
+         a.minor < frames_in_column(a.major);
+}
+
+std::uint64_t FrameMap::linear_index(const FrameAddress& a) const {
+  require(valid(a), "invalid frame address");
+  return std::uint64_t{a.row} * frames_per_row_ + column_offset_[a.major] +
+         a.minor;
+}
+
+}  // namespace prpart

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+
+namespace prpart {
+
+/// Address of one configuration frame: device row, block column (major),
+/// and frame-within-tile (minor). This mirrors the Virtex-5 frame address
+/// register (UG191) with a simplified packing: we keep one flat block type
+/// and no top/bottom split.
+struct FrameAddress {
+  std::uint32_t row = 0;
+  std::uint32_t major = 0;
+  std::uint32_t minor = 0;
+
+  constexpr bool operator==(const FrameAddress&) const = default;
+
+  /// Packs into a 32-bit FAR word: row[28:22] major[21:10] minor[9:0].
+  std::uint32_t pack() const {
+    return (row << 22) | ((major & 0xfff) << 10) | (minor & 0x3ff);
+  }
+  static FrameAddress unpack(std::uint32_t word) {
+    return {word >> 22, (word >> 10) & 0xfff, word & 0x3ff};
+  }
+};
+
+/// Frame-address arithmetic for one device: how many frames each column
+/// carries per row (by block type, §IV-B), linearisation for storage, and
+/// validity checks.
+class FrameMap {
+ public:
+  explicit FrameMap(const Device& device);
+
+  const Device& device() const { return device_; }
+
+  /// Frames per row-tile of column `major` (36/30/28 for CLB/BRAM/DSP).
+  std::uint32_t frames_in_column(std::uint32_t major) const;
+
+  /// Total frames on the device = rows x sum of column frame counts.
+  std::uint64_t total_frames() const { return total_frames_; }
+
+  bool valid(const FrameAddress& a) const;
+
+  /// Dense index in [0, total_frames) for storage; row-major by (row,
+  /// major, minor). Throws InternalError on invalid addresses.
+  std::uint64_t linear_index(const FrameAddress& a) const;
+
+ private:
+  const Device& device_;
+  std::vector<std::uint64_t> column_offset_;  ///< frame offset of column c in a row
+  std::uint64_t frames_per_row_ = 0;
+  std::uint64_t total_frames_ = 0;
+};
+
+}  // namespace prpart

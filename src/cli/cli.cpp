@@ -1,0 +1,486 @@
+#include "cli/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bitstream/bitstream.hpp"
+#include "core/clustering.hpp"
+#include "core/compatibility.hpp"
+#include "core/connectivity.hpp"
+#include "core/optimal.hpp"
+#include "core/partitioner.hpp"
+#include "core/report.hpp"
+#include "core/result_io.hpp"
+#include "design/io_xml.hpp"
+#include "design/lint.hpp"
+#include "design/synthetic.hpp"
+#include "floorplan/floorplanner.hpp"
+#include "flow/flow.hpp"
+#include "reconfig/controller.hpp"
+#include "reconfig/markov.hpp"
+#include "reconfig/prefetch.hpp"
+#include "synth/estimator.hpp"
+#include "util/args.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace prpart::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(prpart - automated partitioning for partial reconfiguration designs
+
+usage:
+  prpart devices
+  prpart lint <design.xml>
+  prpart estimate [--luts N] [--ffs N] [--mults N] [--kbits N] [--distbits N]
+  prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [--out FILE]
+  prpart partition <design.xml> [--device NAME | --budget C,B,D]
+                   [--candidate-sets N] [--evals N] [--floorplan] [--ucf FILE]
+                   [--save FILE]
+  prpart simulate <design.xml> [--device NAME | --budget C,B,D]
+                  [--steps N] [--seed S] [--prefetch] [--load FILE]
+  prpart bitstreams <design.xml> [--device NAME | --budget C,B,D] [--out DIR]
+  prpart flow <design.xml> [--device NAME] [--out DIR]
+  prpart optimal <design.xml> [--device NAME | --budget C,B,D] [--states N]
+
+With neither --device nor --budget, partitioning walks the Virtex-5 library
+from the smallest device up (the paper's device-selection mode). `flow`
+runs the complete pipeline (partition, floorplan with feedback, UCF,
+bitstreams) and writes the artefacts into --out.
+)";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ResourceVec parse_budget(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ',');
+  if (parts.size() != 3)
+    throw ParseError("--budget expects CLBS,BRAMS,DSPS, got '" + spec + "'");
+  return {static_cast<std::uint32_t>(parse_u64(parts[0])),
+          static_cast<std::uint32_t>(parse_u64(parts[1])),
+          static_cast<std::uint32_t>(parse_u64(parts[2]))};
+}
+
+/// Resolves the target: explicit budget, named device, or smallest-device
+/// search. Returns the partitioning result plus the device used (nullptr
+/// for an explicit budget).
+struct Target {
+  PartitionerResult result;
+  const Device* device = nullptr;
+  ResourceVec budget;
+};
+
+Target resolve_and_partition(const Design& design, const Args& args,
+                             const DeviceLibrary& library,
+                             const PartitionerOptions& options) {
+  Target t;
+  if (const auto budget = args.value("budget")) {
+    t.budget = parse_budget(*budget);
+    t.result = partition_design(design, t.budget, options);
+    return t;
+  }
+  if (const auto device = args.value("device")) {
+    const Device& d = library.by_name(*device);
+    t.device = &d;
+    t.budget = d.capacity();
+    t.result = partition_design(design, t.budget, options);
+    return t;
+  }
+  DevicePartitionResult dp =
+      partition_on_smallest_device(design, library, options);
+  t.device = dp.device;
+  t.budget = dp.device->capacity();
+  t.result = std::move(dp.result);
+  return t;
+}
+
+PartitionerOptions options_from(const Args& args) {
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = args.u64_or("candidate-sets", 48);
+  opt.search.max_move_evaluations = args.u64_or("evals", 2'000'000);
+  return opt;
+}
+
+int cmd_devices(std::ostream& out) {
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  out << "Virtex-5 device library (smallest to largest):\n";
+  for (const Device& d : lib.devices())
+    out << "  " << d.name() << ": " << d.capacity().to_string() << ", "
+        << d.rows() << " rows, " << d.columns().size() << " columns\n";
+  return 0;
+}
+
+int cmd_lint(const Args& args, std::ostream& out) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const auto issues = lint_design(design);
+  if (issues.empty()) {
+    out << "no issues found\n";
+    return 0;
+  }
+  out << render_lint(issues);
+  return 0;
+}
+
+int cmd_estimate(const Args& args, std::ostream& out) {
+  synth::BehavioralSpec spec;
+  spec.luts = static_cast<std::uint32_t>(args.u64_or("luts", 0));
+  spec.ffs = static_cast<std::uint32_t>(args.u64_or("ffs", 0));
+  spec.mult18s = static_cast<std::uint32_t>(args.u64_or("mults", 0));
+  spec.mem_kbits = static_cast<std::uint32_t>(args.u64_or("kbits", 0));
+  spec.dist_mem_bits = static_cast<std::uint32_t>(args.u64_or("distbits", 0));
+  out << synth::estimate(spec).to_string() << "\n";
+  return 0;
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  const std::uint64_t seed = args.u64_or("seed", 1);
+  const std::string cls = args.value_or("class", "logic");
+  CircuitClass circuit_class;
+  if (cls == "logic") circuit_class = CircuitClass::Logic;
+  else if (cls == "memory") circuit_class = CircuitClass::Memory;
+  else if (cls == "dsp") circuit_class = CircuitClass::Dsp;
+  else if (cls == "dspmem") circuit_class = CircuitClass::DspAndMemory;
+  else throw ParseError("unknown --class '" + cls + "'");
+
+  Rng rng(seed);
+  const SyntheticDesign s = generate_synthetic(rng, circuit_class);
+  const std::string xml = design_to_xml(s.design);
+  if (const auto path = args.value("out")) {
+    std::ofstream f(*path, std::ios::binary);
+    if (!f) throw ParseError("cannot write '" + *path + "'");
+    f << xml;
+    out << "wrote " << *path << "\n";
+  } else {
+    out << xml;
+  }
+  return 0;
+}
+
+int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const Target t =
+      resolve_and_partition(design, args, lib, options_from(args));
+  if (!t.result.feasible) {
+    err << "design does not fit the target (lower bound "
+        << (design.largest_configuration_area() + design.static_base())
+               .to_string()
+        << ", budget " << t.budget.to_string() << ")\n";
+    return 2;
+  }
+  if (t.device) out << "target device: " << t.device->name() << "\n";
+  out << "budget: " << t.budget.to_string() << "\n\n";
+  out << render_scheme_comparison(t.result);
+  out << "\nProposed partitioning:\n"
+      << render_scheme_partitions(design, t.result.base_partitions,
+                                  t.result.proposed.scheme);
+
+  if (const auto save = args.value("save")) {
+    std::ofstream f(*save, std::ios::binary);
+    if (!f) throw ParseError("cannot write '" + *save + "'");
+    f << partitioning_to_xml(design, t.result.base_partitions,
+                             t.result.proposed.scheme, t.result.proposed.eval);
+    out << "saved partitioning to " << *save << "\n";
+  }
+
+  if (args.has("floorplan") || args.has("ucf")) {
+    const Device& device = t.device ? *t.device : *[&]() -> const Device* {
+      const Device* d = lib.smallest_fitting(t.budget);
+      if (!d) throw DeviceError("no library device covers the budget");
+      return d;
+    }();
+    const Floorplanner fp(device);
+    const FloorplanResult plan = fp.place_scheme(t.result.proposed.eval);
+    if (!plan.success) {
+      err << "floorplanning failed for region " << plan.failed_region + 1
+          << "\n";
+      return 2;
+    }
+    out << "\nFloorplan on " << device.name() << ":\n";
+    for (const RegionPlacement& p : plan.placements) {
+      if (p.width == 0) continue;
+      out << "  PRR" << p.region + 1 << ": rows [" << p.row << ","
+          << p.row + p.height << ") cols [" << p.col << "," << p.col + p.width
+          << ")\n";
+    }
+    if (const auto ucf_path = args.value("ucf")) {
+      std::ofstream f(*ucf_path, std::ios::binary);
+      if (!f) throw ParseError("cannot write '" + *ucf_path + "'");
+      f << to_ucf(device, plan.placements);
+      out << "wrote " << *ucf_path << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+
+  PartitionScheme scheme;
+  SchemeEvaluation eval;
+  if (const auto load = args.value("load")) {
+    // Re-derive the base partitions and evaluate the saved scheme instead
+    // of re-running the search.
+    const ConnectivityMatrix matrix(design);
+    const auto partitions = enumerate_base_partitions(design, matrix);
+    scheme = partitioning_from_xml(design, partitions, read_file(*load));
+    // The budget only gates fit; use an unconstrained one for simulation.
+    eval = evaluate_scheme(design, matrix, partitions, scheme,
+                           {~0u, ~0u, ~0u});
+    if (!eval.valid) {
+      err << "loaded partitioning is invalid: " << eval.invalid_reason
+          << "\n";
+      return 2;
+    }
+    out << "loaded partitioning from " << *load << " ("
+        << with_commas(eval.total_frames) << " total frames)\n";
+  } else {
+    const Target t =
+        resolve_and_partition(design, args, lib, options_from(args));
+    if (!t.result.feasible) {
+      err << "design does not fit the target\n";
+      return 2;
+    }
+    scheme = t.result.proposed.scheme;
+    eval = t.result.proposed.eval;
+  }
+  const std::size_t n = design.configurations().size();
+  const auto steps = args.u64_or("steps", 1000);
+  Rng rng(args.u64_or("seed", 1));
+  const MarkovChain env = MarkovChain::random(rng, n);
+
+  if (args.has("prefetch")) {
+    PrefetchingController ctl(design, scheme, eval, env);
+    ctl.boot(0);
+    std::size_t state = 0;
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      state = env.sample_next(rng, state);
+      ctl.transition(state);
+    }
+    const PrefetchStats& st = ctl.stats();
+    out << "transitions: " << st.transitions << "\n";
+    out << "stall frames: " << with_commas(st.stall_frames) << " (worst "
+        << with_commas(st.worst_stall_frames) << ")\n";
+    out << "prefetched frames: " << with_commas(st.prefetched_frames)
+        << " (useful " << st.useful_prefetches << ", wasted "
+        << st.wasted_prefetches << ")\n";
+  } else {
+    ReconfigurationController ctl(design, scheme, eval);
+    ctl.boot(0);
+    std::size_t state = 0;
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      state = env.sample_next(rng, state);
+      ctl.transition(state);
+    }
+    const RuntimeStats& st = ctl.stats();
+    out << "transitions: " << st.transitions << "\n";
+    out << "total frames: " << with_commas(st.total_frames) << " ("
+        << with_commas(st.total_ns / 1000) << " us)\n";
+    out << "worst transition: " << with_commas(st.worst_transition_frames)
+        << " frames\n";
+    out << "region loads: " << st.region_loads << "\n";
+  }
+  return 0;
+}
+
+int cmd_bitstreams(const Args& args, std::ostream& out, std::ostream& err) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const Target t =
+      resolve_and_partition(design, args, lib, options_from(args));
+  if (!t.result.feasible) {
+    err << "design does not fit the target\n";
+    return 2;
+  }
+  const auto set =
+      generate_bitstreams(design, t.result.base_partitions,
+                          t.result.proposed.scheme, t.result.proposed.eval);
+  out << set.size() << " partial bitstreams, " << with_commas(total_bytes(set))
+      << " bytes total\n";
+  if (const auto dir = args.value("out")) {
+    std::filesystem::create_directories(*dir);
+    for (const Bitstream& b : set) {
+      std::string fname = b.name;
+      for (char& c : fname)
+        if (c == '{' || c == '}' || c == ',') c = '_';
+      const std::filesystem::path path =
+          std::filesystem::path(*dir) / (fname + ".bit");
+      std::ofstream f(path, std::ios::binary);
+      if (!f) throw ParseError("cannot write '" + path.string() + "'");
+      f.write(reinterpret_cast<const char*>(b.words.data()),
+              static_cast<std::streamsize>(b.words.size() * 4));
+      out << "  " << path.string() << " (" << with_commas(b.bytes())
+          << " bytes)\n";
+    }
+  } else {
+    for (const Bitstream& b : set)
+      out << "  " << b.name << ": " << with_commas(b.bytes()) << " bytes ("
+          << b.frames << " frames)\n";
+  }
+  return 0;
+}
+
+int cmd_flow(const Args& args, std::ostream& out, std::ostream& err) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  FlowOptions opt;
+  opt.partitioner = options_from(args);
+
+  FlowResult r;
+  if (const auto device = args.value("device")) {
+    r = run_flow(design, lib.by_name(*device), opt);
+  } else {
+    r = run_flow_auto_device(design, lib, opt);
+  }
+  if (!r.success) {
+    err << "flow failed: " << r.failure_reason << "\n";
+    return 2;
+  }
+  out << "device: " << r.device->name() << "\n";
+  out << "feedback iterations: " << r.iterations << "\n";
+  out << render_scheme_comparison(r.partitioning);
+  out << "bitstreams: " << r.bitstreams.size() << " ("
+      << with_commas(total_bytes(r.bitstreams)) << " bytes)\n";
+
+  if (const auto dir = args.value("out")) {
+    std::filesystem::create_directories(*dir);
+    const std::filesystem::path base(*dir);
+    {
+      std::ofstream f(base / "design.ucf", std::ios::binary);
+      if (!f) throw ParseError("cannot write UCF into '" + *dir + "'");
+      f << r.ucf;
+    }
+    for (const Bitstream& b : r.bitstreams) {
+      std::string fname = b.name;
+      for (char& c : fname)
+        if (c == '{' || c == '}' || c == ',') c = '_';
+      std::ofstream f(base / (fname + ".bit"), std::ios::binary);
+      if (!f) throw ParseError("cannot write bitstreams into '" + *dir + "'");
+      f.write(reinterpret_cast<const char*>(b.words.data()),
+              static_cast<std::streamsize>(b.words.size() * 4));
+    }
+    out << "wrote design.ucf and " << r.bitstreams.size()
+        << " .bit files to " << *dir << "\n";
+  }
+  return 0;
+}
+
+int cmd_optimal(const Args& args, std::ostream& out, std::ostream& err) {
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  ResourceVec budget;
+  if (const auto b = args.value("budget")) {
+    budget = parse_budget(*b);
+  } else if (const auto device = args.value("device")) {
+    budget = lib.by_name(*device).capacity();
+  } else {
+    const Device* d = lib.smallest_fitting(
+        design.largest_configuration_area() + design.static_base());
+    if (!d) {
+      err << "design fits no library device\n";
+      return 2;
+    }
+    budget = d->capacity();
+    out << "using " << d->name() << "\n";
+  }
+
+  const ConnectivityMatrix matrix(design);
+  const auto partitions = enumerate_base_partitions(design, matrix);
+  const CompatibilityTable compat(matrix, partitions);
+  OptimalOptions opt;
+  opt.max_states = args.u64_or("states", 2'000'000);
+  const OptimalResult r = optimal_mode_level_partitioning(
+      design, matrix, partitions, compat, budget, opt);
+  if (!r.feasible) {
+    err << "no feasible mode-level assignment"
+        << (r.exhausted ? " found within the state cap" : "") << "\n";
+    return 2;
+  }
+  out << "exact mode-level optimum (" << with_commas(r.states_explored)
+      << " states" << (r.exhausted ? ", cap hit - best effort" : "")
+      << "):\n";
+  out << "total reconfiguration: " << with_commas(r.eval.total_frames)
+      << " frames, worst " << with_commas(r.eval.worst_frames) << "\n";
+  out << render_scheme_partitions(design, partitions, r.scheme);
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    const Args parsed(args, {"floorplan", "prefetch"});
+    const std::string& command = parsed.positionals().at(0);
+
+    auto need_design = [&] {
+      if (parsed.positionals().size() < 2)
+        throw ParseError("command '" + command + "' expects a design file");
+    };
+
+    if (command == "devices") {
+      parsed.check_known({});
+      return cmd_devices(out);
+    }
+    if (command == "lint") {
+      need_design();
+      parsed.check_known({});
+      return cmd_lint(parsed, out);
+    }
+    if (command == "estimate") {
+      parsed.check_known({"luts", "ffs", "mults", "kbits", "distbits"});
+      return cmd_estimate(parsed, out);
+    }
+    if (command == "generate") {
+      parsed.check_known({"seed", "class", "out"});
+      return cmd_generate(parsed, out);
+    }
+    if (command == "partition") {
+      need_design();
+      parsed.check_known({"device", "budget", "candidate-sets", "evals",
+                          "floorplan", "ucf", "save"});
+      return cmd_partition(parsed, out, err);
+    }
+    if (command == "simulate") {
+      need_design();
+      parsed.check_known({"device", "budget", "candidate-sets", "evals",
+                          "steps", "seed", "prefetch", "load"});
+      return cmd_simulate(parsed, out, err);
+    }
+    if (command == "bitstreams") {
+      need_design();
+      parsed.check_known(
+          {"device", "budget", "candidate-sets", "evals", "out"});
+      return cmd_bitstreams(parsed, out, err);
+    }
+    if (command == "flow") {
+      need_design();
+      parsed.check_known({"device", "candidate-sets", "evals", "out"});
+      return cmd_flow(parsed, out, err);
+    }
+    if (command == "optimal") {
+      need_design();
+      parsed.check_known({"device", "budget", "states"});
+      return cmd_optimal(parsed, out, err);
+    }
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace prpart::cli

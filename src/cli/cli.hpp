@@ -1,0 +1,37 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prpart::cli {
+
+/// Entry point of the `prpart` command-line tool, separated from main() so
+/// the tests can drive it with captured streams.
+///
+/// Commands:
+///   prpart help
+///   prpart devices
+///   prpart lint <design.xml>
+///   prpart estimate [--luts N] [--ffs N] [--mults N] [--kbits N]
+///                   [--distbits N]
+///   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [-out F]
+///   prpart partition <design.xml> [--device NAME | --budget C,B,D]
+///                    [--candidate-sets N] [--evals N]
+///                    [--floorplan] [--ucf FILE]
+///   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
+///                   [--steps N] [--seed S] [--prefetch]
+///   prpart bitstreams <design.xml> [--device NAME | --budget C,B,D]
+///                     [--out DIR]
+///   prpart flow <design.xml> [--device NAME] [--out DIR]
+///   prpart optimal <design.xml> [--device NAME | --budget C,B,D]
+///                  [--states N]
+///
+/// `partition --save FILE` archives the chosen scheme; `simulate --load
+/// FILE` replays it without re-running the search.
+///
+/// Returns a process exit code (0 success, 1 user error, 2 infeasible).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace prpart::cli

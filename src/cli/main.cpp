@@ -1,0 +1,12 @@
+// The `prpart` command-line tool: the user-facing front end of the
+// partitioning flow (Fig. 2). See cli.hpp for the command list.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return prpart::cli::run(args, std::cout, std::cerr);
+}

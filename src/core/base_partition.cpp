@@ -1,0 +1,17 @@
+#include "core/base_partition.hpp"
+
+namespace prpart {
+
+std::string BasePartition::label(const Design& design) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t m : modes.bits()) {
+    if (!first) out += ',';
+    out += design.mode_label(m);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace prpart

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+#include "device/resources.hpp"
+#include "util/bitset.hpp"
+
+namespace prpart {
+
+/// A base partition (§IV-C): a set of modes that will be implemented
+/// *concurrently* in one partial bitstream. Base partitions are the units
+/// the region-allocation search assigns to regions or promotes into the
+/// static logic.
+struct BasePartition {
+  /// Global mode ids (columns of the connectivity matrix).
+  DynBitset modes;
+  /// The paper's frequency weight: node weight for singletons, edge weight
+  /// for pairs, minimum edge weight for larger sub-graphs.
+  std::uint32_t frequency_weight = 0;
+  /// Number of edges k of the detected complete sub-graph: C(|modes|, 2).
+  std::uint32_t edges = 0;
+  /// Raw area: element-wise SUM of the member modes (they coexist in the
+  /// bitstream).
+  ResourceVec area;
+  /// Frames to reconfigure a region exactly this large (Eq. 1).
+  std::uint64_t frames = 0;
+
+  /// "{A1,B2}"-style label using the design's mode names.
+  std::string label(const Design& design) const;
+};
+
+}  // namespace prpart

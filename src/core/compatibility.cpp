@@ -1,0 +1,24 @@
+#include "core/compatibility.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+CompatibilityTable::CompatibilityTable(
+    const ConnectivityMatrix& matrix,
+    const std::vector<BasePartition>& partitions) {
+  occupancy_.reserve(partitions.size());
+  for (const BasePartition& p : partitions)
+    occupancy_.push_back(matrix.occupancy(p.modes));
+}
+
+const DynBitset& CompatibilityTable::occupancy(std::size_t p) const {
+  require(p < occupancy_.size(), "partition index out of range");
+  return occupancy_[p];
+}
+
+bool CompatibilityTable::compatible(std::size_t a, std::size_t b) const {
+  return !occupancy(a).intersects(occupancy(b));
+}
+
+}  // namespace prpart

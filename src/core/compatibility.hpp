@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/connectivity.hpp"
+#include "util/bitset.hpp"
+
+namespace prpart {
+
+/// Compatibility between base partitions (§IV-C): two partitions are
+/// compatible iff their modes never co-occur in any configuration, i.e.
+/// their occupancy sets (the configurations each one is active in) are
+/// disjoint. Only compatible partitions may share a reconfigurable region —
+/// a region can hold a single bitstream at a time, so partitions needed
+/// simultaneously must live in different regions.
+class CompatibilityTable {
+ public:
+  CompatibilityTable(const ConnectivityMatrix& matrix,
+                     const std::vector<BasePartition>& partitions);
+
+  /// Configurations in which partition `p` is active (its modes intersect
+  /// the configuration).
+  const DynBitset& occupancy(std::size_t p) const;
+
+  /// True when partitions `a` and `b` may share a region.
+  bool compatible(std::size_t a, std::size_t b) const;
+
+  std::size_t size() const { return occupancy_.size(); }
+
+ private:
+  std::vector<DynBitset> occupancy_;
+};
+
+}  // namespace prpart

@@ -1,0 +1,60 @@
+#include "core/connectivity.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+ConnectivityMatrix::ConnectivityMatrix(const Design& design)
+    : modes_(design.mode_count()) {
+  rows_.reserve(design.configurations().size());
+  for (std::size_t c = 0; c < design.configurations().size(); ++c)
+    rows_.push_back(design.config_modes(c));
+
+  node_weight_.assign(modes_, 0);
+  edge_weight_.assign(modes_ * modes_, 0);
+  for (const DynBitset& row : rows_) {
+    const std::vector<std::size_t> present = row.bits();
+    for (std::size_t j : present) ++node_weight_[j];
+    for (std::size_t a = 0; a < present.size(); ++a)
+      for (std::size_t b = a + 1; b < present.size(); ++b) {
+        ++edge_weight_[present[a] * modes_ + present[b]];
+        ++edge_weight_[present[b] * modes_ + present[a]];
+      }
+  }
+}
+
+const DynBitset& ConnectivityMatrix::row(std::size_t config) const {
+  require(config < rows_.size(), "configuration index out of range");
+  return rows_[config];
+}
+
+bool ConnectivityMatrix::at(std::size_t config, std::size_t mode) const {
+  return row(config).test(mode);
+}
+
+std::uint32_t ConnectivityMatrix::node_weight(std::size_t mode) const {
+  require(mode < modes_, "mode index out of range");
+  return node_weight_[mode];
+}
+
+std::uint32_t ConnectivityMatrix::edge_weight(std::size_t a,
+                                              std::size_t b) const {
+  require(a < modes_ && b < modes_, "mode index out of range");
+  return edge_weight_[a * modes_ + b];
+}
+
+DynBitset ConnectivityMatrix::occupancy(const DynBitset& modes) const {
+  DynBitset occ(rows_.size());
+  for (std::size_t c = 0; c < rows_.size(); ++c)
+    if (rows_[c].intersects(modes)) occ.set(c);
+  return occ;
+}
+
+std::uint32_t ConnectivityMatrix::cooccurrence(const DynBitset& modes) const {
+  std::uint32_t n = 0;
+  for (const DynBitset& row : rows_)
+    if (modes.is_subset_of(row)) ++n;
+  return n;
+}
+
+}  // namespace prpart

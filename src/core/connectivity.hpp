@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "design/design.hpp"
+#include "util/bitset.hpp"
+
+namespace prpart {
+
+/// The connectivity matrix of §IV-C: one row per configuration, one column
+/// per mode (mode 0 gets no column). Element (i, j) is 1 when mode j is
+/// present in configuration i.
+///
+/// Also precomputes the two weights the clustering uses:
+///  * node weight  n_j  = column sum (how often mode j occurs),
+///  * edge weight  W_jk = number of configurations containing both j and k.
+class ConnectivityMatrix {
+ public:
+  explicit ConnectivityMatrix(const Design& design);
+
+  std::size_t configs() const { return rows_.size(); }
+  std::size_t modes() const { return modes_; }
+
+  const DynBitset& row(std::size_t config) const;
+  bool at(std::size_t config, std::size_t mode) const;
+
+  std::uint32_t node_weight(std::size_t mode) const;
+  std::uint32_t edge_weight(std::size_t a, std::size_t b) const;
+
+  /// Set of configurations that contain at least one mode of `modes`; this
+  /// is the occupancy set used for compatibility tests (§IV-C: "Two
+  /// partitions are compatible, if the modes present in them do not co-occur
+  /// in any of the configurations").
+  DynBitset occupancy(const DynBitset& modes) const;
+
+  /// Number of configurations whose mode set contains all of `modes` (the
+  /// true co-occurrence count of the set; equals the paper's frequency
+  /// weight on all its examples).
+  std::uint32_t cooccurrence(const DynBitset& modes) const;
+
+ private:
+  std::size_t modes_ = 0;
+  std::vector<DynBitset> rows_;
+  std::vector<std::uint32_t> node_weight_;
+  std::vector<std::uint32_t> edge_weight_;  // modes_ x modes_, row-major
+};
+
+}  // namespace prpart

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/connectivity.hpp"
+
+namespace prpart {
+
+/// The paper's list arrangement for the covering step (§IV-C): base
+/// partitions in ascending order of (number of modes, frequency weight,
+/// area), with the master-list index as a final deterministic tie-break.
+/// Fewer modes first keeps regions small (reconfigured less often); among
+/// equals, low-frequency partitions are consumed first so high-frequency
+/// ones stay available as candidates across iterations.
+std::vector<std::size_t> covering_order(
+    const std::vector<BasePartition>& partitions);
+
+/// Result of one covering pass.
+struct CoverResult {
+  /// The candidate partition set: indices into the master partition list,
+  /// in selection order.
+  std::vector<std::size_t> selected;
+  /// True when every 1 in the connectivity matrix was zeroed. Covering can
+  /// become incomplete once enough list heads have been removed.
+  bool complete = false;
+};
+
+/// Runs the covering algorithm over `order`, ignoring its first `skip`
+/// entries (the paper generates successive candidate partition sets by
+/// removing the top-most base partition from the list and re-covering).
+///
+/// Partitions are taken in list order; one is selected iff it zeroes at
+/// least one still-set element of (a working copy of) the connectivity
+/// matrix, i.e. it covers a new mode occurrence.
+CoverResult cover(const std::vector<BasePartition>& partitions,
+                  const ConnectivityMatrix& matrix,
+                  std::span<const std::size_t> order, std::size_t skip);
+
+}  // namespace prpart

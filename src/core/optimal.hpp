@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/compatibility.hpp"
+#include "core/scheme.hpp"
+
+namespace prpart {
+
+/// Options for the exact reference search.
+struct OptimalOptions {
+  /// Hard cap on explored assignment states; the search reports
+  /// `exhausted = true` when it hits the cap (result is then best-effort).
+  std::uint64_t max_states = 2'000'000;
+  bool allow_static_promotion = true;
+};
+
+struct OptimalResult {
+  bool feasible = false;
+  /// True when max_states stopped the enumeration before completion.
+  bool exhausted = false;
+  PartitionScheme scheme;
+  SchemeEvaluation eval;
+  std::uint64_t states_explored = 0;
+};
+
+/// Exact branch-and-bound partitioning over a fixed candidate partition
+/// set: enumerates every assignment of the candidate base partitions to
+/// regions (respecting compatibility) or to the static logic, and returns
+/// the feasible assignment with minimum total reconfiguration time.
+///
+/// Used as ground truth for the heuristic search: restricted to the same
+/// candidate set, the heuristic can never beat this result, and the
+/// quality-gap ablation measures how close it gets. The state space is the
+/// Bell-number lattice with symmetry breaking (an item may only open the
+/// next fresh group), pruned on the monotone total-time bound; it is
+/// practical for candidate sets of up to roughly a dozen partitions.
+OptimalResult optimal_partitioning(const Design& design,
+                                   const ConnectivityMatrix& matrix,
+                                   const std::vector<BasePartition>& partitions,
+                                   const CompatibilityTable& compat,
+                                   const ResourceVec& budget,
+                                   const std::vector<std::size_t>& candidate,
+                                   const OptimalOptions& options = {});
+
+/// Convenience: exact search over the first candidate partition set (all
+/// used modes as singletons).
+OptimalResult optimal_mode_level_partitioning(
+    const Design& design, const ConnectivityMatrix& matrix,
+    const std::vector<BasePartition>& partitions,
+    const CompatibilityTable& compat, const ResourceVec& budget,
+    const OptimalOptions& options = {});
+
+}  // namespace prpart

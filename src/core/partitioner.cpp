@@ -1,0 +1,118 @@
+#include "core/partitioner.hpp"
+
+#include "core/clustering.hpp"
+#include "core/compatibility.hpp"
+#include "core/connectivity.hpp"
+#include "core/schemes.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+PartitionerResult partition_design(const Design& design,
+                                   const ResourceVec& budget,
+                                   const PartitionerOptions& options) {
+  PartitionerResult result;
+
+  const ConnectivityMatrix matrix(design);
+  result.base_partitions = enumerate_base_partitions(
+      design, matrix, options.max_partition_modes);
+  const CompatibilityTable compat(matrix, result.base_partitions);
+
+  // Baselines.
+  result.modular.name = "Modular";
+  result.modular.scheme =
+      make_modular_scheme(design, matrix, result.base_partitions);
+  result.modular.eval = evaluate_scheme(design, matrix, result.base_partitions,
+                                        result.modular.scheme, budget);
+  require(result.modular.eval.valid,
+          "modular baseline invalid: " + result.modular.eval.invalid_reason);
+
+  result.static_impl.name = "Static";
+  result.static_impl.scheme =
+      make_static_scheme(design, matrix, result.base_partitions);
+  result.static_impl.eval =
+      evaluate_scheme(design, matrix, result.base_partitions,
+                      result.static_impl.scheme, budget);
+  require(result.static_impl.eval.valid,
+          "static baseline invalid: " + result.static_impl.eval.invalid_reason);
+
+  result.single_region.name = "Single region";
+  auto [single_scheme, single_eval] = single_region_scheme(
+      design, matrix, result.base_partitions, budget);
+  result.single_region.scheme = std::move(single_scheme);
+  result.single_region.eval = std::move(single_eval);
+
+  // Feasibility (§IV-C): the single-region scheme is the area lower bound;
+  // if it does not fit, no partitioning does.
+  result.feasible = result.single_region.eval.fits;
+
+  if (result.feasible) {
+    SearchResult search = search_partitioning(
+        design, matrix, result.base_partitions, compat, budget, options.search);
+    result.stats = search.stats;
+    // Compare against the single-region fallback under the same objective
+    // the search optimised (weighted when pair weights were supplied).
+    const auto objective_of = [&](const SchemeEvaluation& e) {
+      return options.search.pair_weights
+                 ? weighted_total_frames(e, *options.search.pair_weights)
+                 : e.total_frames;
+    };
+    if (search.feasible &&
+        objective_of(search.eval) <=
+            objective_of(result.single_region.eval)) {
+      result.proposed = {"Proposed", std::move(search.scheme),
+                         std::move(search.eval)};
+      result.proposed_from_search = true;
+      result.alternatives = std::move(search.alternatives);
+    } else {
+      // Fall back to the only scheme guaranteed to fit.
+      result.proposed = result.single_region;
+      result.proposed.name = "Proposed (single-region fallback)";
+      result.proposed_from_search = false;
+    }
+  }
+
+  return result;
+}
+
+DevicePartitionResult partition_on_smallest_device(
+    const Design& design, const DeviceLibrary& library,
+    const PartitionerOptions& options) {
+  const auto& devices = library.devices();
+  require(!devices.empty(), "device library is empty");
+
+  DevicePartitionResult out;
+  bool found_first = false;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    PartitionerResult r =
+        partition_design(design, devices[i].capacity(), options);
+    if (!r.feasible) continue;
+    if (!found_first) {
+      out.first_feasible_index = i;
+      found_first = true;
+    }
+    const bool only_single_region = !r.proposed_from_search;
+    if (only_single_region && i + 1 < devices.size()) {
+      // Keep the single-region answer in hand but try a larger device
+      // (§V: designs re-iterated on larger FPGAs).
+      out.device = &devices[i];
+      out.chosen_index = i;
+      out.result = std::move(r);
+      continue;
+    }
+    out.device = &devices[i];
+    out.chosen_index = i;
+    out.result = std::move(r);
+    out.escalated = out.chosen_index != out.first_feasible_index;
+    return out;
+  }
+  if (found_first) {
+    // Largest device still only supported single-region: report that.
+    out.escalated = out.chosen_index != out.first_feasible_index;
+    return out;
+  }
+  throw DeviceError("design '" + design.name() +
+                    "' does not fit any device in the library");
+}
+
+}  // namespace prpart

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/scheme.hpp"
+#include "core/search.hpp"
+#include "design/design.hpp"
+#include "device/device.hpp"
+
+namespace prpart {
+
+struct PartitionerOptions {
+  SearchOptions search;
+  /// Cap on enumerated base-partition size passed to the clustering
+  /// (0 = unlimited, the paper's behaviour). The number of co-occurring
+  /// mode subsets grows as 2^(configuration width), so designs much wider
+  /// than the paper's 5-6 modules should set a cap (full-configuration
+  /// partitions are kept regardless).
+  std::size_t max_partition_modes = 0;
+};
+
+/// A named scheme with its evaluation.
+struct SchemeSummary {
+  std::string name;
+  PartitionScheme scheme;
+  SchemeEvaluation eval;
+};
+
+/// Everything the tool reports for one design on one budget: the proposed
+/// partitioning plus the three reference schemes of the paper's evaluation.
+struct PartitionerResult {
+  /// Whether any PR scheme fits (equivalently, whether the single-region
+  /// lower bound fits; §IV-C feasibility check).
+  bool feasible = false;
+
+  /// The proposed scheme: the search result, or the single-region scheme
+  /// when the search found nothing better that fits.
+  SchemeSummary proposed;
+  /// True when `proposed` came from the search rather than the fallback.
+  bool proposed_from_search = false;
+
+  SchemeSummary modular;        ///< one module per region
+  SchemeSummary single_region;  ///< one region for everything
+  SchemeSummary static_impl;    ///< fully static (usually does not fit)
+
+  std::vector<BasePartition> base_partitions;
+  /// Ranked fitting schemes from the search (ascending objective; first is
+  /// `proposed` when proposed_from_search). Used by the flow's floorplan
+  /// feedback to try runners-up before shrinking the budget.
+  std::vector<RankedScheme> alternatives;
+  SearchStats stats;
+};
+
+/// Runs the whole §IV flow for `design` against a resource budget:
+/// connectivity matrix, clustering, covering, compatibility, search, plus
+/// the baseline schemes.
+PartitionerResult partition_design(const Design& design,
+                                   const ResourceVec& budget,
+                                   const PartitionerOptions& options = {});
+
+/// Result of the device-selection mode (§IV-C: the tool "can suggest the
+/// smallest FPGA suitable to implement the given design").
+struct DevicePartitionResult {
+  /// Device the design was finally partitioned on.
+  const Device* device = nullptr;
+  std::size_t chosen_index = 0;
+  /// Smallest device whose capacity covers the single-region lower bound.
+  std::size_t first_feasible_index = 0;
+  /// True when the search had to escalate past the first feasible device
+  /// because only the single-region scheme fit there (§V: 201 of 1000
+  /// designs "could not be alternatively arranged on the smallest FPGA").
+  bool escalated = false;
+  PartitionerResult result;
+};
+
+/// Walks the library from the smallest device up: picks the first device
+/// where the design is implementable at all, partitions there, and - when
+/// no scheme other than single-region is feasible - retries on the next
+/// larger device. Throws DeviceError when the design fits no device.
+DevicePartitionResult partition_on_smallest_device(
+    const Design& design, const DeviceLibrary& library,
+    const PartitionerOptions& options = {});
+
+}  // namespace prpart

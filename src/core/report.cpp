@@ -1,0 +1,54 @@
+#include "core/report.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace prpart {
+
+std::string render_base_partitions(
+    const Design& design, const std::vector<BasePartition>& partitions) {
+  TextTable t({"Base Part'n", "Freq wt", "Modes", "Frames"});
+  for (const BasePartition& p : partitions)
+    t.add_row({p.label(design), std::to_string(p.frequency_weight),
+               std::to_string(p.modes.count()), std::to_string(p.frames)});
+  return t.render();
+}
+
+std::string render_scheme_partitions(
+    const Design& design, const std::vector<BasePartition>& partitions,
+    const PartitionScheme& scheme) {
+  TextTable t({"Region", "Base Partitions"});
+  auto label_members = [&](const std::vector<std::size_t>& members) {
+    std::string out;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) out += ", ";
+      out += partitions[members[i]].label(design);
+    }
+    return out;
+  };
+  if (!scheme.static_members.empty())
+    t.add_row({"static", label_members(scheme.static_members)});
+  for (std::size_t r = 0; r < scheme.regions.size(); ++r)
+    t.add_row({"PRR" + std::to_string(r + 1),
+               label_members(scheme.regions[r].members)});
+  return t.render();
+}
+
+std::string render_scheme_comparison(const PartitionerResult& result) {
+  TextTable t({"Scheme", "CLBs", "BRAMs", "DSPs", "Fits", "Total recon (frames)",
+               "Worst recon (frames)"});
+  auto row = [&](const SchemeSummary& s) {
+    const SchemeEvaluation& e = s.eval;
+    t.add_row({s.name, std::to_string(e.total_resources.clbs),
+               std::to_string(e.total_resources.brams),
+               std::to_string(e.total_resources.dsps), e.fits ? "yes" : "NO",
+               with_commas(e.total_frames), with_commas(e.worst_frames)});
+  };
+  row(result.static_impl);
+  row(result.modular);
+  row(result.single_region);
+  if (result.feasible) row(result.proposed);
+  return t.render();
+}
+
+}  // namespace prpart

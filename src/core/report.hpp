@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/partitioner.hpp"
+#include "design/design.hpp"
+
+namespace prpart {
+
+/// Renders the base partitions with their frequency weights in the style of
+/// the paper's Table I.
+std::string render_base_partitions(const Design& design,
+                                   const std::vector<BasePartition>& partitions);
+
+/// Renders a scheme's region -> base partition assignment in the style of
+/// Table III / Table V (including a "static" row when modes were promoted).
+std::string render_scheme_partitions(const Design& design,
+                                     const std::vector<BasePartition>& partitions,
+                                     const PartitionScheme& scheme);
+
+/// Renders the scheme comparison in the style of Table IV: resources and
+/// total/worst reconfiguration time per scheme.
+std::string render_scheme_comparison(const PartitionerResult& result);
+
+}  // namespace prpart

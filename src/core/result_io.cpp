@@ -1,0 +1,107 @@
+#include "core/result_io.hpp"
+
+#include "util/status.hpp"
+#include "xml/xml.hpp"
+
+namespace prpart {
+
+namespace {
+
+void write_partition(xml::Element& parent, const Design& design,
+                     const BasePartition& partition) {
+  xml::Element& pe = parent.add_child("partition");
+  for (std::size_t mode : partition.modes.bits()) {
+    const ModeRef ref = design.mode_ref(mode);
+    xml::Element& me = pe.add_child("mode");
+    me.set_attr("module", design.modules()[ref.module].name);
+    me.set_attr("name",
+                design.modules()[ref.module].modes[ref.mode - 1].name);
+  }
+}
+
+/// Resolves a <partition> element to a master-list index.
+std::size_t read_partition(const xml::Element& pe, const Design& design,
+                           const std::vector<BasePartition>& partitions) {
+  DynBitset modes(design.mode_count());
+  for (const xml::Element* me : pe.children_named("mode")) {
+    const std::string& module_name = me->attr("module");
+    const std::string& mode_name = me->attr("name");
+    bool found = false;
+    for (std::uint32_t m = 0; m < design.modules().size() && !found; ++m) {
+      if (design.modules()[m].name != module_name) continue;
+      for (std::uint32_t k = 1; k <= design.modules()[m].modes.size(); ++k) {
+        if (design.modules()[m].modes[k - 1].name == mode_name) {
+          modes.set(design.global_mode_id(m, k));
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found)
+      throw ParseError("saved partitioning references unknown mode '" +
+                       module_name + "." + mode_name + "'");
+  }
+  if (modes.none())
+    throw ParseError("saved partitioning contains an empty partition");
+  for (std::size_t p = 0; p < partitions.size(); ++p)
+    if (partitions[p].modes == modes) return p;
+  throw ParseError(
+      "saved partitioning contains a mode set that is not a base partition "
+      "of this design (the configurations have changed)");
+}
+
+}  // namespace
+
+std::string partitioning_to_xml(const Design& design,
+                                const std::vector<BasePartition>& partitions,
+                                const PartitionScheme& scheme,
+                                const SchemeEvaluation& evaluation) {
+  xml::Element root("partitioning");
+  root.set_attr("design", design.name());
+  root.set_attr("total-frames", std::to_string(evaluation.total_frames));
+  root.set_attr("worst-frames", std::to_string(evaluation.worst_frames));
+
+  if (!scheme.static_members.empty()) {
+    xml::Element& se = root.add_child("static");
+    for (std::size_t p : scheme.static_members)
+      write_partition(se, design, partitions.at(p));
+  }
+  for (std::size_t r = 0; r < scheme.regions.size(); ++r) {
+    xml::Element& re = root.add_child("region");
+    re.set_attr("id", std::to_string(r + 1));
+    for (std::size_t p : scheme.regions[r].members)
+      write_partition(re, design, partitions.at(p));
+  }
+  return "<?xml version=\"1.0\"?>\n" + root.to_string();
+}
+
+PartitionScheme partitioning_from_xml(
+    const Design& design, const std::vector<BasePartition>& partitions,
+    const std::string& xml_text) {
+  const auto root = xml::parse(xml_text);
+  if (root->name() != "partitioning")
+    throw ParseError("expected <partitioning> root, got <" + root->name() +
+                     ">");
+  if (root->has_attr("design") && root->attr("design") != design.name())
+    throw ParseError("saved partitioning is for design '" +
+                     root->attr("design") + "', not '" + design.name() + "'");
+
+  PartitionScheme scheme;
+  scheme.label = "loaded";
+  if (const xml::Element* se = root->find_child("static"))
+    for (const xml::Element* pe : se->children_named("partition"))
+      scheme.static_members.push_back(read_partition(*pe, design, partitions));
+  for (const xml::Element* re : root->children_named("region")) {
+    Region region;
+    for (const xml::Element* pe : re->children_named("partition"))
+      region.members.push_back(read_partition(*pe, design, partitions));
+    if (region.members.empty())
+      throw ParseError("saved partitioning contains an empty region");
+    scheme.regions.push_back(std::move(region));
+  }
+  if (scheme.regions.empty() && scheme.static_members.empty())
+    throw ParseError("saved partitioning is empty");
+  return scheme;
+}
+
+}  // namespace prpart

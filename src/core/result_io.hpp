@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/scheme.hpp"
+#include "design/design.hpp"
+
+namespace prpart {
+
+/// Serialises a partitioning outcome so a tool run can be archived and
+/// re-used (e.g. `prpart partition --save plan.xml` followed by
+/// `prpart simulate --load plan.xml`) without re-running the search:
+///
+///   <partitioning design="receiver" total-frames="237140"
+///                 worst-frames="12662">
+///     <static>
+///       <partition><mode module="M" name="M1"/></partition>
+///     </static>
+///     <region id="1">
+///       <partition><mode module="V" name="V1"/></partition>
+///       ...
+///     </region>
+///   </partitioning>
+std::string partitioning_to_xml(const Design& design,
+                                const std::vector<BasePartition>& partitions,
+                                const PartitionScheme& scheme,
+                                const SchemeEvaluation& evaluation);
+
+/// Reconstructs the scheme against the same design. Every stored partition
+/// is resolved to the design's freshly enumerated base-partition list by
+/// its mode set; unknown modules/modes or mode sets that are not valid base
+/// partitions (they no longer co-occur) raise ParseError, so a stale file
+/// cannot silently corrupt a run.
+PartitionScheme partitioning_from_xml(
+    const Design& design, const std::vector<BasePartition>& partitions,
+    const std::string& xml_text);
+
+}  // namespace prpart

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/base_partition.hpp"
+#include "core/connectivity.hpp"
+#include "design/design.hpp"
+#include "device/tiles.hpp"
+
+namespace prpart {
+
+/// One reconfigurable region: the base partitions (master-list indices) it
+/// can hold as alternatives.
+struct Region {
+  std::vector<std::size_t> members;
+};
+
+/// A complete partitioning scheme: reconfigurable regions plus the base
+/// partitions promoted into the static logic.
+struct PartitionScheme {
+  std::string label;
+  std::vector<Region> regions;
+  /// Base partitions implemented permanently in the static region. Their
+  /// modes all coexist, so they cost the element-wise SUM of their areas
+  /// (raw, not tile-rounded) and never contribute reconfiguration time.
+  std::vector<std::size_t> static_members;
+};
+
+/// Per-region part of an evaluation.
+struct RegionReport {
+  ResourceVec raw;       ///< element-wise max over member partition areas
+  TileCount tiles;       ///< Eqs. 3-5
+  std::uint64_t frames = 0;  ///< Eq. 6
+  /// Number of unordered configuration pairs whose transition reconfigures
+  /// this region (the sum over pairs of d_ij for this region, Eq. 8).
+  std::uint64_t reconfig_pairs = 0;
+  /// Active member per configuration: index into Region::members, or -1
+  /// when no member is active (region keeps stale contents).
+  std::vector<int> active;
+};
+
+/// Full evaluation of a scheme against a budget (Eqs. 1-11).
+struct SchemeEvaluation {
+  /// Structural validity: exactly one active member per (configuration,
+  /// region) where any is active, and every configuration's modes covered
+  /// by active members plus static logic.
+  bool valid = false;
+  std::string invalid_reason;
+
+  bool fits = false;
+  ResourceVec pr_resources;      ///< tile-rounded region footprints, summed
+  ResourceVec static_resources;  ///< design static base + promoted partitions
+  ResourceVec total_resources;   ///< what is compared against the budget
+
+  std::uint64_t total_frames = 0;  ///< Eq. 10 (sum over unordered pairs)
+  std::uint64_t worst_frames = 0;  ///< Eq. 11 (max over unordered pairs)
+
+  std::vector<RegionReport> regions;
+};
+
+/// Evaluates `scheme` for `design` against `budget`.
+///
+/// The active member of a region in configuration c is the unique member
+/// whose modes intersect c (compatibility of members guarantees uniqueness;
+/// violations make the evaluation invalid rather than throwing, so the
+/// search can treat them as dead ends). d_ij(r) = 1 iff both configurations
+/// have an active member in r and the members differ (stale-content rule,
+/// see DESIGN.md).
+SchemeEvaluation evaluate_scheme(const Design& design,
+                                 const ConnectivityMatrix& matrix,
+                                 const std::vector<BasePartition>& partitions,
+                                 const PartitionScheme& scheme,
+                                 const ResourceVec& budget);
+
+}  // namespace prpart

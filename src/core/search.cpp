@@ -1,0 +1,433 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/covering.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+namespace {
+
+// Heuristic weights for collapsing a ResourceVec into one scalar: frames per
+// primitive (x10), i.e. the configuration-memory cost of one unit of each
+// resource. Only used to rank states; all reported numbers stay in frames.
+constexpr std::uint64_t kWClb = 18;   // 36 frames / 20 CLBs
+constexpr std::uint64_t kWBram = 75;  // 30 frames / 4 BRAMs
+constexpr std::uint64_t kWDsp = 35;   // 28 frames / 8 DSPs
+
+std::uint64_t weighted_area(const ResourceVec& r) {
+  return r.clbs * kWClb + r.brams * kWBram + r.dsps * kWDsp;
+}
+
+std::uint64_t budget_excess(const ResourceVec& used, const ResourceVec& budget) {
+  auto over = [](std::uint32_t u, std::uint32_t b) -> std::uint64_t {
+    return u > b ? u - b : 0;
+  };
+  return over(used.clbs, budget.clbs) * kWClb +
+         over(used.brams, budget.brams) * kWBram +
+         over(used.dsps, budget.dsps) * kWDsp;
+}
+
+/// Lexicographic objective: first fit (budget excess), then — once fitting —
+/// total reconfiguration time with area as tie-break; while not fitting,
+/// area (the route towards fitting) with time as tie-break.
+struct Objective {
+  std::uint64_t excess;
+  std::uint64_t primary;
+  std::uint64_t secondary;
+
+  bool operator<(const Objective& o) const {
+    if (excess != o.excess) return excess < o.excess;
+    if (primary != o.primary) return primary < o.primary;
+    return secondary < o.secondary;
+  }
+};
+
+/// One region-in-progress: a set of base partitions plus the incremental
+/// cost-model quantities needed to evaluate moves in O(1).
+///
+/// The pair bookkeeping is weight-generalised: tw_union is the summed
+/// weight of all configuration pairs where the group is active in both,
+/// tw_same the part where the *same* member is active in both. Their
+/// difference, times frames, is the group's (possibly weighted) Eq. 10
+/// term. With uniform weights tw_union = C(|occ|, 2).
+struct Group {
+  std::vector<std::size_t> members;
+  DynBitset occ;             ///< union of member occupancies (configs)
+  ResourceVec raw;           ///< element-wise max of member areas (Eq. 2)
+  ResourceVec promote_area;  ///< element-wise SUM (cost of going static)
+  TileCount tiles;           ///< Eqs. 3-5 on raw
+  std::uint64_t frames = 0;  ///< Eq. 6
+  std::uint64_t occ_count = 0;     ///< |occ| (uniform-weight fast path)
+  std::uint64_t tw_union = 0;      ///< pair weight over occ x occ
+  std::uint64_t tw_same = 0;       ///< pair weight kept by one member
+  std::uint64_t contrib = 0;       ///< this region's term of Eq. 10
+  bool alive = true;
+};
+
+std::uint64_t pairs2(std::uint64_t n) { return n * (n - 1) / 2; }
+
+struct State {
+  std::vector<Group> groups;
+  std::vector<std::size_t> static_members;
+  ResourceVec static_extra;  ///< promoted partitions, raw sum
+  ResourceVec pr_res;        ///< tile-rounded region footprints, summed
+  std::uint64_t ttotal = 0;
+  std::size_t alive = 0;
+
+  ResourceVec total_res(const ResourceVec& static_base) const {
+    return pr_res + static_base + static_extra;
+  }
+};
+
+struct Move {
+  enum class Kind { Merge, Promote } kind = Kind::Merge;
+  std::size_t a = 0, b = 0;
+};
+
+class Searcher {
+ public:
+  Searcher(const Design& design, const ConnectivityMatrix& matrix,
+           const std::vector<BasePartition>& partitions,
+           const CompatibilityTable& compat, const ResourceVec& budget,
+           const SearchOptions& options)
+      : design_(design),
+        matrix_(matrix),
+        partitions_(partitions),
+        compat_(compat),
+        budget_(budget),
+        options_(options) {}
+
+  SearchResult run() {
+    if (options_.pair_weights) {
+      const PairWeights& w = *options_.pair_weights;
+      require(w.size() == matrix_.configs(),
+              "pair_weights must have one row per configuration");
+      for (const auto& row : w)
+        require(row.size() == matrix_.configs(),
+                "pair_weights must be square");
+    }
+    const std::vector<std::size_t> order = covering_order(partitions_);
+    for (std::size_t skip = 0; skip < order.size(); ++skip) {
+      if (stats_.candidate_sets >= options_.max_candidate_sets) break;
+      if (stats_.budget_exhausted) break;
+      const CoverResult cov = cover(partitions_, matrix_, order, skip);
+      if (!cov.complete) break;  // removals only make covering harder
+      ++stats_.candidate_sets;
+      explore_candidate_set(cov.selected);
+    }
+
+    SearchResult result;
+    result.stats = stats_;
+    if (!kept_.empty()) {
+      result.feasible = true;
+      result.scheme = kept_.front().scheme;
+      result.scheme.label = "proposed";
+      result.eval = evaluate_scheme(design_, matrix_, partitions_,
+                                    result.scheme, budget_);
+      require(result.eval.valid, "search produced an invalid scheme: " +
+                                     result.eval.invalid_reason);
+      require(result.eval.fits, "search recorded a non-fitting scheme");
+      result.alternatives.reserve(kept_.size());
+      for (Kept& k : kept_)
+        result.alternatives.push_back(
+            RankedScheme{std::move(k.scheme), k.ttotal});
+      result.alternatives.front().scheme.label = "proposed";
+    }
+    return result;
+  }
+
+ private:
+  /// Summed weight over unordered pairs within `occ`.
+  std::uint64_t pair_weight_within(const DynBitset& occ) const {
+    if (!options_.pair_weights) return pairs2(occ.count());
+    const PairWeights& w = *options_.pair_weights;
+    std::uint64_t total = 0;
+    const std::vector<std::size_t> bits = occ.bits();
+    for (std::size_t a = 0; a < bits.size(); ++a)
+      for (std::size_t b = a + 1; b < bits.size(); ++b)
+        total += w[bits[a]][bits[b]];
+    return total;
+  }
+
+  /// Summed weight over pairs with one configuration in each (disjoint)
+  /// occupancy set.
+  std::uint64_t pair_weight_between(const Group& a, const Group& b) const {
+    if (!options_.pair_weights) return a.occ_count * b.occ_count;
+    const PairWeights& w = *options_.pair_weights;
+    std::uint64_t total = 0;
+    for (std::size_t i : a.occ.bits())
+      for (std::size_t j : b.occ.bits()) total += w[i][j];
+    return total;
+  }
+
+  State initial_state(const std::vector<std::size_t>& candidate) const {
+    State s;
+    s.groups.reserve(candidate.size());
+    for (std::size_t p : candidate) {
+      Group g;
+      g.members = {p};
+      g.occ = compat_.occupancy(p);
+      g.raw = partitions_[p].area;
+      g.promote_area = partitions_[p].area;
+      g.tiles = tiles_for(g.raw);
+      g.frames = g.tiles.frames();
+      g.occ_count = g.occ.count();
+      g.tw_union = pair_weight_within(g.occ);
+      g.tw_same = g.tw_union;
+      g.contrib = 0;  // a single alternative never reconfigures
+      s.groups.push_back(std::move(g));
+      s.pr_res += s.groups.back().tiles.resources();
+    }
+    s.alive = s.groups.size();
+    return s;
+  }
+
+  Objective objective(std::uint64_t excess, std::uint64_t ttotal,
+                      std::uint64_t warea) const {
+    if (excess > 0) return {excess, warea, ttotal};
+    return {0, ttotal, warea};
+  }
+
+  Objective state_objective(const State& s) const {
+    const ResourceVec total = s.total_res(design_.static_base());
+    return objective(budget_excess(total, budget_), s.ttotal,
+                     weighted_area(total));
+  }
+
+  /// Metrics of the state that `move` would produce. Returns nullopt for
+  /// invalid moves (incompatible merge). Counts one move evaluation.
+  std::optional<Objective> evaluate_move(const State& s, const Move& move) {
+    ++stats_.move_evaluations;
+    if (stats_.move_evaluations >= options_.max_move_evaluations)
+      stats_.budget_exhausted = true;
+
+    const Group& ga = s.groups[move.a];
+    if (move.kind == Move::Kind::Merge) {
+      const Group& gb = s.groups[move.b];
+      if (ga.occ.intersects(gb.occ)) return std::nullopt;  // incompatible
+      const ResourceVec raw = elementwise_max(ga.raw, gb.raw);
+      const TileCount tiles = tiles_for(raw);
+      const std::uint64_t tw_union =
+          ga.tw_union + gb.tw_union + pair_weight_between(ga, gb);
+      const std::uint64_t contrib =
+          (tw_union - ga.tw_same - gb.tw_same) * tiles.frames();
+      const ResourceVec pr = s.pr_res + tiles.resources();
+      // Subtract the two old footprints (kept as additions to avoid
+      // unsigned underflow juggling: compute the new total directly).
+      ResourceVec total = pr + design_.static_base() + s.static_extra;
+      total.clbs -= ga.tiles.resources().clbs + gb.tiles.resources().clbs;
+      total.brams -= ga.tiles.resources().brams + gb.tiles.resources().brams;
+      total.dsps -= ga.tiles.resources().dsps + gb.tiles.resources().dsps;
+      const std::uint64_t ttotal = s.ttotal - ga.contrib - gb.contrib + contrib;
+      return objective(budget_excess(total, budget_), ttotal,
+                       weighted_area(total));
+    }
+
+    // Promote: the whole group's mode set becomes permanently present.
+    ResourceVec total = s.pr_res + design_.static_base() + s.static_extra +
+                        ga.promote_area;
+    total.clbs -= ga.tiles.resources().clbs;
+    total.brams -= ga.tiles.resources().brams;
+    total.dsps -= ga.tiles.resources().dsps;
+    const std::uint64_t ttotal = s.ttotal - ga.contrib;
+    return objective(budget_excess(total, budget_), ttotal,
+                     weighted_area(total));
+  }
+
+  void apply_move(State& s, const Move& move) const {
+    Group& ga = s.groups[move.a];
+    auto remove_footprint = [&](const Group& g) {
+      s.pr_res.clbs -= g.tiles.resources().clbs;
+      s.pr_res.brams -= g.tiles.resources().brams;
+      s.pr_res.dsps -= g.tiles.resources().dsps;
+      s.ttotal -= g.contrib;
+    };
+    if (move.kind == Move::Kind::Merge) {
+      Group& gb = s.groups[move.b];
+      remove_footprint(ga);
+      remove_footprint(gb);
+      ga.tw_union += gb.tw_union + pair_weight_between(ga, gb);
+      ga.members.insert(ga.members.end(), gb.members.begin(), gb.members.end());
+      ga.occ |= gb.occ;
+      ga.raw = elementwise_max(ga.raw, gb.raw);
+      ga.promote_area += gb.promote_area;
+      ga.tiles = tiles_for(ga.raw);
+      ga.frames = ga.tiles.frames();
+      ga.occ_count += gb.occ_count;
+      ga.tw_same += gb.tw_same;
+      ga.contrib = (ga.tw_union - ga.tw_same) * ga.frames;
+      gb.alive = false;
+      --s.alive;
+      s.pr_res += ga.tiles.resources();
+      s.ttotal += ga.contrib;
+    } else {
+      remove_footprint(ga);
+      s.static_extra += ga.promote_area;
+      s.static_members.insert(s.static_members.end(), ga.members.begin(),
+                              ga.members.end());
+      ga.alive = false;
+      --s.alive;
+    }
+  }
+
+  /// Order-independent fingerprint of a state's grouping, used to keep the
+  /// alternatives list free of duplicates.
+  static std::size_t signature_of(const State& s) {
+    auto hash_members = [](std::vector<std::size_t> members) {
+      std::sort(members.begin(), members.end());
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::size_t m : members) {
+        h ^= m + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      }
+      return h;
+    };
+    std::uint64_t sig = 0;
+    for (const Group& g : s.groups)
+      if (g.alive) sig ^= hash_members(g.members);  // group order irrelevant
+    sig = sig * 1099511628211ull ^ hash_members(s.static_members);
+    return static_cast<std::size_t>(sig);
+  }
+
+  /// Records the state when it fits and enters the top-K leaderboard.
+  void record(const State& s) {
+    const ResourceVec total = s.total_res(design_.static_base());
+    if (!total.fits_in(budget_)) return;
+    ++stats_.states_recorded;
+    const std::uint64_t warea = weighted_area(total);
+    const std::size_t keep = std::max<std::size_t>(1, options_.keep_alternatives);
+    if (kept_.size() >= keep) {
+      const Kept& worst = kept_.back();
+      if (s.ttotal > worst.ttotal ||
+          (s.ttotal == worst.ttotal && warea >= worst.warea))
+        return;
+    }
+    const std::size_t sig = signature_of(s);
+    for (const Kept& k : kept_)
+      if (k.sig == sig) return;  // same grouping already kept
+
+    Kept entry;
+    entry.ttotal = s.ttotal;
+    entry.warea = warea;
+    entry.sig = sig;
+    for (const Group& g : s.groups)
+      if (g.alive) entry.scheme.regions.push_back(Region{g.members});
+    entry.scheme.static_members = s.static_members;
+
+    const auto pos = std::lower_bound(
+        kept_.begin(), kept_.end(), entry, [](const Kept& a, const Kept& b) {
+          if (a.ttotal != b.ttotal) return a.ttotal < b.ttotal;
+          return a.warea < b.warea;
+        });
+    kept_.insert(pos, std::move(entry));
+    if (kept_.size() > keep) kept_.pop_back();
+  }
+
+  /// All currently valid moves on `s`.
+  std::vector<Move> moves_of(const State& s) const {
+    std::vector<Move> moves;
+    const std::size_t n = s.groups.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!s.groups[i].alive) continue;
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (s.groups[j].alive) moves.push_back({Move::Kind::Merge, i, j});
+      if (options_.allow_static_promotion)
+        moves.push_back({Move::Kind::Promote, i, 0});
+    }
+    return moves;
+  }
+
+  /// Greedy descent: repeatedly apply the objective-minimising move while it
+  /// strictly improves; records every visited state.
+  void greedy(State s) {
+    ++stats_.greedy_runs;
+    record(s);
+    while (s.alive > 0 && !stats_.budget_exhausted) {
+      Objective current = state_objective(s);
+      std::optional<Move> best_move;
+      Objective best_obj = current;
+      for (const Move& m : moves_of(s)) {
+        const std::optional<Objective> obj = evaluate_move(s, m);
+        if (stats_.budget_exhausted) return;
+        if (obj && *obj < best_obj) {
+          best_obj = *obj;
+          best_move = m;
+        }
+      }
+      if (!best_move) return;  // local optimum
+      apply_move(s, *best_move);
+      record(s);
+    }
+  }
+
+  void explore_candidate_set(const std::vector<std::size_t>& candidate) {
+    const State initial = initial_state(candidate);
+    // Run 0: unconstrained greedy.
+    greedy(initial);
+    // Restarts: force each distinct first move (§IV-C: "assigns two
+    // compatible base partitions ... distinct from those used to begin the
+    // previous iterations").
+    std::size_t first_moves = 0;
+    for (const Move& m : moves_of(initial)) {
+      if (stats_.budget_exhausted) return;
+      if (first_moves >= options_.max_first_moves) return;
+      const std::optional<Objective> obj = evaluate_move(initial, m);
+      if (!obj) continue;  // invalid merge
+      ++first_moves;
+      State s = initial;
+      apply_move(s, m);
+      record(s);
+      greedy(std::move(s));
+    }
+  }
+
+  const Design& design_;
+  const ConnectivityMatrix& matrix_;
+  const std::vector<BasePartition>& partitions_;
+  const CompatibilityTable& compat_;
+  const ResourceVec budget_;
+  const SearchOptions options_;
+
+  SearchStats stats_;
+  struct Kept {
+    std::uint64_t ttotal = 0;
+    std::uint64_t warea = 0;
+    std::size_t sig = 0;
+    PartitionScheme scheme;
+  };
+  std::vector<Kept> kept_;  ///< top schemes, ascending (ttotal, warea)
+};
+
+}  // namespace
+
+std::uint64_t weighted_total_frames(const SchemeEvaluation& evaluation,
+                                    const PairWeights& weights) {
+  std::uint64_t total = 0;
+  for (const RegionReport& region : evaluation.regions) {
+    const std::size_t n = region.active.size();
+    require(weights.size() == n, "weights do not match the evaluation");
+    for (std::size_t i = 0; i < n; ++i) {
+      require(weights[i].size() == n, "weights must be square");
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const int a = region.active[i];
+        const int b = region.active[j];
+        if (a >= 0 && b >= 0 && a != b) total += weights[i][j] * region.frames;
+      }
+    }
+  }
+  return total;
+}
+
+SearchResult search_partitioning(const Design& design,
+                                 const ConnectivityMatrix& matrix,
+                                 const std::vector<BasePartition>& partitions,
+                                 const CompatibilityTable& compat,
+                                 const ResourceVec& budget,
+                                 const SearchOptions& options) {
+  return Searcher(design, matrix, partitions, compat, budget, options).run();
+}
+
+}  // namespace prpart

@@ -1,0 +1,63 @@
+#include "design/builder.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+DesignBuilder& DesignBuilder::static_base(ResourceVec area) {
+  static_base_ = area;
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::module(const std::string& name,
+                                     std::vector<Mode> modes) {
+  modules_.push_back(Module{name, std::move(modes)});
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::configuration(
+    const std::vector<std::pair<std::string, std::string>>& choices) {
+  return configuration("Conf" + std::to_string(configurations_.size() + 1),
+                       choices);
+}
+
+DesignBuilder& DesignBuilder::configuration(
+    std::string config_name,
+    const std::vector<std::pair<std::string, std::string>>& choices) {
+  Configuration c;
+  c.name = std::move(config_name);
+  c.mode_of_module.assign(modules_.size(), 0);
+  for (const auto& [module_name, mode_name] : choices) {
+    bool found_module = false;
+    for (std::size_t m = 0; m < modules_.size(); ++m) {
+      if (modules_[m].name != module_name) continue;
+      found_module = true;
+      if (c.mode_of_module[m] != 0)
+        throw DesignError("configuration '" + c.name +
+                          "' mentions module '" + module_name + "' twice");
+      bool found_mode = false;
+      for (std::size_t k = 0; k < modules_[m].modes.size(); ++k) {
+        if (modules_[m].modes[k].name == mode_name) {
+          c.mode_of_module[m] = static_cast<std::uint32_t>(k + 1);
+          found_mode = true;
+          break;
+        }
+      }
+      if (!found_mode)
+        throw DesignError("module '" + module_name + "' has no mode '" +
+                          mode_name + "'");
+      break;
+    }
+    if (!found_module)
+      throw DesignError("unknown module '" + module_name +
+                        "' in configuration '" + c.name + "'");
+  }
+  configurations_.push_back(std::move(c));
+  return *this;
+}
+
+Design DesignBuilder::build() const {
+  return Design(name_, static_base_, modules_, configurations_);
+}
+
+}  // namespace prpart

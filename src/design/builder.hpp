@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "design/design.hpp"
+
+namespace prpart {
+
+/// Fluent construction of Design objects; the examples and tests use this
+/// instead of hand-assembling the raw vectors.
+///
+///   Design d = DesignBuilder("example")
+///       .static_base({90, 8, 0})
+///       .module("A", {{"A1", {100, 0, 0}}, {"A2", {200, 0, 4}}})
+///       .module("B", {{"B1", {300, 2, 0}}, {"B2", {50, 0, 0}}})
+///       .configuration({{"A", "A1"}, {"B", "B1"}})
+///       .configuration({{"A", "A2"}, {"B", "B2"}})
+///       .build();
+class DesignBuilder {
+ public:
+  explicit DesignBuilder(std::string name) : name_(std::move(name)) {}
+
+  DesignBuilder& static_base(ResourceVec area);
+
+  DesignBuilder& module(const std::string& name, std::vector<Mode> modes);
+
+  /// Adds a configuration given (module name, mode name) pairs; modules not
+  /// mentioned are absent (mode 0). Unknown names throw DesignError.
+  DesignBuilder& configuration(
+      const std::vector<std::pair<std::string, std::string>>& choices);
+
+  /// Same, with an explicit configuration name.
+  DesignBuilder& configuration(
+      std::string config_name,
+      const std::vector<std::pair<std::string, std::string>>& choices);
+
+  /// Validates and produces the Design. The builder is left unchanged, so
+  /// variants can be built by adding further configurations.
+  Design build() const;
+
+ private:
+  std::string name_;
+  ResourceVec static_base_{};
+  std::vector<Module> modules_;
+  std::vector<Configuration> configurations_;
+};
+
+}  // namespace prpart

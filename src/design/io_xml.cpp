@@ -1,0 +1,117 @@
+#include "design/io_xml.hpp"
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace prpart {
+
+namespace {
+
+ResourceVec read_resources(const xml::Element& e) {
+  auto get = [&](const char* key) -> std::uint32_t {
+    const std::string* v = e.find_attr(key);
+    return v ? static_cast<std::uint32_t>(parse_u64(*v)) : 0u;
+  };
+  return {get("clbs"), get("brams"), get("dsps")};
+}
+
+void write_resources(xml::Element& e, const ResourceVec& r) {
+  e.set_attr("clbs", std::to_string(r.clbs));
+  e.set_attr("brams", std::to_string(r.brams));
+  e.set_attr("dsps", std::to_string(r.dsps));
+}
+
+}  // namespace
+
+Design design_from_xml(const std::string& text) {
+  const auto root = xml::parse(text);
+  if (root->name() != "design")
+    throw ParseError("expected <design> root element, got <" + root->name() +
+                     ">");
+  const std::string name = root->has_attr("name") ? root->attr("name") : "design";
+
+  ResourceVec static_base;
+  if (const xml::Element* s = root->find_child("static"))
+    static_base = read_resources(*s);
+
+  std::vector<Module> modules;
+  for (const xml::Element* m : root->children_named("module")) {
+    Module mod;
+    mod.name = m->attr("name");
+    for (const xml::Element* mode : m->children_named("mode"))
+      mod.modes.push_back(Mode{mode->attr("name"), read_resources(*mode)});
+    modules.push_back(std::move(mod));
+  }
+
+  auto module_index = [&](const std::string& mname) -> std::size_t {
+    for (std::size_t i = 0; i < modules.size(); ++i)
+      if (modules[i].name == mname) return i;
+    throw ParseError("configuration references unknown module '" + mname + "'");
+  };
+  auto mode_index = [&](std::size_t mi, const std::string& mode) -> std::uint32_t {
+    for (std::size_t k = 0; k < modules[mi].modes.size(); ++k)
+      if (modules[mi].modes[k].name == mode)
+        return static_cast<std::uint32_t>(k + 1);
+    throw ParseError("module '" + modules[mi].name + "' has no mode '" + mode +
+                     "'");
+  };
+
+  std::vector<Configuration> configurations;
+  const xml::Element& configs = root->child("configurations");
+  for (const xml::Element* c : configs.children_named("configuration")) {
+    Configuration conf;
+    conf.name = c->has_attr("name")
+                    ? c->attr("name")
+                    : "Conf" + std::to_string(configurations.size() + 1);
+    conf.mode_of_module.assign(modules.size(), 0);
+    for (const xml::Element* use : c->children_named("use")) {
+      const std::size_t mi = module_index(use->attr("module"));
+      if (conf.mode_of_module[mi] != 0)
+        throw ParseError("configuration '" + conf.name +
+                         "' assigns module '" + modules[mi].name + "' twice");
+      conf.mode_of_module[mi] = mode_index(mi, use->attr("mode"));
+    }
+    configurations.push_back(std::move(conf));
+  }
+
+  return Design(name, static_base, std::move(modules),
+                std::move(configurations));
+}
+
+std::string design_to_xml(const Design& design) {
+  xml::Element root("design");
+  root.set_attr("name", design.name());
+
+  if (!design.static_base().is_zero()) {
+    xml::Element& s = root.add_child("static");
+    write_resources(s, design.static_base());
+  }
+
+  for (const Module& m : design.modules()) {
+    xml::Element& me = root.add_child("module");
+    me.set_attr("name", m.name);
+    for (const Mode& mode : m.modes) {
+      xml::Element& ke = me.add_child("mode");
+      ke.set_attr("name", mode.name);
+      write_resources(ke, mode.area);
+    }
+  }
+
+  xml::Element& configs = root.add_child("configurations");
+  for (const Configuration& c : design.configurations()) {
+    xml::Element& ce = configs.add_child("configuration");
+    ce.set_attr("name", c.name);
+    for (std::size_t m = 0; m < c.mode_of_module.size(); ++m) {
+      if (c.mode_of_module[m] == 0) continue;
+      xml::Element& use = ce.add_child("use");
+      use.set_attr("module", design.modules()[m].name);
+      use.set_attr("mode",
+                   design.modules()[m].modes[c.mode_of_module[m] - 1].name);
+    }
+  }
+
+  return "<?xml version=\"1.0\"?>\n" + root.to_string();
+}
+
+}  // namespace prpart

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "design/design.hpp"
+
+namespace prpart {
+
+/// Reads a design from the XML input format of the proposed tool flow
+/// (Fig. 2: "design files ... a list of valid configurations ... in XML
+/// format"):
+///
+///   <design name="example">
+///     <static clbs="90" brams="8" dsps="0"/>
+///     <module name="A">
+///       <mode name="A1" clbs="100" brams="0" dsps="2"/>
+///       <mode name="A2" clbs="250" brams="1" dsps="4"/>
+///     </module>
+///     <configurations>
+///       <configuration name="c1">
+///         <use module="A" mode="A1"/>
+///       </configuration>
+///     </configurations>
+///   </design>
+///
+/// Modules omitted from a <configuration> are absent (mode 0). Resource
+/// attributes default to 0 when missing.
+Design design_from_xml(const std::string& text);
+
+/// Serialises a design back to the same format; round-trips exactly.
+std::string design_to_xml(const Design& design);
+
+}  // namespace prpart

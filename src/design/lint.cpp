@@ -1,0 +1,106 @@
+#include "design/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "device/device.hpp"
+
+namespace prpart {
+
+const char* to_string(LintSeverity s) {
+  return s == LintSeverity::Info ? "info" : "warning";
+}
+
+namespace {
+
+bool looks_like_none(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return lower.find("none") != std::string::npos ||
+         lower.find("off") != std::string::npos ||
+         lower.find("bypass") != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<LintIssue> lint_design(const Design& design) {
+  std::vector<LintIssue> issues;
+  const auto& modules = design.modules();
+  const auto& configs = design.configurations();
+
+  // Per-mode usage counts.
+  for (std::size_t m = 0; m < modules.size(); ++m) {
+    bool module_used = false;
+    for (std::size_t k = 1; k <= modules[m].modes.size(); ++k) {
+      const Mode& mode = modules[m].modes[k - 1];
+      std::size_t uses = 0;
+      for (const Configuration& c : configs)
+        if (c.mode_of_module[m] == k) ++uses;
+      module_used = module_used || uses > 0;
+
+      if (uses == 0)
+        issues.push_back({LintSeverity::Warning, "dead-mode",
+                          "mode '" + mode.name + "' of module '" +
+                              modules[m].name +
+                              "' appears in no configuration and will never "
+                              "be implemented"});
+      else if (uses == configs.size() && configs.size() > 1)
+        issues.push_back({LintSeverity::Info, "always-on-mode",
+                          "mode '" + mode.name + "' of module '" +
+                              modules[m].name +
+                              "' is active in every configuration; consider "
+                              "implementing it statically"});
+
+      if (mode.area.is_zero() && !looks_like_none(mode.name) && uses > 0)
+        issues.push_back({LintSeverity::Warning, "zero-area-mode",
+                          "mode '" + mode.name + "' of module '" +
+                              modules[m].name +
+                              "' has no resources; if it models an absent "
+                              "module, prefer omitting the module from the "
+                              "configuration (mode 0)"});
+    }
+    if (!module_used)
+      issues.push_back({LintSeverity::Warning, "unused-module",
+                        "module '" + modules[m].name +
+                            "' is absent from every configuration"});
+
+    for (std::size_t a = 0; a < modules[m].modes.size(); ++a)
+      for (std::size_t b = a + 1; b < modules[m].modes.size(); ++b)
+        if (modules[m].modes[a].area == modules[m].modes[b].area &&
+            !modules[m].modes[a].area.is_zero())
+          issues.push_back(
+              {LintSeverity::Info, "duplicate-modes",
+               "modes '" + modules[m].modes[a].name + "' and '" +
+                   modules[m].modes[b].name + "' of module '" +
+                   modules[m].name + "' have identical resource estimates"});
+  }
+
+  // Oversized modes: nothing in the family can host them.
+  const ResourceVec largest = DeviceLibrary::virtex5().devices().back()
+                                  .capacity();
+  for (std::size_t g = 0; g < design.mode_count(); ++g) {
+    if (!design.mode_area(g).fits_in(largest))
+      issues.push_back({LintSeverity::Warning, "oversized-mode",
+                        "mode '" + design.mode_label(g) +
+                            "' exceeds the largest library device (" +
+                            design.mode_area(g).to_string() + ")"});
+  }
+
+  if (configs.size() < 2)
+    issues.push_back({LintSeverity::Info, "single-config",
+                      "only one configuration: the design never "
+                      "reconfigures"});
+
+  return issues;
+}
+
+std::string render_lint(const std::vector<LintIssue>& issues) {
+  std::string out;
+  for (const LintIssue& i : issues)
+    out += std::string(to_string(i.severity)) + "[" + i.code + "]: " +
+           i.message + "\n";
+  return out;
+}
+
+}  // namespace prpart

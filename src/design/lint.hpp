@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+
+namespace prpart {
+
+enum class LintSeverity { Info, Warning };
+
+/// One finding of the design linter.
+struct LintIssue {
+  LintSeverity severity = LintSeverity::Warning;
+  /// Stable machine-readable code, e.g. "dead-mode".
+  std::string code;
+  std::string message;
+};
+
+const char* to_string(LintSeverity s);
+
+/// Static checks on a (structurally valid) design description that catch
+/// the mistakes we saw users make with the tool-flow input format. None of
+/// these block partitioning; hard errors are raised by Design's own
+/// validation instead.
+///
+/// Checks:
+///  * dead-mode       - a mode that appears in no configuration (it will
+///                      get no base partition and never be implemented);
+///  * unused-module   - a module absent from every configuration;
+///  * always-on-mode  - a mode present in every configuration (a candidate
+///                      for static implementation; info);
+///  * zero-area-mode  - a mode with no resources that is not named like the
+///                      paper's explicit "none" placeholder;
+///  * duplicate-modes - two modes of one module with identical areas;
+///  * oversized-mode  - a single mode larger than the largest library
+///                      device (the design cannot be implemented);
+///  * single-config   - only one configuration (nothing to reconfigure).
+std::vector<LintIssue> lint_design(const Design& design);
+
+/// Renders issues one per line ("warning[dead-mode]: ...").
+std::string render_lint(const std::vector<LintIssue>& issues);
+
+}  // namespace prpart

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+#include "util/rng.hpp"
+
+namespace prpart {
+
+/// Circuit class of a synthetic design (§V: "an equal number of
+/// logic-intensive, memory-intensive, DSP-intensive and DSP-and-memory-
+/// intensive circuits").
+enum class CircuitClass : std::uint8_t {
+  Logic,
+  Memory,
+  Dsp,
+  DspAndMemory,
+};
+
+const char* to_string(CircuitClass c);
+
+/// Parameters of the synthetic design generator, defaulted to the paper's
+/// evaluation setup (§V).
+struct SyntheticOptions {
+  /// Modules per design: "Designs are generated containing 2-6 modules".
+  std::uint32_t min_modules = 2;
+  std::uint32_t max_modules = 6;
+  /// Modes per module: "each with a number of modes varying from 2 to 4".
+  std::uint32_t min_modes = 2;
+  std::uint32_t max_modes = 4;
+  /// CLBs per mode: "Each mode can use 25 to 4000 CLBs".
+  std::uint32_t min_clbs = 25;
+  std::uint32_t max_clbs = 4000;
+  /// Static region per design: "90 CLBs and 8 BRAMs, based on our custom
+  /// ICAP controller and associated logic".
+  ResourceVec static_base{90, 8, 0};
+  /// Probability that a module is absent (mode 0) from a given random
+  /// configuration; exercises the paper's §IV-D optional-module path.
+  double absence_probability = 0.1;
+  /// If true (default), regenerate any design whose minimum implementation
+  /// (single-region lower bound) does not fit the largest library device;
+  /// the paper's sweep implicitly contains only implementable designs.
+  bool ensure_family_feasible = true;
+  /// Cap on the largest-device capacity used for the feasibility retry.
+  ResourceVec family_capacity{30720, 456, 384};
+};
+
+/// A generated design together with its generation metadata.
+struct SyntheticDesign {
+  Design design;
+  CircuitClass circuit_class;
+  std::uint64_t seed;
+};
+
+/// Generates one synthetic design of the given class, deterministically from
+/// `rng`. Configurations are generated randomly "until every mode present in
+/// the design is utilised at least once" (§V).
+SyntheticDesign generate_synthetic(Rng& rng, CircuitClass circuit_class,
+                                   const SyntheticOptions& options = {});
+
+/// Generates `count` designs with equal numbers of the four classes
+/// (round-robin), seeded from `seed`. Design i is reproducible in isolation:
+/// it uses an Rng seeded with (seed, i).
+std::vector<SyntheticDesign> generate_synthetic_suite(
+    std::uint64_t seed, std::size_t count, const SyntheticOptions& options = {});
+
+}  // namespace prpart

@@ -1,0 +1,177 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+#include "device/tiles.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+const char* to_string(BlockType t) {
+  switch (t) {
+    case BlockType::Clb: return "CLB";
+    case BlockType::Bram: return "BRAM";
+    case BlockType::Dsp: return "DSP";
+  }
+  return "?";
+}
+
+Device::Device(std::string name, ResourceVec capacity, std::uint32_t rows)
+    : name_(std::move(name)), capacity_(capacity), rows_(rows) {
+  require(rows_ > 0, "device must have at least one row");
+  require(capacity_.clbs > 0, "device must have CLBs");
+  build_columns();
+}
+
+Device::Device(std::string name, std::uint32_t rows,
+               std::vector<BlockType> columns)
+    : name_(std::move(name)), rows_(rows), columns_(std::move(columns)) {
+  require(rows_ > 0, "device must have at least one row");
+  require(!columns_.empty(), "device must have columns");
+  for (BlockType t : columns_) {
+    switch (t) {
+      case BlockType::Clb: capacity_.clbs += arch::kClbsPerTile * rows_; break;
+      case BlockType::Bram:
+        capacity_.brams += arch::kBramsPerTile * rows_;
+        break;
+      case BlockType::Dsp: capacity_.dsps += arch::kDspsPerTile * rows_; break;
+    }
+  }
+}
+
+void Device::build_columns() {
+  auto ceil_div = [](std::uint32_t a, std::uint32_t b) {
+    return (a + b - 1) / b;
+  };
+  const std::uint32_t clb_cols =
+      ceil_div(capacity_.clbs, arch::kClbsPerTile * rows_);
+  const std::uint32_t bram_cols =
+      ceil_div(capacity_.brams, arch::kBramsPerTile * rows_);
+  const std::uint32_t dsp_cols =
+      ceil_div(capacity_.dsps, arch::kDspsPerTile * rows_);
+
+  // Interleave: Virtex devices scatter BRAM/DSP columns through the CLB
+  // fabric. We distribute each special column after an even stride of CLB
+  // columns, which is what the floorplanner's rectangle search relies on.
+  const std::uint32_t specials = bram_cols + dsp_cols;
+  columns_.clear();
+  columns_.reserve(clb_cols + specials);
+  std::uint32_t bram_left = bram_cols;
+  std::uint32_t dsp_left = dsp_cols;
+  const std::uint32_t stride = specials == 0 ? clb_cols + 1
+                                             : std::max<std::uint32_t>(
+                                                   1, clb_cols / (specials + 1));
+  std::uint32_t since_special = 0;
+  std::uint32_t clb_left = clb_cols;
+  bool next_is_bram = true;  // alternate BRAM / DSP columns
+  while (clb_left + bram_left + dsp_left > 0) {
+    const bool place_special =
+        (bram_left + dsp_left > 0) &&
+        (clb_left == 0 || since_special >= stride);
+    if (place_special) {
+      if ((next_is_bram && bram_left > 0) || dsp_left == 0) {
+        columns_.push_back(BlockType::Bram);
+        --bram_left;
+      } else {
+        columns_.push_back(BlockType::Dsp);
+        --dsp_left;
+      }
+      next_is_bram = !next_is_bram;
+      since_special = 0;
+    } else {
+      columns_.push_back(BlockType::Clb);
+      --clb_left;
+      ++since_special;
+    }
+  }
+}
+
+std::uint32_t Device::column_count(BlockType t) const {
+  return static_cast<std::uint32_t>(
+      std::count(columns_.begin(), columns_.end(), t));
+}
+
+ResourceVec Device::tile_resources(std::size_t col) const {
+  require(col < columns_.size(), "column index out of range");
+  switch (columns_[col]) {
+    case BlockType::Clb: return {arch::kClbsPerTile, 0, 0};
+    case BlockType::Bram: return {0, arch::kBramsPerTile, 0};
+    case BlockType::Dsp: return {0, 0, arch::kDspsPerTile};
+  }
+  return {};
+}
+
+DeviceLibrary DeviceLibrary::virtex5() {
+  // Ordered smallest to largest; this ordering is the x-axis of Figs. 7-8.
+  // Values follow the Virtex-5 family scaling (see DESIGN.md for the
+  // substitution note). Rows follow device height (one row = 20 CLBs high).
+  DeviceLibrary lib;
+  lib.add(Device("XC5VLX20T", {3120, 26, 24}, 3));
+  lib.add(Device("XC5VLX30", {4800, 32, 32}, 4));
+  lib.add(Device("XC5VFX30T", {5120, 68, 64}, 4));
+  lib.add(Device("XC5VSX35T", {5440, 84, 192}, 4));
+  lib.add(Device("XC5VFX50T", {7200, 96, 128}, 6));
+  lib.add(Device("XC5VFX70T", {11200, 148, 128}, 8));
+  lib.add(Device("XC5VSX70T", {11200, 150, 384}, 8));
+  lib.add(Device("XC5VFX95T", {14720, 244, 256}, 8));
+  lib.add(Device("XC5VFX130T", {20480, 298, 320}, 10));
+  lib.add(Device("XC5VFX200T", {30720, 456, 384}, 12));
+  return lib;
+}
+
+DeviceLibrary DeviceLibrary::virtex5_full() {
+  // Family capacities follow the DS100 scaling; see the DESIGN.md
+  // substitution note. Sorted ascending by logic capacity.
+  DeviceLibrary lib;
+  lib.add(Device("XC5VLX20T", {3120, 26, 24}, 3));
+  lib.add(Device("XC5VLX30", {4800, 32, 32}, 4));
+  lib.add(Device("XC5VLX30T", {4800, 36, 32}, 4));
+  lib.add(Device("XC5VFX30T", {5120, 68, 64}, 4));
+  lib.add(Device("XC5VSX35T", {5440, 84, 192}, 4));
+  lib.add(Device("XC5VLX50", {7200, 48, 48}, 6));
+  lib.add(Device("XC5VLX50T", {7200, 60, 48}, 6));
+  lib.add(Device("XC5VFX50T", {7200, 96, 128}, 6));
+  lib.add(Device("XC5VSX50T", {8160, 132, 288}, 6));
+  lib.add(Device("XC5VFX70T", {11200, 148, 128}, 8));
+  lib.add(Device("XC5VSX70T", {11200, 150, 384}, 8));
+  lib.add(Device("XC5VLX85", {12960, 96, 48}, 6));
+  lib.add(Device("XC5VLX85T", {12960, 108, 48}, 6));
+  lib.add(Device("XC5VSX95T", {14720, 244, 640}, 8));
+  lib.add(Device("XC5VFX95T", {14720, 244, 256}, 8));
+  lib.add(Device("XC5VFX100T", {16000, 228, 256}, 10));
+  lib.add(Device("XC5VLX110", {17280, 128, 64}, 8));
+  lib.add(Device("XC5VLX110T", {17280, 148, 64}, 8));
+  lib.add(Device("XC5VFX130T", {20480, 298, 320}, 10));
+  lib.add(Device("XC5VTX150T", {23200, 228, 80}, 10));
+  lib.add(Device("XC5VLX155", {24320, 192, 128}, 8));
+  lib.add(Device("XC5VLX155T", {24320, 212, 128}, 8));
+  lib.add(Device("XC5VFX200T", {30720, 456, 384}, 12));
+  lib.add(Device("XC5VLX220", {34560, 192, 128}, 10));
+  lib.add(Device("XC5VLX220T", {34560, 212, 128}, 10));
+  lib.add(Device("XC5VSX240T", {37440, 516, 1056}, 12));
+  lib.add(Device("XC5VTX240T", {37440, 324, 96}, 12));
+  lib.add(Device("XC5VLX330", {51840, 288, 192}, 12));
+  lib.add(Device("XC5VLX330T", {51840, 324, 192}, 12));
+  return lib;
+}
+
+const Device& DeviceLibrary::by_name(const std::string& name) const {
+  for (const Device& d : devices_)
+    if (d.name() == name) return d;
+  throw DeviceError("unknown device '" + name + "'");
+}
+
+std::size_t DeviceLibrary::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (devices_[i].name() == name) return i;
+  throw DeviceError("unknown device '" + name + "'");
+}
+
+const Device* DeviceLibrary::smallest_fitting(
+    const ResourceVec& required) const {
+  for (const Device& d : devices_)
+    if (required.fits_in(d.capacity())) return &d;
+  return nullptr;
+}
+
+}  // namespace prpart

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/resources.hpp"
+
+namespace prpart {
+
+/// Resource column types in the Virtex-5 columnar layout (Fig. 4).
+enum class BlockType : std::uint8_t { Clb, Bram, Dsp };
+
+const char* to_string(BlockType t);
+
+/// A target FPGA: total fabric capacity plus the row/column geometry used by
+/// the floorplanner substrate.
+///
+/// Virtex-5 devices are organised in `rows` configuration rows; every block
+/// (column of one resource type) spans the full device height, and a tile is
+/// the 1-row x 1-block intersection (Fig. 4). A configuration frame spans one
+/// row, so the tile is the smallest reconfigurable unit.
+class Device {
+ public:
+  Device(std::string name, ResourceVec capacity, std::uint32_t rows);
+
+  /// Explicit column layout, for tests and custom architectures; capacity
+  /// is derived from the columns.
+  Device(std::string name, std::uint32_t rows, std::vector<BlockType> columns);
+
+  const std::string& name() const { return name_; }
+  /// Total fabric resources.
+  const ResourceVec& capacity() const { return capacity_; }
+  std::uint32_t rows() const { return rows_; }
+
+  /// Column layout left to right; derived from the capacity so that
+  /// rows x columns covers the capacity exactly or with minimal slack.
+  const std::vector<BlockType>& columns() const { return columns_; }
+
+  /// Number of columns of the given type.
+  std::uint32_t column_count(BlockType t) const;
+
+  /// Resources contained in one tile of column `col`.
+  ResourceVec tile_resources(std::size_t col) const;
+
+  /// Total tiles of each type = columns(type) * rows. Capacity expressed in
+  /// tiles is what actually bounds PR designs, since regions are whole tiles.
+  std::uint32_t tiles_of(BlockType t) const { return column_count(t) * rows_; }
+
+ private:
+  void build_columns();
+
+  std::string name_;
+  ResourceVec capacity_;
+  std::uint32_t rows_;
+  std::vector<BlockType> columns_;
+};
+
+/// The Virtex-5 device library used by the paper's evaluation (Figs. 7-8 use
+/// the family sorted by size; the case study targets the FX70T).
+///
+/// Capacities follow the family datasheet scaling; the exact values are
+/// documented model parameters (see DESIGN.md "What the paper used -> what we
+/// build") rather than vendor-exact numbers.
+class DeviceLibrary {
+ public:
+  /// The paper's evaluation subset (the devices on the x-axis of Figs. 7-8
+  /// plus the case-study FX70T), ordered smallest to largest.
+  static DeviceLibrary virtex5();
+
+  /// The full Virtex-5 family (LX / LXT / SXT / FXT / TXT lines), ordered
+  /// smallest to largest by logic capacity.
+  static DeviceLibrary virtex5_full();
+
+  /// Devices ordered by ascending size.
+  const std::vector<Device>& devices() const { return devices_; }
+
+  /// Lookup by name; throws DeviceError when unknown.
+  const Device& by_name(const std::string& name) const;
+
+  /// Index of the named device in size order; throws DeviceError.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Smallest device whose capacity covers `required` in whole tiles, or
+  /// nullptr when even the largest is too small.
+  const Device* smallest_fitting(const ResourceVec& required) const;
+
+  void add(Device d) { devices_.push_back(std::move(d)); }
+
+ private:
+  std::vector<Device> devices_;
+};
+
+}  // namespace prpart

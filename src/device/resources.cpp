@@ -1,0 +1,10 @@
+#include "device/resources.hpp"
+
+namespace prpart {
+
+std::string ResourceVec::to_string() const {
+  return std::to_string(clbs) + " CLBs, " + std::to_string(brams) +
+         " BRAMs, " + std::to_string(dsps) + " DSPs";
+}
+
+}  // namespace prpart

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prpart {
+
+/// Resource requirement / capacity vector over the three reconfigurable
+/// primitive types of the paper's architecture model (§IV-B).
+///
+/// Note on units: the paper uses "CLBs" and "slices" interchangeably in its
+/// case study; we follow its prose and call the logic unit a CLB throughout.
+struct ResourceVec {
+  std::uint32_t clbs = 0;
+  std::uint32_t brams = 0;
+  std::uint32_t dsps = 0;
+
+  constexpr ResourceVec() = default;
+  constexpr ResourceVec(std::uint32_t c, std::uint32_t b, std::uint32_t d)
+      : clbs(c), brams(b), dsps(d) {}
+
+  constexpr bool operator==(const ResourceVec&) const = default;
+
+  /// Element-wise sum: the area of modes implemented concurrently.
+  constexpr ResourceVec operator+(const ResourceVec& o) const {
+    return {clbs + o.clbs, brams + o.brams, dsps + o.dsps};
+  }
+  ResourceVec& operator+=(const ResourceVec& o) { return *this = *this + o; }
+
+  /// True when every element fits within `capacity` (Eq. 2 fit check).
+  constexpr bool fits_in(const ResourceVec& capacity) const {
+    return clbs <= capacity.clbs && brams <= capacity.brams &&
+           dsps <= capacity.dsps;
+  }
+
+  constexpr bool is_zero() const { return clbs == 0 && brams == 0 && dsps == 0; }
+
+  std::string to_string() const;
+};
+
+/// Element-wise maximum: the area of a region holding alternatives (Eq. 2).
+constexpr ResourceVec elementwise_max(const ResourceVec& a,
+                                      const ResourceVec& b) {
+  return {a.clbs > b.clbs ? a.clbs : b.clbs,
+          a.brams > b.brams ? a.brams : b.brams,
+          a.dsps > b.dsps ? a.dsps : b.dsps};
+}
+
+}  // namespace prpart

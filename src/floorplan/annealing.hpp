@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "floorplan/floorplanner.hpp"
+
+namespace prpart {
+
+/// Options of the simulated-annealing floorplanner.
+struct AnnealingOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t iterations = 30'000;
+  double initial_temperature = 8.0;
+  /// Geometric cooling factor applied every `iterations / 100` steps.
+  double cooling = 0.95;
+};
+
+/// Simulated-annealing floorplanner in the spirit of the paper's related
+/// work [7] (Montone et al., "Placement and floorplanning in dynamically
+/// reconfigurable FPGAs"): instead of placing regions greedily one by one,
+/// all rectangles are optimised jointly. A state assigns every region a
+/// rectangle that covers its tile requirement; the energy is the number of
+/// pairwise-overlapping tiles, and moves re-seat one region at a random
+/// anchor. A zero-energy state is a legal floorplan.
+///
+/// Slower than the greedy Floorplanner but able to untangle fragmented
+/// instances where first-fit's largest-first commitment wedges; the flow's
+/// feedback loop can use it as an escalation step.
+FloorplanResult anneal_place(const Device& device,
+                             const std::vector<TileCount>& regions,
+                             const AnnealingOptions& options = {});
+
+}  // namespace prpart

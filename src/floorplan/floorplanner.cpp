@@ -1,0 +1,184 @@
+#include "floorplan/floorplanner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+Floorplanner::Floorplanner(const Device& device, FloorplanOptions options)
+    : device_(device), options_(options) {}
+
+namespace {
+
+std::uint64_t total_tiles(const TileCount& t) {
+  return std::uint64_t{t.clb_tiles} + t.bram_tiles + t.dsp_tiles;
+}
+
+/// Tiles of each type a rectangle of `height` rows over columns
+/// [col, col+width) provides.
+TileCount rect_tiles(const Device& device, std::uint32_t height,
+                     std::uint32_t col, std::uint32_t width) {
+  TileCount t;
+  for (std::uint32_t c = col; c < col + width; ++c) {
+    switch (device.columns()[c]) {
+      case BlockType::Clb: t.clb_tiles += height; break;
+      case BlockType::Bram: t.bram_tiles += height; break;
+      case BlockType::Dsp: t.dsp_tiles += height; break;
+    }
+  }
+  return t;
+}
+
+bool covers(const TileCount& have, const TileCount& need) {
+  return have.clb_tiles >= need.clb_tiles &&
+         have.bram_tiles >= need.bram_tiles &&
+         have.dsp_tiles >= need.dsp_tiles;
+}
+
+}  // namespace
+
+FloorplanResult Floorplanner::place(
+    const std::vector<TileCount>& regions) const {
+  const auto rows = device_.rows();
+  const auto cols = static_cast<std::uint32_t>(device_.columns().size());
+
+  // Occupancy grid: free[r][c] == true when the tile is unallocated.
+  std::vector<std::vector<bool>> free(
+      rows, std::vector<bool>(cols, true));
+
+  // Largest regions first: they are the hardest to place.
+  std::vector<std::size_t> order(regions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return total_tiles(regions[a]) > total_tiles(regions[b]);
+  });
+
+  FloorplanResult result;
+  result.placements.reserve(regions.size());
+
+  for (std::size_t idx : order) {
+    const TileCount& need = regions[idx];
+    if (total_tiles(need) == 0) {
+      // Zero-area regions (all-zero modes) need no fabric.
+      result.placements.push_back(RegionPlacement{idx, 0, 0, 0, 0, {}});
+      continue;
+    }
+
+    // Candidate rectangles, scanned smallest height first so compact
+    // placements come first in FirstFit order.
+    struct Candidate {
+      RegionPlacement placement;
+      std::uint64_t waste = 0;
+    };
+    std::optional<Candidate> chosen;
+    bool placed = false;
+    for (std::uint32_t height = 1; height <= rows && !placed; ++height) {
+      for (std::uint32_t row = 0; row + height <= rows && !placed; ++row) {
+        for (std::uint32_t col = 0; col < cols && !placed; ++col) {
+          // Grow the window rightward while all tiles are free.
+          TileCount have;
+          for (std::uint32_t end = col; end < cols; ++end) {
+            bool column_free = true;
+            for (std::uint32_t r = row; r < row + height; ++r)
+              column_free = column_free && free[r][end];
+            if (!column_free) break;
+            have = rect_tiles(device_, height, col, end - col + 1);
+            if (!covers(have, need)) continue;
+            const std::uint32_t width = end - col + 1;
+            Candidate cand{
+                RegionPlacement{idx, row, height, col, width, have},
+                have.frames() - need.frames()};
+            if (options_.strategy == PlacementStrategy::FirstFit) {
+              chosen = cand;
+              placed = true;  // stop all scans
+            } else if (!chosen || cand.waste < chosen->waste) {
+              chosen = cand;
+            }
+            break;  // wider windows at this col only add waste
+          }
+        }
+      }
+    }
+    if (chosen) {
+      const RegionPlacement& p = chosen->placement;
+      for (std::uint32_t r = p.row; r < p.row + p.height; ++r)
+        for (std::uint32_t c = p.col; c < p.col + p.width; ++c)
+          free[r][c] = false;
+      result.placements.push_back(p);
+    } else {
+      result.success = false;
+      result.failed_region = idx;
+      return result;
+    }
+  }
+
+  result.success = true;
+  // Restore scheme order for callers that index by region.
+  std::stable_sort(result.placements.begin(), result.placements.end(),
+                   [](const RegionPlacement& a, const RegionPlacement& b) {
+                     return a.region < b.region;
+                   });
+  return result;
+}
+
+FloorplanResult Floorplanner::place_scheme(
+    const SchemeEvaluation& evaluation) const {
+  std::vector<TileCount> regions;
+  regions.reserve(evaluation.regions.size());
+  for (const RegionReport& r : evaluation.regions) regions.push_back(r.tiles);
+  return place(regions);
+}
+
+FloorplanStats floorplan_stats(const Device& device,
+                               const std::vector<TileCount>& requirements,
+                               const std::vector<RegionPlacement>& placements) {
+  FloorplanStats stats;
+  for (const RegionPlacement& p : placements) {
+    require(p.region < requirements.size(),
+            "placement references unknown region");
+    stats.required_frames += requirements[p.region].frames();
+    stats.provided_frames += p.provided.frames();
+  }
+  stats.waste_frames = stats.provided_frames - stats.required_frames;
+
+  std::uint64_t device_frames = 0;
+  for (std::size_t c = 0; c < device.columns().size(); ++c) {
+    switch (device.columns()[c]) {
+      case BlockType::Clb: device_frames += arch::kFramesPerClbTile; break;
+      case BlockType::Bram: device_frames += arch::kFramesPerBramTile; break;
+      case BlockType::Dsp: device_frames += arch::kFramesPerDspTile; break;
+    }
+  }
+  device_frames *= device.rows();
+  if (device_frames > 0)
+    stats.device_utilization = static_cast<double>(stats.provided_frames) /
+                               static_cast<double>(device_frames);
+  return stats;
+}
+
+std::string to_ucf(const Device& device,
+                   const std::vector<RegionPlacement>& placements) {
+  // Coordinates follow the Virtex-5 site grid: a tile is 20 CLBs tall and a
+  // CLB is two slices wide, so a tile at (row, col) spans slice rows
+  // [row*20, row*20+19] and slice columns [col*2, col*2+1].
+  std::string out;
+  for (const RegionPlacement& p : placements) {
+    if (p.width == 0) continue;  // zero-area region
+    const std::string name = "pblock_PRR" + std::to_string(p.region + 1);
+    out += "INST \"prr" + std::to_string(p.region + 1) +
+           "\" AREA_GROUP = \"" + name + "\";\n";
+    out += "AREA_GROUP \"" + name + "\" RANGE = SLICE_X" +
+           std::to_string(p.col * 2) + "Y" + std::to_string(p.row * 20) +
+           ":SLICE_X" + std::to_string((p.col + p.width) * 2 - 1) + "Y" +
+           std::to_string((p.row + p.height) * 20 - 1) + ";\n";
+    out += "AREA_GROUP \"" + name + "\" MODE = RECONFIG;\n";
+  }
+  out += "# device " + device.name() + "\n";
+  return out;
+}
+
+}  // namespace prpart

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "core/partitioner.hpp"
+#include "floorplan/floorplanner.hpp"
+
+namespace prpart {
+
+/// Options for the complete tool flow.
+struct FlowOptions {
+  PartitionerOptions partitioner;
+  /// Floorplan feasibility feedback (the paper's §VI future work): when the
+  /// chosen scheme cannot be floorplanned, shrink the budget and
+  /// re-partition, up to this many iterations.
+  std::size_t max_feedback_iterations = 6;
+  /// Budget shrink per feedback iteration, in tenths (1 = 10%).
+  std::uint32_t budget_shrink_tenths = 1;
+  /// When greedy floorplanning fails for the best scheme and all ranked
+  /// alternatives, try the simulated-annealing floorplanner before
+  /// shrinking the budget (slower, but untangles fragmented instances).
+  bool use_annealing_fallback = true;
+};
+
+/// Everything the tool flow of Fig. 2 produces for one design on one
+/// device: the partitioning, the floorplan with UCF constraints, and the
+/// partial bitstream set ready for external memory.
+struct FlowResult {
+  bool success = false;
+  std::string failure_reason;
+  const Device* device = nullptr;
+  PartitionerResult partitioning;
+  FloorplanResult floorplan;
+  std::string ucf;
+  std::vector<Bitstream> bitstreams;
+  /// 1 = floorplanned on the first try; >1 = feedback iterations used.
+  std::size_t iterations = 0;
+  /// Index into the partitioner's ranked alternatives that floorplanned
+  /// (0 = the best scheme itself).
+  std::size_t alternative_used = 0;
+};
+
+/// Runs the whole flow on a fixed device: partition (steps 1-4), floorplan
+/// (step 5), constraints (step 6), bitstreams (step 7), with the
+/// partitioner <- floorplanner feedback loop closing infeasibility gaps.
+FlowResult run_flow(const Design& design, const Device& device,
+                    const FlowOptions& options = {});
+
+/// Device-selection variant: walks the library from the smallest device up
+/// and returns the first device where the full flow (including
+/// floorplanning) succeeds. Throws DeviceError when none works.
+FlowResult run_flow_auto_device(const Design& design,
+                                const DeviceLibrary& library,
+                                const FlowOptions& options = {});
+
+}  // namespace prpart

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "reconfig/icap.hpp"
+#include "reconfig/markov.hpp"
+#include "util/rng.hpp"
+
+namespace prpart {
+
+/// Application-level model of an adaptive streaming system (the paper's
+/// motivating scenarios: cognitive radio, video receiver). The system dwells
+/// in one configuration processing a stream, then the environment forces a
+/// transition; while regions reconfigure, the registered streaming chain is
+/// stalled and input items are lost.
+struct ApplicationModel {
+  /// Sustained processing rate per configuration, items per second.
+  std::vector<double> items_per_second;
+  /// Mean dwell time in one configuration before the environment forces a
+  /// switch, in nanoseconds (dwells are sampled exponentially).
+  double mean_dwell_ns = 10'000'000.0;  // 10 ms
+  /// Input arrival rate, items per second (items arriving during a stall
+  /// are lost; during a dwell the pipeline keeps up when its rate is >= the
+  /// arrival rate).
+  double arrival_items_per_second = 1'000'000.0;
+};
+
+/// Outcome of one application run.
+struct ApplicationStats {
+  std::uint64_t transitions = 0;
+  std::uint64_t uptime_ns = 0;
+  std::uint64_t stall_ns = 0;
+  double availability = 0.0;   ///< uptime / (uptime + stall)
+  double items_arrived = 0.0;
+  double items_processed = 0.0;
+  double items_lost = 0.0;     ///< arrivals during stalls + rate shortfall
+  double loss_fraction = 0.0;
+};
+
+/// Simulates `transitions` environment-driven dwell/switch periods of the
+/// partitioned system. Reconfiguration stalls come from the scheme's
+/// per-region frame counts through the ICAP model (warm stale-content
+/// semantics, like ReconfigurationController). This turns the paper's
+/// frame-count objective into the quantity an application designer cares
+/// about: lost input items.
+ApplicationStats simulate_application(const Design& design,
+                                      const SchemeEvaluation& evaluation,
+                                      const ApplicationModel& app,
+                                      const MarkovChain& environment,
+                                      std::size_t transitions, Rng& rng,
+                                      IcapModel icap = {});
+
+}  // namespace prpart

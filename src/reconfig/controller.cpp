@@ -1,0 +1,85 @@
+#include "reconfig/controller.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+ReconfigurationController::ReconfigurationController(
+    const Design& design, const PartitionScheme& scheme,
+    const SchemeEvaluation& evaluation, IcapModel icap)
+    : nconf_(design.configurations().size()), icap_(icap) {
+  require(evaluation.valid, "cannot simulate an invalid scheme");
+  require(evaluation.regions.size() == scheme.regions.size(),
+          "evaluation does not match scheme");
+  active_.reserve(evaluation.regions.size());
+  frames_.reserve(evaluation.regions.size());
+  for (const RegionReport& report : evaluation.regions) {
+    require(report.active.size() == nconf_,
+            "evaluation active table has wrong arity");
+    active_.push_back(report.active);
+    frames_.push_back(report.frames);
+  }
+  loaded_.assign(active_.size(), kEmpty);
+}
+
+void ReconfigurationController::boot(std::size_t config) {
+  require(config < nconf_, "boot configuration out of range");
+  // A full-device configuration loads every region's needed partition (and
+  // leaves unneeded regions blank).
+  for (std::size_t r = 0; r < active_.size(); ++r)
+    loaded_[r] = active_[r][config];
+  current_ = config;
+  booted_ = true;
+  stats_ = {};
+}
+
+std::uint64_t ReconfigurationController::peek_frames(
+    std::size_t config) const {
+  require(booted_, "controller not booted");
+  require(config < nconf_, "configuration out of range");
+  std::uint64_t frames = 0;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    const int needed = active_[r][config];
+    if (needed != kEmpty && needed != loaded_[r]) frames += frames_[r];
+  }
+  return frames;
+}
+
+std::vector<ReconfigEvent> ReconfigurationController::transition(
+    std::size_t config) {
+  require(booted_, "controller not booted");
+  require(config < nconf_, "configuration out of range");
+
+  std::vector<ReconfigEvent> events;
+  std::uint64_t transition_frames = 0;
+  std::uint64_t transition_ns = 0;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    const int needed = active_[r][config];
+    if (needed == kEmpty || needed == loaded_[r]) continue;
+    ReconfigEvent ev;
+    ev.region = r;
+    ev.from_config = current_;
+    ev.to_config = config;
+    ev.frames = frames_[r];
+    ev.ns = icap_.reconfiguration_ns(frames_[r]);
+    loaded_[r] = needed;
+    transition_frames += ev.frames;
+    transition_ns += ev.ns;
+    ++stats_.region_loads;
+    events.push_back(ev);
+  }
+
+  ++stats_.transitions;
+  stats_.total_frames += transition_frames;
+  stats_.total_ns += transition_ns;
+  stats_.worst_transition_frames =
+      std::max(stats_.worst_transition_frames, transition_frames);
+  stats_.worst_transition_ns =
+      std::max(stats_.worst_transition_ns, transition_ns);
+  current_ = config;
+  return events;
+}
+
+}  // namespace prpart

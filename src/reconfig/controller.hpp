@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "design/design.hpp"
+#include "reconfig/icap.hpp"
+
+namespace prpart {
+
+/// One executed reconfiguration of one region.
+struct ReconfigEvent {
+  std::size_t region = 0;
+  std::size_t from_config = 0;
+  std::size_t to_config = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t ns = 0;
+};
+
+/// Cumulative runtime statistics of a simulation run.
+struct RuntimeStats {
+  std::uint64_t transitions = 0;
+  std::uint64_t region_loads = 0;
+  std::uint64_t total_frames = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t worst_transition_frames = 0;
+  std::uint64_t worst_transition_ns = 0;
+};
+
+/// Simulates the runtime configuration manager of a PR system (the software
+/// on the embedded processor in Fig. 1): it owns the region states, decides
+/// which regions must be rewritten for each configuration transition, and
+/// accounts frames and nanoseconds through the ICAP model.
+///
+/// The controller implements the stale-content rule of the cost model: a
+/// region whose active partition is not needed by the target configuration
+/// keeps its contents, and a region is rewritten only when the target needs
+/// a partition different from what is currently loaded. This makes the
+/// simulator the ground truth that the closed-form Eq. 10 approximates; the
+/// tests cross-check the two.
+///
+/// Cold-start surcharge: boot(c) loads only the regions configuration c
+/// uses; regions c does not use stay blank, so the first transition that
+/// needs them pays for their initial load. Eq. 10 models *warm* operation
+/// (every region loaded at least once), which the controller matches after
+/// each region has been visited; use reset_stats() after a warm-up walk to
+/// measure steady-state costs.
+class ReconfigurationController {
+ public:
+  /// `evaluation` must be a valid evaluation of `scheme` for `design`.
+  ReconfigurationController(const Design& design, const PartitionScheme& scheme,
+                            const SchemeEvaluation& evaluation,
+                            IcapModel icap = {});
+
+  std::size_t region_count() const { return active_.size(); }
+  std::size_t config_count() const { return nconf_; }
+
+  /// Loads `config` from power-up (full configuration); resets statistics.
+  void boot(std::size_t config);
+
+  std::size_t current_config() const { return current_; }
+
+  /// Switches to `config`, reconfiguring exactly the regions whose needed
+  /// partition differs from their current contents. Returns the events.
+  std::vector<ReconfigEvent> transition(std::size_t config);
+
+  /// Frames that a transition to `config` would write, without doing it.
+  std::uint64_t peek_frames(std::size_t config) const;
+
+  const RuntimeStats& stats() const { return stats_; }
+
+  /// Zeroes the statistics without touching region contents; used to
+  /// measure steady-state (warm) costs after a warm-up walk.
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  static constexpr int kEmpty = -1;
+
+  std::size_t nconf_ = 0;
+  std::size_t current_ = 0;
+  bool booted_ = false;
+  IcapModel icap_;
+  // active_[r][c]: member index active in region r under configuration c,
+  // or -1 (copied from the evaluation's region reports).
+  std::vector<std::vector<int>> active_;
+  std::vector<std::uint64_t> frames_;  // per region
+  std::vector<int> loaded_;            // current member per region
+  RuntimeStats stats_;
+};
+
+}  // namespace prpart

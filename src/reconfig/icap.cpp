@@ -1,0 +1,28 @@
+#include "reconfig/icap.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+std::uint64_t IcapModel::effective_bandwidth_bps() const {
+  const std::uint64_t icap_bps = icap_width_bytes * icap_clock_hz;
+  require(icap_bps > 0 && fetch_bandwidth_bps > 0,
+          "IcapModel bandwidths must be positive");
+  return std::min(icap_bps, fetch_bandwidth_bps);
+}
+
+std::uint64_t IcapModel::reconfiguration_ns(std::uint64_t frames) const {
+  if (frames == 0) return 0;
+  const std::uint64_t bytes = bitstream_bytes(frames);
+  const std::uint64_t bw = effective_bandwidth_bps();
+  // ns = bytes / (bytes/s) * 1e9, computed without overflow for realistic
+  // sizes (bytes < 2^40, so bytes * 1e9 needs 128-bit care; split instead).
+  const std::uint64_t whole = bytes / bw;
+  const std::uint64_t rem = bytes % bw;
+  return fetch_latency_ns + whole * 1'000'000'000ull +
+         rem * 1'000'000'000ull / bw;
+}
+
+}  // namespace prpart

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "device/tiles.hpp"
+
+namespace prpart {
+
+/// Timing model of the reconfiguration datapath: partial bitstreams are
+/// fetched from external memory and streamed through the internal
+/// configuration access port (ICAP). Defaults model the custom high-speed
+/// ICAP controller of the paper's reference [15] (32-bit ICAP at 100 MHz,
+/// DDR-backed fetches).
+///
+/// Reconfiguration time is dominated by the number of frames written
+/// (Eq. 9, t_conr proportional to P_r); this model turns frames into
+/// nanoseconds so the runtime simulator can report latencies.
+struct IcapModel {
+  std::uint32_t icap_width_bytes = 4;          ///< ICAP port width
+  std::uint64_t icap_clock_hz = 100'000'000;   ///< ICAP clock
+  std::uint64_t fetch_bandwidth_bps = 800'000'000;  ///< external memory, bytes/s
+  std::uint64_t fetch_latency_ns = 2'000;      ///< per-bitstream setup cost
+
+  /// Payload bytes of a partial bitstream covering `frames` frames.
+  std::uint64_t bitstream_bytes(std::uint64_t frames) const {
+    return frames * arch::kWordsPerFrame * 4;
+  }
+
+  /// Time to load a partial bitstream of `frames` frames, in nanoseconds.
+  /// Fetch and ICAP writes are pipelined, so throughput is bounded by the
+  /// slower of the two paths, plus the fixed fetch setup latency.
+  std::uint64_t reconfiguration_ns(std::uint64_t frames) const;
+
+  /// Effective streaming throughput in bytes per second.
+  std::uint64_t effective_bandwidth_bps() const;
+};
+
+}  // namespace prpart

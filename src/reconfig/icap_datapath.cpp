@@ -1,0 +1,42 @@
+#include "reconfig/icap_datapath.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+IcapCompletion IcapDatapath::submit(const IcapRequest& request) {
+  require(request.submit_ns >= last_submit_ns_,
+          "IcapDatapath requests must be submitted in time order");
+  last_submit_ns_ = request.submit_ns;
+
+  IcapCompletion done;
+  if (request.frames == 0) {
+    done.start_ns = request.submit_ns;
+    done.done_ns = request.submit_ns;
+    return done;
+  }
+
+  done.transfer_ns = timing_.reconfiguration_ns(request.frames);
+  done.start_ns = std::max(request.submit_ns, ready_ns_);
+  done.wait_ns = done.start_ns - request.submit_ns;
+  done.done_ns = done.start_ns + done.transfer_ns;
+  ready_ns_ = done.done_ns;
+
+  ++stats_.commands;
+  stats_.bytes += timing_.bitstream_bytes(request.frames);
+  stats_.busy_ns += done.transfer_ns;
+  stats_.total_wait_ns += done.wait_ns;
+  stats_.max_wait_ns = std::max(stats_.max_wait_ns, done.wait_ns);
+  stats_.last_done_ns = std::max(stats_.last_done_ns, done.done_ns);
+  return done;
+}
+
+double IcapDatapath::utilization() const {
+  if (stats_.last_done_ns == 0) return 0.0;
+  return static_cast<double>(stats_.busy_ns) /
+         static_cast<double>(stats_.last_done_ns);
+}
+
+}  // namespace prpart

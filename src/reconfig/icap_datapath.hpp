@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "reconfig/icap.hpp"
+
+namespace prpart {
+
+/// A partial-bitstream load request submitted to the controller.
+struct IcapRequest {
+  std::uint64_t submit_ns = 0;  ///< submission time; non-decreasing
+  std::uint64_t frames = 0;
+};
+
+/// Per-command latency breakdown.
+struct IcapCompletion {
+  std::uint64_t start_ns = 0;     ///< when the transfer began
+  std::uint64_t done_ns = 0;      ///< when the last frame was written
+  std::uint64_t wait_ns = 0;      ///< queueing delay behind earlier commands
+  std::uint64_t transfer_ns = 0;  ///< fetch latency + streaming time
+};
+
+struct IcapDatapathStats {
+  std::uint64_t commands = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t busy_ns = 0;        ///< time the port was transferring
+  std::uint64_t total_wait_ns = 0;  ///< summed queueing delays
+  std::uint64_t max_wait_ns = 0;
+  std::uint64_t last_done_ns = 0;
+};
+
+/// Queueing model of the high-speed ICAP controller of the paper's
+/// reference [15]: one command at a time is fetched from external memory
+/// and streamed through the ICAP port (the two are pipelined inside a
+/// command, which the IcapModel's effective bandwidth captures); commands
+/// submitted while the port is busy queue up. Used by the runtime layers
+/// to attribute reconfiguration latency to queueing vs transfer.
+class IcapDatapath {
+ public:
+  explicit IcapDatapath(IcapModel timing = {}) : timing_(timing) {}
+
+  const IcapModel& timing() const { return timing_; }
+
+  /// Submits a request; requests must arrive in non-decreasing submit_ns
+  /// order (throws InternalError otherwise). Zero-frame requests complete
+  /// immediately without occupying the port.
+  IcapCompletion submit(const IcapRequest& request);
+
+  /// Time at which the port becomes idle.
+  std::uint64_t ready_ns() const { return ready_ns_; }
+
+  const IcapDatapathStats& stats() const { return stats_; }
+
+  /// Port utilisation over [0, last completion].
+  double utilization() const;
+
+ private:
+  IcapModel timing_;
+  std::uint64_t ready_ns_ = 0;
+  std::uint64_t last_submit_ns_ = 0;
+  IcapDatapathStats stats_;
+};
+
+}  // namespace prpart

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reconfig/controller.hpp"
+
+namespace prpart {
+
+/// The configuration-management software of the paper's Fig. 1, modelled as
+/// a rule table: "when `event` is observed while in configuration `from`,
+/// switch to configuration `to`". This is what runs on the embedded
+/// processor and drives the ICAP through the reconfiguration controller;
+/// the environment (channel estimates, user requests, ...) is abstracted
+/// into named events.
+class AdaptationPolicy {
+ public:
+  /// Wildcard: the rule applies in any current configuration.
+  static constexpr std::size_t kAnyConfig = ~std::size_t{0};
+
+  explicit AdaptationPolicy(std::size_t configurations);
+
+  /// Adds a rule; a specific (from != kAnyConfig) rule takes precedence
+  /// over a wildcard rule for the same event. Duplicate (from, event)
+  /// pairs are rejected.
+  void add_rule(std::size_t from, std::string event, std::size_t to);
+
+  std::size_t rules() const { return rules_.size(); }
+
+  /// Target configuration for `event` in `current`, or nullopt when no
+  /// rule matches (the event is ignored).
+  std::optional<std::size_t> target(std::size_t current,
+                                    const std::string& event) const;
+
+ private:
+  struct Rule {
+    std::size_t from;
+    std::string event;
+    std::size_t to;
+  };
+  std::size_t configurations_;
+  std::vector<Rule> rules_;
+};
+
+/// Outcome of driving a controller with an event trace.
+struct PolicyRunResult {
+  std::uint64_t events = 0;
+  std::uint64_t applied = 0;   ///< events that triggered a transition
+  std::uint64_t ignored = 0;   ///< events with no matching rule
+  std::uint64_t self_loops = 0;  ///< rules targeting the current config
+  std::vector<std::size_t> path;  ///< visited configurations, incl. start
+};
+
+/// Feeds `events` through the policy, executing each matched transition on
+/// the controller (which must be booted). Reconfiguration costs accumulate
+/// in the controller's own stats.
+PolicyRunResult run_policy(ReconfigurationController& controller,
+                           const AdaptationPolicy& policy,
+                           const std::vector<std::string>& events);
+
+}  // namespace prpart

@@ -1,0 +1,112 @@
+#include "reconfig/prefetch.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+PrefetchingController::PrefetchingController(
+    const Design& design, const PartitionScheme& scheme,
+    const SchemeEvaluation& evaluation, const MarkovChain& predictor,
+    IcapModel icap, std::uint64_t idle_frames_budget)
+    : nconf_(design.configurations().size()),
+      icap_(icap),
+      idle_frames_budget_(idle_frames_budget),
+      predictor_(predictor) {
+  require(evaluation.valid, "cannot simulate an invalid scheme");
+  require(evaluation.regions.size() == scheme.regions.size(),
+          "evaluation does not match scheme");
+  require(predictor_.states() == nconf_,
+          "predictor does not match the design's configurations");
+  for (const RegionReport& report : evaluation.regions) {
+    require(report.active.size() == nconf_,
+            "evaluation active table has wrong arity");
+    active_.push_back(report.active);
+    frames_.push_back(report.frames);
+  }
+  loaded_.assign(active_.size(), kEmpty);
+  speculative_.assign(active_.size(), false);
+}
+
+void PrefetchingController::boot(std::size_t config) {
+  require(config < nconf_, "boot configuration out of range");
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    loaded_[r] = active_[r][config];
+    speculative_[r] = false;
+  }
+  current_ = config;
+  booted_ = true;
+  stats_ = {};
+  prefetch_for_prediction();
+}
+
+void PrefetchingController::prefetch_for_prediction() {
+  // Predict the most likely successor; ties resolve to the lowest index,
+  // keeping runs deterministic.
+  std::size_t predicted = 0;
+  double best = -1.0;
+  for (std::size_t j = 0; j < nconf_; ++j) {
+    const double p = predictor_.probability(current_, j);
+    if (p > best) {
+      best = p;
+      predicted = j;
+    }
+  }
+
+  // Preload idle regions, largest first (they hurt most when they stall),
+  // within the idle bandwidth budget.
+  std::vector<std::size_t> idle;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    const int needed = active_[r][predicted];
+    if (active_[r][current_] == kEmpty && needed != kEmpty &&
+        needed != loaded_[r])
+      idle.push_back(r);
+  }
+  std::stable_sort(idle.begin(), idle.end(), [&](std::size_t a, std::size_t b) {
+    return frames_[a] > frames_[b];
+  });
+  std::uint64_t budget = idle_frames_budget_;
+  for (std::size_t r : idle) {
+    if (frames_[r] > budget) continue;
+    budget -= frames_[r];
+    if (speculative_[r]) ++stats_.wasted_prefetches;  // overwritten unused
+    loaded_[r] = active_[r][predicted];
+    speculative_[r] = true;
+    stats_.prefetched_frames += frames_[r];
+  }
+}
+
+std::uint64_t PrefetchingController::transition(std::size_t config) {
+  require(booted_, "controller not booted");
+  require(config < nconf_, "configuration out of range");
+
+  std::uint64_t stall = 0;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    const int needed = active_[r][config];
+    if (needed == kEmpty) continue;
+    if (needed == loaded_[r]) {
+      if (speculative_[r]) {
+        ++stats_.useful_prefetches;
+        speculative_[r] = false;
+      }
+      continue;
+    }
+    if (speculative_[r]) {
+      ++stats_.wasted_prefetches;
+      speculative_[r] = false;
+    }
+    loaded_[r] = needed;
+    stall += frames_[r];
+  }
+
+  ++stats_.transitions;
+  stats_.stall_frames += stall;
+  stats_.stall_ns += icap_.reconfiguration_ns(stall);
+  stats_.worst_stall_frames = std::max(stats_.worst_stall_frames, stall);
+  current_ = config;
+  prefetch_for_prediction();
+  return stall;
+}
+
+}  // namespace prpart

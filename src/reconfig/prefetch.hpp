@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "reconfig/controller.hpp"
+#include "reconfig/markov.hpp"
+
+namespace prpart {
+
+/// Statistics of a prefetching run. "Stall" is reconfiguration work on the
+/// critical path of a transition; prefetched frames are loaded in the
+/// background during idle periods and do not stall the application.
+struct PrefetchStats {
+  std::uint64_t transitions = 0;
+  std::uint64_t stall_frames = 0;
+  std::uint64_t stall_ns = 0;
+  std::uint64_t worst_stall_frames = 0;
+  std::uint64_t prefetched_frames = 0;
+  std::uint64_t useful_prefetches = 0;   ///< prefetched region later needed as-is
+  std::uint64_t wasted_prefetches = 0;   ///< overwritten before being used
+};
+
+/// Configuration prefetching on top of the reconfiguration controller (the
+/// technique of the paper's related work [4], adapted to the adaptive-
+/// systems setting): while the system sits in configuration c, regions that
+/// c does not use are idle and may be speculatively loaded with the
+/// partitions the *predicted* next configuration needs. If the prediction
+/// holds, those loads vanish from the transition's critical path.
+///
+/// The predictor is a Markov model of the environment; prefetching is
+/// limited per idle period by `idle_frames_budget` (how much the ICAP can
+/// stream before the next adaptation arrives).
+class PrefetchingController {
+ public:
+  PrefetchingController(const Design& design, const PartitionScheme& scheme,
+                        const SchemeEvaluation& evaluation,
+                        const MarkovChain& predictor, IcapModel icap = {},
+                        std::uint64_t idle_frames_budget =
+                            ~std::uint64_t{0});
+
+  void boot(std::size_t config);
+
+  /// Prefetches for the predicted successor of the current configuration,
+  /// then switches to `config`, returning the stall frames of the switch.
+  std::uint64_t transition(std::size_t config);
+
+  std::size_t current_config() const { return current_; }
+  const PrefetchStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kEmpty = -1;
+
+  void prefetch_for_prediction();
+
+  std::size_t nconf_ = 0;
+  std::size_t current_ = 0;
+  bool booted_ = false;
+  IcapModel icap_;
+  std::uint64_t idle_frames_budget_;
+  MarkovChain predictor_;  // by value: predictors are small and callers
+                           // often pass temporaries
+
+  std::vector<std::vector<int>> active_;  // [region][config]
+  std::vector<std::uint64_t> frames_;
+  std::vector<int> loaded_;
+  std::vector<bool> speculative_;  // loaded_[r] was a prefetch, not yet used
+  PrefetchStats stats_;
+};
+
+}  // namespace prpart

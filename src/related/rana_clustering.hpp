@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "design/design.hpp"
+#include "util/rng.hpp"
+
+namespace prpart {
+
+/// Inter-module communication bandwidths (symmetric, arbitrary units),
+/// indexed by module. This is the input of the related-work algorithm of
+/// Rana et al. [5] ("Minimization of the reconfiguration latency for the
+/// mapping of applications on FPGA-based systems", CODES+ISSS 2009), which
+/// the paper's §II discusses: modules with heavy communication are grouped
+/// into the same reconfigurable region, and the number of regions is fixed
+/// by the designer.
+class CommunicationGraph {
+ public:
+  explicit CommunicationGraph(std::size_t modules);
+
+  std::size_t modules() const { return bandwidth_.size(); }
+  void set(std::size_t a, std::size_t b, double bandwidth);
+  double at(std::size_t a, std::size_t b) const;
+
+  /// Random graph for sweeps: each module pair communicates with
+  /// probability `density`, with bandwidth uniform in (0, 1].
+  static CommunicationGraph random(Rng& rng, std::size_t modules,
+                                   double density = 0.5);
+
+ private:
+  std::vector<std::vector<double>> bandwidth_;
+};
+
+/// A grouping of modules into regions (the output of [5]'s clustering):
+/// groups[r] lists the module indices hosted by region r.
+struct ModuleGrouping {
+  std::vector<std::vector<std::size_t>> groups;
+};
+
+/// Agglomerative communication clustering per [5]: every module starts in
+/// its own group; the two groups with the highest inter-group bandwidth are
+/// merged until `target_regions` remain. Ties break deterministically on
+/// the lowest module indices.
+ModuleGrouping communication_clustering(const CommunicationGraph& comm,
+                                        std::size_t target_regions);
+
+/// Total bandwidth between modules that ended up in the same region — the
+/// quantity [5] maximises (communication kept off the inter-region links).
+double intra_group_bandwidth(const CommunicationGraph& comm,
+                             const ModuleGrouping& grouping);
+
+/// Evaluates a module grouping under this paper's cost model so the two
+/// algorithms can be compared on equal terms. A region hosting module
+/// group G holds, per configuration, the combined bitstream of G's active
+/// modes; its area is the largest such combination (tile-rounded) and it is
+/// reconfigured whenever any member module changes mode (stale-content rule
+/// when all of G is absent).
+SchemeEvaluation evaluate_module_grouping(const Design& design,
+                                          const ModuleGrouping& grouping,
+                                          const ResourceVec& budget);
+
+}  // namespace prpart

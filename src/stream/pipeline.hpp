@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// One processing stage of a streaming chain: it consumes one item from its
+/// input FIFO every `cycles_per_item` cycles (when one is available and the
+/// downstream FIFO has space) and emits it downstream.
+struct StageSpec {
+  std::string name;
+  /// Service time; 1 = one item per cycle.
+  std::uint32_t cycles_per_item = 1;
+  /// Capacity of the FIFO *in front of* this stage.
+  std::size_t fifo_depth = 4;
+};
+
+/// Statistics of a pipeline run.
+struct PipelineStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t arrived = 0;   ///< items offered by the source
+  std::uint64_t accepted = 0;  ///< items that entered the first FIFO
+  std::uint64_t dropped = 0;   ///< arrivals rejected by a full first FIFO
+  std::uint64_t delivered = 0; ///< items that left the last stage
+};
+
+/// Cycle-level simulator of the case study's "simple streaming bus
+/// interface, which is registered": a chain of stages decoupled by FIFOs.
+/// Items arrive at the head at a fixed interval and are dropped when the
+/// head FIFO is full (a radio front end cannot back-pressure the antenna).
+///
+/// Stages can be taken offline — this is what partial reconfiguration of
+/// the region hosting a stage does — and come back with their FIFO contents
+/// intact (the region's neighbours keep buffering). The simulator exposes
+/// the system-level effect the paper's objective chases: whether a
+/// reconfiguration is absorbed by the FIFOs or turns into dropped items.
+class StreamingPipeline {
+ public:
+  /// `arrival_interval`: one item arrives every N cycles (N >= 1).
+  StreamingPipeline(std::vector<StageSpec> stages,
+                    std::uint32_t arrival_interval);
+
+  std::size_t stages() const { return stages_.size(); }
+
+  /// Takes a stage offline (reconfiguring) or back online.
+  void set_offline(std::size_t stage, bool offline);
+  bool offline(std::size_t stage) const;
+
+  /// Advances the simulation by `cycles`.
+  void run(std::uint64_t cycles);
+
+  /// Items currently buffered in front of `stage`.
+  std::size_t occupancy(std::size_t stage) const;
+
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Steady-state throughput bound: the slowest stage's rate or the
+  /// arrival rate, whichever is smaller (items per cycle).
+  double throughput_bound() const;
+
+ private:
+  struct Stage {
+    StageSpec spec;
+    std::size_t fifo = 0;        ///< items waiting in front of this stage
+    std::uint32_t countdown = 0; ///< cycles until the in-flight item emits
+    bool busy = false;
+    bool offline = false;
+  };
+
+  std::vector<Stage> stages_;
+  std::uint32_t arrival_interval_;
+  std::uint32_t arrival_countdown_ = 1;
+  PipelineStats stats_;
+};
+
+}  // namespace prpart

@@ -1,0 +1,38 @@
+#include "synth/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace prpart::synth {
+
+ResourceVec estimate(const BehavioralSpec& spec,
+                     const EstimatorOptions& opt) {
+  require(opt.packing_efficiency > 0.0 && opt.packing_efficiency <= 1.0,
+          "packing efficiency must be in (0, 1]");
+  require(opt.luts_per_clb > 0 && opt.ffs_per_clb > 0 && opt.mults_per_dsp > 0,
+          "estimator capacities must be positive");
+
+  auto ceil_div = [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+    return (a + b - 1) / b;
+  };
+
+  // Logic: LUT- or FF-bound, whichever dominates, plus LUT-RAM for small
+  // distributed memories; divided by packing efficiency.
+  const std::uint64_t lut_clbs = ceil_div(spec.luts, opt.luts_per_clb);
+  const std::uint64_t ff_clbs = ceil_div(spec.ffs, opt.ffs_per_clb);
+  const std::uint64_t lutram_clbs =
+      ceil_div(spec.dist_mem_bits, opt.lutram_bits_per_clb);
+  const std::uint64_t packed = std::max(lut_clbs, ff_clbs) + lutram_clbs;
+  const auto clbs = static_cast<std::uint32_t>(std::ceil(
+      static_cast<double>(packed) / opt.packing_efficiency));
+
+  const auto brams =
+      static_cast<std::uint32_t>(ceil_div(spec.mem_kbits, opt.kbits_per_bram));
+  const auto dsps =
+      static_cast<std::uint32_t>(ceil_div(spec.mult18s, opt.mults_per_dsp));
+  return {clbs, brams, dsps};
+}
+
+}  // namespace prpart::synth

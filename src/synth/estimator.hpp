@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/resources.hpp"
+
+namespace prpart::synth {
+
+/// Behavioural description of one module mode, the input of the resource
+/// estimator. This substrate replaces step 1 of the paper's tool flow
+/// ("Xilinx XST is used to synthesise all the modes to determine resource
+/// requirements"): the partitioner only ever consumes the resulting
+/// ResourceVec, so any deterministic estimate exercises the same code path.
+struct BehavioralSpec {
+  std::string name;
+  std::uint32_t luts = 0;       ///< combinational logic, 6-input LUT units
+  std::uint32_t ffs = 0;        ///< registers
+  std::uint32_t mult18s = 0;    ///< 18x18 multiplier uses (map to DSP48E)
+  std::uint32_t mem_kbits = 0;  ///< dedicated memory, kilobits (map to BRAM36)
+  std::uint32_t dist_mem_bits = 0;  ///< small memories folded into LUT-RAM
+};
+
+/// Deterministic technology-mapping model for the Virtex-5 fabric.
+struct EstimatorOptions {
+  /// LUTs per CLB unit (paper-consistent logic unit; see DESIGN.md units note).
+  std::uint32_t luts_per_clb = 4;
+  std::uint32_t ffs_per_clb = 4;
+  /// LUT-RAM capacity per CLB unit in bits.
+  std::uint32_t lutram_bits_per_clb = 64;
+  /// Achievable packing efficiency: real designs never pack CLBs perfectly.
+  double packing_efficiency = 0.8;
+  /// Kilobits per BRAM36 primitive.
+  std::uint32_t kbits_per_bram = 36;
+  /// 18x18 multipliers per DSP48E slice.
+  std::uint32_t mults_per_dsp = 1;
+};
+
+/// Maps a behavioural spec onto fabric resources. Monotone in every input
+/// and fully deterministic.
+ResourceVec estimate(const BehavioralSpec& spec,
+                     const EstimatorOptions& options = {});
+
+}  // namespace prpart::synth

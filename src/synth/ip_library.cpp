@@ -1,0 +1,110 @@
+#include "synth/ip_library.hpp"
+
+#include "design/builder.hpp"
+#include "util/status.hpp"
+
+namespace prpart::synth {
+
+IpLibrary IpLibrary::standard() {
+  IpLibrary lib;
+  // Table II, verbatim (Slices/BR/DSP columns; see DESIGN.md units note).
+  lib.add({"matched_filter.filter1", {818, 0, 28}});
+  lib.add({"matched_filter.filter2", {500, 0, 34}});
+  lib.add({"recovery.fine", {318, 1, 13}});
+  lib.add({"recovery.coarse1", {195, 1, 5}});
+  lib.add({"recovery.coarse2", {123, 0, 8}});
+  lib.add({"recovery.none", {0, 0, 0}});
+  lib.add({"demodulator.bpsk", {50, 0, 2}});
+  lib.add({"demodulator.qpsk", {97, 0, 4}});
+  lib.add({"decoder.viterbi", {630, 2, 0}});
+  lib.add({"decoder.turbo", {748, 15, 4}});
+  lib.add({"decoder.dpc", {234, 2, 0}});
+  lib.add({"video.mpeg4", {4700, 40, 65}});
+  lib.add({"video.mpeg2", {4558, 16, 32}});
+  lib.add({"video.jpeg", {2780, 6, 9}});
+  // Common substrate cores used by examples (paper refs [1], [15]).
+  lib.add({"icap_controller", {90, 8, 0}});
+  lib.add({"microblaze_small", {350, 4, 3}});
+  lib.add({"spectrum_sensor", {1200, 12, 40}});
+  lib.add({"ofdm_tx", {2100, 10, 48}});
+  lib.add({"gsm_tx", {900, 4, 12}});
+  return lib;
+}
+
+void IpLibrary::add(IpCore core) { cores_.push_back(std::move(core)); }
+
+bool IpLibrary::contains(const std::string& name) const {
+  for (const IpCore& c : cores_)
+    if (c.name == name) return true;
+  return false;
+}
+
+const IpCore& IpLibrary::lookup(const std::string& name) const {
+  for (const IpCore& c : cores_)
+    if (c.name == name) return c;
+  throw DesignError("IP library has no core named '" + name + "'");
+}
+
+namespace {
+
+/// Builds the receiver skeleton shared by both configuration sets.
+/// Modules and modes follow Table II: F (matched filter), R (recovery),
+/// M (demodulator), D (decoder), V (video decoder).
+DesignBuilder receiver_skeleton(const std::string& name) {
+  const IpLibrary lib = IpLibrary::standard();
+  auto a = [&](const char* core) { return lib.lookup(core).area; };
+  DesignBuilder b(name);
+  b.module("F", {{"F1", a("matched_filter.filter1")},
+                 {"F2", a("matched_filter.filter2")}});
+  b.module("R", {{"R1", a("recovery.fine")},
+                 {"R2", a("recovery.coarse1")},
+                 {"R3", a("recovery.coarse2")},
+                 {"R4", a("recovery.none")}});
+  b.module("M", {{"M1", a("demodulator.bpsk")}, {"M2", a("demodulator.qpsk")}});
+  b.module("D", {{"D1", a("decoder.viterbi")},
+                 {"D2", a("decoder.turbo")},
+                 {"D3", a("decoder.dpc")}});
+  b.module("V", {{"V1", a("video.mpeg4")},
+                 {"V2", a("video.mpeg2")},
+                 {"V3", a("video.jpeg")}});
+  return b;
+}
+
+}  // namespace
+
+Design wireless_receiver_design() {
+  DesignBuilder b = receiver_skeleton("wireless-video-receiver");
+  auto conf = [&](const char* f, const char* r, const char* m, const char* d,
+                  const char* v) {
+    b.configuration({{"F", f}, {"R", r}, {"M", m}, {"D", d}, {"V", v}});
+  };
+  // The eight configurations of §V.
+  conf("F1", "R3", "M1", "D1", "V1");
+  conf("F1", "R3", "M1", "D1", "V2");
+  conf("F1", "R3", "M1", "D1", "V3");
+  conf("F2", "R1", "M2", "D3", "V1");
+  conf("F2", "R2", "M1", "D1", "V1");
+  conf("F2", "R2", "M1", "D1", "V2");
+  conf("F2", "R2", "M1", "D1", "V3");
+  conf("F1", "R2", "M1", "D2", "V2");
+  return b.build();
+}
+
+Design wireless_receiver_modified_design() {
+  DesignBuilder b = receiver_skeleton("wireless-video-receiver-modified");
+  auto conf = [&](const char* f, const char* r, const char* m, const char* d,
+                  const char* v) {
+    b.configuration({{"F", f}, {"R", r}, {"M", m}, {"D", d}, {"V", v}});
+  };
+  // The five modified configurations preceding Table V.
+  conf("F1", "R3", "M1", "D1", "V1");
+  conf("F1", "R2", "M1", "D1", "V3");
+  conf("F2", "R3", "M1", "D1", "V3");
+  conf("F1", "R1", "M2", "D3", "V1");
+  conf("F2", "R1", "M2", "D3", "V2");
+  return b.build();
+}
+
+ResourceVec wireless_receiver_budget() { return {6800, 50, 150}; }
+
+}  // namespace prpart::synth

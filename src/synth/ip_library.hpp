@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+#include "device/resources.hpp"
+
+namespace prpart::synth {
+
+/// A pre-characterised IP core: its resource usage is "often available up
+/// front" (paper step 1), so it bypasses the estimator.
+struct IpCore {
+  std::string name;
+  ResourceVec area;
+};
+
+/// Catalogue of pre-characterised IP cores. Ships with the blocks of the
+/// paper's wireless video receiver case study (Table II) plus a few common
+/// cores used by the examples.
+class IpLibrary {
+ public:
+  /// The default catalogue.
+  static IpLibrary standard();
+
+  /// Lookup by name; throws DesignError when unknown.
+  const IpCore& lookup(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  const std::vector<IpCore>& cores() const { return cores_; }
+
+  void add(IpCore core);
+
+ private:
+  std::vector<IpCore> cores_;
+};
+
+/// The paper's case-study design (§V): a wireless video receiver on a
+/// Virtex-5 FX70T with five reconfigurable modules (Table II) and the eight
+/// configurations listed in the text. Resource numbers are Table II verbatim.
+Design wireless_receiver_design();
+
+/// The same receiver with the paper's modified configuration set (the five
+/// configurations preceding Table V).
+Design wireless_receiver_modified_design();
+
+/// The FPGA budget the paper reserves for the PR part of the case study:
+/// 6800 CLBs, 50 BRAMs, 150 DSP slices (the rest of the FX70T is kept for
+/// the static region, which is why the case-study designs carry a zero
+/// static_base).
+ResourceVec wireless_receiver_budget();
+
+}  // namespace prpart::synth

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// Minimal command-line parser for the prpart tool: positionals plus
+/// `--key value` options and `--switch` flags. Unknown options throw
+/// ParseError so typos fail loudly.
+class Args {
+ public:
+  /// `flags` lists options that take no value; everything else starting
+  /// with "--" expects one.
+  Args(const std::vector<std::string>& argv,
+       const std::vector<std::string>& flags);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& key) const;
+  /// Value of `--key`; nullopt when absent.
+  std::optional<std::string> value(const std::string& key) const;
+  /// Value of `--key` or `fallback`.
+  std::string value_or(const std::string& key,
+                       const std::string& fallback) const;
+  /// Numeric value of `--key` or `fallback`.
+  std::uint64_t u64_or(const std::string& key, std::uint64_t fallback) const;
+
+  /// Throws ParseError unless every given option was consumed by one of the
+  /// accessors above or appears in `known`; guards against silently ignored
+  /// options.
+  void check_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::vector<std::pair<std::string, std::string>> options_;  // key -> value
+  std::vector<std::string> switches_;
+};
+
+}  // namespace prpart

@@ -1,0 +1,131 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t nbits) {
+  return (nbits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+DynBitset::DynBitset(std::size_t nbits)
+    : nbits_(nbits), words_(word_count(nbits), 0) {}
+
+void DynBitset::check_index(std::size_t i) const {
+  if (i >= nbits_)
+    throw InternalError("DynBitset index " + std::to_string(i) +
+                        " out of range (size " + std::to_string(nbits_) + ")");
+}
+
+void DynBitset::set(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+void DynBitset::reset(std::size_t i) {
+  check_index(i);
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool DynBitset::test(std::size_t i) const {
+  check_index(i);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+std::size_t DynBitset::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynBitset::any() const {
+  for (std::uint64_t w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool DynBitset::intersects(const DynBitset& other) const {
+  require(nbits_ == other.nbits_, "DynBitset size mismatch in intersects");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+bool DynBitset::is_subset_of(const DynBitset& other) const {
+  require(nbits_ == other.nbits_, "DynBitset size mismatch in is_subset_of");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~other.words_[i]) return false;
+  return true;
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& other) {
+  require(nbits_ == other.nbits_, "DynBitset size mismatch in operator|=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& other) {
+  require(nbits_ == other.nbits_, "DynBitset size mismatch in operator&=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::subtract(const DynBitset& other) {
+  require(nbits_ == other.nbits_, "DynBitset size mismatch in subtract");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynBitset::operator==(const DynBitset& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+bool DynBitset::operator<(const DynBitset& other) const {
+  if (nbits_ != other.nbits_) return nbits_ < other.nbits_;
+  return words_ < other.words_;
+}
+
+std::vector<std::size_t> DynBitset::bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      out.push_back(w * kWordBits + bit);
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::size_t DynBitset::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= nbits_;
+  h *= 1099511628211ull;
+  return static_cast<std::size_t>(h);
+}
+
+std::string DynBitset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t b : bits()) {
+    if (!first) out += ',';
+    out += std::to_string(b);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace prpart

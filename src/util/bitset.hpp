@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// Fixed-capacity dynamic bitset sized at construction time.
+///
+/// Used throughout the partitioner to represent sets of modes (columns of
+/// the connectivity matrix). Capacity is decided once per design, so all
+/// sets in one partitioning run share the same word count, which keeps the
+/// set algebra branch-free.
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits);
+
+  std::size_t size() const { return nbits_; }
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// True when this and `other` share at least one set bit.
+  bool intersects(const DynBitset& other) const;
+  /// True when every set bit of this is also set in `other`.
+  bool is_subset_of(const DynBitset& other) const;
+
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+  /// Clears every bit that is set in `other`.
+  DynBitset& subtract(const DynBitset& other);
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
+
+  bool operator==(const DynBitset& other) const;
+  bool operator!=(const DynBitset& other) const { return !(*this == other); }
+  /// Lexicographic order on the underlying words; any strict weak order
+  /// works for use as a map key.
+  bool operator<(const DynBitset& other) const;
+
+  /// Indices of set bits in increasing order.
+  std::vector<std::size_t> bits() const;
+
+  /// FNV-1a hash of the words, for unordered containers and memo tables.
+  std::size_t hash() const;
+
+  /// "{1,4,7}"-style rendering, mainly for diagnostics and tests.
+  std::string to_string() const;
+
+ private:
+  void check_index(std::size_t i) const;
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const { return b.hash(); }
+};
+
+}  // namespace prpart

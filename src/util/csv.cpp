@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  require(columns_ > 0, "CsvWriter needs at least one column");
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  require(cells.size() == columns_, "CsvWriter row has wrong arity");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace prpart

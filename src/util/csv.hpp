@@ -1,0 +1,28 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// Streams rows of comma-separated values with minimal quoting, used by the
+/// benchmark harness to dump figure data for external plotting.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace prpart

@@ -1,0 +1,60 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace prpart {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), hi_(hi), counts_(nbuckets, 0) {
+  require(hi > lo, "Histogram range must be non-empty");
+  require(nbuckets > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::add(double sample) {
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long>(std::floor((sample - lo_) / step));
+  idx = std::clamp(idx, 0l, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  samples_.push_back(sample);
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double step = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + static_cast<double>(i) * step;
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+double Histogram::fraction_above(double threshold) const {
+  if (total_ == 0) return 0.0;
+  const auto n = std::count_if(samples_.begin(), samples_.end(),
+                               [&](double s) { return s > threshold; });
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(const std::string& title,
+                              std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+
+  std::string out = title + "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::string range = "[" + fixed(bucket_lo(i), 0) + ", " +
+                        fixed(bucket_hi(i), 0) + ")";
+    while (range.size() < 14) range += ' ';
+    const std::size_t bar =
+        counts_[i] == 0
+            ? 0
+            : std::max<std::size_t>(1, counts_[i] * bar_width / peak);
+    out += "  " + range + " " + std::string(bar, '#');
+    out += " " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace prpart

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// Fixed-width bucket histogram over doubles, with ASCII rendering.
+///
+/// Reproduces the shape of the paper's Fig. 9 panels (counts of designs per
+/// percentage-improvement bucket).
+class Histogram {
+ public:
+  /// Buckets cover [lo, hi) in `nbuckets` equal steps; samples outside the
+  /// range are clamped into the first/last bucket so nothing is dropped.
+  Histogram(double lo, double hi, std::size_t nbuckets);
+
+  void add(double sample);
+
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Fraction of samples strictly greater than `threshold`.
+  double fraction_above(double threshold) const;
+
+  /// Renders bucket ranges, counts, and a proportional bar chart.
+  std::string render(const std::string& title, std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> samples_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace prpart

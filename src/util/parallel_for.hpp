@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace prpart {
+
+/// Runs `body(i)` for every i in [0, count) across `threads` worker
+/// threads, pulling indices from a shared atomic counter (dynamic
+/// scheduling — iteration costs in the sweeps vary by an order of
+/// magnitude, so static chunking would leave workers idle).
+///
+/// Guarantees:
+///  * every index is executed exactly once;
+///  * results written to distinct per-index slots need no synchronisation;
+///  * with threads <= 1 the loop runs inline on the calling thread;
+///  * the first exception thrown by any body is rethrown on the caller
+///    after all workers have stopped.
+///
+/// Bodies must not themselves assume an execution order: determinism of the
+/// overall computation must come from writing to index-addressed outputs,
+/// exactly like an OpenMP `parallel for` with `schedule(dynamic)`.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Worker count from the environment variable `env_var` when set, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+unsigned default_thread_count(const char* env_var = "PRPART_THREADS");
+
+}  // namespace prpart

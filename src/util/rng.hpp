@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace prpart {
+
+/// Deterministic xoshiro256** pseudo-random generator.
+///
+/// The synthetic-design experiments in the paper (Figs. 7-9) must be
+/// reproducible run to run and platform to platform, so we do not use
+/// std::mt19937 distributions (whose mapping from engine output to values is
+/// implementation-defined for some distributions); all sampling helpers here
+/// are fully specified.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace prpart

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace prpart {
+
+/// Base class for all errors thrown by the prpart library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The input design description is malformed (bad references, empty
+/// configurations, duplicate names, ...).
+class DesignError : public Error {
+ public:
+  explicit DesignError(const std::string& what) : Error(what) {}
+};
+
+/// A requested device does not exist or cannot hold the design at all.
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed XML or a document that does not match the expected schema.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InternalError when `cond` is false. Used for invariants that are
+/// cheap enough to keep in release builds.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InternalError(what);
+}
+
+}  // namespace prpart

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+namespace {
+const std::string kRuleSentinel = "\x01rule";
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TextTable row has wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.push_back({kRuleSentinel}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      line += std::string(width[c] + 2, '-') + "+";
+    line += '\n';
+    return line;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ' + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule() + emit(header_) + rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kRuleSentinel)
+      out += rule();
+    else
+      out += emit(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace prpart

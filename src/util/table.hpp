@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace prpart {
+
+/// Minimal ASCII table renderer used by the benchmark harness and examples to
+/// print paper-style tables.
+///
+///   TextTable t({"Scheme", "CLBs", "Total time"});
+///   t.add_row({"Modular", "6580", "244,872"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel single cell "\x01rule" renders as a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prpart

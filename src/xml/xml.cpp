@@ -1,0 +1,255 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace prpart::xml {
+
+void Element::set_attr(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs_.emplace_back(key, value);
+}
+
+const std::string* Element::find_attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string& Element::attr(std::string_view key) const {
+  const std::string* v = find_attr(key);
+  if (!v)
+    throw ParseError("element <" + name_ + "> missing attribute '" +
+                     std::string(key) + "'");
+  return *v;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::find_child(std::string_view tag) const {
+  for (const auto& c : children_)
+    if (c->name() == tag) return c.get();
+  return nullptr;
+}
+
+const Element& Element::child(std::string_view tag) const {
+  const Element* c = find_child(tag);
+  if (!c)
+    throw ParseError("element <" + name_ + "> missing child <" +
+                     std::string(tag) + ">");
+  return *c;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view tag) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_)
+    if (c->name() == tag) out.push_back(c.get());
+  return out;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Element::to_string(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attrs_) out += " " + k + "=\"" + escape(v) + "\"";
+  if (children_.empty() && text_.empty()) return out + "/>\n";
+  out += ">";
+  if (!text_.empty()) out += escape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c->to_string(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+namespace {
+
+/// Single-pass recursive-descent XML parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  std::unique_ptr<Element> run() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != doc_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < doc_.size(); ++i)
+      if (doc_[i] == '\n') ++line;
+    throw ParseError("XML parse error at line " + std::to_string(line) + ": " +
+                     what);
+  }
+
+  bool eof() const { return pos_ >= doc_.size(); }
+  char peek() const { return eof() ? '\0' : doc_[pos_]; }
+  char get() {
+    if (eof()) fail("unexpected end of document");
+    return doc_[pos_++];
+  }
+  bool consume(std::string_view token) {
+    if (doc_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view token) {
+    if (!consume(token)) fail("expected '" + std::string(token) + "'");
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  /// Skips whitespace, comments and <?...?> declarations between elements.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (consume("<!--")) {
+        const std::size_t end = doc_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (consume("<?")) {
+        const std::size_t end = doc_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated declaration");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && name_char(peek())) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return std::string(doc_.substr(start, pos_ - start));
+  }
+
+  std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "amp") out += '&';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else fail("unknown entity '&" + std::string(ent) + ";'");
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parse_attr_value() {
+    const char quote = get();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    const std::size_t start = pos_;
+    while (!eof() && peek() != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    const std::string_view raw = doc_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return unescape(raw);
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect("<");
+    auto elem = std::make_unique<Element>(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (consume("/>")) return elem;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      elem->set_attr(key, parse_attr_value());
+    }
+    // Content: interleaved text and children until the close tag.
+    std::string text;
+    for (;;) {
+      if (eof()) fail("unterminated element <" + elem->name() + ">");
+      if (doc_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string close = parse_name();
+        if (close != elem->name())
+          fail("mismatched close tag </" + close + "> for <" + elem->name() +
+               ">");
+        skip_ws();
+        expect(">");
+        elem->set_text(std::string(trim(unescape(text))));
+        return elem;
+      }
+      if (doc_.substr(pos_, 4) == "<!--" || doc_.substr(pos_, 2) == "<?") {
+        skip_misc();
+        continue;
+      }
+      if (peek() == '<') {
+        elem->adopt(parse_element());
+        continue;
+      }
+      text += get();
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Element> parse(std::string_view doc) {
+  return Parser(doc).run();
+}
+
+}  // namespace prpart::xml

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prpart::xml {
+
+/// One element of an XML document: tag name, attributes, text content and
+/// child elements.
+///
+/// This is a deliberately small subset of XML sufficient for the tool-flow
+/// input format described in the paper (elements, attributes, character
+/// data, comments, declarations). No namespaces, DTDs or processing beyond
+/// skipping `<?...?>` declarations.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Concatenated character data directly inside this element (trimmed).
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void set_attr(const std::string& key, const std::string& value);
+  /// Returns nullptr when absent.
+  const std::string* find_attr(std::string_view key) const;
+  /// Throws ParseError when absent.
+  const std::string& attr(std::string_view key) const;
+  bool has_attr(std::string_view key) const { return find_attr(key) != nullptr; }
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  Element& add_child(std::string name);
+  /// Takes ownership of an already-built element.
+  Element& adopt(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// First child with the given tag, or nullptr.
+  const Element* find_child(std::string_view tag) const;
+  /// First child with the given tag; throws ParseError when absent.
+  const Element& child(std::string_view tag) const;
+  /// All children with the given tag, in document order.
+  std::vector<const Element*> children_named(std::string_view tag) const;
+
+  /// Serialises this element (and subtree) as indented XML.
+  std::string to_string(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// Parses a document and returns its root element. Throws ParseError with a
+/// line number on malformed input.
+std::unique_ptr<Element> parse(std::string_view doc);
+
+/// Escapes the five XML special characters.
+std::string escape(std::string_view raw);
+
+}  // namespace prpart::xml

@@ -1,0 +1,120 @@
+#include "bitstream/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "device/tiles.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+struct Fixture {
+  Design design = paper_example();
+  PartitionerResult result = partition_design(design, {900, 8, 16});
+};
+
+TEST(Bitstream, SizesAreFrameAccurate) {
+  Fixture f;
+  const auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  ASSERT_FALSE(set.empty());
+  for (const Bitstream& b : set) {
+    EXPECT_EQ(b.words.size(),
+              bitstream_layout::kHeaderWords + b.frames * arch::kWordsPerFrame);
+    EXPECT_EQ(b.frames, f.result.proposed.eval.regions[b.region].frames);
+    EXPECT_EQ(b.bytes(), b.words.size() * 4);
+  }
+}
+
+TEST(Bitstream, OnePerRegionMember) {
+  Fixture f;
+  const auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  std::size_t members = 0;
+  for (const Region& r : f.result.proposed.scheme.regions)
+    members += r.members.size();
+  EXPECT_EQ(set.size(), members);
+}
+
+TEST(Bitstream, HeaderFieldsAreCorrect) {
+  Fixture f;
+  const auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  for (const Bitstream& b : set) {
+    EXPECT_EQ(b.words[0], bitstream_layout::kSyncWord);
+    EXPECT_EQ(b.words[1], b.region);
+    EXPECT_EQ(b.words[2], b.partition);
+    EXPECT_EQ(b.words[3], b.frames);
+    EXPECT_NO_THROW(validate_bitstream(b));
+  }
+}
+
+TEST(Bitstream, GenerationIsDeterministic) {
+  Fixture f;
+  const auto a =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  const auto b =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].words, b[i].words);
+}
+
+TEST(Bitstream, ValidationCatchesCorruption) {
+  Fixture f;
+  auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  Bitstream* victim = nullptr;
+  for (Bitstream& b : set)
+    if (b.frames > 0) victim = &b;
+  ASSERT_NE(victim, nullptr);
+
+  Bitstream bad_sync = *victim;
+  bad_sync.words[0] = 0;
+  EXPECT_THROW(validate_bitstream(bad_sync), ParseError);
+
+  Bitstream bad_count = *victim;
+  bad_count.words[3] += 1;
+  EXPECT_THROW(validate_bitstream(bad_count), ParseError);
+
+  Bitstream bad_payload = *victim;
+  bad_payload.words.back() ^= 0xff;
+  EXPECT_THROW(validate_bitstream(bad_payload), ParseError);
+
+  Bitstream truncated = *victim;
+  truncated.words.pop_back();
+  EXPECT_THROW(validate_bitstream(truncated), ParseError);
+}
+
+TEST(Bitstream, TotalBytesSums) {
+  Fixture f;
+  const auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  std::uint64_t expected = 0;
+  for (const Bitstream& b : set) expected += b.bytes();
+  EXPECT_EQ(total_bytes(set), expected);
+}
+
+TEST(Bitstream, NamesIdentifyRegionAndPartition) {
+  Fixture f;
+  const auto set =
+      generate_bitstreams(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  for (const Bitstream& b : set) {
+    EXPECT_NE(b.name.find("prr"), std::string::npos);
+    EXPECT_NE(b.name.find(f.design.name()), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,176 @@
+#include "bitstream/config_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+Device test_device() { return Device("test", {1600, 16, 16}, 2); }
+
+TEST(FrameAddress, PackUnpackRoundTrips) {
+  for (std::uint32_t row : {0u, 1u, 7u})
+    for (std::uint32_t major : {0u, 5u, 400u})
+      for (std::uint32_t minor : {0u, 17u, 35u}) {
+        const FrameAddress a{row, major, minor};
+        EXPECT_EQ(FrameAddress::unpack(a.pack()), a);
+      }
+}
+
+TEST(FrameMap, ColumnFramesFollowBlockType) {
+  const Device d = test_device();
+  const FrameMap map(d);
+  for (std::uint32_t c = 0; c < d.columns().size(); ++c) {
+    switch (d.columns()[c]) {
+      case BlockType::Clb: EXPECT_EQ(map.frames_in_column(c), 36u); break;
+      case BlockType::Bram: EXPECT_EQ(map.frames_in_column(c), 30u); break;
+      case BlockType::Dsp: EXPECT_EQ(map.frames_in_column(c), 28u); break;
+    }
+  }
+}
+
+TEST(FrameMap, TotalFramesIsRowsTimesColumnSum) {
+  const Device d = test_device();
+  const FrameMap map(d);
+  std::uint64_t per_row = 0;
+  for (std::uint32_t c = 0; c < d.columns().size(); ++c)
+    per_row += map.frames_in_column(c);
+  EXPECT_EQ(map.total_frames(), per_row * d.rows());
+}
+
+TEST(FrameMap, LinearIndexIsABijection) {
+  const Device d = test_device();
+  const FrameMap map(d);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t row = 0; row < d.rows(); ++row)
+    for (std::uint32_t major = 0; major < d.columns().size(); ++major)
+      for (std::uint32_t minor = 0; minor < map.frames_in_column(major);
+           ++minor) {
+        const std::uint64_t idx = map.linear_index({row, major, minor});
+        EXPECT_LT(idx, map.total_frames());
+        EXPECT_TRUE(seen.insert(idx).second);
+      }
+  EXPECT_EQ(seen.size(), map.total_frames());
+}
+
+TEST(FrameMap, RejectsInvalidAddresses) {
+  const Device d = test_device();
+  const FrameMap map(d);
+  EXPECT_FALSE(map.valid({d.rows(), 0, 0}));
+  EXPECT_FALSE(map.valid({0, static_cast<std::uint32_t>(d.columns().size()), 0}));
+  EXPECT_FALSE(map.valid({0, 0, 36}));
+  EXPECT_THROW(map.linear_index({d.rows(), 0, 0}), InternalError);
+}
+
+TEST(ConfigMemory, WriteReadRoundTrip) {
+  const Device d = test_device();
+  ConfigMemory mem(d);
+  std::vector<std::uint32_t> frame(41);
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    frame[i] = static_cast<std::uint32_t>(i * 7 + 1);
+  const FrameAddress a{1, 3, 5};
+  mem.write_frame(a, frame);
+  const auto read = mem.read_frame(a);
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), read.begin()));
+  EXPECT_EQ(mem.frame_writes(), 1u);
+}
+
+TEST(ConfigMemory, RejectsWrongFrameSize) {
+  ConfigMemory mem(test_device());
+  std::vector<std::uint32_t> tiny(3);
+  EXPECT_THROW(mem.write_frame({0, 0, 0}, tiny), InternalError);
+}
+
+TEST(PlacedBitstream, CoversExactlyTheRectangleFrames) {
+  const Device d = test_device();
+  const Floorplanner fp(d);
+  const FloorplanResult plan = fp.place({{4, 1, 1}, {3, 0, 0}});
+  ASSERT_TRUE(plan.success);
+
+  ConfigMemory mem(d);
+  const auto before = mem.snapshot();
+  const PlacedBitstream bs(d, plan.placements[0], 42, "prr1");
+  bs.apply(mem);
+  const auto after = mem.snapshot();
+
+  // Every changed word must belong to a frame of the placement.
+  const FrameMap& map = mem.frame_map();
+  std::set<std::uint64_t> covered;
+  for (const FrameAddress& a : frames_of_placement(d, plan.placements[0]))
+    covered.insert(map.linear_index(a));
+  for (std::size_t w = 0; w < after.size(); ++w) {
+    if (before[w] == after[w]) continue;
+    EXPECT_TRUE(covered.count(w / 41))
+        << "word " << w << " outside the region changed";
+  }
+  EXPECT_EQ(mem.frame_writes(), bs.frames());
+  EXPECT_EQ(bs.frames(), covered.size());
+}
+
+TEST(PlacedBitstream, DisjointPlacementsTouchDisjointFrames) {
+  const Device d = test_device();
+  const Floorplanner fp(d);
+  const FloorplanResult plan = fp.place({{6, 1, 0}, {5, 0, 1}});
+  ASSERT_TRUE(plan.success);
+  const FrameMap map(d);
+  std::set<std::uint64_t> first;
+  for (const FrameAddress& a : frames_of_placement(d, plan.placements[0]))
+    first.insert(map.linear_index(a));
+  for (const FrameAddress& a : frames_of_placement(d, plan.placements[1]))
+    EXPECT_EQ(first.count(map.linear_index(a)), 0u);
+}
+
+TEST(PlacedBitstream, PlacementProvidesAtLeastRequiredFrames) {
+  // The rectangle may contain more tiles than the resource requirement
+  // (column mix), but never fewer frames than the tile-rounded estimate of
+  // the tiles it actually provides.
+  const Device d = test_device();
+  const Floorplanner fp(d);
+  const TileCount need{4, 1, 1};
+  const FloorplanResult plan = fp.place({need});
+  ASSERT_TRUE(plan.success);
+  const PlacedBitstream bs(d, plan.placements[0], 1, "prr1");
+  EXPECT_GE(bs.frames(), need.frames());
+}
+
+TEST(PlacedBitstream, DeterministicForSeed) {
+  const Device d = test_device();
+  const Floorplanner fp(d);
+  const FloorplanResult plan = fp.place({{2, 0, 0}});
+  ASSERT_TRUE(plan.success);
+  const PlacedBitstream a(d, plan.placements[0], 9, "x");
+  const PlacedBitstream b(d, plan.placements[0], 9, "x");
+  EXPECT_EQ(a.words(), b.words());
+  const PlacedBitstream c(d, plan.placements[0], 10, "x");
+  EXPECT_NE(a.words(), c.words());
+}
+
+TEST(PlacedBitstream, ApplyRejectsCorruption) {
+  const Device d = test_device();
+  const Floorplanner fp(d);
+  // 41 CLB tiles cannot fit one row (40 CLB columns), so the rectangle is
+  // two rows tall and its second-row frame addresses are invalid below.
+  const FloorplanResult plan = fp.place({{41, 0, 0}});
+  ASSERT_TRUE(plan.success);
+  PlacedBitstream bs(d, plan.placements[0], 7, "x");
+  // Words are immutable by design, so corruption is modelled by applying a
+  // bitstream built for one device to the memory of a smaller one: its
+  // frame addresses are out of range there.
+  const Device tiny("tiny", {400, 4, 8}, 1);
+  ConfigMemory tiny_mem(tiny);
+  bool threw = false;
+  try {
+    bs.apply(tiny_mem);  // frame addresses out of range for `tiny`
+  } catch (const ParseError&) {
+    threw = true;
+  } catch (const InternalError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace prpart

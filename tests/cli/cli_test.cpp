@@ -1,0 +1,276 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "design/io_xml.hpp"
+#include "synth/ip_library.hpp"
+
+namespace prpart::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs the CLI and captures streams.
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun invoke(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes the case-study design to a temp file and returns its path.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "prpart_cli_test";
+    fs::create_directories(dir_);
+    design_path_ = (dir_ / "receiver.xml").string();
+    std::ofstream f(design_path_);
+    f << design_to_xml(synth::wireless_receiver_design());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string design_path_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  const CliRun r = invoke({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+  EXPECT_NE(r.out.find("partition"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  const CliRun r = invoke({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const CliRun r = invoke({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, DevicesListsLibrary) {
+  const CliRun r = invoke({"devices"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("XC5VFX70T"), std::string::npos);
+  EXPECT_NE(r.out.find("XC5VLX20T"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateMapsResources) {
+  const CliRun r = invoke({"estimate", "--luts", "400", "--mults", "5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("5 DSPs"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateEmitsParsableXml) {
+  const CliRun r = invoke({"generate", "--seed", "3", "--class", "memory"});
+  EXPECT_EQ(r.code, 0);
+  const Design d = design_from_xml(r.out);
+  EXPECT_GE(d.modules().size(), 2u);
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownClass) {
+  const CliRun r = invoke({"generate", "--class", "quantum"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --class"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesFile) {
+  const std::string path = (dir_ / "gen.xml").string();
+  const CliRun r = invoke({"generate", "--seed", "5", "--out", path});
+  EXPECT_EQ(r.code, 0);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+}
+
+TEST_F(CliTest, LintReportsTheDeadMode) {
+  const CliRun r = invoke({"lint", design_path_});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("dead-mode"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionWithBudget) {
+  const CliRun r = invoke({"partition", design_path_, "--budget",
+                           "6800,64,150", "--evals", "500000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Proposed"), std::string::npos);
+  EXPECT_NE(r.out.find("PRR1"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionWithNamedDevice) {
+  const CliRun r = invoke({"partition", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "500000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("XC5VFX70T"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionSmallestDeviceSearch) {
+  const CliRun r = invoke({"partition", design_path_, "--evals", "300000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("target device:"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionInfeasibleBudgetExitCode2) {
+  const CliRun r = invoke({"partition", design_path_, "--budget", "100,1,1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("does not fit"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionWritesUcf) {
+  const std::string ucf = (dir_ / "plan.ucf").string();
+  const CliRun r = invoke({"partition", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "500000", "--ucf", ucf});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(ucf);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("AREA_GROUP"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionRejectsTypoOption) {
+  const CliRun r = invoke({"partition", design_path_, "--devcie", "X"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionRejectsBadBudgetSyntax) {
+  const CliRun r = invoke({"partition", design_path_, "--budget", "12"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, PartitionMissingFileFails) {
+  const CliRun r = invoke({"partition", "/nonexistent.xml"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateReportsStats) {
+  const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
+                           "--steps", "50", "--evals", "300000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("transitions: 50"), std::string::npos);
+  EXPECT_NE(r.out.find("total frames:"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithPrefetch) {
+  const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
+                           "--steps", "50", "--evals", "300000",
+                           "--prefetch"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("stall frames:"), std::string::npos);
+  EXPECT_NE(r.out.find("prefetched frames:"), std::string::npos);
+}
+
+TEST_F(CliTest, BitstreamsWritesFiles) {
+  const std::string out_dir = (dir_ / "bits").string();
+  const CliRun r = invoke({"bitstreams", design_path_, "--device",
+                           "XC5VFX70T", "--evals", "300000", "--out",
+                           out_dir});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    EXPECT_EQ(entry.path().extension(), ".bit");
+    EXPECT_GT(fs::file_size(entry.path()), 0u);
+    ++files;
+  }
+  EXPECT_GT(files, 0u);
+}
+
+TEST_F(CliTest, FlowWritesArtifacts) {
+  const std::string out_dir = (dir_ / "flowout").string();
+  const CliRun r = invoke({"flow", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "300000", "--out", out_dir});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("device: XC5VFX70T"), std::string::npos);
+  EXPECT_TRUE(fs::exists(fs::path(out_dir) / "design.ucf"));
+  std::size_t bits = 0;
+  for (const auto& entry : fs::directory_iterator(out_dir))
+    if (entry.path().extension() == ".bit") ++bits;
+  EXPECT_GT(bits, 0u);
+}
+
+TEST_F(CliTest, FlowAutoDevice) {
+  const CliRun r = invoke({"flow", design_path_, "--evals", "300000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("feedback iterations:"), std::string::npos);
+}
+
+TEST_F(CliTest, SaveThenLoadSkipsRepartitioning) {
+  const std::string plan = (dir_ / "plan.xml").string();
+  const CliRun save = invoke({"partition", design_path_, "--budget",
+                              "6800,64,150", "--evals", "300000", "--save",
+                              plan});
+  ASSERT_EQ(save.code, 0) << save.err;
+  EXPECT_NE(save.out.find("saved partitioning"), std::string::npos);
+
+  const CliRun load = invoke({"simulate", design_path_, "--steps", "30",
+                              "--load", plan});
+  EXPECT_EQ(load.code, 0) << load.err;
+  EXPECT_NE(load.out.find("loaded partitioning"), std::string::npos);
+  EXPECT_NE(load.out.find("transitions: 30"), std::string::npos);
+}
+
+TEST_F(CliTest, LoadRejectsForeignPlan) {
+  // A plan saved for a different design must be rejected.
+  const std::string other_design = (dir_ / "other.xml").string();
+  {
+    std::ofstream f(other_design);
+    f << design_to_xml(synth::wireless_receiver_modified_design());
+  }
+  const std::string plan = (dir_ / "plan2.xml").string();
+  const CliRun save = invoke({"partition", design_path_, "--budget",
+                              "6800,64,150", "--evals", "300000", "--save",
+                              plan});
+  ASSERT_EQ(save.code, 0) << save.err;
+  const CliRun load =
+      invoke({"simulate", other_design, "--steps", "10", "--load", plan});
+  EXPECT_EQ(load.code, 1);
+}
+
+TEST_F(CliTest, OptimalOnSmallDesign) {
+  // The case study's 13 used modes are too many for the exact search, so
+  // exercise the command with a generated small design.
+  const std::string small = (dir_ / "small.xml").string();
+  const CliRun gen =
+      invoke({"generate", "--seed", "4", "--class", "logic", "--out", small});
+  ASSERT_EQ(gen.code, 0);
+  const CliRun r =
+      invoke({"optimal", small, "--budget", "30000,400,300", "--states",
+              "500000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("exact mode-level optimum"), std::string::npos);
+}
+
+TEST_F(CliTest, OptimalInfeasibleBudget) {
+  const std::string small = (dir_ / "small2.xml").string();
+  invoke({"generate", "--seed", "4", "--class", "logic", "--out", small});
+  const CliRun r = invoke({"optimal", small, "--budget", "30,0,0"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTest, DeterministicOutput) {
+  const std::vector<std::string> args = {"partition", design_path_,
+                                         "--budget", "6800,64,150",
+                                         "--evals", "300000"};
+  const CliRun a = invoke(args);
+  const CliRun b = invoke(args);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.code, b.code);
+}
+
+}  // namespace
+}  // namespace prpart::cli

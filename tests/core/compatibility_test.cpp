@@ -1,0 +1,96 @@
+#include "core/compatibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::one_off_modules;
+using testing::paper_example;
+
+class CompatibilityPaperExample : public ::testing::Test {
+ protected:
+  Design design_ = paper_example();
+  ConnectivityMatrix matrix_{design_};
+  std::vector<BasePartition> partitions_ =
+      enumerate_base_partitions(design_, matrix_);
+  CompatibilityTable compat_{matrix_, partitions_};
+
+  std::size_t find(const std::string& label) const {
+    for (std::size_t i = 0; i < partitions_.size(); ++i)
+      if (partitions_[i].label(design_) == label) return i;
+    throw std::runtime_error("no partition " + label);
+  }
+};
+
+TEST_F(CompatibilityPaperExample, PaperExamples) {
+  // "{A1} and {A2} are compatible partitions since they do not co-exist in
+  // any of the possible configurations, while {A1} and {B1} are not."
+  EXPECT_TRUE(compat_.compatible(find("{A1}"), find("{A2}")));
+  EXPECT_FALSE(compat_.compatible(find("{A1}"), find("{B1}")));
+}
+
+TEST_F(CompatibilityPaperExample, SameModuleModesAreCompatible) {
+  EXPECT_TRUE(compat_.compatible(find("{A1}"), find("{A3}")));
+  EXPECT_TRUE(compat_.compatible(find("{C1}"), find("{C2}")));
+  EXPECT_TRUE(compat_.compatible(find("{C2}"), find("{C3}")));
+}
+
+TEST_F(CompatibilityPaperExample, IsSymmetric) {
+  for (std::size_t a = 0; a < partitions_.size(); ++a)
+    for (std::size_t b = a + 1; b < partitions_.size(); ++b)
+      EXPECT_EQ(compat_.compatible(a, b), compat_.compatible(b, a));
+}
+
+TEST_F(CompatibilityPaperExample, SelfIsIncompatible) {
+  // A partition co-occurs with itself wherever it is active, so it can
+  // never share a region with itself (vacuous but guards the definition).
+  for (std::size_t a = 0; a < partitions_.size(); ++a)
+    EXPECT_FALSE(compat_.compatible(a, a));
+}
+
+TEST_F(CompatibilityPaperExample, OccupancyMatchesDefinition) {
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const DynBitset& occ = compat_.occupancy(p);
+    for (std::size_t c = 0; c < matrix_.configs(); ++c)
+      EXPECT_EQ(occ.test(c),
+                matrix_.row(c).intersects(partitions_[p].modes));
+  }
+}
+
+TEST_F(CompatibilityPaperExample, CompatibleIffOccupanciesDisjoint) {
+  for (std::size_t a = 0; a < partitions_.size(); ++a)
+    for (std::size_t b = a + 1; b < partitions_.size(); ++b)
+      EXPECT_EQ(compat_.compatible(a, b),
+                !compat_.occupancy(a).intersects(compat_.occupancy(b)));
+}
+
+TEST_F(CompatibilityPaperExample, SubsetPartitionsAreIncompatible) {
+  // {A3,B2} and {A3,B2,C3} overlap in occupancy, so they cannot share a
+  // region (the region could not tell which bitstream to load).
+  EXPECT_FALSE(compat_.compatible(find("{A3,B2}"), find("{A3,B2,C3}")));
+}
+
+TEST(Compatibility, OneOffConfigurationsSplitCleanly) {
+  const Design d = one_off_modules();
+  const ConnectivityMatrix m(d);
+  const auto partitions = enumerate_base_partitions(d, m);
+  const CompatibilityTable compat(m, partitions);
+  // Every partition from configuration 1 is compatible with every partition
+  // from configuration 2 (they never co-occur).
+  for (std::size_t a = 0; a < partitions.size(); ++a)
+    for (std::size_t b = 0; b < partitions.size(); ++b) {
+      if (a == b) continue;
+      const bool a_in_c0 = partitions[a].modes.is_subset_of(m.row(0));
+      const bool b_in_c1 = partitions[b].modes.is_subset_of(m.row(1));
+      if (a_in_c0 && b_in_c1) {
+        EXPECT_TRUE(compat.compatible(a, b));
+      }
+    }
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,109 @@
+#include "core/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::one_off_modules;
+using testing::paper_example;
+
+class ConnectivityPaperExample : public ::testing::Test {
+ protected:
+  Design design_ = paper_example();
+  ConnectivityMatrix matrix_{design_};
+
+  std::size_t id(const char* module, std::uint32_t mode) const {
+    const std::uint32_t mi = module[0] == 'A' ? 0 : module[0] == 'B' ? 1 : 2;
+    return design_.global_mode_id(mi, mode);
+  }
+};
+
+TEST_F(ConnectivityPaperExample, Shape) {
+  EXPECT_EQ(matrix_.configs(), 5u);
+  EXPECT_EQ(matrix_.modes(), 8u);
+}
+
+TEST_F(ConnectivityPaperExample, MatrixMatchesSectionIVC) {
+  // The 5x8 matrix printed in §IV-C, columns A1 A2 A3 B1 B2 C1 C2 C3.
+  const bool expected[5][8] = {
+      {0, 0, 1, 0, 1, 0, 0, 1},  // Conf.1
+      {1, 0, 0, 1, 0, 1, 0, 0},  // Conf.2
+      {0, 0, 1, 0, 1, 1, 0, 0},  // Conf.3
+      {1, 0, 0, 0, 1, 0, 1, 0},  // Conf.4
+      {0, 1, 0, 0, 1, 0, 0, 1},  // Conf.5
+  };
+  for (std::size_t c = 0; c < 5; ++c)
+    for (std::size_t m = 0; m < 8; ++m)
+      EXPECT_EQ(matrix_.at(c, m), expected[c][m])
+          << "config " << c << " mode " << m;
+}
+
+TEST_F(ConnectivityPaperExample, NodeWeightsMatchPaper) {
+  // "For mode A1 in the example, the node weight is 2 and for B2, it is 4."
+  EXPECT_EQ(matrix_.node_weight(id("A", 1)), 2u);
+  EXPECT_EQ(matrix_.node_weight(id("A", 2)), 1u);
+  EXPECT_EQ(matrix_.node_weight(id("A", 3)), 2u);
+  EXPECT_EQ(matrix_.node_weight(id("B", 1)), 1u);
+  EXPECT_EQ(matrix_.node_weight(id("B", 2)), 4u);
+  EXPECT_EQ(matrix_.node_weight(id("C", 1)), 2u);
+  EXPECT_EQ(matrix_.node_weight(id("C", 2)), 1u);
+  EXPECT_EQ(matrix_.node_weight(id("C", 3)), 2u);
+}
+
+TEST_F(ConnectivityPaperExample, EdgeWeightsMatchPaper) {
+  // "For modes A1,B1 the edge weight is 1 and for B2,C3 it is 2."
+  EXPECT_EQ(matrix_.edge_weight(id("A", 1), id("B", 1)), 1u);
+  EXPECT_EQ(matrix_.edge_weight(id("B", 2), id("C", 3)), 2u);
+  EXPECT_EQ(matrix_.edge_weight(id("A", 3), id("B", 2)), 2u);
+  // Same-module modes never co-occur.
+  EXPECT_EQ(matrix_.edge_weight(id("A", 1), id("A", 2)), 0u);
+  // Symmetric.
+  EXPECT_EQ(matrix_.edge_weight(id("B", 2), id("A", 3)), 2u);
+}
+
+TEST_F(ConnectivityPaperExample, OccupancyTracksIntersection) {
+  DynBitset modes(matrix_.modes());
+  modes.set(id("B", 1));
+  const DynBitset occ = matrix_.occupancy(modes);
+  EXPECT_EQ(occ.count(), 1u);
+  EXPECT_TRUE(occ.test(1));  // Conf.2
+
+  modes.set(id("B", 2));
+  EXPECT_EQ(matrix_.occupancy(modes).count(), 5u);  // whole module B
+}
+
+TEST_F(ConnectivityPaperExample, CooccurrenceCountsSubsets) {
+  DynBitset pair(matrix_.modes());
+  pair.set(id("A", 3));
+  pair.set(id("B", 2));
+  EXPECT_EQ(matrix_.cooccurrence(pair), 2u);  // Conf.1 and Conf.3
+  pair.set(id("C", 2));
+  EXPECT_EQ(matrix_.cooccurrence(pair), 0u);
+}
+
+TEST(Connectivity, OneOffModulesGetNoMode0Column) {
+  const Design d = one_off_modules();
+  const ConnectivityMatrix m(d);
+  // 5 single-mode modules: exactly 5 columns, none for mode 0.
+  EXPECT_EQ(m.modes(), 5u);
+  EXPECT_EQ(m.configs(), 2u);
+  // Row 0: C,F only; row 1: E,P,R only.
+  EXPECT_EQ(m.row(0).count(), 2u);
+  EXPECT_EQ(m.row(1).count(), 3u);
+  EXPECT_FALSE(m.row(0).intersects(m.row(1)));
+}
+
+TEST(Connectivity, IndexChecks) {
+  const Design d = one_off_modules();
+  const ConnectivityMatrix m(d);
+  EXPECT_THROW(m.row(2), InternalError);
+  EXPECT_THROW(m.node_weight(5), InternalError);
+  EXPECT_THROW(m.edge_weight(0, 5), InternalError);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,111 @@
+#include "core/covering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+class CoveringPaperExample : public ::testing::Test {
+ protected:
+  Design design_ = paper_example();
+  ConnectivityMatrix matrix_{design_};
+  std::vector<BasePartition> partitions_ =
+      enumerate_base_partitions(design_, matrix_);
+  std::vector<std::size_t> order_ = covering_order(partitions_);
+};
+
+TEST_F(CoveringPaperExample, OrderIsAscendingBySizeThenFrequencyThenArea) {
+  for (std::size_t i = 1; i < order_.size(); ++i) {
+    const BasePartition& a = partitions_[order_[i - 1]];
+    const BasePartition& b = partitions_[order_[i]];
+    const auto ka = std::tuple(a.modes.count(), a.frequency_weight, a.frames);
+    const auto kb = std::tuple(b.modes.count(), b.frequency_weight, b.frames);
+    EXPECT_LE(ka, kb);
+  }
+}
+
+TEST_F(CoveringPaperExample, FirstCandidateSetIsAllSingletons) {
+  // "A closer examination shows that these are actually all the modes
+  // present in the design."
+  const CoverResult r = cover(partitions_, matrix_, order_, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.selected.size(), 8u);
+  for (std::size_t p : r.selected)
+    EXPECT_EQ(partitions_[p].modes.count(), 1u);
+}
+
+TEST_F(CoveringPaperExample, SelectionSkipsRedundantPartitions) {
+  const CoverResult r = cover(partitions_, matrix_, order_, 0);
+  // Selected partitions are mutually disjoint when all are singletons.
+  DynBitset seen(matrix_.modes());
+  for (std::size_t p : r.selected) {
+    EXPECT_FALSE(seen.intersects(partitions_[p].modes));
+    seen |= partitions_[p].modes;
+  }
+  // All modes covered.
+  EXPECT_EQ(seen.count(), 8u);
+}
+
+TEST_F(CoveringPaperExample, SkipOneReplacesHeadWithPair) {
+  // After removing the head (a frequency-weight-1 singleton), the covering
+  // must fall back to a pair containing the removed mode.
+  const CoverResult r0 = cover(partitions_, matrix_, order_, 0);
+  const std::size_t removed = order_[0];
+  ASSERT_EQ(partitions_[removed].modes.count(), 1u);
+  const std::size_t removed_mode = partitions_[removed].modes.bits().front();
+
+  const CoverResult r1 = cover(partitions_, matrix_, order_, 1);
+  EXPECT_TRUE(r1.complete);
+  bool covered_by_larger = false;
+  for (std::size_t p : r1.selected) {
+    EXPECT_NE(p, removed);
+    if (partitions_[p].modes.test(removed_mode) &&
+        partitions_[p].modes.count() > 1)
+      covered_by_larger = true;
+  }
+  EXPECT_TRUE(covered_by_larger);
+  EXPECT_NE(r0.selected, r1.selected);
+}
+
+TEST_F(CoveringPaperExample, EverySkipUntilFailureCoversEverything) {
+  std::size_t skip = 0;
+  for (; skip < order_.size(); ++skip) {
+    const CoverResult r = cover(partitions_, matrix_, order_, skip);
+    if (!r.complete) break;
+    DynBitset seen(matrix_.modes());
+    for (std::size_t p : r.selected) seen |= partitions_[p].modes;
+    for (std::size_t mode = 0; mode < matrix_.modes(); ++mode)
+      if (matrix_.node_weight(mode) > 0) {
+        EXPECT_TRUE(seen.test(mode));
+      }
+  }
+  // Covering must eventually fail (once everything is skipped) and must
+  // succeed for at least the first several skips.
+  EXPECT_GT(skip, 3u);
+  EXPECT_LT(skip, order_.size());
+}
+
+TEST_F(CoveringPaperExample, CandidateSetsAreDistinctAcrossSkips) {
+  std::vector<std::vector<std::size_t>> sets;
+  for (std::size_t skip = 0; skip < 6; ++skip) {
+    const CoverResult r = cover(partitions_, matrix_, order_, skip);
+    if (!r.complete) break;
+    for (const auto& prev : sets) EXPECT_NE(prev, r.selected);
+    sets.push_back(r.selected);
+  }
+  EXPECT_GE(sets.size(), 4u);
+}
+
+TEST_F(CoveringPaperExample, SkipBeyondEndIsIncomplete) {
+  const CoverResult r = cover(partitions_, matrix_, order_, order_.size());
+  EXPECT_FALSE(r.complete);
+  EXPECT_TRUE(r.selected.empty());
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "design/builder.hpp"
+#include "design/design.hpp"
+
+namespace prpart::testing {
+
+/// The running example of the paper's §III/§IV: modules A (3 modes),
+/// B (2 modes), C (3 modes) and the five valid configurations
+///   S->A3->B2->C3, S->A1->B1->C1, S->A3->B2->C1,
+///   S->A1->B2->C2, S->A2->B2->C3.
+/// Mode areas are not given in the paper; the values here are chosen so
+/// that no two modes are interchangeable in area.
+inline Design paper_example() {
+  return DesignBuilder("paper-example")
+      .static_base({0, 0, 0})
+      .module("A", {{"A1", {100, 0, 0}},
+                    {"A2", {260, 1, 2}},
+                    {"A3", {180, 0, 4}}})
+      .module("B", {{"B1", {400, 2, 0}}, {"B2", {90, 0, 1}}})
+      .module("C", {{"C1", {150, 1, 0}},
+                    {"C2", {310, 0, 8}},
+                    {"C3", {55, 0, 0}}})
+      .configuration({{"A", "A3"}, {"B", "B2"}, {"C", "C3"}})
+      .configuration({{"A", "A1"}, {"B", "B1"}, {"C", "C1"}})
+      .configuration({{"A", "A3"}, {"B", "B2"}, {"C", "C1"}})
+      .configuration({{"A", "A1"}, {"B", "B2"}, {"C", "C2"}})
+      .configuration({{"A", "A2"}, {"B", "B2"}, {"C", "C3"}})
+      .build();
+}
+
+/// The §IV-D special case: no mode relations, two configurations
+///   1) CAN (C) -> FIR (F)      2) Ethernet (E) -> FPU (P) -> CRC (R),
+/// each module having a single mode and absent (mode 0) elsewhere.
+inline Design one_off_modules() {
+  return DesignBuilder("one-off")
+      .module("C", {{"C1", {120, 1, 0}}})
+      .module("F", {{"F1", {200, 0, 6}}})
+      .module("E", {{"E1", {340, 4, 0}}})
+      .module("P", {{"P1", {500, 0, 12}}})
+      .module("R", {{"R1", {60, 0, 0}}})
+      .configuration({{"C", "C1"}, {"F", "F1"}})
+      .configuration({{"E", "E1"}, {"P", "P1"}, {"R", "R1"}})
+      .build();
+}
+
+/// The two-module example of §IV-A (Fig. 3): A has a small (A1) and a large
+/// (A2) mode, B has a large (B1) and a small (B2) mode, and the three valid
+/// configurations are A1->B1, A2->B2, A1->B2 (the largest modes never
+/// co-exist).
+inline Design fig3_example() {
+  return DesignBuilder("fig3")
+      .module("A", {{"A1", {100, 0, 0}}, {"A2", {400, 0, 0}}})
+      .module("B", {{"B1", {500, 0, 0}}, {"B2", {80, 0, 0}}})
+      .configuration({{"A", "A1"}, {"B", "B1"}})
+      .configuration({{"A", "A2"}, {"B", "B2"}})
+      .configuration({{"A", "A1"}, {"B", "B2"}})
+      .build();
+}
+
+}  // namespace prpart::testing

@@ -1,0 +1,151 @@
+#include "core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "core/covering.hpp"
+#include "core/schemes.hpp"
+#include "core/search.hpp"
+#include "design/synthetic.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::fig3_example;
+using testing::one_off_modules;
+using testing::paper_example;
+
+struct Harness {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+  CompatibilityTable compat;
+
+  explicit Harness(Design d)
+      : design(std::move(d)),
+        matrix(design),
+        partitions(enumerate_base_partitions(design, matrix)),
+        compat(matrix, partitions) {}
+};
+
+TEST(Optimal, HugeBudgetReachesZero) {
+  Harness h(paper_example());
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {100000, 1000, 1000});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.eval.total_frames, 0u);
+}
+
+TEST(Optimal, InfeasibleBudgetReported) {
+  Harness h(paper_example());
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {10, 0, 0});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Optimal, ResultIsValidAndFitting) {
+  Harness h(paper_example());
+  const ResourceVec budget{900, 8, 16};
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.eval.valid);
+  EXPECT_TRUE(r.eval.fits);
+  EXPECT_TRUE(r.eval.total_resources.fits_in(budget));
+}
+
+TEST(Optimal, HeuristicOnSameCandidateSetNeverBeatsOptimal) {
+  // Restricted to the first candidate set, the heuristic explores a subset
+  // of the optimal enumeration's states.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SyntheticOptions small;
+    small.max_modules = 3;
+    small.max_modes = 3;
+    Rng rng(seed);
+    Harness h(generate_synthetic(rng, static_cast<CircuitClass>(seed % 4),
+                                 small)
+                  .design);
+    const ResourceVec lower =
+        h.design.largest_configuration_area() + h.design.static_base();
+    const ResourceVec budget{lower.clbs + lower.clbs / 2, lower.brams + 6,
+                             lower.dsps + 6};
+
+    const OptimalResult opt = optimal_mode_level_partitioning(
+        h.design, h.matrix, h.partitions, h.compat, budget);
+    if (!opt.feasible || opt.exhausted) continue;
+
+    SearchOptions one_set;
+    one_set.max_candidate_sets = 1;
+    const SearchResult heur = search_partitioning(
+        h.design, h.matrix, h.partitions, h.compat, budget, one_set);
+    if (heur.feasible) {
+      EXPECT_LE(opt.eval.total_frames, heur.eval.total_frames)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Optimal, Fig3FindsTheHybrid) {
+  // §IV-A's hand analysis: with a 700-CLB budget, the best mode-level
+  // arrangement moves the small modes static and keeps {A2, B1} in a
+  // shared region.
+  Harness h(fig3_example());
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {700, 10, 10});
+  ASSERT_TRUE(r.feasible);
+  // The hybrid costs one 25-tile region's reconfiguration for exactly one
+  // configuration pair: 25 * 36 = 900 frames. (A1 and B2 may equivalently
+  // sit in their own never-reconfigured regions or in the static logic.)
+  EXPECT_EQ(r.eval.total_frames, 900u);
+  bool has_a2_b1_region = false;
+  for (const Region& region : r.scheme.regions)
+    if (region.members.size() == 2) has_a2_b1_region = true;
+  EXPECT_TRUE(has_a2_b1_region);
+}
+
+TEST(Optimal, OneOffModulesSplitIntoTwoSuperBitstreams) {
+  // With a budget just over the larger configuration, the optimum packs
+  // each configuration's modes together.
+  Harness h(one_off_modules());
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {960, 4, 16});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.eval.fits);
+}
+
+TEST(Optimal, StateCapReportsExhaustion) {
+  Harness h(paper_example());
+  OptimalOptions opt;
+  opt.max_states = 10;
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {100000, 1000, 1000}, opt);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_LE(r.states_explored, 11u);
+}
+
+TEST(Optimal, NoStaticPromotionWhenDisabled) {
+  Harness h(paper_example());
+  OptimalOptions opt;
+  opt.allow_static_promotion = false;
+  const OptimalResult r = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, {100000, 1000, 1000}, opt);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.scheme.static_members.empty());
+}
+
+TEST(Optimal, DeterministicAcrossRuns) {
+  Harness h(paper_example());
+  const ResourceVec budget{900, 8, 16};
+  const OptimalResult a = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, budget);
+  const OptimalResult b = optimal_mode_level_partitioning(
+      h.design, h.matrix, h.partitions, h.compat, budget);
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.eval.total_frames, b.eval.total_frames);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,172 @@
+// End-to-end assertions on the paper's own worked examples: the §III/IV
+// running example, the §IV-D one-off-module case, and the §V case study
+// (Tables II-V shapes).
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "core/report.hpp"
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using synth::wireless_receiver_budget;
+using synth::wireless_receiver_design;
+using synth::wireless_receiver_modified_design;
+
+PartitionerOptions case_study_options() {
+  PartitionerOptions opt;
+  // The case study is a single design; spend more effort than the sweep
+  // default so the deeper candidate sets (pair partitions for D2) are
+  // reached.
+  opt.search.max_candidate_sets = 64;
+  opt.search.max_move_evaluations = 4'000'000;
+  return opt;
+}
+
+// The paper's Table IV resource accounting is looser than its own tile
+// equations (its modular row quotes 48 BRAMs, below the raw Table II sum of
+// 56): under Eqs. 3-5 neither the modular scheme nor the paper's own Table
+// III solution fits the published 50-BRAM budget. The BRAM-relaxed budget
+// restores the paper's three-way comparison; see EXPERIMENTS.md.
+ResourceVec relaxed_budget() { return {6800, 64, 150}; }
+
+TEST(CaseStudyEndToEnd, PublishedBudgetShape) {
+  const Design d = wireless_receiver_design();
+  const PartitionerResult r =
+      partition_design(d, wireless_receiver_budget(), case_study_options());
+  ASSERT_TRUE(r.feasible);
+
+  // Static exceeds the device budget (Table IV row 1).
+  EXPECT_FALSE(r.static_impl.eval.fits);
+  EXPECT_EQ(r.static_impl.eval.total_frames, 0u);
+
+  // Under strict tile accounting the modular scheme busts the BRAM budget.
+  EXPECT_FALSE(r.modular.eval.fits);
+
+  // The proposed scheme fits and is no worse than the single-region scheme.
+  EXPECT_TRUE(r.proposed.eval.fits);
+  EXPECT_LE(r.proposed.eval.total_frames,
+            r.single_region.eval.total_frames);
+}
+
+TEST(CaseStudyEndToEnd, Table4Shape) {
+  const Design d = wireless_receiver_design();
+  const PartitionerResult r =
+      partition_design(d, relaxed_budget(), case_study_options());
+  ASSERT_TRUE(r.feasible);
+
+  EXPECT_FALSE(r.static_impl.eval.fits);
+  EXPECT_TRUE(r.modular.eval.fits);
+  EXPECT_TRUE(r.proposed.eval.fits);
+
+  // The paper's ordering: proposed < modular < single region on total
+  // reconfiguration time (244,872 -> 235,266 there; our tile model gives
+  // 248,850 for modular).
+  EXPECT_LT(r.proposed.eval.total_frames, r.modular.eval.total_frames);
+  EXPECT_LT(r.modular.eval.total_frames,
+            r.single_region.eval.total_frames);
+
+  // The improvement magnitude is in the paper's ballpark (~4%); accept
+  // anything from 1% to 15%.
+  const double gain =
+      1.0 - static_cast<double>(r.proposed.eval.total_frames) /
+                static_cast<double>(r.modular.eval.total_frames);
+  EXPECT_GT(gain, 0.01);
+  EXPECT_LT(gain, 0.15);
+}
+
+TEST(CaseStudyEndToEnd, ProposedUsesMultipleRegions) {
+  const Design d = wireless_receiver_design();
+  const PartitionerResult r =
+      partition_design(d, relaxed_budget(), case_study_options());
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.proposed_from_search);
+  // Table III uses five regions; our model must at least avoid the two
+  // degenerate answers (everything in one region / nothing merged).
+  EXPECT_GT(r.proposed.scheme.regions.size(), 1u);
+}
+
+TEST(CaseStudyEndToEnd, VideoModesShareARegion) {
+  // The video decoder modes dominate area (Table II) and are mutually
+  // exclusive, so any sensible partitioning keeps V1, V2, V3 in one region
+  // (Table III PRR5 / Table V PRR4).
+  const Design d = wireless_receiver_design();
+  const PartitionerResult r =
+      partition_design(d, relaxed_budget(), case_study_options());
+  ASSERT_TRUE(r.feasible && r.proposed_from_search);
+
+  // Find the global ids of the V modes.
+  const std::size_t v1 = d.global_mode_id(4, 1);
+  const std::size_t v2 = d.global_mode_id(4, 2);
+  const std::size_t v3 = d.global_mode_id(4, 3);
+  // Locate the region providing each V mode.
+  auto region_of = [&](std::size_t mode) -> int {
+    for (std::size_t reg = 0; reg < r.proposed.scheme.regions.size(); ++reg)
+      for (std::size_t p : r.proposed.scheme.regions[reg].members)
+        if (r.base_partitions[p].modes.test(mode)) return static_cast<int>(reg);
+    return -1;  // provided by static logic
+  };
+  const int rv1 = region_of(v1);
+  const int rv2 = region_of(v2);
+  const int rv3 = region_of(v3);
+  // All three V modes are too large for static promotion under this budget;
+  // they must be in regions, and in the same one.
+  ASSERT_GE(rv1, 0);
+  ASSERT_GE(rv2, 0);
+  ASSERT_GE(rv3, 0);
+  EXPECT_EQ(rv1, rv2);
+  EXPECT_EQ(rv2, rv3);
+}
+
+TEST(CaseStudyEndToEnd, ModifiedConfigurationsImproveMore) {
+  // Table V: with the modified configuration set the proposed scheme beats
+  // modular by more (6% vs 4% in the paper), and the design has more
+  // static-promotion opportunity.
+  const Design d = wireless_receiver_modified_design();
+  const PartitionerResult r =
+      partition_design(d, wireless_receiver_budget(), case_study_options());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proposed.eval.fits);
+  EXPECT_LT(r.proposed.eval.total_frames, r.modular.eval.total_frames);
+  EXPECT_LT(r.proposed.eval.total_frames,
+            r.single_region.eval.total_frames);
+}
+
+TEST(PaperRunningExample, ReportRendersAllArtifacts) {
+  const Design d = testing::paper_example();
+  const PartitionerResult r = partition_design(d, {1200, 10, 20});
+  ASSERT_TRUE(r.feasible);
+  const std::string t1 = render_base_partitions(d, r.base_partitions);
+  EXPECT_NE(t1.find("{B2}"), std::string::npos);
+  const std::string t3 =
+      render_scheme_partitions(d, r.base_partitions, r.proposed.scheme);
+  EXPECT_NE(t3.find("PRR1"), std::string::npos);
+  const std::string t4 = render_scheme_comparison(r);
+  EXPECT_NE(t4.find("Modular"), std::string::npos);
+  EXPECT_NE(t4.find("Single region"), std::string::npos);
+}
+
+TEST(OneOffModules, PartitionerHandlesMode0Designs) {
+  // §IV-D: CAN->FIR vs Ethernet->FPU->CRC, no mode relations.
+  const Design d = testing::one_off_modules();
+  const PartitionerResult r = partition_design(d, {100000, 100, 100});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proposed.eval.valid);
+  // With unconstrained area, zero reconfiguration time is reachable.
+  EXPECT_EQ(r.proposed.eval.total_frames, 0u);
+}
+
+TEST(OneOffModules, TightBudgetSharesRegionsAcrossConfigurations) {
+  const Design d = testing::one_off_modules();
+  // Lower bound: max(config areas) = config 2 = (900, 4, 12) raw.
+  const PartitionerResult r = partition_design(d, {960, 4, 16});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proposed.eval.fits);
+  EXPECT_LE(r.proposed.eval.total_frames,
+            r.single_region.eval.total_frames);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,111 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "design/synthetic.hpp"
+#include "device/tiles.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+TEST(Partitioner, ProducesAllFourSchemes) {
+  const Design d = paper_example();
+  const PartitionerResult r = partition_design(d, {100000, 1000, 1000});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proposed_from_search);
+  EXPECT_EQ(r.modular.name, "Modular");
+  EXPECT_EQ(r.single_region.name, "Single region");
+  EXPECT_EQ(r.static_impl.name, "Static");
+  EXPECT_FALSE(r.base_partitions.empty());
+}
+
+TEST(Partitioner, ProposedNeverWorseThanSingleRegion) {
+  const Design d = paper_example();
+  for (std::uint32_t budget_clbs : {700u, 900u, 1200u, 2000u}) {
+    const PartitionerResult r =
+        partition_design(d, {budget_clbs, 10, 16});
+    if (!r.feasible) continue;
+    EXPECT_LE(r.proposed.eval.total_frames,
+              r.single_region.eval.total_frames)
+        << "budget " << budget_clbs;
+    EXPECT_TRUE(r.proposed.eval.fits);
+  }
+}
+
+TEST(Partitioner, InfeasibleBudgetReported) {
+  const Design d = paper_example();
+  const PartitionerResult r = partition_design(d, {100, 1, 1});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.single_region.eval.fits);
+}
+
+TEST(Partitioner, FallbackToSingleRegionWhenSearchCannotBeat) {
+  // A budget exactly at the single-region lower bound leaves no slack: the
+  // proposed scheme degenerates to the single region.
+  const Design d = paper_example();
+  const ResourceVec lower = tiles_for(d.largest_configuration_area()).resources();
+  const PartitionerResult r = partition_design(d, lower);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proposed.eval.fits);
+  EXPECT_LE(r.proposed.eval.total_frames,
+            r.single_region.eval.total_frames);
+}
+
+TEST(DeviceSearch, PicksSmallestWorkableDevice) {
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  // A small design should land on the smallest device.
+  const Design d = testing::fig3_example();
+  const DevicePartitionResult r = partition_on_smallest_device(d, lib);
+  ASSERT_NE(r.device, nullptr);
+  EXPECT_EQ(r.chosen_index, 0u);
+  EXPECT_FALSE(r.escalated);
+  EXPECT_TRUE(r.result.feasible);
+}
+
+TEST(DeviceSearch, HugeDesignThrows) {
+  const Design d = DesignBuilder("huge")
+                       .module("X", {{"X1", {50000, 0, 0}}})
+                       .configuration({{"X", "X1"}})
+                       .build();
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  EXPECT_THROW(partition_on_smallest_device(d, lib), DeviceError);
+}
+
+TEST(DeviceSearch, ChosenIndexAlwaysAtLeastFirstFeasible) {
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const auto suite = generate_synthetic_suite(101, 12);
+  PartitionerOptions fast;
+  fast.search.max_move_evaluations = 100000;
+  for (const SyntheticDesign& s : suite) {
+    const DevicePartitionResult r =
+        partition_on_smallest_device(s.design, lib, fast);
+    EXPECT_GE(r.chosen_index, r.first_feasible_index);
+    EXPECT_EQ(r.escalated, r.chosen_index != r.first_feasible_index);
+    EXPECT_TRUE(r.result.feasible);
+  }
+}
+
+TEST(DeviceSearch, EscalationOnlyWhenSearchFailsOnSmallerDevice) {
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const auto suite = generate_synthetic_suite(202, 8);
+  PartitionerOptions fast;
+  fast.search.max_move_evaluations = 100000;
+  for (const SyntheticDesign& s : suite) {
+    const DevicePartitionResult r =
+        partition_on_smallest_device(s.design, lib, fast);
+    if (r.escalated) {
+      // The device actually chosen must host a search-found scheme, unless
+      // we ran off the end of the library.
+      if (r.chosen_index + 1 < lib.devices().size()) {
+        EXPECT_TRUE(r.result.proposed_from_search);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  Design design_ = paper_example();
+  PartitionerResult result_ = partition_design(design_, {900, 8, 16});
+};
+
+TEST_F(ReportTest, BasePartitionTableListsEveryPartition) {
+  const std::string t =
+      render_base_partitions(design_, result_.base_partitions);
+  for (const BasePartition& p : result_.base_partitions)
+    EXPECT_NE(t.find(p.label(design_)), std::string::npos) << p.label(design_);
+}
+
+TEST_F(ReportTest, SchemePartitionTableShowsStaticRowOnlyWhenUsed) {
+  PartitionScheme with_static = result_.proposed.scheme;
+  if (with_static.static_members.empty())
+    with_static.static_members.push_back(0);
+  const std::string t1 = render_scheme_partitions(
+      design_, result_.base_partitions, with_static);
+  EXPECT_NE(t1.find("static"), std::string::npos);
+
+  PartitionScheme without = result_.proposed.scheme;
+  without.static_members.clear();
+  const std::string t2 =
+      render_scheme_partitions(design_, result_.base_partitions, without);
+  EXPECT_EQ(t2.find("static"), std::string::npos);
+}
+
+TEST_F(ReportTest, ComparisonShowsAllFourRowsWhenFeasible) {
+  ASSERT_TRUE(result_.feasible);
+  const std::string t = render_scheme_comparison(result_);
+  EXPECT_NE(t.find("Static"), std::string::npos);
+  EXPECT_NE(t.find("Modular"), std::string::npos);
+  EXPECT_NE(t.find("Single region"), std::string::npos);
+  EXPECT_NE(t.find("Proposed"), std::string::npos);
+  // Numbers carry thousands separators.
+  EXPECT_NE(t.find(","), std::string::npos);
+}
+
+TEST_F(ReportTest, ComparisonOmitsProposedWhenInfeasible) {
+  const PartitionerResult infeasible =
+      partition_design(design_, {10, 0, 0});
+  ASSERT_FALSE(infeasible.feasible);
+  const std::string t = render_scheme_comparison(infeasible);
+  EXPECT_NE(t.find("Static"), std::string::npos);
+  EXPECT_EQ(t.find("Proposed"), std::string::npos);
+}
+
+TEST_F(ReportTest, FitColumnReflectsBudget) {
+  const std::string t = render_scheme_comparison(result_);
+  // Fully static never fits a 900-CLB budget for this design.
+  EXPECT_NE(t.find("NO"), std::string::npos);
+  EXPECT_NE(t.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,105 @@
+#include "core/result_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "core/connectivity.hpp"
+#include "core/partitioner.hpp"
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+struct Fixture {
+  Design design = paper_example();
+  PartitionerResult result = partition_design(design, {900, 8, 16});
+};
+
+TEST(ResultIo, RoundTripsProposedScheme) {
+  Fixture f;
+  ASSERT_TRUE(f.result.feasible);
+  const std::string xml =
+      partitioning_to_xml(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  const PartitionScheme loaded =
+      partitioning_from_xml(f.design, f.result.base_partitions, xml);
+
+  const ConnectivityMatrix matrix(f.design);
+  const SchemeEvaluation eval = evaluate_scheme(
+      f.design, matrix, f.result.base_partitions, loaded, {900, 8, 16});
+  ASSERT_TRUE(eval.valid) << eval.invalid_reason;
+  EXPECT_EQ(eval.total_frames, f.result.proposed.eval.total_frames);
+  EXPECT_EQ(eval.worst_frames, f.result.proposed.eval.worst_frames);
+  EXPECT_EQ(eval.total_resources, f.result.proposed.eval.total_resources);
+  EXPECT_EQ(loaded.regions.size(), f.result.proposed.scheme.regions.size());
+  EXPECT_EQ(loaded.static_members.size(),
+            f.result.proposed.scheme.static_members.size());
+}
+
+TEST(ResultIo, RoundTripsCaseStudy) {
+  const Design design = synth::wireless_receiver_design();
+  PartitionerOptions opt;
+  opt.search.max_move_evaluations = 500'000;
+  const PartitionerResult r = partition_design(design, {6800, 64, 150}, opt);
+  ASSERT_TRUE(r.feasible);
+  const std::string xml = partitioning_to_xml(
+      design, r.base_partitions, r.proposed.scheme, r.proposed.eval);
+  const PartitionScheme loaded =
+      partitioning_from_xml(design, r.base_partitions, xml);
+  const ConnectivityMatrix matrix(design);
+  const SchemeEvaluation eval = evaluate_scheme(
+      design, matrix, r.base_partitions, loaded, {6800, 64, 150});
+  EXPECT_EQ(eval.total_frames, r.proposed.eval.total_frames);
+}
+
+TEST(ResultIo, RejectsWrongDesign) {
+  Fixture f;
+  const std::string xml =
+      partitioning_to_xml(f.design, f.result.base_partitions,
+                          f.result.proposed.scheme, f.result.proposed.eval);
+  const Design other = testing::fig3_example();
+  const ConnectivityMatrix m(other);
+  const auto other_partitions = enumerate_base_partitions(other, m);
+  EXPECT_THROW(partitioning_from_xml(other, other_partitions, xml),
+               ParseError);
+}
+
+TEST(ResultIo, RejectsUnknownMode) {
+  Fixture f;
+  const char* doc = R"(<partitioning design="paper-example">
+    <region id="1"><partition><mode module="A" name="A9"/></partition></region>
+  </partitioning>)";
+  EXPECT_THROW(
+      partitioning_from_xml(f.design, f.result.base_partitions, doc),
+      ParseError);
+}
+
+TEST(ResultIo, RejectsNonCooccurringModeSet) {
+  Fixture f;
+  // A1 and A2 never co-occur: not a base partition.
+  const char* doc = R"(<partitioning design="paper-example">
+    <region id="1"><partition>
+      <mode module="A" name="A1"/><mode module="A" name="A2"/>
+    </partition></region>
+  </partitioning>)";
+  EXPECT_THROW(
+      partitioning_from_xml(f.design, f.result.base_partitions, doc),
+      ParseError);
+}
+
+TEST(ResultIo, RejectsEmptyDocument) {
+  Fixture f;
+  EXPECT_THROW(partitioning_from_xml(f.design, f.result.base_partitions,
+                                     "<partitioning design=\"paper-example\"/>"),
+               ParseError);
+  EXPECT_THROW(
+      partitioning_from_xml(f.design, f.result.base_partitions, "<other/>"),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,169 @@
+#include "core/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/clustering.hpp"
+#include "core/schemes.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::fig3_example;
+using testing::paper_example;
+
+class SchemeEval : public ::testing::Test {
+ protected:
+  Design design_ = paper_example();
+  ConnectivityMatrix matrix_{design_};
+  std::vector<BasePartition> partitions_ =
+      enumerate_base_partitions(design_, matrix_);
+  ResourceVec big_budget_{100000, 1000, 1000};
+
+  std::size_t find(const std::string& label) const {
+    for (std::size_t i = 0; i < partitions_.size(); ++i)
+      if (partitions_[i].label(design_) == label) return i;
+    throw std::runtime_error("no partition " + label);
+  }
+};
+
+TEST_F(SchemeEval, SingletonRegionsHaveZeroReconfigTime) {
+  // One region per mode == static-equivalent allocation: §IV-C says this
+  // "requires minimum reconfiguration time".
+  PartitionScheme scheme;
+  for (const char* label : {"{A1}", "{A2}", "{A3}", "{B1}", "{B2}", "{C1}",
+                            "{C2}", "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  EXPECT_TRUE(e.valid);
+  EXPECT_EQ(e.total_frames, 0u);
+  EXPECT_EQ(e.worst_frames, 0u);
+}
+
+TEST_F(SchemeEval, RegionAreaIsTileRoundedMax) {
+  PartitionScheme scheme;
+  scheme.regions.push_back(Region{{find("{A1}"), find("{A2}")}});
+  // Remaining modes in their own regions to keep the scheme valid.
+  for (const char* label : {"{A3}", "{B1}", "{B2}", "{C1}", "{C2}", "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  ASSERT_TRUE(e.valid);
+  // A1={100,0,0}, A2={260,1,2}: max={260,1,2} -> 13 CLB tiles, 1 BRAM tile,
+  // 1 DSP tile.
+  EXPECT_EQ(e.regions[0].raw, ResourceVec(260, 1, 2));
+  EXPECT_EQ(e.regions[0].tiles, (TileCount{13, 1, 1}));
+  EXPECT_EQ(e.regions[0].frames, 13u * 36 + 1u * 30 + 1u * 28);
+}
+
+TEST_F(SchemeEval, MergedRegionPaysReconfigurationPairs) {
+  PartitionScheme scheme;
+  scheme.regions.push_back(Region{{find("{A1}"), find("{A2}"), find("{A3}")}});
+  for (const char* label : {"{B1}", "{B2}", "{C1}", "{C2}", "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  ASSERT_TRUE(e.valid);
+  // A modes: A3 in confs {1,3}, A1 in {2,4}, A2 in {5} -- differing pairs:
+  // C(5,2) - C(2,2) - C(2,2) - C(1,2) = 10 - 1 - 1 - 0 = 8.
+  EXPECT_EQ(e.regions[0].reconfig_pairs, 8u);
+  EXPECT_EQ(e.total_frames, 8u * e.regions[0].frames);
+  EXPECT_EQ(e.worst_frames, e.regions[0].frames);
+}
+
+TEST_F(SchemeEval, StaticMembersCostAreaButNoTime) {
+  PartitionScheme scheme;
+  scheme.static_members = {find("{B2}")};
+  for (const char* label : {"{A1}", "{A2}", "{A3}", "{B1}", "{C1}", "{C2}",
+                            "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.total_frames, 0u);
+  // Static resources: design static base (0) + raw B2 area.
+  EXPECT_EQ(e.static_resources, ResourceVec(90, 0, 1));
+}
+
+TEST_F(SchemeEval, IncompatibleMembersInvalidateScheme) {
+  PartitionScheme scheme;
+  // A1 and B1 co-occur in Conf.2: same region is invalid.
+  scheme.regions.push_back(Region{{find("{A1}"), find("{B1}")}});
+  for (const char* label : {"{A2}", "{A3}", "{B2}", "{C1}", "{C2}", "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.invalid_reason.find("two partitions"), std::string::npos);
+}
+
+TEST_F(SchemeEval, MissingModeInvalidatesScheme) {
+  PartitionScheme scheme;
+  for (const char* label : {"{A1}", "{A2}", "{A3}", "{B1}", "{B2}", "{C1}",
+                            "{C2}"})  // C3 missing
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  EXPECT_FALSE(e.valid);
+  EXPECT_NE(e.invalid_reason.find("not provided"), std::string::npos);
+}
+
+TEST_F(SchemeEval, FitRespectsBudget) {
+  PartitionScheme scheme;
+  for (const char* label : {"{A1}", "{A2}", "{A3}", "{B1}", "{B2}", "{C1}",
+                            "{C2}", "{C3}"})
+    scheme.regions.push_back(Region{{find(label)}});
+  const SchemeEvaluation big =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_);
+  EXPECT_TRUE(big.fits);
+  const SchemeEvaluation tiny =
+      evaluate_scheme(design_, matrix_, partitions_, scheme, {100, 1, 1});
+  EXPECT_FALSE(tiny.fits);
+  // Resource accounting is budget-independent.
+  EXPECT_EQ(big.total_resources, tiny.total_resources);
+}
+
+TEST_F(SchemeEval, Fig3HybridBeatsFig3Modular) {
+  // §IV-A's hybrid: {A2,B1} in one region, A1 and B2 static. Total
+  // reconfiguration time must be strictly below the two-region modular
+  // arrangement.
+  const Design d = fig3_example();
+  const ConnectivityMatrix m(d);
+  const auto parts = enumerate_base_partitions(d, m);
+  auto find_in = [&](const std::string& label) {
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      if (parts[i].label(d) == label) return i;
+    throw std::runtime_error("missing " + label);
+  };
+
+  PartitionScheme hybrid;
+  hybrid.regions.push_back(Region{{find_in("{A2}"), find_in("{B1}")}});
+  hybrid.static_members = {find_in("{A1}"), find_in("{B2}")};
+  const SchemeEvaluation he =
+      evaluate_scheme(d, m, parts, hybrid, {100000, 100, 100});
+  ASSERT_TRUE(he.valid) << he.invalid_reason;
+
+  const PartitionScheme modular = make_modular_scheme(d, m, parts);
+  const SchemeEvaluation me =
+      evaluate_scheme(d, m, parts, modular, {100000, 100, 100});
+  ASSERT_TRUE(me.valid);
+
+  EXPECT_LT(he.total_frames, me.total_frames);
+  // And the hybrid's resource bill is far below fully static (A1+A2+B1+B2).
+  EXPECT_LT(he.total_resources.clbs, d.full_static_area().clbs);
+}
+
+TEST_F(SchemeEval, EmptyRegionThrows) {
+  PartitionScheme scheme;
+  scheme.regions.push_back(Region{});
+  EXPECT_THROW(
+      evaluate_scheme(design_, matrix_, partitions_, scheme, big_budget_),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace prpart

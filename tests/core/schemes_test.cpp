@@ -1,0 +1,159 @@
+#include "core/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/clustering.hpp"
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using synth::wireless_receiver_budget;
+using synth::wireless_receiver_design;
+using testing::paper_example;
+
+class CaseStudySchemes : public ::testing::Test {
+ protected:
+  Design design_ = wireless_receiver_design();
+  ConnectivityMatrix matrix_{design_};
+  std::vector<BasePartition> partitions_ =
+      enumerate_base_partitions(design_, matrix_);
+  ResourceVec budget_ = wireless_receiver_budget();
+};
+
+TEST_F(CaseStudySchemes, ModularSchemeStructure) {
+  const PartitionScheme s = make_modular_scheme(design_, matrix_, partitions_);
+  // Five modules -> five regions; R4 ("None") is dead and excluded, so the
+  // R region holds three singletons.
+  ASSERT_EQ(s.regions.size(), 5u);
+  EXPECT_EQ(s.regions[0].members.size(), 2u);  // F
+  EXPECT_EQ(s.regions[1].members.size(), 3u);  // R (R4 dead)
+  EXPECT_EQ(s.regions[2].members.size(), 2u);  // M
+  EXPECT_EQ(s.regions[3].members.size(), 3u);  // D
+  EXPECT_EQ(s.regions[4].members.size(), 3u);  // V
+}
+
+TEST_F(CaseStudySchemes, ModularEvaluationMatchesHandComputation) {
+  const PartitionScheme s = make_modular_scheme(design_, matrix_, partitions_);
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, s, budget_);
+  ASSERT_TRUE(e.valid);
+  // Region frames, from Table II and Eqs. 3-6:
+  //   F: 41 CLB tiles + 5 DSP tiles           = 1616
+  //   R: 16 CLB + 1 BRAM + 2 DSP              =  662
+  //   M:  5 CLB + 1 DSP                       =  208
+  //   D: 38 CLB + 4 BRAM + 1 DSP              = 1516
+  //   V: 235 CLB + 10 BRAM + 9 DSP            = 9012
+  EXPECT_EQ(e.regions[0].frames, 1616u);
+  EXPECT_EQ(e.regions[1].frames, 662u);
+  EXPECT_EQ(e.regions[2].frames, 208u);
+  EXPECT_EQ(e.regions[3].frames, 1516u);
+  EXPECT_EQ(e.regions[4].frames, 9012u);
+  // Differing pairs per module over the 8 configurations: 16/19/7/13/21.
+  EXPECT_EQ(e.regions[0].reconfig_pairs, 16u);
+  EXPECT_EQ(e.regions[1].reconfig_pairs, 19u);
+  EXPECT_EQ(e.regions[2].reconfig_pairs, 7u);
+  EXPECT_EQ(e.regions[3].reconfig_pairs, 13u);
+  EXPECT_EQ(e.regions[4].reconfig_pairs, 21u);
+  // Total: 248,850 frames under our tile model (paper: 244,872; see
+  // EXPERIMENTS.md for the accounting difference).
+  EXPECT_EQ(e.total_frames, 248850u);
+  // Resources after tile rounding: 6700 CLBs, 60 BRAMs, 144 DSPs. The DSP
+  // figure matches the paper's Table IV exactly.
+  EXPECT_EQ(e.total_resources, ResourceVec(6700, 60, 144));
+}
+
+TEST_F(CaseStudySchemes, StaticSchemeHasZeroTimeAndDoesNotFit) {
+  const PartitionScheme s = make_static_scheme(design_, matrix_, partitions_);
+  const SchemeEvaluation e =
+      evaluate_scheme(design_, matrix_, partitions_, s, budget_);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.total_frames, 0u);
+  EXPECT_EQ(e.worst_frames, 0u);
+  EXPECT_FALSE(e.fits);  // "exceeds the capacity of the target device"
+  // Raw sum of the 13 used modes (R4 is dead): 15751 CLBs.
+  EXPECT_EQ(e.total_resources.clbs, 15751u);
+}
+
+TEST_F(CaseStudySchemes, SingleRegionEvaluation) {
+  const auto [s, e] =
+      single_region_scheme(design_, matrix_, partitions_, budget_);
+  ASSERT_EQ(s.regions.size(), 1u);
+  EXPECT_EQ(s.regions[0].members.size(), 8u);  // one bitstream per config
+  // Largest configuration: (6369, 43, 116) raw -> 319/11/15 tiles ->
+  // 12,234 frames; every one of the C(8,2)=28 transitions rewrites it.
+  EXPECT_EQ(e.regions[0].frames, 12234u);
+  EXPECT_EQ(e.total_frames, 28u * 12234u);
+  EXPECT_EQ(e.worst_frames, 12234u);
+  EXPECT_TRUE(e.fits);
+}
+
+TEST_F(CaseStudySchemes, SingleRegionWorstBelowModularWorst) {
+  // Fig. 8's observation: the single-region scheme often has the lowest
+  // worst-case because its area is minimal. For the case study, modular's
+  // worst case (all five regions rewritten) exceeds the single region's.
+  const auto [ss, se] =
+      single_region_scheme(design_, matrix_, partitions_, budget_);
+  const PartitionScheme ms = make_modular_scheme(design_, matrix_, partitions_);
+  const SchemeEvaluation me =
+      evaluate_scheme(design_, matrix_, partitions_, ms, budget_);
+  EXPECT_LT(se.worst_frames, me.worst_frames);
+  // ...while its total is far above modular's (Fig. 7's observation).
+  EXPECT_GT(se.total_frames, me.total_frames);
+}
+
+TEST(PaperExampleSchemes, SingletonLookupFindsAllModes) {
+  const Design d = paper_example();
+  const ConnectivityMatrix m(d);
+  const auto parts = enumerate_base_partitions(d, m);
+  for (std::size_t mode = 0; mode < d.mode_count(); ++mode) {
+    const std::size_t p = singleton_partition(parts, mode);
+    EXPECT_TRUE(parts[p].modes.test(mode));
+    EXPECT_EQ(parts[p].modes.count(), 1u);
+  }
+}
+
+TEST(PaperExampleSchemes, SingletonLookupThrowsForDeadMode) {
+  const Design d = DesignBuilder("dead")
+                       .module("A", {{"A1", {10, 0, 0}}, {"A2", {20, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  const ConnectivityMatrix m(d);
+  const auto parts = enumerate_base_partitions(d, m);
+  EXPECT_THROW(singleton_partition(parts, 1), InternalError);
+}
+
+TEST(PaperExampleSchemes, ModularMatchesGenericEvaluatorEverywhere) {
+  // Cross-validation: the modular scheme evaluated through the generic
+  // machinery must agree with a direct per-module computation.
+  const Design d = paper_example();
+  const ConnectivityMatrix m(d);
+  const auto parts = enumerate_base_partitions(d, m);
+  const PartitionScheme s = make_modular_scheme(d, m, parts);
+  const SchemeEvaluation e =
+      evaluate_scheme(d, m, parts, s, {100000, 1000, 1000});
+  ASSERT_TRUE(e.valid);
+
+  std::uint64_t expected_total = 0;
+  for (std::size_t mod = 0; mod < d.modules().size(); ++mod) {
+    ResourceVec largest;
+    for (const Mode& mode : d.modules()[mod].modes)
+      largest = elementwise_max(largest, mode.area);
+    const std::uint64_t frames = frames_for(largest);
+    std::uint64_t diff_pairs = 0;
+    const auto& configs = d.configurations();
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      for (std::size_t j = i + 1; j < configs.size(); ++j) {
+        const std::uint32_t a = configs[i].mode_of_module[mod];
+        const std::uint32_t b = configs[j].mode_of_module[mod];
+        if (a != 0 && b != 0 && a != b) ++diff_pairs;
+      }
+    expected_total += diff_pairs * frames;
+  }
+  EXPECT_EQ(e.total_frames, expected_total);
+}
+
+}  // namespace
+}  // namespace prpart

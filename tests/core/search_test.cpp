@@ -1,0 +1,230 @@
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/clustering.hpp"
+#include "core/schemes.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::fig3_example;
+using testing::paper_example;
+
+struct Harness {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+  CompatibilityTable compat;
+
+  explicit Harness(Design d)
+      : design(std::move(d)),
+        matrix(design),
+        partitions(enumerate_base_partitions(design, matrix)),
+        compat(matrix, partitions) {}
+
+  SearchResult run(const ResourceVec& budget, SearchOptions opt = {}) {
+    return search_partitioning(design, matrix, partitions, compat, budget,
+                               opt);
+  }
+};
+
+TEST(Search, HugeBudgetGivesZeroReconfigurationTime) {
+  // With unlimited area the static-equivalent allocation fits, so the best
+  // total reconfiguration time is 0.
+  Harness s(paper_example());
+  const SearchResult r = s.run({1000000, 10000, 10000});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.eval.total_frames, 0u);
+  EXPECT_TRUE(r.eval.fits);
+  EXPECT_TRUE(r.eval.valid);
+}
+
+TEST(Search, ResultIsAlwaysValidAndFitting) {
+  Harness s(paper_example());
+  // Budget between single-region lower bound and the static sum.
+  const ResourceVec lower =
+      s.design.largest_configuration_area() + s.design.static_base();
+  const ResourceVec budget{lower.clbs + 200, lower.brams + 2, lower.dsps + 4};
+  const SearchResult r = s.run(budget);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.eval.valid);
+  EXPECT_TRUE(r.eval.fits);
+}
+
+TEST(Search, TighterBudgetNeverImprovesTime) {
+  // Any scheme that fits a tight budget also fits a looser one, so the
+  // looser search result can never be worse. (The tight search may fail
+  // entirely; then there is nothing to compare.)
+  Harness s(paper_example());
+  const ResourceVec lower =
+      s.design.largest_configuration_area() + s.design.static_base();
+  const ResourceVec loose{lower.clbs * 2, lower.brams * 2 + 8,
+                          lower.dsps * 2 + 8};
+  const ResourceVec tight{lower.clbs + 200, lower.brams + 2, lower.dsps + 4};
+  const SearchResult rl = s.run(loose);
+  const SearchResult rt = s.run(tight);
+  ASSERT_TRUE(rl.feasible);
+  if (rt.feasible) {
+    EXPECT_LE(rl.eval.total_frames, rt.eval.total_frames);
+  }
+}
+
+TEST(Search, InfeasibleBudgetReportsInfeasible) {
+  Harness s(paper_example());
+  const SearchResult r = s.run({10, 0, 0});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Search, Fig3FindsHybridStyleSolution) {
+  // §IV-A: with a budget that rules out the all-static arrangement but
+  // allows more than the single region, the search should move small modes
+  // to static and beat the modular scheme.
+  Harness s(fig3_example());
+  // Full static would be 1080 CLBs; modular two-region needs 900 (tile
+  // rounded); single region needs 600. Budget 700 forces a hybrid.
+  const ResourceVec budget{700, 10, 10};
+  const SearchResult r = s.run(budget);
+  ASSERT_TRUE(r.feasible);
+
+  const PartitionScheme modular = make_modular_scheme(s.design, s.matrix,
+                                                      s.partitions);
+  const SchemeEvaluation me =
+      evaluate_scheme(s.design, s.matrix, s.partitions, modular, budget);
+  // Modular does not even fit in 700 CLBs; the search must find something
+  // that fits and is cheaper than the single region's 3 * 600-tile cost.
+  EXPECT_FALSE(me.fits);
+  const auto [ss, se] = single_region_scheme(s.design, s.matrix, s.partitions,
+                                             budget);
+  EXPECT_LE(r.eval.total_frames, se.total_frames);
+}
+
+TEST(Search, StaticPromotionCanBeDisabled) {
+  Harness s(paper_example());
+  const ResourceVec budget{100000, 1000, 1000};
+  SearchOptions no_promo;
+  no_promo.allow_static_promotion = false;
+  const SearchResult r = s.run(budget, no_promo);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.scheme.static_members.empty());
+  // With promotion allowed, the scheme may use static members; both must
+  // reach zero total time on an unconstrained budget.
+  const SearchResult rp = s.run(budget);
+  EXPECT_EQ(r.eval.total_frames, 0u);
+  EXPECT_EQ(rp.eval.total_frames, 0u);
+}
+
+TEST(Search, EvaluationBudgetIsHonoured) {
+  Harness s(paper_example());
+  SearchOptions opt;
+  opt.max_move_evaluations = 50;
+  const SearchResult r = s.run({100000, 1000, 1000}, opt);
+  EXPECT_TRUE(r.stats.budget_exhausted);
+  EXPECT_LE(r.stats.move_evaluations, 51u);
+}
+
+TEST(Search, StatsArebPopulated) {
+  Harness s(paper_example());
+  const SearchResult r = s.run({100000, 1000, 1000});
+  EXPECT_GT(r.stats.move_evaluations, 0u);
+  EXPECT_GT(r.stats.candidate_sets, 0u);
+  EXPECT_GT(r.stats.greedy_runs, 0u);
+  EXPECT_GT(r.stats.states_recorded, 0u);
+}
+
+TEST(Search, DeterministicAcrossRuns) {
+  Harness s(paper_example());
+  const ResourceVec budget{800, 6, 16};
+  const SearchResult a = s.run(budget);
+  const SearchResult b = s.run(budget);
+  EXPECT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_EQ(a.eval.total_frames, b.eval.total_frames);
+    EXPECT_EQ(a.eval.total_resources, b.eval.total_resources);
+    EXPECT_EQ(a.stats.move_evaluations, b.stats.move_evaluations);
+  }
+}
+
+TEST(Search, NoRegionHoldsIncompatiblePartitions) {
+  Harness s(paper_example());
+  const ResourceVec lower =
+      s.design.largest_configuration_area() + s.design.static_base();
+  const SearchResult r = s.run(
+      {lower.clbs + lower.clbs / 2, lower.brams + 4, lower.dsps + 8});
+  ASSERT_TRUE(r.feasible);
+  for (const Region& region : r.scheme.regions)
+    for (std::size_t i = 0; i < region.members.size(); ++i)
+      for (std::size_t j = i + 1; j < region.members.size(); ++j)
+        EXPECT_TRUE(s.compat.compatible(region.members[i], region.members[j]));
+}
+
+TEST(Search, AlternativesAreSortedAndDistinct) {
+  Harness s(paper_example());
+  SearchOptions opt;
+  opt.keep_alternatives = 6;
+  const SearchResult r = s.run({900, 8, 16}, opt);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_FALSE(r.alternatives.empty());
+  EXPECT_LE(r.alternatives.size(), 6u);
+  // Ascending objective; first entry is the proposed scheme's cost.
+  EXPECT_EQ(r.alternatives.front().total_frames, r.eval.total_frames);
+  for (std::size_t i = 1; i < r.alternatives.size(); ++i)
+    EXPECT_GE(r.alternatives[i].total_frames,
+              r.alternatives[i - 1].total_frames);
+  // Distinct groupings: compare rendered region sets.
+  for (std::size_t i = 0; i < r.alternatives.size(); ++i)
+    for (std::size_t j = i + 1; j < r.alternatives.size(); ++j) {
+      const auto& a = r.alternatives[i].scheme;
+      const auto& b = r.alternatives[j].scheme;
+      const bool same_regions =
+          a.regions.size() == b.regions.size() &&
+          a.static_members == b.static_members;
+      if (!same_regions) continue;
+      bool identical = true;
+      for (std::size_t k = 0; k < a.regions.size(); ++k) {
+        auto am = a.regions[k].members;
+        auto bm = b.regions[k].members;
+        std::sort(am.begin(), am.end());
+        std::sort(bm.begin(), bm.end());
+        identical = identical && am == bm;
+      }
+      EXPECT_FALSE(identical) << "alternatives " << i << " and " << j
+                              << " are the same grouping";
+    }
+}
+
+TEST(Search, EveryAlternativeEvaluatesValidAndFitting) {
+  Harness s(paper_example());
+  SearchOptions opt;
+  opt.keep_alternatives = 5;
+  const ResourceVec budget{900, 8, 16};
+  const SearchResult r = s.run(budget, opt);
+  ASSERT_TRUE(r.feasible);
+  for (const RankedScheme& alt : r.alternatives) {
+    const SchemeEvaluation e =
+        evaluate_scheme(s.design, s.matrix, s.partitions, alt.scheme, budget);
+    EXPECT_TRUE(e.valid) << e.invalid_reason;
+    EXPECT_TRUE(e.fits);
+    EXPECT_EQ(e.total_frames, alt.total_frames);
+  }
+}
+
+TEST(Search, MaxCandidateSetsLimitsWork) {
+  Harness s(paper_example());
+  SearchOptions one;
+  one.max_candidate_sets = 1;
+  const SearchResult r1 = s.run({100000, 1000, 1000}, one);
+  EXPECT_EQ(r1.stats.candidate_sets, 1u);
+  SearchOptions many;
+  many.max_candidate_sets = 8;
+  const SearchResult r8 = s.run({100000, 1000, 1000}, many);
+  EXPECT_GT(r8.stats.candidate_sets, 1u);
+  // More candidate sets can only improve (or match) the result.
+  EXPECT_LE(r8.eval.total_frames, r1.eval.total_frames);
+}
+
+}  // namespace
+}  // namespace prpart

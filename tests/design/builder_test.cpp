@@ -1,0 +1,81 @@
+#include "design/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(DesignBuilder, BuildsCompleteDesign) {
+  const Design d = DesignBuilder("demo")
+                       .static_base({10, 1, 0})
+                       .module("A", {{"A1", {5, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  EXPECT_EQ(d.name(), "demo");
+  EXPECT_EQ(d.static_base(), ResourceVec(10, 1, 0));
+  EXPECT_EQ(d.modules().size(), 1u);
+  EXPECT_EQ(d.configurations().size(), 1u);
+}
+
+TEST(DesignBuilder, AutoNamesConfigurations) {
+  const Design d = DesignBuilder("demo")
+                       .module("A", {{"A1", {5, 0, 0}}, {"A2", {6, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .configuration({{"A", "A2"}})
+                       .build();
+  EXPECT_EQ(d.configurations()[0].name, "Conf1");
+  EXPECT_EQ(d.configurations()[1].name, "Conf2");
+}
+
+TEST(DesignBuilder, ExplicitConfigurationName) {
+  const Design d = DesignBuilder("demo")
+                       .module("A", {{"A1", {5, 0, 0}}})
+                       .configuration("boot", {{"A", "A1"}})
+                       .build();
+  EXPECT_EQ(d.configurations()[0].name, "boot");
+}
+
+TEST(DesignBuilder, OmittedModulesAreAbsent) {
+  const Design d = DesignBuilder("demo")
+                       .module("A", {{"A1", {5, 0, 0}}})
+                       .module("B", {{"B1", {5, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .configuration({{"B", "B1"}})
+                       .build();
+  EXPECT_EQ(d.configurations()[0].mode_of_module, (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_EQ(d.configurations()[1].mode_of_module, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(DesignBuilder, UnknownModuleThrows) {
+  DesignBuilder b("demo");
+  b.module("A", {{"A1", {5, 0, 0}}});
+  EXPECT_THROW(b.configuration({{"Z", "A1"}}), DesignError);
+}
+
+TEST(DesignBuilder, UnknownModeThrows) {
+  DesignBuilder b("demo");
+  b.module("A", {{"A1", {5, 0, 0}}});
+  EXPECT_THROW(b.configuration({{"A", "A9"}}), DesignError);
+}
+
+TEST(DesignBuilder, DuplicateModuleInConfigurationThrows) {
+  DesignBuilder b("demo");
+  b.module("A", {{"A1", {5, 0, 0}}, {"A2", {6, 0, 0}}});
+  EXPECT_THROW(b.configuration({{"A", "A1"}, {"A", "A2"}}), DesignError);
+}
+
+TEST(DesignBuilder, BuildIsRepeatable) {
+  DesignBuilder b("demo");
+  b.module("A", {{"A1", {5, 0, 0}}, {"A2", {6, 0, 0}}});
+  b.configuration({{"A", "A1"}});
+  const Design d1 = b.build();
+  b.configuration({{"A", "A2"}});
+  const Design d2 = b.build();
+  EXPECT_EQ(d1.configurations().size(), 1u);
+  EXPECT_EQ(d2.configurations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,124 @@
+#include "design/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "design/builder.hpp"
+#include "synth/ip_library.hpp"
+
+namespace prpart {
+namespace {
+
+bool has_code(const std::vector<LintIssue>& issues, const std::string& code) {
+  return std::any_of(issues.begin(), issues.end(),
+                     [&](const LintIssue& i) { return i.code == code; });
+}
+
+TEST(Lint, CleanDesignHasNoWarnings) {
+  const Design d = DesignBuilder("clean")
+                       .module("A", {{"A1", {100, 0, 0}}, {"A2", {200, 0, 0}}})
+                       .module("B", {{"B1", {50, 0, 0}}, {"B2", {60, 0, 0}}})
+                       .configuration({{"A", "A1"}, {"B", "B1"}})
+                       .configuration({{"A", "A2"}, {"B", "B2"}})
+                       .configuration({{"A", "A1"}, {"B", "B2"}})
+                       .build();
+  for (const LintIssue& i : lint_design(d))
+    EXPECT_NE(i.severity, LintSeverity::Warning) << i.message;
+}
+
+TEST(Lint, DetectsDeadMode) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 0, 0}}, {"A2", {20, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  EXPECT_TRUE(has_code(lint_design(d), "dead-mode"));
+}
+
+TEST(Lint, DetectsUnusedModule) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 0, 0}}})
+                       .module("B", {{"B1", {10, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  const auto issues = lint_design(d);
+  EXPECT_TRUE(has_code(issues, "unused-module"));
+}
+
+TEST(Lint, DetectsAlwaysOnMode) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 0, 0}}, {"A2", {20, 0, 0}}})
+                       .module("B", {{"B1", {10, 0, 0}}})
+                       .configuration({{"A", "A1"}, {"B", "B1"}})
+                       .configuration({{"A", "A2"}, {"B", "B1"}})
+                       .build();
+  const auto issues = lint_design(d);
+  EXPECT_TRUE(has_code(issues, "always-on-mode"));
+}
+
+TEST(Lint, ZeroAreaModeFlaggedUnlessNamedNone) {
+  const Design flagged = DesignBuilder("x")
+                             .module("A", {{"A1", {0, 0, 0}},
+                                           {"A2", {20, 0, 0}}})
+                             .configuration({{"A", "A1"}})
+                             .configuration({{"A", "A2"}})
+                             .build();
+  EXPECT_TRUE(has_code(lint_design(flagged), "zero-area-mode"));
+
+  const Design named = DesignBuilder("x")
+                           .module("A", {{"None", {0, 0, 0}},
+                                         {"A2", {20, 0, 0}}})
+                           .configuration({{"A", "None"}})
+                           .configuration({{"A", "A2"}})
+                           .build();
+  EXPECT_FALSE(has_code(lint_design(named), "zero-area-mode"));
+}
+
+TEST(Lint, DetectsDuplicateModes) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 1, 2}}, {"A2", {10, 1, 2}}})
+                       .configuration({{"A", "A1"}})
+                       .configuration({{"A", "A2"}})
+                       .build();
+  EXPECT_TRUE(has_code(lint_design(d), "duplicate-modes"));
+}
+
+TEST(Lint, DetectsOversizedMode) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {100000, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  EXPECT_TRUE(has_code(lint_design(d), "oversized-mode"));
+}
+
+TEST(Lint, DetectsSingleConfiguration) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  EXPECT_TRUE(has_code(lint_design(d), "single-config"));
+}
+
+TEST(Lint, CaseStudyFlagsOnlyTheDeadRecoveryMode) {
+  // Table II's "None" recovery mode is unused by the eight configurations;
+  // everything else should be clean of warnings except that dead mode.
+  const Design d = synth::wireless_receiver_design();
+  const auto issues = lint_design(d);
+  EXPECT_TRUE(has_code(issues, "dead-mode"));
+  for (const LintIssue& i : issues)
+    if (i.severity == LintSeverity::Warning) {
+      EXPECT_EQ(i.code, "dead-mode");
+    }
+}
+
+TEST(Lint, RenderIncludesSeverityAndCode) {
+  const Design d = DesignBuilder("x")
+                       .module("A", {{"A1", {10, 0, 0}}, {"A2", {20, 0, 0}}})
+                       .configuration({{"A", "A1"}})
+                       .build();
+  const std::string text = render_lint(lint_design(d));
+  EXPECT_NE(text.find("warning[dead-mode]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart

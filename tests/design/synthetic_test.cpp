@@ -1,0 +1,128 @@
+#include "design/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prpart {
+namespace {
+
+TEST(Synthetic, RespectsStructuralRanges) {
+  SyntheticOptions opt;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const SyntheticDesign s =
+        generate_synthetic(rng, CircuitClass::Logic, opt);
+    const Design& d = s.design;
+    EXPECT_GE(d.modules().size(), opt.min_modules);
+    EXPECT_LE(d.modules().size(), opt.max_modules);
+    for (const Module& m : d.modules()) {
+      EXPECT_GE(m.modes.size(), opt.min_modes);
+      EXPECT_LE(m.modes.size(), opt.max_modes);
+      for (const Mode& mode : m.modes) {
+        EXPECT_GE(mode.area.clbs, opt.min_clbs);
+        EXPECT_LE(mode.area.clbs, opt.max_clbs);
+      }
+    }
+    EXPECT_EQ(d.static_base(), opt.static_base);
+  }
+}
+
+TEST(Synthetic, EveryModeUsedAtLeastOnce) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const SyntheticDesign s =
+        generate_synthetic(rng, CircuitClass::Memory);
+    for (std::size_t m = 0; m < s.design.mode_count(); ++m)
+      EXPECT_TRUE(s.design.mode_used(m))
+          << "mode " << m << " unused in design " << i;
+  }
+}
+
+TEST(Synthetic, ConfigurationsAreDistinct) {
+  Rng rng(3);
+  const SyntheticDesign s = generate_synthetic(rng, CircuitClass::Dsp);
+  // Design validation would have thrown on duplicates; double-check here.
+  const auto& configs = s.design.configurations();
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    for (std::size_t j = i + 1; j < configs.size(); ++j)
+      EXPECT_NE(configs[i].mode_of_module, configs[j].mode_of_module);
+}
+
+TEST(Synthetic, ClassesShapeSecondaryResources) {
+  SyntheticOptions opt;
+  opt.min_clbs = 2000;  // large modes make the class signal unambiguous
+  opt.max_clbs = 4000;
+  Rng rng_mem(4);
+  Rng rng_logic(4);
+  const SyntheticDesign mem =
+      generate_synthetic(rng_mem, CircuitClass::Memory, opt);
+  const SyntheticDesign logic =
+      generate_synthetic(rng_logic, CircuitClass::Logic, opt);
+  std::uint64_t mem_brams = 0, logic_brams = 0;
+  std::uint64_t mem_modes = 0, logic_modes = 0;
+  for (const Module& m : mem.design.modules())
+    for (const Mode& mode : m.modes) {
+      mem_brams += mode.area.brams;
+      ++mem_modes;
+    }
+  for (const Module& m : logic.design.modules())
+    for (const Mode& mode : m.modes) {
+      logic_brams += mode.area.brams;
+      ++logic_modes;
+    }
+  // Memory-intensive modes must carry clearly more BRAM on average.
+  EXPECT_GT(mem_brams * logic_modes, 2 * logic_brams * mem_modes);
+}
+
+TEST(Synthetic, DspClassAlwaysHasDsps) {
+  Rng rng(5);
+  const SyntheticDesign s = generate_synthetic(rng, CircuitClass::Dsp);
+  for (const Module& m : s.design.modules())
+    for (const Mode& mode : m.modes) EXPECT_GE(mode.area.dsps, 1u);
+}
+
+TEST(Synthetic, SuiteIsDeterministic) {
+  const auto a = generate_synthetic_suite(42, 8);
+  const auto b = generate_synthetic_suite(42, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].circuit_class, b[i].circuit_class);
+    EXPECT_EQ(a[i].design.mode_count(), b[i].design.mode_count());
+    EXPECT_EQ(a[i].design.configurations().size(),
+              b[i].design.configurations().size());
+    EXPECT_EQ(a[i].design.largest_configuration_area(),
+              b[i].design.largest_configuration_area());
+  }
+}
+
+TEST(Synthetic, SuiteBalancesClasses) {
+  const auto suite = generate_synthetic_suite(7, 16);
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (const SyntheticDesign& s : suite)
+    ++counts[static_cast<std::size_t>(s.circuit_class)];
+  for (std::size_t c : counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(Synthetic, FamilyFeasibleByConstruction) {
+  const auto suite = generate_synthetic_suite(11, 40);
+  SyntheticOptions opt;
+  for (const SyntheticDesign& s : suite) {
+    const ResourceVec need =
+        s.design.largest_configuration_area() + s.design.static_base();
+    EXPECT_TRUE(need.fits_in(opt.family_capacity))
+        << s.design.name() << " needs " << need.to_string();
+  }
+}
+
+TEST(Synthetic, DifferentSeedsGiveDifferentSuites) {
+  const auto a = generate_synthetic_suite(1, 4);
+  const auto b = generate_synthetic_suite(2, 4);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].design.mode_count() != b[i].design.mode_count() ||
+        a[i].design.full_static_area() != b[i].design.full_static_area())
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,45 @@
+#include "device/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prpart {
+namespace {
+
+TEST(ResourceVec, DefaultIsZero) {
+  ResourceVec r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r, ResourceVec(0, 0, 0));
+}
+
+TEST(ResourceVec, Addition) {
+  const ResourceVec a{10, 2, 3};
+  const ResourceVec b{5, 1, 0};
+  EXPECT_EQ(a + b, ResourceVec(15, 3, 3));
+  ResourceVec c = a;
+  c += b;
+  EXPECT_EQ(c, ResourceVec(15, 3, 3));
+}
+
+TEST(ResourceVec, FitsIn) {
+  const ResourceVec cap{100, 10, 20};
+  EXPECT_TRUE(ResourceVec(100, 10, 20).fits_in(cap));
+  EXPECT_TRUE(ResourceVec(0, 0, 0).fits_in(cap));
+  EXPECT_FALSE(ResourceVec(101, 0, 0).fits_in(cap));
+  EXPECT_FALSE(ResourceVec(0, 11, 0).fits_in(cap));
+  EXPECT_FALSE(ResourceVec(0, 0, 21).fits_in(cap));
+}
+
+TEST(ResourceVec, ElementwiseMax) {
+  EXPECT_EQ(elementwise_max({1, 5, 3}, {4, 2, 3}), ResourceVec(4, 5, 3));
+  EXPECT_EQ(elementwise_max({0, 0, 0}, {0, 0, 0}), ResourceVec(0, 0, 0));
+}
+
+TEST(ResourceVec, ToStringMentionsAllFields) {
+  const std::string s = ResourceVec{7, 8, 9}.to_string();
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("8"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart

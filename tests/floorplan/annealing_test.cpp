@@ -1,0 +1,123 @@
+#include "floorplan/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using B = BlockType;
+
+/// 1-row device with two BRAM columns separated by CLB columns:
+/// C C C B C C C B C C C C
+Device fragmented_device() {
+  return Device("frag", 1,
+                {B::Clb, B::Clb, B::Clb, B::Bram, B::Clb, B::Clb, B::Clb,
+                 B::Bram, B::Clb, B::Clb, B::Clb, B::Clb});
+}
+
+TEST(Annealing, PlacesSimpleRegions) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const FloorplanResult r = anneal_place(d, {{4, 1, 0}, {3, 0, 1}});
+  ASSERT_TRUE(r.success);
+  for (const RegionPlacement& p : r.placements) {
+    EXPECT_LE(p.row + p.height, d.rows());
+    EXPECT_LE(p.col + p.width, d.columns().size());
+  }
+}
+
+TEST(Annealing, ResultsCoverRequirements) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}, {6, 0, 0}};
+  const FloorplanResult r = anneal_place(d, need);
+  ASSERT_TRUE(r.success);
+  for (const RegionPlacement& p : r.placements) {
+    EXPECT_GE(p.provided.clb_tiles, need[p.region].clb_tiles);
+    EXPECT_GE(p.provided.bram_tiles, need[p.region].bram_tiles);
+    EXPECT_GE(p.provided.dsp_tiles, need[p.region].dsp_tiles);
+  }
+}
+
+TEST(Annealing, ResultsAreDisjoint) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}, {6, 0, 0}};
+  const FloorplanResult r = anneal_place(d, need);
+  ASSERT_TRUE(r.success);
+  for (std::size_t a = 0; a < r.placements.size(); ++a)
+    for (std::size_t b = a + 1; b < r.placements.size(); ++b) {
+      const RegionPlacement& p = r.placements[a];
+      const RegionPlacement& q = r.placements[b];
+      if (p.width == 0 || q.width == 0) continue;
+      const bool row_overlap =
+          p.row < q.row + q.height && q.row < p.row + p.height;
+      const bool col_overlap =
+          p.col < q.col + q.width && q.col < p.col + p.width;
+      EXPECT_FALSE(row_overlap && col_overlap);
+    }
+}
+
+TEST(Annealing, UntanglesFragmentationWhereGreedyWedges) {
+  // Greedy first-fit places the biggest region (the pure-CLB one) first;
+  // starting at column 0 its window swallows the first BRAM column, leaving
+  // only one BRAM column for the two BRAM-needing regions -> greedy fails.
+  // The annealer shifts the big region to the right end (columns 8-11) and
+  // fits everything.
+  const Device d = fragmented_device();
+  const std::vector<TileCount> need = {
+      {2, 1, 0},  // around one BRAM column
+      {2, 1, 0},  // around the other
+      {4, 0, 0},  // pure CLB block, largest -> placed first by greedy
+  };
+  const FloorplanResult greedy = Floorplanner(d).place(need);
+  EXPECT_FALSE(greedy.success);
+
+  const FloorplanResult annealed = anneal_place(d, need);
+  EXPECT_TRUE(annealed.success);
+}
+
+TEST(Annealing, ImpossibleInstanceFails) {
+  const Device d = fragmented_device();
+  // Three regions each needing a BRAM tile; the device has two columns.
+  const std::vector<TileCount> need = {{1, 1, 0}, {1, 1, 0}, {1, 1, 0}};
+  AnnealingOptions opt;
+  opt.iterations = 5000;
+  const FloorplanResult r = anneal_place(d, need, opt);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}};
+  AnnealingOptions opt;
+  opt.seed = 99;
+  const FloorplanResult a = anneal_place(d, need, opt);
+  const FloorplanResult b = anneal_place(d, need, opt);
+  ASSERT_EQ(a.success, b.success);
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].row, b.placements[i].row);
+    EXPECT_EQ(a.placements[i].col, b.placements[i].col);
+    EXPECT_EQ(a.placements[i].width, b.placements[i].width);
+  }
+}
+
+TEST(Annealing, ZeroAreaRegionsIgnored) {
+  const Device d("test", {800, 8, 8}, 1);
+  const FloorplanResult r = anneal_place(d, {{0, 0, 0}, {2, 0, 0}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.placements[0].width, 0u);
+  EXPECT_GT(r.placements[1].width, 0u);
+}
+
+TEST(Annealing, RejectsBadOptions) {
+  const Device d("test", {800, 8, 8}, 1);
+  AnnealingOptions opt;
+  opt.iterations = 0;
+  EXPECT_THROW(anneal_place(d, {{1, 0, 0}}, opt), InternalError);
+  opt.iterations = 10;
+  opt.cooling = 1.5;
+  EXPECT_THROW(anneal_place(d, {{1, 0, 0}}, opt), InternalError);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,172 @@
+#include "floorplan/floorplanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.hpp"
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(Floorplanner, PlacesSingleSmallRegion) {
+  const Device d("test", {800, 8, 8}, 2);
+  const Floorplanner fp(d);
+  const FloorplanResult r = fp.place({TileCount{3, 0, 0}});
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.placements.size(), 1u);
+  EXPECT_GE(r.placements[0].provided.clb_tiles, 3u);
+}
+
+TEST(Floorplanner, PlacementsProvideRequirements) {
+  const Device d("test", {2000, 24, 24}, 4);
+  const Floorplanner fp(d);
+  const std::vector<TileCount> need = {
+      {10, 1, 0}, {5, 0, 1}, {8, 1, 1}, {2, 0, 0}};
+  const FloorplanResult r = fp.place(need);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.placements.size(), need.size());
+  for (const RegionPlacement& p : r.placements) {
+    EXPECT_GE(p.provided.clb_tiles, need[p.region].clb_tiles);
+    EXPECT_GE(p.provided.bram_tiles, need[p.region].bram_tiles);
+    EXPECT_GE(p.provided.dsp_tiles, need[p.region].dsp_tiles);
+  }
+}
+
+TEST(Floorplanner, RectanglesDoNotOverlap) {
+  const Device d("test", {2000, 24, 24}, 4);
+  const Floorplanner fp(d);
+  const FloorplanResult r =
+      fp.place({{10, 1, 0}, {5, 0, 1}, {8, 1, 1}, {12, 0, 0}});
+  ASSERT_TRUE(r.success);
+  for (std::size_t a = 0; a < r.placements.size(); ++a) {
+    for (std::size_t b = a + 1; b < r.placements.size(); ++b) {
+      const RegionPlacement& p = r.placements[a];
+      const RegionPlacement& q = r.placements[b];
+      if (p.width == 0 || q.width == 0) continue;
+      const bool row_overlap =
+          p.row < q.row + q.height && q.row < p.row + p.height;
+      const bool col_overlap =
+          p.col < q.col + q.width && q.col < p.col + p.width;
+      EXPECT_FALSE(row_overlap && col_overlap)
+          << "regions " << p.region << " and " << q.region << " overlap";
+    }
+  }
+}
+
+TEST(Floorplanner, RectanglesStayInBounds) {
+  const Device d("test", {1200, 16, 16}, 3);
+  const Floorplanner fp(d);
+  const FloorplanResult r = fp.place({{20, 2, 1}, {10, 1, 1}});
+  ASSERT_TRUE(r.success);
+  for (const RegionPlacement& p : r.placements) {
+    EXPECT_LE(p.row + p.height, d.rows());
+    EXPECT_LE(p.col + p.width, d.columns().size());
+  }
+}
+
+TEST(Floorplanner, ZeroAreaRegionAlwaysPlaces) {
+  const Device d("test", {400, 4, 8}, 1);
+  const Floorplanner fp(d);
+  const FloorplanResult r = fp.place({TileCount{0, 0, 0}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.placements[0].width, 0u);
+}
+
+TEST(Floorplanner, FailureReportsRegion) {
+  const Device d("test", {400, 4, 8}, 1);
+  const Floorplanner fp(d);
+  // Needs more BRAM tiles than the whole device has.
+  const FloorplanResult r = fp.place({TileCount{1, 50, 0}});
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.failed_region, 0u);
+}
+
+TEST(Floorplanner, ResourceFitButFragmentationFailure) {
+  // Total resources suffice but no single rectangle can provide the mix:
+  // this is exactly the feasibility gap the paper's future-work feedback
+  // loop addresses.
+  const Device d("test", {400, 8, 0}, 1);  // 1 row, BRAM columns at fixed spots
+  const Floorplanner fp(d);
+  // Two regions each wanting both BRAM columns: impossible.
+  const FloorplanResult r = fp.place({{1, 2, 0}, {1, 2, 0}});
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Floorplanner, CaseStudyProposedSchemeFloorplansOnFX70T) {
+  const Design design = synth::wireless_receiver_design();
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = 64;
+  opt.search.max_move_evaluations = 4'000'000;
+  const PartitionerResult pr =
+      partition_design(design, synth::wireless_receiver_budget(), opt);
+  ASSERT_TRUE(pr.feasible);
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const Floorplanner fp(lib.by_name("XC5VFX70T"));
+  const FloorplanResult r = fp.place_scheme(pr.proposed.eval);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Floorplanner, BestFitNeverWastesMoreThanFirstFit) {
+  const Device d("test", {2000, 24, 24}, 4);
+  const std::vector<TileCount> need = {
+      {10, 1, 0}, {5, 0, 1}, {8, 1, 1}, {12, 0, 0}, {3, 1, 1}};
+  const FloorplanResult first = Floorplanner(d).place(need);
+  const FloorplanResult best =
+      Floorplanner(d, {PlacementStrategy::BestFit}).place(need);
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(best.success);
+  const FloorplanStats fs = floorplan_stats(d, need, first.placements);
+  const FloorplanStats bs = floorplan_stats(d, need, best.placements);
+  EXPECT_LE(bs.waste_frames, fs.waste_frames);
+}
+
+TEST(Floorplanner, BestFitPlacementsStillCoverAndStayDisjoint) {
+  const Device d("test", {2000, 24, 24}, 4);
+  const std::vector<TileCount> need = {{10, 1, 0}, {5, 0, 1}, {8, 1, 1}};
+  const FloorplanResult r =
+      Floorplanner(d, {PlacementStrategy::BestFit}).place(need);
+  ASSERT_TRUE(r.success);
+  for (const RegionPlacement& p : r.placements) {
+    EXPECT_GE(p.provided.clb_tiles, need[p.region].clb_tiles);
+    EXPECT_GE(p.provided.bram_tiles, need[p.region].bram_tiles);
+    EXPECT_GE(p.provided.dsp_tiles, need[p.region].dsp_tiles);
+  }
+  for (std::size_t a = 0; a < r.placements.size(); ++a)
+    for (std::size_t b = a + 1; b < r.placements.size(); ++b) {
+      const RegionPlacement& p = r.placements[a];
+      const RegionPlacement& q = r.placements[b];
+      const bool overlap = p.row < q.row + q.height &&
+                           q.row < p.row + p.height &&
+                           p.col < q.col + q.width && q.col < p.col + p.width;
+      EXPECT_FALSE(overlap);
+    }
+}
+
+TEST(Floorplanner, StatsAccounting) {
+  const Device d("test", {800, 8, 8}, 2);
+  const std::vector<TileCount> need = {{3, 0, 0}};
+  const FloorplanResult r = Floorplanner(d).place(need);
+  ASSERT_TRUE(r.success);
+  const FloorplanStats s = floorplan_stats(d, need, r.placements);
+  EXPECT_EQ(s.required_frames, need[0].frames());
+  EXPECT_GE(s.provided_frames, s.required_frames);
+  EXPECT_EQ(s.waste_frames, s.provided_frames - s.required_frames);
+  EXPECT_GT(s.device_utilization, 0.0);
+  EXPECT_LE(s.device_utilization, 1.0);
+}
+
+TEST(Floorplanner, UcfMentionsEveryPlacedRegion) {
+  const Device d("test", {2000, 24, 24}, 4);
+  const Floorplanner fp(d);
+  const FloorplanResult r = fp.place({{10, 1, 0}, {5, 0, 1}});
+  ASSERT_TRUE(r.success);
+  const std::string ucf = to_ucf(d, r.placements);
+  EXPECT_NE(ucf.find("pblock_PRR1"), std::string::npos);
+  EXPECT_NE(ucf.find("pblock_PRR2"), std::string::npos);
+  EXPECT_NE(ucf.find("MODE = RECONFIG"), std::string::npos);
+  EXPECT_NE(ucf.find("SLICE_X"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,82 @@
+#include "reconfig/icap_datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(IcapDatapath, SingleCommandMatchesIcapModel) {
+  IcapDatapath dp;
+  const IcapCompletion c = dp.submit({1000, 500});
+  EXPECT_EQ(c.start_ns, 1000u);
+  EXPECT_EQ(c.wait_ns, 0u);
+  EXPECT_EQ(c.transfer_ns, dp.timing().reconfiguration_ns(500));
+  EXPECT_EQ(c.done_ns, 1000u + c.transfer_ns);
+}
+
+TEST(IcapDatapath, BackToBackCommandsQueue) {
+  IcapDatapath dp;
+  const IcapCompletion a = dp.submit({0, 1000});
+  const IcapCompletion b = dp.submit({0, 1000});
+  EXPECT_EQ(b.start_ns, a.done_ns);
+  EXPECT_EQ(b.wait_ns, a.done_ns);
+  EXPECT_EQ(dp.stats().max_wait_ns, b.wait_ns);
+  EXPECT_EQ(dp.stats().total_wait_ns, b.wait_ns);
+}
+
+TEST(IcapDatapath, IdleGapsResetQueueing) {
+  IcapDatapath dp;
+  const IcapCompletion a = dp.submit({0, 100});
+  const IcapCompletion b = dp.submit({a.done_ns + 5000, 100});
+  EXPECT_EQ(b.wait_ns, 0u);
+  EXPECT_EQ(b.start_ns, a.done_ns + 5000);
+}
+
+TEST(IcapDatapath, ZeroFrameCompletesInstantly) {
+  IcapDatapath dp;
+  dp.submit({0, 1000});
+  const IcapCompletion z = dp.submit({10, 0});
+  EXPECT_EQ(z.done_ns, 10u);
+  EXPECT_EQ(z.transfer_ns, 0u);
+  EXPECT_EQ(dp.stats().commands, 1u);  // zero-frame not counted
+}
+
+TEST(IcapDatapath, RejectsOutOfOrderSubmission) {
+  IcapDatapath dp;
+  dp.submit({100, 10});
+  EXPECT_THROW(dp.submit({50, 10}), InternalError);
+}
+
+TEST(IcapDatapath, StatsAccumulate) {
+  IcapDatapath dp;
+  std::uint64_t expected_bytes = 0;
+  for (int i = 0; i < 10; ++i) {
+    dp.submit({0, 200});
+    expected_bytes += dp.timing().bitstream_bytes(200);
+  }
+  EXPECT_EQ(dp.stats().commands, 10u);
+  EXPECT_EQ(dp.stats().bytes, expected_bytes);
+  EXPECT_EQ(dp.stats().busy_ns, 10 * dp.timing().reconfiguration_ns(200));
+}
+
+TEST(IcapDatapath, SaturatedPortUtilizationApproachesOne) {
+  IcapDatapath dp;
+  for (int i = 0; i < 50; ++i) dp.submit({0, 1000});
+  EXPECT_GT(dp.utilization(), 0.99);
+  EXPECT_LE(dp.utilization(), 1.0);
+}
+
+TEST(IcapDatapath, SparseTrafficHasLowUtilization) {
+  IcapDatapath dp;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 10; ++i) {
+    const IcapCompletion c = dp.submit({t, 100});
+    t = c.done_ns + 10 * c.transfer_ns;  // long idle gaps
+  }
+  EXPECT_LT(dp.utilization(), 0.2);
+}
+
+}  // namespace
+}  // namespace prpart

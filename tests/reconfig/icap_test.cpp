@@ -1,0 +1,53 @@
+#include "reconfig/icap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(IcapModel, ZeroFramesIsFree) {
+  EXPECT_EQ(IcapModel{}.reconfiguration_ns(0), 0u);
+}
+
+TEST(IcapModel, BitstreamBytesAre41WordsPerFrame) {
+  EXPECT_EQ(IcapModel{}.bitstream_bytes(1), 41u * 4);
+  EXPECT_EQ(IcapModel{}.bitstream_bytes(100), 100u * 41 * 4);
+}
+
+TEST(IcapModel, DefaultBandwidthIsIcapBound) {
+  const IcapModel m;
+  // 4 bytes x 100 MHz = 400 MB/s < 800 MB/s fetch.
+  EXPECT_EQ(m.effective_bandwidth_bps(), 400'000'000u);
+}
+
+TEST(IcapModel, FetchBoundWhenMemoryIsSlow) {
+  IcapModel m;
+  m.fetch_bandwidth_bps = 100'000'000;
+  EXPECT_EQ(m.effective_bandwidth_bps(), 100'000'000u);
+}
+
+TEST(IcapModel, TimeScalesLinearlyWithFrames) {
+  const IcapModel m;
+  const std::uint64_t t1 = m.reconfiguration_ns(1000);
+  const std::uint64_t t2 = m.reconfiguration_ns(2000);
+  // Subtracting the fixed latency, time doubles.
+  EXPECT_EQ(t2 - m.fetch_latency_ns, 2 * (t1 - m.fetch_latency_ns));
+}
+
+TEST(IcapModel, KnownValue) {
+  // 12234 frames (case-study single region) = 2,006,376 bytes at 400 MB/s
+  // = 5,015,940 ns + 2,000 ns latency.
+  const IcapModel m;
+  EXPECT_EQ(m.reconfiguration_ns(12234), 5'015'940u + 2'000u);
+}
+
+TEST(IcapModel, InvalidConfigurationThrows) {
+  IcapModel m;
+  m.icap_width_bytes = 0;
+  EXPECT_THROW(m.reconfiguration_ns(10), InternalError);
+}
+
+}  // namespace
+}  // namespace prpart

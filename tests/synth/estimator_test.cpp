@@ -1,0 +1,94 @@
+#include "synth/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart::synth {
+namespace {
+
+TEST(Estimator, ZeroSpecIsZero) {
+  EXPECT_EQ(estimate({}), ResourceVec(0, 0, 0));
+}
+
+TEST(Estimator, LutBoundLogic) {
+  BehavioralSpec spec;
+  spec.luts = 400;
+  spec.ffs = 100;
+  EstimatorOptions opt;
+  opt.packing_efficiency = 1.0;
+  // 400 LUTs / 4 per CLB = 100 CLBs (FF demand is smaller).
+  EXPECT_EQ(estimate(spec, opt).clbs, 100u);
+}
+
+TEST(Estimator, FfBoundLogic) {
+  BehavioralSpec spec;
+  spec.luts = 100;
+  spec.ffs = 400;
+  EstimatorOptions opt;
+  opt.packing_efficiency = 1.0;
+  EXPECT_EQ(estimate(spec, opt).clbs, 100u);
+}
+
+TEST(Estimator, PackingEfficiencyInflates) {
+  BehavioralSpec spec;
+  spec.luts = 400;
+  EstimatorOptions tight;
+  tight.packing_efficiency = 1.0;
+  EstimatorOptions loose;
+  loose.packing_efficiency = 0.5;
+  EXPECT_EQ(estimate(spec, loose).clbs, 2 * estimate(spec, tight).clbs);
+}
+
+TEST(Estimator, MemoryMapsToBrams) {
+  BehavioralSpec spec;
+  spec.mem_kbits = 100;
+  EXPECT_EQ(estimate(spec).brams, 3u);  // ceil(100/36)
+}
+
+TEST(Estimator, MultipliersMapToDsps) {
+  BehavioralSpec spec;
+  spec.mult18s = 7;
+  EXPECT_EQ(estimate(spec).dsps, 7u);
+}
+
+TEST(Estimator, DistributedMemoryUsesClbs) {
+  BehavioralSpec spec;
+  spec.dist_mem_bits = 640;
+  EstimatorOptions opt;
+  opt.packing_efficiency = 1.0;
+  EXPECT_EQ(estimate(spec, opt).clbs, 10u);  // 640 / 64 bits per CLB
+}
+
+TEST(Estimator, MonotoneInEveryInput) {
+  BehavioralSpec base;
+  base.luts = 100;
+  base.ffs = 50;
+  base.mult18s = 3;
+  base.mem_kbits = 40;
+  const ResourceVec r0 = estimate(base);
+  for (int field = 0; field < 4; ++field) {
+    BehavioralSpec grown = base;
+    switch (field) {
+      case 0: grown.luts += 100; break;
+      case 1: grown.ffs += 200; break;
+      case 2: grown.mult18s += 2; break;
+      case 3: grown.mem_kbits += 40; break;
+    }
+    const ResourceVec r1 = estimate(grown);
+    EXPECT_GE(r1.clbs, r0.clbs);
+    EXPECT_GE(r1.brams, r0.brams);
+    EXPECT_GE(r1.dsps, r0.dsps);
+  }
+}
+
+TEST(Estimator, RejectsBadOptions) {
+  EstimatorOptions opt;
+  opt.packing_efficiency = 0.0;
+  EXPECT_THROW(estimate({}, opt), InternalError);
+  opt.packing_efficiency = 1.5;
+  EXPECT_THROW(estimate({}, opt), InternalError);
+}
+
+}  // namespace
+}  // namespace prpart::synth

@@ -1,0 +1,79 @@
+#include "synth/ip_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart::synth {
+namespace {
+
+TEST(IpLibrary, ContainsTable2Blocks) {
+  const IpLibrary lib = IpLibrary::standard();
+  // Spot-check Table II rows verbatim.
+  EXPECT_EQ(lib.lookup("matched_filter.filter1").area, ResourceVec(818, 0, 28));
+  EXPECT_EQ(lib.lookup("matched_filter.filter2").area, ResourceVec(500, 0, 34));
+  EXPECT_EQ(lib.lookup("recovery.fine").area, ResourceVec(318, 1, 13));
+  EXPECT_EQ(lib.lookup("recovery.none").area, ResourceVec(0, 0, 0));
+  EXPECT_EQ(lib.lookup("decoder.turbo").area, ResourceVec(748, 15, 4));
+  EXPECT_EQ(lib.lookup("video.mpeg4").area, ResourceVec(4700, 40, 65));
+  EXPECT_EQ(lib.lookup("video.jpeg").area, ResourceVec(2780, 6, 9));
+}
+
+TEST(IpLibrary, LookupUnknownThrows) {
+  const IpLibrary lib = IpLibrary::standard();
+  EXPECT_FALSE(lib.contains("nonexistent"));
+  EXPECT_THROW(lib.lookup("nonexistent"), DesignError);
+}
+
+TEST(CaseStudy, StructureMatchesPaper) {
+  const Design d = wireless_receiver_design();
+  ASSERT_EQ(d.modules().size(), 5u);
+  EXPECT_EQ(d.modules()[0].name, "F");
+  EXPECT_EQ(d.modules()[0].modes.size(), 2u);
+  EXPECT_EQ(d.modules()[1].modes.size(), 4u);  // R1..R4 incl. "None"
+  EXPECT_EQ(d.modules()[2].modes.size(), 2u);
+  EXPECT_EQ(d.modules()[3].modes.size(), 3u);
+  EXPECT_EQ(d.modules()[4].modes.size(), 3u);
+  EXPECT_EQ(d.configurations().size(), 8u);
+  EXPECT_EQ(d.mode_count(), 14u);
+}
+
+TEST(CaseStudy, FullyStaticAreaMatchesTable2Sum) {
+  const Design d = wireless_receiver_design();
+  // Sum of every Table II row: 15751 CLBs, 83 BRAMs, 204 DSPs. (The paper's
+  // Table IV quotes 15053/68/202 for the static scheme; its own column sums
+  // differ slightly -- see EXPERIMENTS.md.)
+  EXPECT_EQ(d.full_static_area(), ResourceVec(15751, 83, 204));
+}
+
+TEST(CaseStudy, StaticImplementationExceedsBudget) {
+  // The paper's headline observation: full static does not fit the 6800/50/
+  // 150 budget.
+  const Design d = wireless_receiver_design();
+  EXPECT_FALSE(d.full_static_area().fits_in(wireless_receiver_budget()));
+}
+
+TEST(CaseStudy, LargestConfigurationFitsBudget) {
+  // ...but a single-region implementation (the lower bound) does fit.
+  const Design d = wireless_receiver_design();
+  const ResourceVec lower = d.largest_configuration_area();
+  EXPECT_TRUE(lower.fits_in(wireless_receiver_budget()))
+      << lower.to_string();
+}
+
+TEST(CaseStudy, ModifiedVariantHasFiveConfigurations) {
+  const Design d = wireless_receiver_modified_design();
+  EXPECT_EQ(d.configurations().size(), 5u);
+  EXPECT_EQ(d.modules().size(), 5u);
+}
+
+TEST(CaseStudy, R4NeverUsed) {
+  // Recovery mode 4 ("None", zero area) exists in Table II but none of the
+  // eight §V configurations use it; it must be flagged as dead.
+  const Design d = wireless_receiver_design();
+  const std::size_t r4 = d.global_mode_id(1, 4);
+  EXPECT_FALSE(d.mode_used(r4));
+}
+
+}  // namespace
+}  // namespace prpart::synth

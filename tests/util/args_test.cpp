@@ -1,0 +1,54 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(Args, SeparatesPositionalsAndOptions) {
+  const Args a({"partition", "design.xml", "--device", "XC5VFX70T"}, {});
+  EXPECT_EQ(a.positionals(),
+            (std::vector<std::string>{"partition", "design.xml"}));
+  EXPECT_EQ(a.value("device"), "XC5VFX70T");
+  EXPECT_TRUE(a.has("device"));
+  EXPECT_FALSE(a.has("budget"));
+}
+
+TEST(Args, SwitchesTakeNoValue) {
+  const Args a({"partition", "--floorplan", "design.xml"}, {"floorplan"});
+  EXPECT_TRUE(a.has("floorplan"));
+  EXPECT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[1], "design.xml");
+}
+
+TEST(Args, ValueOrAndU64Or) {
+  const Args a({"--steps", "500"}, {});
+  EXPECT_EQ(a.u64_or("steps", 10), 500u);
+  EXPECT_EQ(a.u64_or("seed", 10), 10u);
+  EXPECT_EQ(a.value_or("class", "logic"), "logic");
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(Args({"--device"}, {}), ParseError);
+}
+
+TEST(Args, StrayDashesThrow) {
+  EXPECT_THROW(Args({"--"}, {}), ParseError);
+}
+
+TEST(Args, CheckKnownRejectsTypos) {
+  const Args a({"--devcie", "X"}, {});
+  EXPECT_THROW(a.check_known({"device"}), ParseError);
+  const Args b({"--device", "X"}, {});
+  EXPECT_NO_THROW(b.check_known({"device"}));
+}
+
+TEST(Args, NonNumericU64Throws) {
+  const Args a({"--steps", "abc"}, {});
+  EXPECT_THROW(a.u64_or("steps", 1), ParseError);
+}
+
+}  // namespace
+}  // namespace prpart

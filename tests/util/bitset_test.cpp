@@ -1,0 +1,151 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynBitset, SetResetTest) {
+  DynBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynBitset, OutOfRangeThrows) {
+  DynBitset b(10);
+  EXPECT_THROW(b.set(10), InternalError);
+  EXPECT_THROW(b.test(11), InternalError);
+  EXPECT_THROW(b.reset(100), InternalError);
+}
+
+TEST(DynBitset, SizeMismatchThrows) {
+  DynBitset a(10);
+  DynBitset b(11);
+  EXPECT_THROW(a.intersects(b), InternalError);
+  EXPECT_THROW(a.is_subset_of(b), InternalError);
+  EXPECT_THROW(a |= b, InternalError);
+}
+
+TEST(DynBitset, Intersects) {
+  DynBitset a(130);
+  DynBitset b(130);
+  a.set(5);
+  a.set(128);
+  b.set(6);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(128);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(DynBitset, SubsetRelation) {
+  DynBitset a(80);
+  DynBitset b(80);
+  a.set(1);
+  a.set(70);
+  b.set(1);
+  b.set(70);
+  b.set(3);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  DynBitset empty(80);
+  EXPECT_TRUE(empty.is_subset_of(a));
+}
+
+TEST(DynBitset, UnionIntersection) {
+  DynBitset a(66);
+  DynBitset b(66);
+  a.set(0);
+  a.set(65);
+  b.set(1);
+  b.set(65);
+  const DynBitset u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  const DynBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(65));
+}
+
+TEST(DynBitset, Subtract) {
+  DynBitset a(66);
+  DynBitset b(66);
+  a.set(0);
+  a.set(5);
+  a.set(65);
+  b.set(5);
+  b.set(65);
+  a.subtract(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(0));
+}
+
+TEST(DynBitset, BitsAreSortedAndComplete) {
+  DynBitset b(200);
+  const std::vector<std::size_t> expected = {0, 1, 63, 64, 127, 128, 199};
+  for (std::size_t i : expected) b.set(i);
+  EXPECT_EQ(b.bits(), expected);
+}
+
+TEST(DynBitset, EqualityAndOrdering) {
+  DynBitset a(10);
+  DynBitset b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a || a < b);
+}
+
+TEST(DynBitset, HashDistinguishesTypicalSets) {
+  std::unordered_set<std::size_t> hashes;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    DynBitset b(64);
+    for (int k = 0; k < 8; ++k) b.set(rng.below(64));
+    hashes.insert(b.hash());
+  }
+  // Collisions are possible but should be rare for 500 random sets.
+  EXPECT_GT(hashes.size(), 450u);
+}
+
+TEST(DynBitset, ToString) {
+  DynBitset b(10);
+  b.set(1);
+  b.set(4);
+  b.set(7);
+  EXPECT_EQ(b.to_string(), "{1,4,7}");
+  EXPECT_EQ(DynBitset(5).to_string(), "{}");
+}
+
+TEST(DynBitset, ZeroSizeIsValid) {
+  DynBitset b(0);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x"});
+  csv.row({"has,comma"});
+  csv.row({"has\"quote"});
+  csv.row({"has\nnewline"});
+  EXPECT_EQ(out.str(),
+            "x\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, WrongArityThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"1"}), InternalError);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), InternalError);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,71 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(Histogram, BucketsSamples) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.9);
+  h.add(9.5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[9], 1u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0, 10, 5);
+  h.add(-100.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h(-10, 10, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), -10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), -5.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 5.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 10.0);
+}
+
+TEST(Histogram, FractionAbove) {
+  Histogram h(0, 100, 10);
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  h.add(40);
+  EXPECT_DOUBLE_EQ(h.fraction_above(25), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(100), 0.0);
+}
+
+TEST(Histogram, FractionAboveEmpty) {
+  Histogram h(0, 1, 2);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0.5), 0.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1, 1, 4), InternalError);
+  EXPECT_THROW(Histogram(2, 1, 4), InternalError);
+  EXPECT_THROW(Histogram(0, 1, 0), InternalError);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0, 10, 2);
+  for (int i = 0; i < 7; ++i) h.add(1);
+  h.add(8);
+  const std::string out = h.render("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find(" 7"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart

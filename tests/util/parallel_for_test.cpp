@@ -1,0 +1,86 @@
+#include "util/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace prpart {
+namespace {
+
+TEST(ParallelFor, ExecutesEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h = 0;
+    parallel_for(100, threads, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+  }
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto compute = [](unsigned threads) {
+    std::vector<std::uint64_t> out(200);
+    parallel_for(out.size(), threads, [&](std::size_t i) {
+      std::uint64_t v = i + 1;
+      for (int k = 0; k < 50; ++k) v = v * 6364136223846793005ull + 1;
+      out[i] = v;
+    });
+    return out;
+  };
+  const auto serial = compute(1);
+  EXPECT_EQ(compute(2), serial);
+  EXPECT_EQ(compute(7), serial);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool ran = false;
+  parallel_for(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(5);
+  parallel_for(ids.size(), 1,
+               [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(50, 4,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionStopsFurtherWork) {
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(1000000, 2, [&](std::size_t i) {
+      ++executed;
+      if (i == 0) throw std::runtime_error("early");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Workers bail out quickly; far fewer than all iterations ran.
+  EXPECT_LT(executed.load(), 1000000);
+}
+
+TEST(ParallelFor, DefaultThreadCountRespectsEnv) {
+  setenv("PRPART_TEST_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count("PRPART_TEST_THREADS"), 3u);
+  setenv("PRPART_TEST_THREADS", "0", 1);
+  EXPECT_EQ(default_thread_count("PRPART_TEST_THREADS"), 1u);
+  unsetenv("PRPART_TEST_THREADS");
+  EXPECT_GE(default_thread_count("PRPART_TEST_THREADS"), 1u);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"A", "B"});
+  t.add_row({"long-cell", "x"});
+  const std::string out = t.render();
+  // Every rendered line has the same width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, WrongArityThrows) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InternalError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), InternalError);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"A"});
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  const std::string out = t.render();
+  // 5 rules total: top, under header, mid, and bottom... count '+' corners.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, RowsCount) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace prpart

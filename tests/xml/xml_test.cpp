@@ -1,0 +1,109 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const auto root = parse("<root/>");
+  EXPECT_EQ(root->name(), "root");
+  EXPECT_TRUE(root->children().empty());
+  EXPECT_TRUE(root->text().empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto root = parse(R"(<m name="A" count='3'/>)");
+  EXPECT_EQ(root->attr("name"), "A");
+  EXPECT_EQ(root->attr("count"), "3");
+  EXPECT_TRUE(root->has_attr("name"));
+  EXPECT_FALSE(root->has_attr("missing"));
+  EXPECT_THROW(root->attr("missing"), ParseError);
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const auto root = parse("<a><b><c/></b><b/></a>");
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->children_named("b").size(), 2u);
+  EXPECT_EQ(root->child("b").children().size(), 1u);
+  EXPECT_EQ(root->find_child("missing"), nullptr);
+  EXPECT_THROW(root->child("missing"), ParseError);
+}
+
+TEST(Xml, ParsesText) {
+  const auto root = parse("<a>  hello world  </a>");
+  EXPECT_EQ(root->text(), "hello world");
+}
+
+TEST(Xml, ParsesEntities) {
+  const auto root = parse(R"(<a v="&lt;x&gt;">&amp;&quot;&apos;</a>)");
+  EXPECT_EQ(root->attr("v"), "<x>");
+  EXPECT_EQ(root->text(), "&\"'");
+}
+
+TEST(Xml, SkipsCommentsAndDeclarations) {
+  const auto root = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- leading comment -->\n"
+      "<a><!-- inner --><b/></a>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(root->name(), "a");
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(Xml, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("<a>"), ParseError);
+  EXPECT_THROW(parse("<a></b>"), ParseError);
+  EXPECT_THROW(parse("<a attr></a>"), ParseError);
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+  EXPECT_THROW(parse("<a v=unquoted/>"), ParseError);
+  EXPECT_THROW(parse("<a>&bogus;</a>"), ParseError);
+  EXPECT_THROW(parse("<!-- unterminated"), ParseError);
+}
+
+TEST(Xml, ErrorsCarryLineNumbers) {
+  try {
+    parse("<a>\n<b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Xml, RoundTripsThroughToString) {
+  const std::string doc =
+      "<design name=\"d&amp;d\">\n"
+      "  <module name=\"A\">\n"
+      "    <mode name=\"A1\" clbs=\"10\"/>\n"
+      "  </module>\n"
+      "</design>\n";
+  const auto first = parse(doc);
+  const auto second = parse(first->to_string());
+  EXPECT_EQ(second->attr("name"), "d&d");
+  EXPECT_EQ(second->child("module").child("mode").attr("clbs"), "10");
+  // Serialisation is a fixed point after one round.
+  EXPECT_EQ(first->to_string(), second->to_string());
+}
+
+TEST(Xml, BuildsDocumentsProgrammatically) {
+  Element root("list");
+  Element& item = root.add_child("item");
+  item.set_attr("id", "1");
+  item.set_text("payload <raw>");
+  const auto reparsed = parse(root.to_string());
+  EXPECT_EQ(reparsed->child("item").text(), "payload <raw>");
+}
+
+TEST(Xml, SetAttrOverwrites) {
+  Element e("x");
+  e.set_attr("k", "1");
+  e.set_attr("k", "2");
+  EXPECT_EQ(e.attr("k"), "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace prpart::xml
