@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_application_impact.dir/ablation_application_impact.cpp.o"
+  "CMakeFiles/bench_ablation_application_impact.dir/ablation_application_impact.cpp.o.d"
+  "bench_ablation_application_impact"
+  "bench_ablation_application_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_application_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

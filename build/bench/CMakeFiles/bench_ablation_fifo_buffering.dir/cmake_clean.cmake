@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fifo_buffering.dir/ablation_fifo_buffering.cpp.o"
+  "CMakeFiles/bench_ablation_fifo_buffering.dir/ablation_fifo_buffering.cpp.o.d"
+  "bench_ablation_fifo_buffering"
+  "bench_ablation_fifo_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fifo_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transition_probs.dir/ablation_transition_probs.cpp.o"
+  "CMakeFiles/bench_ablation_transition_probs.dir/ablation_transition_probs.cpp.o.d"
+  "bench_ablation_transition_probs"
+  "bench_ablation_transition_probs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transition_probs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

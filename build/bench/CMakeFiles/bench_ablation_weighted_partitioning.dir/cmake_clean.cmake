@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weighted_partitioning.dir/ablation_weighted_partitioning.cpp.o"
+  "CMakeFiles/bench_ablation_weighted_partitioning.dir/ablation_weighted_partitioning.cpp.o.d"
+  "bench_ablation_weighted_partitioning"
+  "bench_ablation_weighted_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weighted_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

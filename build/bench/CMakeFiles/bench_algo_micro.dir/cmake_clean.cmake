@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algo_micro.dir/algo_micro.cpp.o"
+  "CMakeFiles/bench_algo_micro.dir/algo_micro.cpp.o.d"
+  "bench_algo_micro"
+  "bench_algo_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algo_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

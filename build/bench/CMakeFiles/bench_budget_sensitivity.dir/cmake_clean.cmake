@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_sensitivity.dir/budget_sensitivity.cpp.o"
+  "CMakeFiles/bench_budget_sensitivity.dir/budget_sensitivity.cpp.o.d"
+  "bench_budget_sensitivity"
+  "bench_budget_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig8_sweep.dir/fig7_fig8_sweep.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_sweep.dir/fig7_fig8_sweep.cpp.o.d"
+  "CMakeFiles/bench_fig7_fig8_sweep.dir/sweep_common.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_sweep.dir/sweep_common.cpp.o.d"
+  "bench_fig7_fig8_sweep"
+  "bench_fig7_fig8_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

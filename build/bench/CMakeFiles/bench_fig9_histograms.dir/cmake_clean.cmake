@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_histograms.dir/fig9_histograms.cpp.o"
+  "CMakeFiles/bench_fig9_histograms.dir/fig9_histograms.cpp.o.d"
+  "CMakeFiles/bench_fig9_histograms.dir/sweep_common.cpp.o"
+  "CMakeFiles/bench_fig9_histograms.dir/sweep_common.cpp.o.d"
+  "bench_fig9_histograms"
+  "bench_fig9_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_comparison.dir/related_comparison.cpp.o"
+  "CMakeFiles/bench_related_comparison.dir/related_comparison.cpp.o.d"
+  "bench_related_comparison"
+  "bench_related_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/special_conditions.cpp" "bench/CMakeFiles/bench_special_conditions.dir/special_conditions.cpp.o" "gcc" "bench/CMakeFiles/bench_special_conditions.dir/special_conditions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitstream/CMakeFiles/prpart_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/prpart_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/prpart_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/prpart_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/prpart_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/related/CMakeFiles/prpart_related.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/prpart_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prpart_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_special_conditions.dir/special_conditions.cpp.o"
+  "CMakeFiles/bench_special_conditions.dir/special_conditions.cpp.o.d"
+  "bench_special_conditions"
+  "bench_special_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_special_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

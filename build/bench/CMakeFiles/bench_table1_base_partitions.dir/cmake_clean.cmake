@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_base_partitions.dir/table1_base_partitions.cpp.o"
+  "CMakeFiles/bench_table1_base_partitions.dir/table1_base_partitions.cpp.o.d"
+  "bench_table1_base_partitions"
+  "bench_table1_base_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_base_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

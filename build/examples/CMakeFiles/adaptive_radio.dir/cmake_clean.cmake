@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_radio.dir/adaptive_radio.cpp.o"
+  "CMakeFiles/adaptive_radio.dir/adaptive_radio.cpp.o.d"
+  "adaptive_radio"
+  "adaptive_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallest_device.dir/smallest_device.cpp.o"
+  "CMakeFiles/smallest_device.dir/smallest_device.cpp.o.d"
+  "smallest_device"
+  "smallest_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallest_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_receiver.dir/streaming_receiver.cpp.o"
+  "CMakeFiles/streaming_receiver.dir/streaming_receiver.cpp.o.d"
+  "streaming_receiver"
+  "streaming_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

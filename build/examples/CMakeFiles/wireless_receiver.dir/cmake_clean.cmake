@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_receiver.dir/wireless_receiver.cpp.o"
+  "CMakeFiles/wireless_receiver.dir/wireless_receiver.cpp.o.d"
+  "wireless_receiver"
+  "wireless_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

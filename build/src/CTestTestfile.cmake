@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("device")
+subdirs("design")
+subdirs("synth")
+subdirs("core")
+subdirs("reconfig")
+subdirs("floorplan")
+subdirs("bitstream")
+subdirs("cli")
+subdirs("flow")
+subdirs("related")
+subdirs("stream")

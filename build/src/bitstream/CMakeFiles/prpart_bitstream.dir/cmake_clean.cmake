@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_bitstream.dir/bitstream.cpp.o"
+  "CMakeFiles/prpart_bitstream.dir/bitstream.cpp.o.d"
+  "CMakeFiles/prpart_bitstream.dir/config_memory.cpp.o"
+  "CMakeFiles/prpart_bitstream.dir/config_memory.cpp.o.d"
+  "CMakeFiles/prpart_bitstream.dir/frame_address.cpp.o"
+  "CMakeFiles/prpart_bitstream.dir/frame_address.cpp.o.d"
+  "libprpart_bitstream.a"
+  "libprpart_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart.dir/main.cpp.o"
+  "CMakeFiles/prpart.dir/main.cpp.o.d"
+  "prpart"
+  "prpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_cli.dir/cli.cpp.o"
+  "CMakeFiles/prpart_cli.dir/cli.cpp.o.d"
+  "libprpart_cli.a"
+  "libprpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

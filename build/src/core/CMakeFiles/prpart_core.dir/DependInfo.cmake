@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_partition.cpp" "src/core/CMakeFiles/prpart_core.dir/base_partition.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/base_partition.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/prpart_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/compatibility.cpp" "src/core/CMakeFiles/prpart_core.dir/compatibility.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/compatibility.cpp.o.d"
+  "/root/repo/src/core/connectivity.cpp" "src/core/CMakeFiles/prpart_core.dir/connectivity.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/connectivity.cpp.o.d"
+  "/root/repo/src/core/covering.cpp" "src/core/CMakeFiles/prpart_core.dir/covering.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/covering.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/prpart_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/prpart_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/prpart_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/result_io.cpp" "src/core/CMakeFiles/prpart_core.dir/result_io.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/result_io.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/prpart_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/prpart_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/schemes.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/prpart_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/prpart_core.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/design/CMakeFiles/prpart_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

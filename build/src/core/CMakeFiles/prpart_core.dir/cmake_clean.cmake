@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_core.dir/base_partition.cpp.o"
+  "CMakeFiles/prpart_core.dir/base_partition.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/clustering.cpp.o"
+  "CMakeFiles/prpart_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/compatibility.cpp.o"
+  "CMakeFiles/prpart_core.dir/compatibility.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/connectivity.cpp.o"
+  "CMakeFiles/prpart_core.dir/connectivity.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/covering.cpp.o"
+  "CMakeFiles/prpart_core.dir/covering.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/optimal.cpp.o"
+  "CMakeFiles/prpart_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/partitioner.cpp.o"
+  "CMakeFiles/prpart_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/report.cpp.o"
+  "CMakeFiles/prpart_core.dir/report.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/result_io.cpp.o"
+  "CMakeFiles/prpart_core.dir/result_io.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/scheme.cpp.o"
+  "CMakeFiles/prpart_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/schemes.cpp.o"
+  "CMakeFiles/prpart_core.dir/schemes.cpp.o.d"
+  "CMakeFiles/prpart_core.dir/search.cpp.o"
+  "CMakeFiles/prpart_core.dir/search.cpp.o.d"
+  "libprpart_core.a"
+  "libprpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

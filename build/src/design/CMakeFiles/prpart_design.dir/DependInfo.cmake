@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/builder.cpp" "src/design/CMakeFiles/prpart_design.dir/builder.cpp.o" "gcc" "src/design/CMakeFiles/prpart_design.dir/builder.cpp.o.d"
+  "/root/repo/src/design/design.cpp" "src/design/CMakeFiles/prpart_design.dir/design.cpp.o" "gcc" "src/design/CMakeFiles/prpart_design.dir/design.cpp.o.d"
+  "/root/repo/src/design/io_xml.cpp" "src/design/CMakeFiles/prpart_design.dir/io_xml.cpp.o" "gcc" "src/design/CMakeFiles/prpart_design.dir/io_xml.cpp.o.d"
+  "/root/repo/src/design/lint.cpp" "src/design/CMakeFiles/prpart_design.dir/lint.cpp.o" "gcc" "src/design/CMakeFiles/prpart_design.dir/lint.cpp.o.d"
+  "/root/repo/src/design/synthetic.cpp" "src/design/CMakeFiles/prpart_design.dir/synthetic.cpp.o" "gcc" "src/design/CMakeFiles/prpart_design.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

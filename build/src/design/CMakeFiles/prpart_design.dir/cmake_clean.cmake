@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_design.dir/builder.cpp.o"
+  "CMakeFiles/prpart_design.dir/builder.cpp.o.d"
+  "CMakeFiles/prpart_design.dir/design.cpp.o"
+  "CMakeFiles/prpart_design.dir/design.cpp.o.d"
+  "CMakeFiles/prpart_design.dir/io_xml.cpp.o"
+  "CMakeFiles/prpart_design.dir/io_xml.cpp.o.d"
+  "CMakeFiles/prpart_design.dir/lint.cpp.o"
+  "CMakeFiles/prpart_design.dir/lint.cpp.o.d"
+  "CMakeFiles/prpart_design.dir/synthetic.cpp.o"
+  "CMakeFiles/prpart_design.dir/synthetic.cpp.o.d"
+  "libprpart_design.a"
+  "libprpart_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_device.dir/device.cpp.o"
+  "CMakeFiles/prpart_device.dir/device.cpp.o.d"
+  "CMakeFiles/prpart_device.dir/resources.cpp.o"
+  "CMakeFiles/prpart_device.dir/resources.cpp.o.d"
+  "libprpart_device.a"
+  "libprpart_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprpart_device.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/annealing.cpp" "src/floorplan/CMakeFiles/prpart_floorplan.dir/annealing.cpp.o" "gcc" "src/floorplan/CMakeFiles/prpart_floorplan.dir/annealing.cpp.o.d"
+  "/root/repo/src/floorplan/floorplanner.cpp" "src/floorplan/CMakeFiles/prpart_floorplan.dir/floorplanner.cpp.o" "gcc" "src/floorplan/CMakeFiles/prpart_floorplan.dir/floorplanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/prpart_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

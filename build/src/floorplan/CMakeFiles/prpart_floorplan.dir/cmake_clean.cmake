@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_floorplan.dir/annealing.cpp.o"
+  "CMakeFiles/prpart_floorplan.dir/annealing.cpp.o.d"
+  "CMakeFiles/prpart_floorplan.dir/floorplanner.cpp.o"
+  "CMakeFiles/prpart_floorplan.dir/floorplanner.cpp.o.d"
+  "libprpart_floorplan.a"
+  "libprpart_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

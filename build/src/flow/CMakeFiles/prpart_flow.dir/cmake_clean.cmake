@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_flow.dir/flow.cpp.o"
+  "CMakeFiles/prpart_flow.dir/flow.cpp.o.d"
+  "libprpart_flow.a"
+  "libprpart_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/application.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/application.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/application.cpp.o.d"
+  "/root/repo/src/reconfig/controller.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/controller.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/controller.cpp.o.d"
+  "/root/repo/src/reconfig/icap.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/icap.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/icap.cpp.o.d"
+  "/root/repo/src/reconfig/icap_datapath.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/icap_datapath.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/icap_datapath.cpp.o.d"
+  "/root/repo/src/reconfig/markov.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/markov.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/markov.cpp.o.d"
+  "/root/repo/src/reconfig/policy.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/policy.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/policy.cpp.o.d"
+  "/root/repo/src/reconfig/prefetch.cpp" "src/reconfig/CMakeFiles/prpart_reconfig.dir/prefetch.cpp.o" "gcc" "src/reconfig/CMakeFiles/prpart_reconfig.dir/prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/prpart_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_reconfig.dir/application.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/application.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/controller.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/controller.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/icap.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/icap.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/icap_datapath.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/icap_datapath.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/markov.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/markov.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/policy.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/policy.cpp.o.d"
+  "CMakeFiles/prpart_reconfig.dir/prefetch.cpp.o"
+  "CMakeFiles/prpart_reconfig.dir/prefetch.cpp.o.d"
+  "libprpart_reconfig.a"
+  "libprpart_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_related.dir/rana_clustering.cpp.o"
+  "CMakeFiles/prpart_related.dir/rana_clustering.cpp.o.d"
+  "libprpart_related.a"
+  "libprpart_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

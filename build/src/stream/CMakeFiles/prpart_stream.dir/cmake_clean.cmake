@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_stream.dir/pipeline.cpp.o"
+  "CMakeFiles/prpart_stream.dir/pipeline.cpp.o.d"
+  "libprpart_stream.a"
+  "libprpart_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

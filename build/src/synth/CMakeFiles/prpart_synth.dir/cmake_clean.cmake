@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_synth.dir/estimator.cpp.o"
+  "CMakeFiles/prpart_synth.dir/estimator.cpp.o.d"
+  "CMakeFiles/prpart_synth.dir/ip_library.cpp.o"
+  "CMakeFiles/prpart_synth.dir/ip_library.cpp.o.d"
+  "libprpart_synth.a"
+  "libprpart_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

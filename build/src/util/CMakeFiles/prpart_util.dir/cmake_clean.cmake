@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_util.dir/args.cpp.o"
+  "CMakeFiles/prpart_util.dir/args.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/bitset.cpp.o"
+  "CMakeFiles/prpart_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/csv.cpp.o"
+  "CMakeFiles/prpart_util.dir/csv.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/histogram.cpp.o"
+  "CMakeFiles/prpart_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/parallel_for.cpp.o"
+  "CMakeFiles/prpart_util.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/rng.cpp.o"
+  "CMakeFiles/prpart_util.dir/rng.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/strings.cpp.o"
+  "CMakeFiles/prpart_util.dir/strings.cpp.o.d"
+  "CMakeFiles/prpart_util.dir/table.cpp.o"
+  "CMakeFiles/prpart_util.dir/table.cpp.o.d"
+  "libprpart_util.a"
+  "libprpart_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

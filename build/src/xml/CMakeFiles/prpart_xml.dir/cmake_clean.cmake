@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prpart_xml.dir/xml.cpp.o"
+  "CMakeFiles/prpart_xml.dir/xml.cpp.o.d"
+  "libprpart_xml.a"
+  "libprpart_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prpart_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstream.dir/bitstream/bitstream_test.cpp.o"
+  "CMakeFiles/test_bitstream.dir/bitstream/bitstream_test.cpp.o.d"
+  "CMakeFiles/test_bitstream.dir/bitstream/config_memory_test.cpp.o"
+  "CMakeFiles/test_bitstream.dir/bitstream/config_memory_test.cpp.o.d"
+  "test_bitstream"
+  "test_bitstream.pdb"
+  "test_bitstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/clustering_test.cpp" "tests/CMakeFiles/test_core.dir/core/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/clustering_test.cpp.o.d"
+  "/root/repo/tests/core/compatibility_test.cpp" "tests/CMakeFiles/test_core.dir/core/compatibility_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/compatibility_test.cpp.o.d"
+  "/root/repo/tests/core/connectivity_test.cpp" "tests/CMakeFiles/test_core.dir/core/connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/connectivity_test.cpp.o.d"
+  "/root/repo/tests/core/covering_test.cpp" "tests/CMakeFiles/test_core.dir/core/covering_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/covering_test.cpp.o.d"
+  "/root/repo/tests/core/optimal_test.cpp" "tests/CMakeFiles/test_core.dir/core/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/optimal_test.cpp.o.d"
+  "/root/repo/tests/core/paper_example_test.cpp" "tests/CMakeFiles/test_core.dir/core/paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/paper_example_test.cpp.o.d"
+  "/root/repo/tests/core/partitioner_test.cpp" "tests/CMakeFiles/test_core.dir/core/partitioner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partitioner_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/result_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/result_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/result_io_test.cpp.o.d"
+  "/root/repo/tests/core/scheme_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheme_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheme_test.cpp.o.d"
+  "/root/repo/tests/core/schemes_test.cpp" "tests/CMakeFiles/test_core.dir/core/schemes_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/schemes_test.cpp.o.d"
+  "/root/repo/tests/core/search_test.cpp" "tests/CMakeFiles/test_core.dir/core/search_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/search_test.cpp.o.d"
+  "/root/repo/tests/core/weighted_search_test.cpp" "tests/CMakeFiles/test_core.dir/core/weighted_search_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/weighted_search_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitstream/CMakeFiles/prpart_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/prpart_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/prpart_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/prpart_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/prpart_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/prpart_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prpart_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/prpart_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

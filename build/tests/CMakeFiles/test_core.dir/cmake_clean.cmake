@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/clustering_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clustering_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/compatibility_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/compatibility_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/connectivity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/connectivity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/covering_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/covering_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimal_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimal_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/paper_example_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/paper_example_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partitioner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partitioner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/result_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/result_io_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheme_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheme_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/schemes_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/schemes_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/search_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/search_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/weighted_search_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/weighted_search_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design.dir/design/builder_test.cpp.o"
+  "CMakeFiles/test_design.dir/design/builder_test.cpp.o.d"
+  "CMakeFiles/test_design.dir/design/design_test.cpp.o"
+  "CMakeFiles/test_design.dir/design/design_test.cpp.o.d"
+  "CMakeFiles/test_design.dir/design/io_xml_test.cpp.o"
+  "CMakeFiles/test_design.dir/design/io_xml_test.cpp.o.d"
+  "CMakeFiles/test_design.dir/design/lint_test.cpp.o"
+  "CMakeFiles/test_design.dir/design/lint_test.cpp.o.d"
+  "CMakeFiles/test_design.dir/design/synthetic_test.cpp.o"
+  "CMakeFiles/test_design.dir/design/synthetic_test.cpp.o.d"
+  "test_design"
+  "test_design.pdb"
+  "test_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan.dir/floorplan/annealing_test.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/annealing_test.cpp.o.d"
+  "CMakeFiles/test_floorplan.dir/floorplan/floorplanner_test.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/floorplanner_test.cpp.o.d"
+  "test_floorplan"
+  "test_floorplan.pdb"
+  "test_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconfig.dir/reconfig/application_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/application_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/controller_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/controller_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/icap_datapath_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/icap_datapath_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/icap_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/icap_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/markov_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/markov_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/policy_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/policy_test.cpp.o.d"
+  "CMakeFiles/test_reconfig.dir/reconfig/prefetch_test.cpp.o"
+  "CMakeFiles/test_reconfig.dir/reconfig/prefetch_test.cpp.o.d"
+  "test_reconfig"
+  "test_reconfig.pdb"
+  "test_reconfig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

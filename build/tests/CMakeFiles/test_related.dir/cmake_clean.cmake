@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related.dir/related/rana_clustering_test.cpp.o"
+  "CMakeFiles/test_related.dir/related/rana_clustering_test.cpp.o.d"
+  "test_related"
+  "test_related.pdb"
+  "test_related[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
