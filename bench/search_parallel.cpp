@@ -1,0 +1,131 @@
+// Speedup and cache effectiveness of the parallel region-allocation search
+// over the Fig. 7 synthetic design set. For every thread count the same
+// designs run through search_partitioning; the bench reports wall-clock,
+// speedup versus threads=1, the cost-cache hit rate, and — the contract the
+// speedup is not allowed to buy — whether every scheme is byte-identical
+// (result_io serialisation) to the threads=1 reference. Exits non-zero on
+// any mismatch.
+//
+//   PRPART_DESIGNS=100 ./bench_search_parallel
+//
+// Numbers depend on hardware parallelism: on a single-core host the >1
+// thread rows only demonstrate identity, not speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/sweep_common.hpp"
+#include "core/clustering.hpp"
+#include "core/compatibility.hpp"
+#include "core/result_io.hpp"
+#include "core/search.hpp"
+#include "design/synthetic.hpp"
+
+namespace prpart::bench {
+namespace {
+
+struct PreparedDesign {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+  CompatibilityTable compat;
+  ResourceVec budget;
+
+  explicit PreparedDesign(Design d)
+      : design(std::move(d)),
+        matrix(design),
+        partitions(enumerate_base_partitions(design, matrix)),
+        compat(matrix, partitions) {
+    // The properties-test budget shape: 1.35x the single-region lower
+    // bound keeps the search non-trivial on every design.
+    const ResourceVec lower =
+        design.largest_configuration_area() + design.static_base();
+    budget = ResourceVec{lower.clbs + lower.clbs / 3 + 200,
+                         lower.brams + lower.brams / 3 + 8,
+                         lower.dsps + lower.dsps / 3 + 8};
+  }
+};
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::vector<std::string> schemes;  ///< archived XML per design
+};
+
+RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads) {
+  SearchOptions opt;
+  opt.max_candidate_sets = 24;       // the Fig. 7 sweep's effort settings
+  opt.max_move_evaluations = 400'000;
+  opt.threads = threads;
+
+  RunOutcome out;
+  out.schemes.reserve(designs.size());
+  const auto started = std::chrono::steady_clock::now();
+  for (PreparedDesign& p : designs) {
+    const SearchResult r = search_partitioning(p.design, p.matrix,
+                                               p.partitions, p.compat,
+                                               p.budget, opt);
+    out.cache_hits += r.stats.cache_hits;
+    out.cache_misses += r.stats.cache_misses;
+    out.schemes.push_back(
+        r.feasible ? partitioning_to_xml(p.design, p.partitions, r.scheme,
+                                         r.eval)
+                   : std::string("infeasible"));
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return out;
+}
+
+int main_impl() {
+  const std::size_t count = sweep_design_count(1000);
+  const auto suite = generate_synthetic_suite(2013, count);
+
+  std::vector<PreparedDesign> designs;
+  designs.reserve(suite.size());
+  for (const SyntheticDesign& s : suite) designs.emplace_back(s.design);
+
+  std::printf("parallel search over the Fig. 7 design set (%zu designs, "
+              "seed 2013)\n\n",
+              designs.size());
+  std::printf("%8s %10s %9s %10s %10s\n", "threads", "seconds", "speedup",
+              "hit-rate", "identical");
+
+  const RunOutcome reference = run_all(designs, 1);
+  bool all_identical = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    const RunOutcome r =
+        threads == 1 ? reference : run_all(designs, threads);
+    const std::uint64_t probes = r.cache_hits + r.cache_misses;
+    const double hit_rate =
+        probes == 0 ? 0.0
+                    : static_cast<double>(r.cache_hits) /
+                          static_cast<double>(probes);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < designs.size(); ++i)
+      if (r.schemes[i] != reference.schemes[i]) ++mismatches;
+    all_identical = all_identical && mismatches == 0;
+    std::printf("%8u %10.3f %8.2fx %9.1f%% %10s\n", threads, r.seconds,
+                reference.seconds / r.seconds, 100.0 * hit_rate,
+                mismatches == 0
+                    ? "yes"
+                    : ("NO (" + std::to_string(mismatches) + ")").c_str());
+  }
+
+  if (!all_identical) {
+    std::printf("\nFAIL: parallel schemes diverged from the threads=1 "
+                "reference\n");
+    return 1;
+  }
+  std::printf("\nall schemes byte-identical to threads=1\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prpart::bench
+
+int main() { return prpart::bench::main_impl(); }

@@ -37,18 +37,22 @@ usage:
   prpart estimate [--luts N] [--ffs N] [--mults N] [--kbits N] [--distbits N]
   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [--out FILE]
   prpart partition <design.xml> [--device NAME | --budget C,B,D]
-                   [--candidate-sets N] [--evals N] [--floorplan] [--ucf FILE]
-                   [--save FILE]
+                   [--candidate-sets N] [--evals N] [--threads N]
+                   [--floorplan] [--ucf FILE] [--save FILE]
   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
                   [--steps N] [--seed S] [--prefetch] [--load FILE]
-  prpart bitstreams <design.xml> [--device NAME | --budget C,B,D] [--out DIR]
-  prpart flow <design.xml> [--device NAME] [--out DIR]
+                  [--threads N]
+  prpart bitstreams <design.xml> [--device NAME | --budget C,B,D]
+                    [--threads N] [--out DIR]
+  prpart flow <design.xml> [--device NAME] [--threads N] [--out DIR]
   prpart optimal <design.xml> [--device NAME | --budget C,B,D] [--states N]
 
 With neither --device nor --budget, partitioning walks the Virtex-5 library
 from the smallest device up (the paper's device-selection mode). `flow`
 runs the complete pipeline (partition, floorplan with feedback, UCF,
-bitstreams) and writes the artefacts into --out.
+bitstreams) and writes the artefacts into --out. --threads N runs the
+region-allocation search on N worker threads (default: hardware
+concurrency; results are byte-identical for every N, and N=1 runs inline).
 )";
 
 std::string read_file(const std::string& path) {
@@ -105,6 +109,10 @@ PartitionerOptions options_from(const Args& args) {
   PartitionerOptions opt;
   opt.search.max_candidate_sets = args.u64_or("candidate-sets", 48);
   opt.search.max_move_evaluations = args.u64_or("evals", 2'000'000);
+  // --threads N fans the search's work units over N workers; the default 0
+  // resolves to hardware concurrency and 1 runs inline. Any value returns
+  // byte-identical schemes (see DESIGN.md, parallel search).
+  opt.search.threads = static_cast<unsigned>(args.u64_or("threads", 0));
   return opt;
 }
 
@@ -450,24 +458,24 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "partition") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
-                          "floorplan", "ucf", "save"});
+                          "threads", "floorplan", "ucf", "save"});
       return cmd_partition(parsed, out, err);
     }
     if (command == "simulate") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
-                          "steps", "seed", "prefetch", "load"});
+                          "threads", "steps", "seed", "prefetch", "load"});
       return cmd_simulate(parsed, out, err);
     }
     if (command == "bitstreams") {
       need_design();
       parsed.check_known(
-          {"device", "budget", "candidate-sets", "evals", "out"});
+          {"device", "budget", "candidate-sets", "evals", "threads", "out"});
       return cmd_bitstreams(parsed, out, err);
     }
     if (command == "flow") {
       need_design();
-      parsed.check_known({"device", "candidate-sets", "evals", "out"});
+      parsed.check_known({"device", "candidate-sets", "evals", "threads", "out"});
       return cmd_flow(parsed, out, err);
     }
     if (command == "optimal") {

@@ -70,12 +70,12 @@ std::vector<BasePartition> enumerate_base_partitions(
     for (std::size_t b = a + 1; b < n; ++b)
       if (const std::uint32_t w = matrix.edge_weight(a, b); w > 0)
         links.push_back({a, b, w});
-  std::stable_sort(links.begin(), links.end(),
-                   [](const Link& x, const Link& y) {
-                     if (x.weight != y.weight) return x.weight > y.weight;
-                     if (x.a != y.a) return x.a < y.a;
-                     return x.b < y.b;
-                   });
+  // Full total order ((a, b) breaks weight ties), so std::sort is exact.
+  std::sort(links.begin(), links.end(), [](const Link& x, const Link& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
 
   std::vector<DynBitset> adjacency(n, DynBitset(n));
   std::unordered_set<DynBitset, DynBitsetHash> seen;

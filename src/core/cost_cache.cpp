@@ -1,0 +1,63 @@
+#include "core/cost_cache.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+std::size_t GroupCostCache::fnv1a(const Key& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t m : key) {
+    h ^= m;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+GroupCostCache::GroupCostCache(std::size_t shard_count, HashFn hash)
+    : hash_(hash) {
+  require(shard_count > 0, "cost cache needs at least one shard");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->map = std::unordered_map<Key, GroupCost, KeyHash>(0, KeyHash{hash_});
+    shards_.push_back(std::move(shard));
+  }
+}
+
+GroupCostCache::Shard& GroupCostCache::shard_for(const Key& key) {
+  return *shards_[hash_(key) % shards_.size()];
+}
+
+std::optional<GroupCost> GroupCostCache::lookup(const Key& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void GroupCostCache::store(const Key& key, const GroupCost& cost) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.emplace(key, cost);
+}
+
+GroupCostCache::Stats GroupCostCache::stats() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t GroupCostCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace prpart

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "device/resources.hpp"
+#include "device/tiles.hpp"
+
+namespace prpart {
+
+/// The member-set-determined part of a region's cost model: every field is a
+/// pure function of the set of base partitions in the region (areas are
+/// element-wise maxima, tw_union sums pair weights over the occupancy
+/// union), so one entry can be shared by every search branch that forms the
+/// same region, no matter through which merge sequence it got there.
+struct GroupCost {
+  ResourceVec raw;               ///< element-wise max of member areas (Eq. 2)
+  TileCount tiles;               ///< Eqs. 3-5 on raw
+  std::uint64_t frames = 0;      ///< Eq. 6
+  std::uint64_t tw_union = 0;    ///< pair weight over the occupancy union
+};
+
+/// Concurrent memo table from a region's member set (sorted master-list
+/// indices) to its GroupCost, shared by all worker threads of one
+/// region-allocation search.
+///
+/// Collision safety: the hash only selects the shard and bucket; entries are
+/// matched by comparing the full key, so two distinct member sets can never
+/// alias each other even under a degenerate hash (unit-tested with a
+/// constant hash function).
+///
+/// Memoisation is semantically transparent: values are pure functions of the
+/// key, so hit/miss interleaving across threads cannot change any search
+/// result — only the hit/miss counters are scheduling-dependent.
+class GroupCostCache {
+ public:
+  using Key = std::vector<std::size_t>;
+  using HashFn = std::size_t (*)(const Key&);
+
+  /// FNV-1a over the member indices (the default hash).
+  static std::size_t fnv1a(const Key& key);
+
+  explicit GroupCostCache(std::size_t shard_count = 16,
+                          HashFn hash = &fnv1a);
+
+  /// Returns the cached cost for the sorted member set `key`, or nullopt on
+  /// a miss. Thread-safe; counts one hit or one miss.
+  std::optional<GroupCost> lookup(const Key& key);
+
+  /// Inserts `cost` for `key`. Thread-safe; concurrent stores of the same
+  /// key are benign because every caller computes the identical value.
+  void store(const Key& key, const GroupCost& cost);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+  /// Number of distinct member sets cached, summed over shards.
+  std::size_t size() const;
+
+ private:
+  struct KeyHash {
+    HashFn fn;
+    std::size_t operator()(const Key& key) const { return fn(key); }
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, GroupCost, KeyHash> map;
+  };
+
+  Shard& shard_for(const Key& key);
+
+  HashFn hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace prpart

@@ -9,8 +9,11 @@ std::vector<std::size_t> covering_order(
     const std::vector<BasePartition>& partitions) {
   std::vector<std::size_t> order(partitions.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
-                                                   std::size_t b) {
+  // The key is a full lexicographic strict total order (the master-list
+  // index breaks every remaining tie), so plain std::sort yields one
+  // well-defined permutation — the enumeration order must not lean on
+  // sort stability, because downstream parallel chunking replays it.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const BasePartition& pa = partitions[a];
     const BasePartition& pb = partitions[b];
     const std::size_t na = pa.modes.count();

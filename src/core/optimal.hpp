@@ -35,6 +35,14 @@ struct OptimalResult {
 /// Bell-number lattice with symmetry breaking (an item may only open the
 /// next fresh group), pruned on the monotone total-time bound; it is
 /// practical for candidate sets of up to roughly a dozen partitions.
+///
+/// Deliberately sequential: the incumbent-driven pruning makes the visited
+/// state count depend on discovery order, so a parallel variant would
+/// either lose determinism or forfeit most pruning. Parallel callers run
+/// whole optimal_partitioning invocations per design/candidate-set in
+/// parallel_for slots instead (nested parallel_for calls run inline), and
+/// the heuristic search's SearchOptions::threads covers the production hot
+/// path.
 OptimalResult optimal_partitioning(const Design& design,
                                    const ConnectivityMatrix& matrix,
                                    const std::vector<BasePartition>& partitions,

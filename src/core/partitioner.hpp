@@ -12,6 +12,11 @@
 namespace prpart {
 
 struct PartitionerOptions {
+  /// Search effort and parallelism. `search.threads` fans the search's
+  /// work units across a worker pool (0 = hardware concurrency, 1 =
+  /// inline); every thread count yields byte-identical schemes and stats,
+  /// so PartitionerResult is reproducible across machines. Surfaced on the
+  /// CLI as `--threads N`.
   SearchOptions search;
   /// Cap on enumerated base-partition size passed to the clustering
   /// (0 = unlimited, the paper's behaviour). The number of co-occurring

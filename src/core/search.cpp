@@ -1,9 +1,13 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
+#include <utility>
 
+#include "core/cost_cache.hpp"
 #include "core/covering.hpp"
+#include "util/parallel_for.hpp"
 #include "util/status.hpp"
 
 namespace prpart {
@@ -53,6 +57,9 @@ struct Objective {
 /// tw_same the part where the *same* member is active in both. Their
 /// difference, times frames, is the group's (possibly weighted) Eq. 10
 /// term. With uniform weights tw_union = C(|occ|, 2).
+///
+/// `members` is kept sorted at all times: the sorted member set is the
+/// group's identity in the shared cost cache.
 struct Group {
   std::vector<std::size_t> members;
   DynBitset occ;             ///< union of member occupancies (configs)
@@ -87,104 +94,150 @@ struct Move {
   std::size_t a = 0, b = 0;
 };
 
-class Searcher {
+/// Summed weight over unordered pairs within `occ`.
+std::uint64_t pair_weight_within(const PairWeights* weights,
+                                 const DynBitset& occ) {
+  if (!weights) return pairs2(occ.count());
+  std::uint64_t total = 0;
+  const std::vector<std::size_t> bits = occ.bits();
+  for (std::size_t a = 0; a < bits.size(); ++a)
+    for (std::size_t b = a + 1; b < bits.size(); ++b)
+      total += (*weights)[bits[a]][bits[b]];
+  return total;
+}
+
+/// Summed weight over pairs with one configuration in each (disjoint)
+/// occupancy set.
+std::uint64_t pair_weight_between(const PairWeights* weights, const Group& a,
+                                  const Group& b) {
+  if (!weights) return a.occ_count * b.occ_count;
+  std::uint64_t total = 0;
+  for (std::size_t i : a.occ.bits())
+    for (std::size_t j : b.occ.bits()) total += (*weights)[i][j];
+  return total;
+}
+
+/// All currently valid moves on `s`, in the canonical (i, j) enumeration
+/// order shared by every execution mode.
+std::vector<Move> moves_of(const State& s, bool allow_static_promotion) {
+  std::vector<Move> moves;
+  const std::size_t n = s.groups.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!s.groups[i].alive) continue;
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (s.groups[j].alive) moves.push_back({Move::Kind::Merge, i, j});
+    if (allow_static_promotion) moves.push_back({Move::Kind::Promote, i, 0});
+  }
+  return moves;
+}
+
+/// Canonicalised copy of the grouping in `s`: members sorted within each
+/// region, regions sorted lexicographically, static members sorted. Equal
+/// groupings render identically, so schemes can be deduplicated and ordered
+/// independently of the order in which threads discovered them — and the
+/// result_io serialisation of the returned scheme is reproducible.
+PartitionScheme canonical_scheme(const State& s) {
+  PartitionScheme scheme;
+  for (const Group& g : s.groups)
+    if (g.alive) {
+      Region region{g.members};
+      std::sort(region.members.begin(), region.members.end());
+      scheme.regions.push_back(std::move(region));
+    }
+  std::sort(
+      scheme.regions.begin(), scheme.regions.end(),
+      [](const Region& a, const Region& b) { return a.members < b.members; });
+  scheme.static_members = s.static_members;
+  std::sort(scheme.static_members.begin(), scheme.static_members.end());
+  return scheme;
+}
+
+/// Injective flat encoding of a canonical scheme (sizes delimit the member
+/// lists). Lexicographic order on the encoding is the final tie-break of
+/// the leaderboard's total order, and equality is the exact deduplication
+/// criterion — no hash collisions can alias two distinct groupings.
+std::vector<std::uint64_t> scheme_key(const PartitionScheme& scheme) {
+  std::vector<std::uint64_t> key;
+  std::size_t total = 2 + scheme.static_members.size();
+  for (const Region& r : scheme.regions) total += 1 + r.members.size();
+  key.reserve(total);
+  key.push_back(scheme.regions.size());
+  for (const Region& r : scheme.regions) {
+    key.push_back(r.members.size());
+    for (std::size_t m : r.members) key.push_back(m);
+  }
+  key.push_back(scheme.static_members.size());
+  for (std::size_t m : scheme.static_members) key.push_back(m);
+  return key;
+}
+
+struct Kept {
+  std::uint64_t ttotal = 0;
+  std::uint64_t warea = 0;
+  std::vector<std::uint64_t> key;
+  PartitionScheme scheme;
+};
+
+/// Total order on recorded schemes: objective first, canonical key last.
+bool kept_before(const Kept& a, const Kept& b) {
+  if (a.ttotal != b.ttotal) return a.ttotal < b.ttotal;
+  if (a.warea != b.warea) return a.warea < b.warea;
+  return a.key < b.key;
+}
+
+/// Inserts `entry` into the sorted leaderboard, dropping exact duplicates
+/// and trimming to `keep` entries. Because kept_before is a total order and
+/// duplicates compare equal, the final leaderboard is independent of the
+/// insertion order — the keystone of thread-count-independent results.
+void insert_kept(std::vector<Kept>& kept, Kept entry, std::size_t keep) {
+  const auto pos =
+      std::lower_bound(kept.begin(), kept.end(), entry, kept_before);
+  if (pos != kept.end() && pos->key == entry.key) return;
+  kept.insert(pos, std::move(entry));
+  if (kept.size() > keep) kept.pop_back();
+}
+
+/// One independent greedy descent: a candidate set's initial state,
+/// optionally forced through a distinct first move (§IV-C's restarts).
+struct Unit {
+  std::size_t set = 0;
+  std::optional<Move> first;
+};
+
+struct UnitOutcome {
+  std::vector<Kept> kept;          ///< unit-local leaderboard
+  std::uint64_t evals = 0;         ///< move evaluations consumed
+  std::uint64_t cap = 0;           ///< evaluation cap the unit ran with
+  bool truncated = false;          ///< stopped because evals reached cap
+  bool ran = false;
+  std::size_t greedy_runs = 0;
+  std::uint64_t states_recorded = 0;
+};
+
+/// Executes one work unit. Entirely thread-confined apart from the shared
+/// read-only inputs and the internally synchronised cost cache, so units
+/// can run concurrently in any order.
+class UnitRunner {
  public:
-  Searcher(const Design& design, const ConnectivityMatrix& matrix,
-           const std::vector<BasePartition>& partitions,
-           const CompatibilityTable& compat, const ResourceVec& budget,
-           const SearchOptions& options)
-      : design_(design),
-        matrix_(matrix),
-        partitions_(partitions),
-        compat_(compat),
-        budget_(budget),
-        options_(options) {}
+  UnitRunner(const Design& design, const ResourceVec& budget,
+             const SearchOptions& options, GroupCostCache* cache,
+             std::uint64_t cap)
+      : design_(design), budget_(budget), options_(options), cache_(cache) {
+    out_.cap = cap;
+  }
 
-  SearchResult run() {
-    if (options_.pair_weights) {
-      const PairWeights& w = *options_.pair_weights;
-      require(w.size() == matrix_.configs(),
-              "pair_weights must have one row per configuration");
-      for (const auto& row : w)
-        require(row.size() == matrix_.configs(),
-                "pair_weights must be square");
+  UnitOutcome run(const State& initial, const std::optional<Move>& first) {
+    out_.ran = true;
+    State s = initial;
+    if (first) {
+      apply_move(s, *first);
+      record(s);
     }
-    const std::vector<std::size_t> order = covering_order(partitions_);
-    for (std::size_t skip = 0; skip < order.size(); ++skip) {
-      if (stats_.candidate_sets >= options_.max_candidate_sets) break;
-      if (stats_.budget_exhausted) break;
-      const CoverResult cov = cover(partitions_, matrix_, order, skip);
-      if (!cov.complete) break;  // removals only make covering harder
-      ++stats_.candidate_sets;
-      explore_candidate_set(cov.selected);
-    }
-
-    SearchResult result;
-    result.stats = stats_;
-    if (!kept_.empty()) {
-      result.feasible = true;
-      result.scheme = kept_.front().scheme;
-      result.scheme.label = "proposed";
-      result.eval = evaluate_scheme(design_, matrix_, partitions_,
-                                    result.scheme, budget_);
-      require(result.eval.valid, "search produced an invalid scheme: " +
-                                     result.eval.invalid_reason);
-      require(result.eval.fits, "search recorded a non-fitting scheme");
-      result.alternatives.reserve(kept_.size());
-      for (Kept& k : kept_)
-        result.alternatives.push_back(
-            RankedScheme{std::move(k.scheme), k.ttotal});
-      result.alternatives.front().scheme.label = "proposed";
-    }
-    return result;
+    greedy(std::move(s));
+    return std::move(out_);
   }
 
  private:
-  /// Summed weight over unordered pairs within `occ`.
-  std::uint64_t pair_weight_within(const DynBitset& occ) const {
-    if (!options_.pair_weights) return pairs2(occ.count());
-    const PairWeights& w = *options_.pair_weights;
-    std::uint64_t total = 0;
-    const std::vector<std::size_t> bits = occ.bits();
-    for (std::size_t a = 0; a < bits.size(); ++a)
-      for (std::size_t b = a + 1; b < bits.size(); ++b)
-        total += w[bits[a]][bits[b]];
-    return total;
-  }
-
-  /// Summed weight over pairs with one configuration in each (disjoint)
-  /// occupancy set.
-  std::uint64_t pair_weight_between(const Group& a, const Group& b) const {
-    if (!options_.pair_weights) return a.occ_count * b.occ_count;
-    const PairWeights& w = *options_.pair_weights;
-    std::uint64_t total = 0;
-    for (std::size_t i : a.occ.bits())
-      for (std::size_t j : b.occ.bits()) total += w[i][j];
-    return total;
-  }
-
-  State initial_state(const std::vector<std::size_t>& candidate) const {
-    State s;
-    s.groups.reserve(candidate.size());
-    for (std::size_t p : candidate) {
-      Group g;
-      g.members = {p};
-      g.occ = compat_.occupancy(p);
-      g.raw = partitions_[p].area;
-      g.promote_area = partitions_[p].area;
-      g.tiles = tiles_for(g.raw);
-      g.frames = g.tiles.frames();
-      g.occ_count = g.occ.count();
-      g.tw_union = pair_weight_within(g.occ);
-      g.tw_same = g.tw_union;
-      g.contrib = 0;  // a single alternative never reconfigures
-      s.groups.push_back(std::move(g));
-      s.pr_res += s.groups.back().tiles.resources();
-    }
-    s.alive = s.groups.size();
-    return s;
-  }
-
   Objective objective(std::uint64_t excess, std::uint64_t ttotal,
                       std::uint64_t warea) const {
     if (excess > 0) return {excess, warea, ttotal};
@@ -197,24 +250,43 @@ class Searcher {
                      weighted_area(total));
   }
 
+  /// Cost of the region formed by merging `ga` and `gb`, memoised on the
+  /// merged member set when the cache is enabled.
+  GroupCost merged_cost(const Group& ga, const Group& gb) {
+    auto compute = [&] {
+      GroupCost cost;
+      cost.raw = elementwise_max(ga.raw, gb.raw);
+      cost.tiles = tiles_for(cost.raw);
+      cost.frames = cost.tiles.frames();
+      cost.tw_union = ga.tw_union + gb.tw_union +
+                      pair_weight_between(options_.pair_weights, ga, gb);
+      return cost;
+    };
+    if (!cache_) return compute();
+    key_buffer_.resize(ga.members.size() + gb.members.size());
+    std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
+               gb.members.end(), key_buffer_.begin());
+    if (const std::optional<GroupCost> hit = cache_->lookup(key_buffer_))
+      return *hit;
+    const GroupCost cost = compute();
+    cache_->store(key_buffer_, cost);
+    return cost;
+  }
+
   /// Metrics of the state that `move` would produce. Returns nullopt for
   /// invalid moves (incompatible merge). Counts one move evaluation.
   std::optional<Objective> evaluate_move(const State& s, const Move& move) {
-    ++stats_.move_evaluations;
-    if (stats_.move_evaluations >= options_.max_move_evaluations)
-      stats_.budget_exhausted = true;
+    ++out_.evals;
+    if (out_.evals >= out_.cap) out_.truncated = true;
 
     const Group& ga = s.groups[move.a];
     if (move.kind == Move::Kind::Merge) {
       const Group& gb = s.groups[move.b];
       if (ga.occ.intersects(gb.occ)) return std::nullopt;  // incompatible
-      const ResourceVec raw = elementwise_max(ga.raw, gb.raw);
-      const TileCount tiles = tiles_for(raw);
-      const std::uint64_t tw_union =
-          ga.tw_union + gb.tw_union + pair_weight_between(ga, gb);
+      const GroupCost cost = merged_cost(ga, gb);
       const std::uint64_t contrib =
-          (tw_union - ga.tw_same - gb.tw_same) * tiles.frames();
-      const ResourceVec pr = s.pr_res + tiles.resources();
+          (cost.tw_union - ga.tw_same - gb.tw_same) * cost.frames;
+      const ResourceVec pr = s.pr_res + cost.tiles.resources();
       // Subtract the two old footprints (kept as additions to avoid
       // unsigned underflow juggling: compute the new total directly).
       ResourceVec total = pr + design_.static_base() + s.static_extra;
@@ -237,7 +309,7 @@ class Searcher {
                      weighted_area(total));
   }
 
-  void apply_move(State& s, const Move& move) const {
+  void apply_move(State& s, const Move& move) {
     Group& ga = s.groups[move.a];
     auto remove_footprint = [&](const Group& g) {
       s.pr_res.clbs -= g.tiles.resources().clbs;
@@ -249,14 +321,18 @@ class Searcher {
       Group& gb = s.groups[move.b];
       remove_footprint(ga);
       remove_footprint(gb);
-      ga.tw_union += gb.tw_union + pair_weight_between(ga, gb);
-      ga.members.insert(ga.members.end(), gb.members.begin(), gb.members.end());
+      const GroupCost cost = merged_cost(ga, gb);
+      std::vector<std::size_t> merged(ga.members.size() + gb.members.size());
+      std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
+                 gb.members.end(), merged.begin());
+      ga.members = std::move(merged);
       ga.occ |= gb.occ;
-      ga.raw = elementwise_max(ga.raw, gb.raw);
+      ga.raw = cost.raw;
       ga.promote_area += gb.promote_area;
-      ga.tiles = tiles_for(ga.raw);
-      ga.frames = ga.tiles.frames();
+      ga.tiles = cost.tiles;
+      ga.frames = cost.frames;
       ga.occ_count += gb.occ_count;
+      ga.tw_union = cost.tw_union;
       ga.tw_same += gb.tw_same;
       ga.contrib = (ga.tw_union - ga.tw_same) * ga.frames;
       gb.alive = false;
@@ -273,85 +349,42 @@ class Searcher {
     }
   }
 
-  /// Order-independent fingerprint of a state's grouping, used to keep the
-  /// alternatives list free of duplicates.
-  static std::size_t signature_of(const State& s) {
-    auto hash_members = [](std::vector<std::size_t> members) {
-      std::sort(members.begin(), members.end());
-      std::uint64_t h = 1469598103934665603ull;
-      for (std::size_t m : members) {
-        h ^= m + 0x9e3779b97f4a7c15ull;
-        h *= 1099511628211ull;
-      }
-      return h;
-    };
-    std::uint64_t sig = 0;
-    for (const Group& g : s.groups)
-      if (g.alive) sig ^= hash_members(g.members);  // group order irrelevant
-    sig = sig * 1099511628211ull ^ hash_members(s.static_members);
-    return static_cast<std::size_t>(sig);
-  }
-
-  /// Records the state when it fits and enters the top-K leaderboard.
+  /// Records the state when it fits and enters the unit's leaderboard.
   void record(const State& s) {
     const ResourceVec total = s.total_res(design_.static_base());
     if (!total.fits_in(budget_)) return;
-    ++stats_.states_recorded;
+    ++out_.states_recorded;
     const std::uint64_t warea = weighted_area(total);
-    const std::size_t keep = std::max<std::size_t>(1, options_.keep_alternatives);
-    if (kept_.size() >= keep) {
-      const Kept& worst = kept_.back();
+    const std::size_t keep =
+        std::max<std::size_t>(1, options_.keep_alternatives);
+    if (out_.kept.size() >= keep) {
+      const Kept& worst = out_.kept.back();
+      // Strictly worse than the current worst: cannot enter. Objective ties
+      // fall through to the canonical-key comparison in insert_kept.
       if (s.ttotal > worst.ttotal ||
-          (s.ttotal == worst.ttotal && warea >= worst.warea))
+          (s.ttotal == worst.ttotal && warea > worst.warea))
         return;
     }
-    const std::size_t sig = signature_of(s);
-    for (const Kept& k : kept_)
-      if (k.sig == sig) return;  // same grouping already kept
-
     Kept entry;
     entry.ttotal = s.ttotal;
     entry.warea = warea;
-    entry.sig = sig;
-    for (const Group& g : s.groups)
-      if (g.alive) entry.scheme.regions.push_back(Region{g.members});
-    entry.scheme.static_members = s.static_members;
-
-    const auto pos = std::lower_bound(
-        kept_.begin(), kept_.end(), entry, [](const Kept& a, const Kept& b) {
-          if (a.ttotal != b.ttotal) return a.ttotal < b.ttotal;
-          return a.warea < b.warea;
-        });
-    kept_.insert(pos, std::move(entry));
-    if (kept_.size() > keep) kept_.pop_back();
-  }
-
-  /// All currently valid moves on `s`.
-  std::vector<Move> moves_of(const State& s) const {
-    std::vector<Move> moves;
-    const std::size_t n = s.groups.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!s.groups[i].alive) continue;
-      for (std::size_t j = i + 1; j < n; ++j)
-        if (s.groups[j].alive) moves.push_back({Move::Kind::Merge, i, j});
-      if (options_.allow_static_promotion)
-        moves.push_back({Move::Kind::Promote, i, 0});
-    }
-    return moves;
+    entry.scheme = canonical_scheme(s);
+    entry.key = scheme_key(entry.scheme);
+    insert_kept(out_.kept, std::move(entry), keep);
   }
 
   /// Greedy descent: repeatedly apply the objective-minimising move while it
   /// strictly improves; records every visited state.
   void greedy(State s) {
-    ++stats_.greedy_runs;
+    ++out_.greedy_runs;
     record(s);
-    while (s.alive > 0 && !stats_.budget_exhausted) {
-      Objective current = state_objective(s);
+    while (s.alive > 0 && !out_.truncated) {
+      const Objective current = state_objective(s);
       std::optional<Move> best_move;
       Objective best_obj = current;
-      for (const Move& m : moves_of(s)) {
+      for (const Move& m : moves_of(s, options_.allow_static_promotion)) {
         const std::optional<Objective> obj = evaluate_move(s, m);
-        if (stats_.budget_exhausted) return;
+        if (out_.truncated) return;
         if (obj && *obj < best_obj) {
           best_obj = *obj;
           best_move = m;
@@ -363,25 +396,165 @@ class Searcher {
     }
   }
 
-  void explore_candidate_set(const std::vector<std::size_t>& candidate) {
-    const State initial = initial_state(candidate);
-    // Run 0: unconstrained greedy.
-    greedy(initial);
-    // Restarts: force each distinct first move (§IV-C: "assigns two
-    // compatible base partitions ... distinct from those used to begin the
-    // previous iterations").
-    std::size_t first_moves = 0;
-    for (const Move& m : moves_of(initial)) {
-      if (stats_.budget_exhausted) return;
-      if (first_moves >= options_.max_first_moves) return;
-      const std::optional<Objective> obj = evaluate_move(initial, m);
-      if (!obj) continue;  // invalid merge
-      ++first_moves;
-      State s = initial;
-      apply_move(s, m);
-      record(s);
-      greedy(std::move(s));
+  const Design& design_;
+  const ResourceVec budget_;
+  const SearchOptions& options_;
+  GroupCostCache* cache_;
+  GroupCostCache::Key key_buffer_;
+  UnitOutcome out_;
+};
+
+class Searcher {
+ public:
+  Searcher(const Design& design, const ConnectivityMatrix& matrix,
+           const std::vector<BasePartition>& partitions,
+           const CompatibilityTable& compat, const ResourceVec& budget,
+           const SearchOptions& options)
+      : design_(design),
+        matrix_(matrix),
+        partitions_(partitions),
+        compat_(compat),
+        budget_(budget),
+        options_(options) {}
+
+  SearchResult run() {
+    if (options_.pair_weights) {
+      const PairWeights& w = *options_.pair_weights;
+      require(w.size() == matrix_.configs(),
+              "pair_weights must have one row per configuration");
+      for (const auto& row : w)
+        require(row.size() == matrix_.configs(),
+                "pair_weights must be square");
     }
+
+    // Phase 1 — enumerate the work: candidate partition sets (successive
+    // covering-list removals, §IV-C) and, per set, one unit for the
+    // unconstrained descent plus one per distinct valid first move.
+    const std::vector<std::size_t> order = covering_order(partitions_);
+    std::vector<State> initials;
+    std::vector<Unit> units;
+    for (std::size_t skip = 0; skip < order.size(); ++skip) {
+      if (initials.size() >= options_.max_candidate_sets) break;
+      const CoverResult cov = cover(partitions_, matrix_, order, skip);
+      if (!cov.complete) break;  // removals only make covering harder
+      State initial = initial_state(cov.selected);
+      const std::size_t set = initials.size();
+      units.push_back(Unit{set, std::nullopt});
+      std::size_t first_moves = 0;
+      for (const Move& m : moves_of(initial, options_.allow_static_promotion)) {
+        if (first_moves >= options_.max_first_moves) break;
+        if (m.kind == Move::Kind::Merge &&
+            initial.groups[m.a].occ.intersects(initial.groups[m.b].occ))
+          continue;  // incompatible merge: not a distinct restart
+        units.push_back(Unit{set, m});
+        ++first_moves;
+      }
+      initials.push_back(std::move(initial));
+    }
+    stats_.units = units.size();
+
+    // Phase 2 — run every unit, fanned out across the worker pool. Each
+    // unit speculates with the evaluation budget that is left according to
+    // a relaxed global counter; the merge below corrects any unit whose
+    // speculative cap disagrees with the canonical sequential one.
+    GroupCostCache cache;
+    GroupCostCache* cache_ptr = options_.use_cost_cache ? &cache : nullptr;
+    std::vector<UnitOutcome> outcomes(units.size());
+    std::atomic<std::uint64_t> consumed_hint{0};
+    const unsigned threads =
+        options_.threads != 0 ? options_.threads : default_thread_count();
+    parallel_for(units.size(), threads, [&](std::size_t i) {
+      const std::uint64_t hint =
+          std::min(consumed_hint.load(std::memory_order_relaxed),
+                   options_.max_move_evaluations);
+      const std::uint64_t cap = options_.max_move_evaluations - hint;
+      if (cap == 0) return;  // almost certainly exhausted; merge re-checks
+      UnitRunner runner(design_, budget_, options_, cache_ptr, cap);
+      outcomes[i] = runner.run(initials[units[i].set], units[i].first);
+      consumed_hint.fetch_add(outcomes[i].evals, std::memory_order_relaxed);
+    });
+
+    // Phase 3 — deterministic merge in canonical unit order. A unit is
+    // accepted verbatim when its speculative run is exactly what a
+    // sequential search would have done with the remaining budget;
+    // otherwise it is replayed with the canonical cap. Once the budget is
+    // exhausted every later unit is dropped, mirroring the sequential
+    // early-out.
+    std::vector<Kept> kept;
+    const std::size_t keep =
+        std::max<std::size_t>(1, options_.keep_alternatives);
+    std::uint64_t remaining = options_.max_move_evaluations;
+    bool any_unit = false;
+    std::size_t last_set = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      if (stats_.budget_exhausted) break;
+      UnitOutcome& out = outcomes[i];
+      const bool replay = !out.ran || (out.truncated ? out.cap != remaining
+                                                     : out.evals >= remaining);
+      if (replay) {
+        UnitRunner runner(design_, budget_, options_, cache_ptr, remaining);
+        out = runner.run(initials[units[i].set], units[i].first);
+        ++stats_.units_replayed;
+      }
+      remaining -= out.evals;
+      stats_.move_evaluations += out.evals;
+      stats_.greedy_runs += out.greedy_runs;
+      stats_.states_recorded += out.states_recorded;
+      if (out.truncated) stats_.budget_exhausted = true;
+      any_unit = true;
+      last_set = units[i].set;
+      for (Kept& entry : out.kept)
+        insert_kept(kept, std::move(entry), keep);
+    }
+    stats_.candidate_sets = any_unit ? last_set + 1 : 0;
+    if (cache_ptr) {
+      const GroupCostCache::Stats cs = cache.stats();
+      stats_.cache_hits = cs.hits;
+      stats_.cache_misses = cs.misses;
+      stats_.cache_entries = cache.size();
+    }
+
+    SearchResult result;
+    result.stats = stats_;
+    if (!kept.empty()) {
+      result.feasible = true;
+      result.scheme = kept.front().scheme;
+      result.scheme.label = "proposed";
+      result.eval = evaluate_scheme(design_, matrix_, partitions_,
+                                    result.scheme, budget_);
+      require(result.eval.valid, "search produced an invalid scheme: " +
+                                     result.eval.invalid_reason);
+      require(result.eval.fits, "search recorded a non-fitting scheme");
+      result.alternatives.reserve(kept.size());
+      for (Kept& k : kept)
+        result.alternatives.push_back(
+            RankedScheme{std::move(k.scheme), k.ttotal});
+      result.alternatives.front().scheme.label = "proposed";
+    }
+    return result;
+  }
+
+ private:
+  State initial_state(const std::vector<std::size_t>& candidate) const {
+    State s;
+    s.groups.reserve(candidate.size());
+    for (std::size_t p : candidate) {
+      Group g;
+      g.members = {p};
+      g.occ = compat_.occupancy(p);
+      g.raw = partitions_[p].area;
+      g.promote_area = partitions_[p].area;
+      g.tiles = tiles_for(g.raw);
+      g.frames = g.tiles.frames();
+      g.occ_count = g.occ.count();
+      g.tw_union = pair_weight_within(options_.pair_weights, g.occ);
+      g.tw_same = g.tw_union;
+      g.contrib = 0;  // a single alternative never reconfigures
+      s.groups.push_back(std::move(g));
+      s.pr_res += s.groups.back().tiles.resources();
+    }
+    s.alive = s.groups.size();
+    return s;
   }
 
   const Design& design_;
@@ -392,13 +565,6 @@ class Searcher {
   const SearchOptions options_;
 
   SearchStats stats_;
-  struct Kept {
-    std::uint64_t ttotal = 0;
-    std::uint64_t warea = 0;
-    std::size_t sig = 0;
-    PartitionScheme scheme;
-  };
-  std::vector<Kept> kept_;  ///< top schemes, ascending (ttotal, warea)
 };
 
 }  // namespace

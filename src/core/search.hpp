@@ -45,6 +45,17 @@ struct SearchOptions {
   /// cannot be floorplanned, the flow tries the next one before resorting
   /// to budget shrinking.
   std::size_t keep_alternatives = 4;
+  /// Worker threads for the search's fan-out over work units (candidate
+  /// sets x first-move restarts). 0 = default_thread_count() (hardware
+  /// concurrency, overridable via $PRPART_THREADS); 1 runs inline on the
+  /// caller. Every value returns bit-identical schemes and deterministic
+  /// core stats — see DESIGN.md, "Parallel region-allocation search".
+  unsigned threads = 0;
+  /// Memoise per-member-set group costs (area, tiles, frames, pair weight)
+  /// in a cache shared across all branches and threads of this search.
+  /// Results are identical with the cache off; the switch exists for
+  /// benchmarking and fault isolation.
+  bool use_cost_cache = true;
 };
 
 /// A runner-up scheme with its objective value.
@@ -54,11 +65,24 @@ struct RankedScheme {
 };
 
 struct SearchStats {
+  // Deterministic core: identical for any SearchOptions::threads value.
   std::uint64_t move_evaluations = 0;
   std::size_t candidate_sets = 0;
   std::size_t greedy_runs = 0;
   std::uint64_t states_recorded = 0;
   bool budget_exhausted = false;
+  /// Work units (independent greedy descents) enumerated across all
+  /// candidate sets; the grain of the parallel fan-out.
+  std::size_t units = 0;
+
+  // Scheduling-dependent: these vary with thread interleaving and are NOT
+  // part of the determinism contract (they never influence results).
+  /// Units re-executed during the deterministic merge because their
+  /// speculative evaluation budget disagreed with the canonical one.
+  std::size_t units_replayed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;
 };
 
 struct SearchResult {
@@ -88,7 +112,13 @@ struct SearchResult {
 ///    once from every possible first move;
 ///  * candidate partition sets are regenerated by removing the head of the
 ///    covering list until covering fails;
-///  * the best *fitting* state ever visited is the answer.
+///  * the best *fitting* state ever visited is the answer, with ties broken
+///    by a total order on (objective, canonical scheme key) so the winner
+///    does not depend on discovery order;
+///  * the descents are independent work units fanned out across
+///    SearchOptions::threads workers; a deterministic merge reconciles the
+///    global move-evaluation budget, so any thread count returns the same
+///    schemes byte for byte.
 SearchResult search_partitioning(const Design& design,
                                  const ConnectivityMatrix& matrix,
                                  const std::vector<BasePartition>& partitions,

@@ -11,6 +11,11 @@ namespace prpart {
 
 /// Options for the complete tool flow.
 struct FlowOptions {
+  /// Partitioner configuration, including `partitioner.search.threads`:
+  /// the region-allocation search inside every feedback iteration fans its
+  /// work units over that many worker threads (0 = hardware concurrency)
+  /// and returns the same schemes for any value, so flow outcomes stay
+  /// reproducible while the hot path scales with the machine.
   PartitionerOptions partitioner;
   /// Floorplan feasibility feedback (the paper's §VI future work): when the
   /// chosen scheme cannot be floorplanned, shrink the budget and

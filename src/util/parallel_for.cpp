@@ -11,10 +11,20 @@
 
 namespace prpart {
 
+namespace {
+// Set while executing a body inside a parallel_for worker thread. Nested
+// parallel_for calls (e.g. the sweep harness parallelising over designs
+// while each design's search parallelises over work units) then run inline
+// instead of multiplying the thread count.
+thread_local bool g_inside_parallel_for = false;
+}  // namespace
+
+bool inside_parallel_for() { return g_inside_parallel_for; }
+
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  if (threads <= 1 || count == 1) {
+  if (threads <= 1 || count == 1 || g_inside_parallel_for) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -25,6 +35,7 @@ void parallel_for(std::size_t count, unsigned threads,
   std::atomic<bool> failed{false};
 
   auto worker = [&] {
+    g_inside_parallel_for = true;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count || failed.load(std::memory_order_relaxed)) return;

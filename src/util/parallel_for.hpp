@@ -20,8 +20,17 @@ namespace prpart {
 /// Bodies must not themselves assume an execution order: determinism of the
 /// overall computation must come from writing to index-addressed outputs,
 /// exactly like an OpenMP `parallel for` with `schedule(dynamic)`.
+///
+/// Nested calls run inline: a parallel_for issued from inside a worker's
+/// body executes on that worker without spawning further threads, so
+/// composed parallel layers (sweep over designs x search over work units)
+/// cannot multiply the thread count.
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& body);
+
+/// True while the calling thread is executing a parallel_for body on a
+/// spawned worker (used by nested calls to fall back to inline execution).
+bool inside_parallel_for();
 
 /// Worker count from the environment variable `env_var` when set, otherwise
 /// std::thread::hardware_concurrency() (at least 1).

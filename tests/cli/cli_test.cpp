@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -31,7 +33,13 @@ CliRun invoke(const std::vector<std::string>& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "prpart_cli_test";
+    // Unique per test AND per process: ctest runs each discovered test as
+    // its own process, possibly concurrently, so a shared fixed directory
+    // would let one test's TearDown delete another's files mid-run.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("prpart_cli_test_" + std::to_string(::getpid()) + "_" +
+            info->name());
     fs::create_directories(dir_);
     design_path_ = (dir_ / "receiver.xml").string();
     std::ofstream f(design_path_);
@@ -121,6 +129,20 @@ TEST_F(CliTest, PartitionSmallestDeviceSearch) {
   const CliRun r = invoke({"partition", design_path_, "--evals", "300000"});
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("target device:"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionThreadsFlagGivesIdenticalOutput) {
+  // --threads changes only how the search runs, never what it prints: the
+  // full report must match the single-thread reference byte for byte.
+  const CliRun r1 = invoke({"partition", design_path_, "--budget",
+                            "6800,64,150", "--evals", "500000", "--threads",
+                            "1"});
+  const CliRun r4 = invoke({"partition", design_path_, "--budget",
+                            "6800,64,150", "--evals", "500000", "--threads",
+                            "4"});
+  EXPECT_EQ(r1.code, 0) << r1.err;
+  EXPECT_EQ(r4.code, 0) << r4.err;
+  EXPECT_EQ(r4.out, r1.out);
 }
 
 TEST_F(CliTest, PartitionInfeasibleBudgetExitCode2) {

@@ -1,0 +1,155 @@
+#include "core/cost_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/search.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+GroupCost cost_of(std::uint32_t clbs, std::uint64_t tw) {
+  GroupCost c;
+  c.raw = ResourceVec{clbs, 0, 0};
+  c.tiles = tiles_for(c.raw);
+  c.frames = c.tiles.frames();
+  c.tw_union = tw;
+  return c;
+}
+
+TEST(GroupCostCache, MissThenHitAccounting) {
+  GroupCostCache cache;
+  const GroupCostCache::Key key{1, 4, 7};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.store(key, cost_of(120, 3));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->raw.clbs, 120u);
+  EXPECT_EQ(hit->tw_union, 3u);
+
+  const GroupCostCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GroupCostCache, DistinctKeysDoNotAlias) {
+  GroupCostCache cache;
+  cache.store({0, 1}, cost_of(100, 1));
+  cache.store({0, 2}, cost_of(200, 2));
+  EXPECT_EQ(cache.lookup({0, 1})->raw.clbs, 100u);
+  EXPECT_EQ(cache.lookup({0, 2})->raw.clbs, 200u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GroupCostCache, CollisionSafeUnderDegenerateHash) {
+  // Constant hash: every key lands in the same shard and the same bucket
+  // chain. Distinct member sets must still resolve to their own entries —
+  // the hash may only steer, never identify.
+  const GroupCostCache::HashFn constant = [](const GroupCostCache::Key&) {
+    return std::size_t{42};
+  };
+  GroupCostCache cache(4, constant);
+  cache.store({3, 5, 9}, cost_of(111, 7));
+  cache.store({2, 6}, cost_of(222, 8));
+  cache.store({}, cost_of(333, 9));
+
+  EXPECT_EQ(cache.lookup({3, 5, 9})->raw.clbs, 111u);
+  EXPECT_EQ(cache.lookup({2, 6})->raw.clbs, 222u);
+  EXPECT_EQ(cache.lookup(GroupCostCache::Key{})->raw.clbs, 333u);
+  EXPECT_EQ(cache.size(), 3u);
+  // A fourth, unseen key with the same (constant) hash is still a miss.
+  EXPECT_FALSE(cache.lookup({3, 5}).has_value());
+}
+
+TEST(GroupCostCache, PrefixAndSuffixKeysAreDistinct) {
+  // FNV over a shared prefix: {1} vs {1, 0} vs {0, 1} must all differ.
+  GroupCostCache cache;
+  cache.store({1}, cost_of(10, 0));
+  cache.store({1, 0}, cost_of(20, 0));
+  cache.store({0, 1}, cost_of(30, 0));
+  EXPECT_EQ(cache.lookup({1})->raw.clbs, 10u);
+  EXPECT_EQ(cache.lookup({1, 0})->raw.clbs, 20u);
+  EXPECT_EQ(cache.lookup({0, 1})->raw.clbs, 30u);
+}
+
+TEST(GroupCostCache, DuplicateStoreKeepsOneEntry) {
+  GroupCostCache cache;
+  cache.store({4, 8}, cost_of(50, 5));
+  cache.store({4, 8}, cost_of(50, 5));  // racy double-compute is benign
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup({4, 8})->raw.clbs, 50u);
+}
+
+TEST(GroupCostCache, ZeroShardsIsRejected) {
+  EXPECT_THROW(GroupCostCache(0), Error);
+}
+
+TEST(GroupCostCache, ConcurrentMixedAccessIsConsistent) {
+  GroupCostCache cache;
+  constexpr std::size_t kKeys = 64;
+  auto worker = [&](std::size_t offset) {
+    for (std::size_t round = 0; round < 50; ++round)
+      for (std::size_t k = 0; k < kKeys; ++k) {
+        const GroupCostCache::Key key{(k + offset) % kKeys, 1000};
+        if (const auto hit = cache.lookup(key)) {
+          EXPECT_EQ(hit->tw_union, (k + offset) % kKeys);
+        } else {
+          cache.store(key, cost_of(1, (k + offset) % kKeys));
+        }
+      }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < 4; ++t) pool.emplace_back(worker, t * 7);
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(cache.size(), kKeys);
+  const GroupCostCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 4u * 50u * kKeys);
+}
+
+TEST(GroupCostCache, SearchResultsIdenticalWithCacheOff) {
+  // The cache is a pure memo: disabling it must not change any search
+  // output, only the cache counters.
+  Design design = paper_example();
+  ConnectivityMatrix matrix(design);
+  const std::vector<BasePartition> partitions =
+      enumerate_base_partitions(design, matrix);
+  const CompatibilityTable compat(matrix, partitions);
+  const ResourceVec budget{900, 8, 16};
+
+  SearchOptions on;
+  on.threads = 4;
+  SearchOptions off = on;
+  off.use_cost_cache = false;
+
+  const SearchResult ron =
+      search_partitioning(design, matrix, partitions, compat, budget, on);
+  const SearchResult roff =
+      search_partitioning(design, matrix, partitions, compat, budget, off);
+
+  ASSERT_EQ(ron.feasible, roff.feasible);
+  EXPECT_EQ(ron.eval.total_frames, roff.eval.total_frames);
+  EXPECT_EQ(ron.eval.total_resources, roff.eval.total_resources);
+  EXPECT_EQ(ron.stats.move_evaluations, roff.stats.move_evaluations);
+  EXPECT_EQ(ron.stats.states_recorded, roff.stats.states_recorded);
+  EXPECT_EQ(ron.alternatives.size(), roff.alternatives.size());
+
+  // With the cache on, a multi-unit search shares work: counters move.
+  EXPECT_GT(ron.stats.cache_hits + ron.stats.cache_misses, 0u);
+  EXPECT_EQ(ron.stats.cache_entries,
+            ron.stats.cache_misses == 0 ? 0u : ron.stats.cache_entries);
+  // With the cache off, the counters stay zero.
+  EXPECT_EQ(roff.stats.cache_hits, 0u);
+  EXPECT_EQ(roff.stats.cache_misses, 0u);
+  EXPECT_EQ(roff.stats.cache_entries, 0u);
+}
+
+}  // namespace
+}  // namespace prpart

@@ -107,5 +107,51 @@ TEST_F(CoveringPaperExample, SkipBeyondEndIsIncomplete) {
   EXPECT_TRUE(r.selected.empty());
 }
 
+// Regression for the enumeration-order contract: covering_order must be a
+// full lexicographic total order with the master-list index as the final
+// tie-break, so the order (and every candidate set derived from it) is one
+// well-defined permutation regardless of the sort algorithm's stability.
+// Parallel search chunks work by position in this order, so any
+// tie-dependent wobble here would silently change which unit runs what.
+TEST(CoveringOrderStability, TiesBreakByIndexAscending) {
+  // Eight partitions sharing one (count, weight, frames) key plus decoys on
+  // either side, deliberately constructed in scrambled index order.
+  std::vector<BasePartition> partitions(8);
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    partitions[i].modes = DynBitset(8);
+    partitions[i].modes.set(i);
+    partitions[i].frequency_weight = 5;
+    partitions[i].frames = 1000;
+  }
+  partitions[2].frequency_weight = 1;  // sorts first
+  partitions[6].frames = 2000;         // sorts last among weight-5
+  partitions[6].frequency_weight = 5;
+
+  const std::vector<std::size_t> order = covering_order(partitions);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order.front(), 2u);
+  EXPECT_EQ(order.back(), 6u);
+  // The fully tied middle block must come out in ascending index order.
+  const std::vector<std::size_t> middle(order.begin() + 1, order.end() - 1);
+  EXPECT_EQ(middle, (std::vector<std::size_t>{0, 1, 3, 4, 5, 7}));
+}
+
+TEST(CoveringOrderStability, OrderIsAPermutationAndIdempotent) {
+  // Same key everywhere: the index tie-break alone must yield the identity
+  // permutation, and re-running the sort must not change it.
+  std::vector<BasePartition> partitions(16);
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    partitions[i].modes = DynBitset(16);
+    partitions[i].modes.set(i);
+    partitions[i].frequency_weight = 3;
+    partitions[i].frames = 700;
+  }
+  const std::vector<std::size_t> first = covering_order(partitions);
+  std::vector<std::size_t> identity(partitions.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  EXPECT_EQ(first, identity);
+  EXPECT_EQ(covering_order(partitions), first);
+}
+
 }  // namespace
 }  // namespace prpart

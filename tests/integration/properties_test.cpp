@@ -160,6 +160,90 @@ TEST_P(PipelineProperties, XmlRoundTripPreservesPartitioningOutcome) {
             result_->proposed.eval.total_resources);
 }
 
+TEST_P(PipelineProperties, TotalTimeMatchesBruteForceEq10) {
+  // Recompute Eq. 10 from first principles — region frames from the member
+  // areas (Eqs. 1-6), active members from mode-set intersection, d_ij from
+  // comparing active members — without going through SchemeEvaluation, and
+  // require exact agreement with the reported total.
+  ASSERT_TRUE(result_->feasible);
+  if (!result_->proposed_from_search)
+    GTEST_SKIP() << "single-region fallback";
+  const ConnectivityMatrix matrix(*design_);
+  const auto& parts = result_->base_partitions;
+
+  std::uint64_t total = 0;
+  for (const Region& region : result_->proposed.scheme.regions) {
+    ResourceVec raw;
+    for (std::size_t m : region.members)
+      raw = elementwise_max(raw, parts[m].area);
+    const std::uint64_t frames = tiles_for(raw).frames();
+    std::vector<int> active(matrix.configs(), -1);
+    for (std::size_t c = 0; c < matrix.configs(); ++c)
+      for (std::size_t m = 0; m < region.members.size(); ++m)
+        if (parts[region.members[m]].modes.intersects(matrix.row(c)))
+          active[c] = static_cast<int>(m);
+    for (std::size_t i = 0; i < active.size(); ++i)
+      for (std::size_t j = i + 1; j < active.size(); ++j)
+        if (active[i] >= 0 && active[j] >= 0 && active[i] != active[j])
+          total += frames;
+  }
+  EXPECT_EQ(total, result_->proposed.eval.total_frames);
+}
+
+TEST_P(PipelineProperties, EveryAlternativeFitsTheBudgetExactly) {
+  // The search only records states with zero budget excess; re-evaluating
+  // every ranked alternative must confirm element-wise feasibility and the
+  // stored objective value.
+  ASSERT_TRUE(result_->feasible);
+  const ConnectivityMatrix matrix(*design_);
+  for (const RankedScheme& alt : result_->alternatives) {
+    const SchemeEvaluation e = evaluate_scheme(
+        *design_, matrix, result_->base_partitions, alt.scheme, budget_);
+    EXPECT_TRUE(e.valid) << e.invalid_reason;
+    EXPECT_TRUE(e.fits);
+    EXPECT_TRUE(e.total_resources.fits_in(budget_));
+    EXPECT_EQ(e.total_frames, alt.total_frames);
+  }
+}
+
+TEST_P(PipelineProperties, EveryAlternativeHasUniqueActiveMemberPerRegion) {
+  // Active-partition uniqueness (at most one member of a region is present
+  // in any configuration) must hold for every ranked alternative, not just
+  // the proposed scheme.
+  ASSERT_TRUE(result_->feasible);
+  const ConnectivityMatrix matrix(*design_);
+  const auto& parts = result_->base_partitions;
+  for (const RankedScheme& alt : result_->alternatives)
+    for (std::size_t c = 0; c < matrix.configs(); ++c)
+      for (const Region& region : alt.scheme.regions) {
+        std::size_t active = 0;
+        for (std::size_t m : region.members)
+          if (parts[m].modes.intersects(matrix.row(c))) ++active;
+        EXPECT_LE(active, 1u) << "config " << c;
+      }
+}
+
+TEST_P(PipelineProperties, ThreadCountDoesNotChangeOutcome) {
+  // End-to-end determinism: partitioning with an explicit 4-thread search
+  // must reproduce the reference run (auto thread count) exactly.
+  PartitionerOptions opt;
+  opt.search.max_move_evaluations = 300'000;
+  opt.search.threads = 4;
+  const PartitionerResult par = partition_design(*design_, budget_, opt);
+  ASSERT_EQ(par.feasible, result_->feasible);
+  if (!par.feasible) return;
+  EXPECT_EQ(par.proposed.eval.total_frames,
+            result_->proposed.eval.total_frames);
+  EXPECT_EQ(par.proposed.eval.total_resources,
+            result_->proposed.eval.total_resources);
+  EXPECT_EQ(par.stats.move_evaluations, result_->stats.move_evaluations);
+  EXPECT_EQ(par.stats.states_recorded, result_->stats.states_recorded);
+  ASSERT_EQ(par.alternatives.size(), result_->alternatives.size());
+  for (std::size_t i = 0; i < par.alternatives.size(); ++i)
+    EXPECT_EQ(par.alternatives[i].total_frames,
+              result_->alternatives[i].total_frames);
+}
+
 TEST_P(PipelineProperties, BaselinesAreValid) {
   EXPECT_TRUE(result_->modular.eval.valid);
   EXPECT_TRUE(result_->static_impl.eval.valid);

@@ -73,6 +73,30 @@ TEST(ParallelFor, ExceptionStopsFurtherWork) {
   EXPECT_LT(executed.load(), 1000000);
 }
 
+TEST(ParallelFor, NestedCallsRunInlineOnWorkers) {
+  // A parallel_for issued from inside a worker body must not spawn another
+  // layer of threads: the inner loop runs inline on the worker, every index
+  // still executes exactly once, and inside_parallel_for() reports the
+  // nesting to the inner call.
+  std::vector<std::atomic<int>> inner_hits(64);
+  for (auto& h : inner_hits) h = 0;
+  std::atomic<int> nested_inline{0};
+  parallel_for(8, 4, [&](std::size_t outer) {
+    EXPECT_TRUE(inside_parallel_for());
+    const auto worker = std::this_thread::get_id();
+    parallel_for(8, 4, [&](std::size_t inner) {
+      if (std::this_thread::get_id() == worker) ++nested_inline;
+      ++inner_hits[outer * 8 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < inner_hits.size(); ++i)
+    EXPECT_EQ(inner_hits[i].load(), 1) << "index " << i;
+  // Every nested iteration stayed on its outer worker thread.
+  EXPECT_EQ(nested_inline.load(), 64);
+  // Outside any parallel_for the guard reads false again.
+  EXPECT_FALSE(inside_parallel_for());
+}
+
 TEST(ParallelFor, DefaultThreadCountRespectsEnv) {
   setenv("PRPART_TEST_THREADS", "3", 1);
   EXPECT_EQ(default_thread_count("PRPART_TEST_THREADS"), 3u);
