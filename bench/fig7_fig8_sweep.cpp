@@ -12,6 +12,7 @@
 
 #include "bench/sweep_common.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -128,5 +129,53 @@ int main() {
             << fixed(sweep.seconds / static_cast<double>(sweep.designs) * 1e3,
                      1)
             << " ms/design; paper: seconds to one minute per design)\n";
+
+  // Machine-readable summary for CI trend tracking: summed frame counts per
+  // scheme, the speedup ratios the paper argues from, and the wall clock.
+  {
+    std::uint64_t proposed_total = 0, modular_total = 0, single_total = 0;
+    std::uint64_t proposed_worst = 0, modular_worst = 0, single_worst = 0;
+    for (const SweepRow* r : rows) {
+      proposed_total += r->proposed_total;
+      modular_total += r->modular_total;
+      single_total += r->single_total;
+      proposed_worst += r->proposed_worst;
+      modular_worst += r->modular_worst;
+      single_worst += r->single_worst;
+    }
+    const auto ratio = [](std::uint64_t base, std::uint64_t ours) {
+      return ours == 0 ? 0.0
+                       : static_cast<double>(base) / static_cast<double>(ours);
+    };
+    json::Value doc = json::Value::object();
+    doc.set("designs", json::Value(static_cast<std::uint64_t>(sweep.designs)));
+    doc.set("escalated",
+            json::Value(static_cast<std::uint64_t>(sweep.escalated)));
+    doc.set("smaller_than_modular",
+            json::Value(static_cast<std::uint64_t>(sweep.smaller_than_modular)));
+    json::Value totals = json::Value::object();
+    totals.set("proposed", json::Value(proposed_total));
+    totals.set("modular", json::Value(modular_total));
+    totals.set("single_region", json::Value(single_total));
+    doc.set("total_frames", totals);
+    json::Value worsts = json::Value::object();
+    worsts.set("proposed", json::Value(proposed_worst));
+    worsts.set("modular", json::Value(modular_worst));
+    worsts.set("single_region", json::Value(single_worst));
+    doc.set("worst_frames", worsts);
+    json::Value speedup = json::Value::object();
+    speedup.set("total_vs_modular", json::Value(ratio(modular_total, proposed_total)));
+    speedup.set("total_vs_single", json::Value(ratio(single_total, proposed_total)));
+    speedup.set("worst_vs_modular", json::Value(ratio(modular_worst, proposed_worst)));
+    speedup.set("worst_vs_single", json::Value(ratio(single_worst, proposed_worst)));
+    doc.set("speedup", speedup);
+    doc.set("wall_seconds", json::Value(sweep.seconds));
+    doc.set("ms_per_design",
+            json::Value(sweep.seconds * 1e3 /
+                        static_cast<double>(sweep.designs)));
+    std::ofstream bench_json("BENCH_sweep.json");
+    bench_json << doc.dump() << "\n";
+    std::cout << "wrote BENCH_sweep.json\n";
+  }
   return 0;
 }

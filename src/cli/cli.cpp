@@ -1,8 +1,12 @@
 #include "cli/cli.hpp"
 
+#include <atomic>
+#include <csignal>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bitstream/bitstream.hpp"
 #include "core/clustering.hpp"
@@ -20,6 +24,9 @@
 #include "reconfig/controller.hpp"
 #include "reconfig/markov.hpp"
 #include "reconfig/prefetch.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
 #include "synth/estimator.hpp"
 #include "util/args.hpp"
 #include "util/status.hpp"
@@ -38,7 +45,7 @@ usage:
   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [--out FILE]
   prpart partition <design.xml> [--device NAME | --budget C,B,D]
                    [--candidate-sets N] [--evals N] [--threads N]
-                   [--floorplan] [--ucf FILE] [--save FILE]
+                   [--floorplan] [--ucf FILE] [--save FILE] [--json]
   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
                   [--steps N] [--seed S] [--prefetch] [--load FILE]
                   [--threads N]
@@ -46,6 +53,12 @@ usage:
                     [--threads N] [--out DIR]
   prpart flow <design.xml> [--device NAME] [--threads N] [--out DIR]
   prpart optimal <design.xml> [--device NAME | --budget C,B,D] [--states N]
+  prpart serve [--port N] [--workers K] [--max-queue N] [--timeout MS]
+               [--cache N] [--job-threads N] [--log-interval MS]
+  prpart submit <design.xml> [--host H] [--port N]
+                [--device NAME | --budget C,B,D] [--candidate-sets N]
+                [--evals N] [--threads N] [--timeout MS] [--id ID] [--json]
+  prpart stats [--host H] [--port N] [--json]
 
 With neither --device nor --budget, partitioning walks the Virtex-5 library
 from the smallest device up (the paper's device-selection mode). `flow`
@@ -172,10 +185,32 @@ int cmd_generate(const Args& args, std::ostream& out) {
 }
 
 int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool json_out = args.has("json");
+  if (json_out && (args.has("floorplan") || args.has("ucf")))
+    throw ParseError("--json cannot be combined with --floorplan/--ucf");
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
   const DeviceLibrary lib = DeviceLibrary::virtex5();
   const Target t =
       resolve_and_partition(design, args, lib, options_from(args));
+  if (json_out) {
+    // Same encoder as the server's `result` payload, so scripted callers
+    // and the integration tests can diff the two byte for byte.
+    out << server::partition_result_json(design, t.result,
+                                         t.device ? t.device->name() : "",
+                                         t.budget)
+               .dump()
+        << "\n";
+    if (const auto save = args.value("save")) {
+      if (!t.result.feasible) throw ParseError("--save needs a feasible result");
+      std::ofstream f(*save, std::ios::binary);
+      if (!f) throw ParseError("cannot write '" + *save + "'");
+      f << partitioning_to_xml(design, t.result.base_partitions,
+                               t.result.proposed.scheme,
+                               t.result.proposed.eval);
+      err << "saved partitioning to " << *save << "\n";
+    }
+    return t.result.feasible ? 0 : 2;
+  }
   if (!t.result.feasible) {
     err << "design does not fit the target (lower bound "
         << (design.largest_configuration_area() + design.static_base())
@@ -421,6 +456,126 @@ int cmd_optimal(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Lock-free atomic rather than volatile sig_atomic_t: the signal may be
+// delivered on any thread while cmd_serve's wait loop polls from another,
+// so the flag needs both async-signal safety and thread safety.
+std::atomic<int> g_serve_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+void on_serve_signal(int) { g_serve_signal.store(1); }
+
+int cmd_serve(const Args& args, std::ostream& err) {
+  server::ServerOptions opt;
+  opt.port = static_cast<std::uint16_t>(args.u64_or("port", 9797));
+  opt.workers = static_cast<unsigned>(args.u64_or("workers", 2));
+  opt.max_queue = args.u64_or("max-queue", 16);
+  opt.default_timeout_ms = args.u64_or("timeout", 0);
+  opt.cache_entries = args.u64_or("cache", 256);
+  opt.job_threads = static_cast<unsigned>(args.u64_or("job-threads", 1));
+  opt.log = &err;
+  opt.log_interval_ms = args.u64_or("log-interval", 10'000);
+
+  // SIGTERM/SIGINT flip a flag the wait loop polls; the actual drain runs
+  // on this thread, outside signal context. Installed before the listener
+  // binds so a signal can never arrive with the default (fatal) disposition
+  // while the server looks up.
+  g_serve_signal.store(0);
+  struct sigaction sa = {};
+  sa.sa_handler = on_serve_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  server::Server srv(opt);
+  srv.start();
+
+  while (g_serve_signal.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  srv.stop();
+  return 0;
+}
+
+/// Maps a server response onto the subcommand exit code: ok 0, client error
+/// 1, infeasible 2, transient conditions (timeout, overloaded) 3.
+int response_exit_code(const server::ClientResponse& resp) {
+  if (resp.ok) return 0;
+  if (resp.error_code == "infeasible") return 2;
+  if (resp.error_code == "timeout" || resp.error_code == "overloaded") return 3;
+  return 1;
+}
+
+server::Client connect_client(const Args& args) {
+  return server::Client(args.value_or("host", "127.0.0.1"),
+                        static_cast<std::uint16_t>(args.u64_or("port", 9797)));
+}
+
+std::string error_json(const server::ClientResponse& resp) {
+  json::Value v = json::Value::object();
+  v.set("code", json::Value(resp.error_code));
+  v.set("message", json::Value(resp.error_message));
+  return v.dump();
+}
+
+int cmd_submit(const Args& args, std::ostream& out, std::ostream& err) {
+  server::PartitionRequest req;
+  req.id = args.value_or("id", "cli");
+  req.design_xml = read_file(args.positionals().at(1));
+  if (const auto device = args.value("device")) req.device = *device;
+  if (const auto budget = args.value("budget")) req.budget = parse_budget(*budget);
+  if (!req.device.empty() && req.budget)
+    throw ParseError("--device and --budget are mutually exclusive");
+  req.options = server::default_partitioner_options();
+  req.options.search.max_candidate_sets =
+      args.u64_or("candidate-sets", req.options.search.max_candidate_sets);
+  req.options.search.max_move_evaluations =
+      args.u64_or("evals", req.options.search.max_move_evaluations);
+  req.options.search.threads = static_cast<unsigned>(args.u64_or("threads", 0));
+  req.timeout_ms = args.u64_or("timeout", 0);
+
+  server::Client client = connect_client(args);
+  const server::ClientResponse resp = client.submit(req);
+  if (args.has("json")) {
+    (resp.ok ? out : err) << (resp.ok ? resp.raw_result : error_json(resp))
+                          << "\n";
+    return response_exit_code(resp);
+  }
+  if (!resp.ok) {
+    err << "error [" << resp.error_code << "]: " << resp.error_message << "\n";
+    return response_exit_code(resp);
+  }
+  const json::Value& r = resp.result;
+  out << "design: " << r.at("design").as_string() << "\n";
+  if (const json::Value* device = r.find("device"); device && device->is_string())
+    out << "device: " << device->as_string() << "\n";
+  const json::Value& proposed = r.at("proposed");
+  out << "proposed: " << with_commas(proposed.at("total_frames").as_u64())
+      << " total frames, worst "
+      << with_commas(proposed.at("worst_frames").as_u64()) << " ("
+      << proposed.at("regions").items().size() << " regions)\n";
+  const json::Value& baselines = r.at("baselines");
+  for (const char* name : {"modular", "single_region", "static"})
+    out << name << ": "
+        << with_commas(baselines.at(name).at("total_frames").as_u64())
+        << " total frames\n";
+  return 0;
+}
+
+int cmd_client_stats(const Args& args, std::ostream& out, std::ostream& err) {
+  server::Client client = connect_client(args);
+  const server::ClientResponse resp = client.stats();
+  if (args.has("json")) {
+    (resp.ok ? out : err) << (resp.ok ? resp.raw_result : error_json(resp))
+                          << "\n";
+    return response_exit_code(resp);
+  }
+  if (!resp.ok) {
+    err << "error [" << resp.error_code << "]: " << resp.error_message << "\n";
+    return response_exit_code(resp);
+  }
+  for (const auto& [key, value] : resp.result.members())
+    out << key << ": " << value.dump() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -430,8 +585,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << kUsage;
       return 0;
     }
-    const Args parsed(args, {"floorplan", "prefetch"});
-    const std::string& command = parsed.positionals().at(0);
+    const Args parsed(args, {"floorplan", "prefetch", "json"});
+    if (parsed.positionals().empty()) {
+      err << "error: missing command\n" << kUsage;
+      return 1;
+    }
+    const std::string& command = parsed.positionals().front();
 
     auto need_design = [&] {
       if (parsed.positionals().size() < 2)
@@ -458,7 +617,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "partition") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
-                          "threads", "floorplan", "ucf", "save"});
+                          "threads", "floorplan", "ucf", "save", "json"});
       return cmd_partition(parsed, out, err);
     }
     if (command == "simulate") {
@@ -483,9 +642,29 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       parsed.check_known({"device", "budget", "states"});
       return cmd_optimal(parsed, out, err);
     }
+    if (command == "serve") {
+      parsed.check_known({"port", "workers", "max-queue", "timeout", "cache",
+                          "job-threads", "log-interval"});
+      return cmd_serve(parsed, err);
+    }
+    if (command == "submit") {
+      need_design();
+      parsed.check_known({"host", "port", "device", "budget", "candidate-sets",
+                          "evals", "threads", "timeout", "id", "json"});
+      return cmd_submit(parsed, out, err);
+    }
+    if (command == "stats") {
+      parsed.check_known({"host", "port", "json"});
+      return cmd_client_stats(parsed, out, err);
+    }
     err << "unknown command '" << command << "'\n" << kUsage;
     return 1;
   } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Anything below Error (std::out_of_range from a missing positional,
+    // bad_alloc, ...) must still exit non-zero instead of aborting.
     err << "error: " << e.what() << "\n";
     return 1;
   }

@@ -278,6 +278,9 @@ class UnitRunner {
   std::optional<Objective> evaluate_move(const State& s, const Move& move) {
     ++out_.evals;
     if (out_.evals >= out_.cap) out_.truncated = true;
+    // Cancellation point, gated so the clock read costs nothing on the hot
+    // path. 512 evaluations bound the cancel latency to microseconds.
+    if ((out_.evals & 511u) == 0) check_cancel(options_.cancel);
 
     const Group& ga = s.groups[move.a];
     if (move.kind == Move::Kind::Merge) {
@@ -379,6 +382,7 @@ class UnitRunner {
     ++out_.greedy_runs;
     record(s);
     while (s.alive > 0 && !out_.truncated) {
+      check_cancel(options_.cancel);
       const Objective current = state_objective(s);
       std::optional<Move> best_move;
       Objective best_obj = current;
@@ -434,6 +438,7 @@ class Searcher {
     std::vector<State> initials;
     std::vector<Unit> units;
     for (std::size_t skip = 0; skip < order.size(); ++skip) {
+      check_cancel(options_.cancel);
       if (initials.size() >= options_.max_candidate_sets) break;
       const CoverResult cov = cover(partitions_, matrix_, order, skip);
       if (!cov.complete) break;  // removals only make covering harder
@@ -487,6 +492,7 @@ class Searcher {
     bool any_unit = false;
     std::size_t last_set = 0;
     for (std::size_t i = 0; i < units.size(); ++i) {
+      check_cancel(options_.cancel);
       if (stats_.budget_exhausted) break;
       UnitOutcome& out = outcomes[i];
       const bool replay = !out.ran || (out.truncated ? out.cap != remaining

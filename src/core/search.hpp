@@ -5,6 +5,7 @@
 
 #include "core/compatibility.hpp"
 #include "core/scheme.hpp"
+#include "util/cancel.hpp"
 
 namespace prpart {
 
@@ -56,6 +57,13 @@ struct SearchOptions {
   /// Results are identical with the cache off; the switch exists for
   /// benchmarking and fault isolation.
   bool use_cost_cache = true;
+  /// Cooperative cancellation (nullable; must outlive the search). Workers
+  /// poll it at unit boundaries and every few hundred move evaluations;
+  /// when it fires the search unwinds with CancelledError instead of
+  /// returning a partial result, so a cancelled run can never be mistaken
+  /// for a completed one. The serving layer arms it with per-job deadlines
+  /// and on graceful shutdown.
+  const CancelToken* cancel = nullptr;
 };
 
 /// A runner-up scheme with its objective value.

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace prpart::server {
+
+/// Content-addressed result cache: canonical job hash (server::job_cache_key)
+/// -> serialised `result` JSON. Because the partitioning engine is
+/// deterministic (PR 1), a cached entry is byte-identical to what a fresh
+/// run would produce, so hits are indistinguishable from cold responses.
+///
+/// Bounded LRU with internal synchronisation; all methods are thread-safe.
+class ResultCache {
+ public:
+  /// `max_entries` == 0 disables caching (every lookup misses).
+  explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Returns the cached payload and refreshes its recency; counts a hit or
+  /// a miss.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Inserts or refreshes `key`, evicting the least recently used entry
+  /// beyond capacity. Storing never counts as a hit or miss.
+  void store(const std::string& key, const std::string& payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace prpart::server

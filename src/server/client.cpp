@@ -1,0 +1,83 @@
+#include "server/client.hpp"
+
+#include "util/status.hpp"
+
+namespace prpart::server {
+
+json::Value partition_request_json(const PartitionRequest& request) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value("partition"));
+  v.set("id", json::Value(request.id));
+  v.set("design_xml", json::Value(request.design_xml));
+  if (!request.device.empty()) v.set("device", json::Value(request.device));
+  if (request.budget) {
+    json::Value budget = json::Value::array();
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->clbs)));
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->brams)));
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->dsps)));
+    v.set("budget", budget);
+  }
+  const PartitionerOptions defaults = default_partitioner_options();
+  if (request.options.search.max_candidate_sets !=
+      defaults.search.max_candidate_sets)
+    v.set("candidate_sets",
+          json::Value(static_cast<std::uint64_t>(
+              request.options.search.max_candidate_sets)));
+  if (request.options.search.max_move_evaluations !=
+      defaults.search.max_move_evaluations)
+    v.set("evals", json::Value(request.options.search.max_move_evaluations));
+  if (request.options.search.threads != 0)
+    v.set("threads", json::Value(static_cast<std::uint64_t>(
+                         request.options.search.threads)));
+  if (request.timeout_ms != 0)
+    v.set("timeout_ms", json::Value(request.timeout_ms));
+  return v;
+}
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {}
+
+ClientResponse Client::submit(const PartitionRequest& request) {
+  return roundtrip(partition_request_json(request));
+}
+
+ClientResponse Client::stats(const std::string& id) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value("stats"));
+  v.set("id", json::Value(id));
+  return roundtrip(v);
+}
+
+ClientResponse Client::ping(const std::string& id) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value("ping"));
+  v.set("id", json::Value(id));
+  return roundtrip(v);
+}
+
+ClientResponse Client::roundtrip(const json::Value& request) {
+  return exchange(request.dump());
+}
+
+ClientResponse Client::exchange(const std::string& line) {
+  stream_.write_all(line + "\n");
+  const std::optional<std::string> reply = stream_.read_line();
+  if (!reply) throw SocketError("server closed the connection mid-request");
+
+  const json::Value doc = json::parse(*reply);
+  ClientResponse response;
+  if (const json::Value* id = doc.find("id"); id && id->is_string())
+    response.id = id->as_string();
+  response.ok = doc.at("ok").as_bool();
+  if (response.ok) {
+    response.result = doc.at("result");
+    response.raw_result = response.result.dump();
+  } else {
+    const json::Value& error = doc.at("error");
+    response.error_code = error.at("code").as_string();
+    response.error_message = error.at("message").as_string();
+  }
+  return response;
+}
+
+}  // namespace prpart::server

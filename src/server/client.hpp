@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace prpart::server {
+
+/// A decoded response envelope. `raw_result` preserves the server's exact
+/// byte encoding of the `result` field so callers can compare or archive
+/// responses without a decode/re-encode round trip.
+struct ClientResponse {
+  std::string id;
+  bool ok = false;
+  json::Value result;          ///< meaningful when ok
+  std::string raw_result;      ///< result field verbatim (dump of `result`)
+  std::string error_code;      ///< meaningful when !ok (docs/protocol.md)
+  std::string error_message;
+};
+
+/// Blocking client for the prpart serving protocol: one TCP connection,
+/// newline-delimited JSON requests, one response per request in order.
+/// Not thread-safe; use one Client per thread (the server multiplexes).
+class Client {
+ public:
+  /// Connects to the server. Throws SocketError when the peer is absent.
+  Client(const std::string& host, std::uint16_t port);
+
+  /// Submits one partition job and waits for its response. Fields of
+  /// `request` map 1:1 onto the wire format; a zero `timeout_ms` defers to
+  /// the server's default deadline.
+  ClientResponse submit(const PartitionRequest& request);
+
+  /// Fetches the server's stats snapshot.
+  ClientResponse stats(const std::string& id = "stats");
+
+  /// Liveness probe.
+  ClientResponse ping(const std::string& id = "ping");
+
+  /// Escape hatch: sends an arbitrary request object and decodes the
+  /// response (used by the protocol tests to exercise error paths).
+  ClientResponse roundtrip(const json::Value& request);
+
+ private:
+  ClientResponse exchange(const std::string& line);
+
+  TcpStream stream_;
+};
+
+/// Builds the wire form of a partition request (shared by Client::submit
+/// and the tests that drive a raw socket).
+json::Value partition_request_json(const PartitionRequest& request);
+
+}  // namespace prpart::server

@@ -1,0 +1,134 @@
+#include "server/hash.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace prpart::server {
+
+namespace {
+
+void append_res(std::string& out, const ResourceVec& r) {
+  out += ' ';
+  out += std::to_string(r.clbs);
+  out += ' ';
+  out += std::to_string(r.brams);
+  out += ' ';
+  out += std::to_string(r.dsps);
+}
+
+std::uint64_t fnv1a64(const std::string& bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string canonical_design_string(const Design& design) {
+  std::string out = "design ";
+  out += json::escape(design.name());
+  out += "\nstatic";
+  append_res(out, design.static_base());
+  out += '\n';
+
+  // Modules sorted by name, modes sorted by name within each module.
+  std::vector<const Module*> modules;
+  for (const Module& m : design.modules()) modules.push_back(&m);
+  std::sort(modules.begin(), modules.end(),
+            [](const Module* a, const Module* b) { return a->name < b->name; });
+  for (const Module* m : modules) {
+    out += "module ";
+    out += json::escape(m->name);
+    out += '\n';
+    std::vector<const Mode*> modes;
+    for (const Mode& mode : m->modes) modes.push_back(&mode);
+    std::sort(modes.begin(), modes.end(),
+              [](const Mode* a, const Mode* b) { return a->name < b->name; });
+    for (const Mode* mode : modes) {
+      out += "mode ";
+      out += json::escape(mode->name);
+      append_res(out, mode->area);
+      out += '\n';
+    }
+  }
+
+  // Configurations sorted by name; each configuration's (module, mode)
+  // choices sorted by module name and written by NAME, so the canonical
+  // form is independent of the design's internal module numbering.
+  std::vector<const Configuration*> configs;
+  for (const Configuration& c : design.configurations()) configs.push_back(&c);
+  std::sort(configs.begin(), configs.end(),
+            [](const Configuration* a, const Configuration* b) {
+              return a->name < b->name;
+            });
+  for (const Configuration* c : configs) {
+    out += "config ";
+    out += json::escape(c->name);
+    out += '\n';
+    std::vector<std::pair<std::string, std::string>> uses;
+    for (std::size_t m = 0; m < c->mode_of_module.size(); ++m) {
+      const std::uint32_t mode = c->mode_of_module[m];
+      if (mode == 0) continue;  // absent module: not part of the identity
+      uses.emplace_back(design.modules()[m].name,
+                        design.modules()[m].modes[mode - 1].name);
+    }
+    std::sort(uses.begin(), uses.end());
+    for (const auto& [module_name, mode_name] : uses) {
+      out += "use ";
+      out += json::escape(module_name);
+      out += ' ';
+      out += json::escape(mode_name);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string content_hash(const std::string& bytes) {
+  // Two independent FNV lanes (standard offset basis and a second seed)
+  // give a 128-bit digest; collisions need both 64-bit lanes to collide.
+  const std::uint64_t a = fnv1a64(bytes, 0xcbf29ce484222325ULL);
+  const std::uint64_t b = fnv1a64(bytes, 0x9e3779b97f4a7c15ULL);
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+std::string job_cache_key(const Design& design, const std::string& target,
+                          const PartitionerOptions& options) {
+  std::string key = canonical_design_string(design);
+  key += "\ntarget ";
+  key += json::escape(target);
+  key += "\noptions ";
+  key += std::to_string(options.search.max_candidate_sets);
+  key += ' ';
+  key += std::to_string(options.search.max_first_moves);
+  key += ' ';
+  key += std::to_string(options.search.max_move_evaluations);
+  key += options.search.allow_static_promotion ? " promo" : " nopromo";
+  key += ' ';
+  key += std::to_string(options.search.keep_alternatives);
+  key += ' ';
+  key += std::to_string(options.max_partition_modes);
+  // Weighted searches change the objective; the server never sets weights,
+  // but guard the key against a future caller that does.
+  if (options.search.pair_weights) {
+    key += " weights";
+    for (const auto& row : *options.search.pair_weights)
+      for (const std::uint32_t w : row) {
+        key += ' ';
+        key += std::to_string(w);
+      }
+  }
+  return content_hash(key);
+}
+
+}  // namespace prpart::server

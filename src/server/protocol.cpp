@@ -1,0 +1,260 @@
+#include "server/protocol.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace prpart::server {
+
+namespace {
+
+json::Value resources_json(const ResourceVec& r) {
+  json::Value v = json::Value::object();
+  v.set("clbs", json::Value(static_cast<std::uint64_t>(r.clbs)));
+  v.set("brams", json::Value(static_cast<std::uint64_t>(r.brams)));
+  v.set("dsps", json::Value(static_cast<std::uint64_t>(r.dsps)));
+  return v;
+}
+
+/// "Module:Mode" qualified label — mode names alone need not be unique
+/// across modules.
+std::string qualified_label(const Design& design, std::size_t global_id) {
+  const ModeRef ref = design.mode_ref(global_id);
+  return design.modules()[ref.module].name + ":" +
+         design.mode_label(global_id);
+}
+
+/// A base partition as a sorted list of qualified mode labels. Label order
+/// (not mode-id order) keeps the encoding identical for designs that differ
+/// only in module/mode declaration order.
+std::vector<std::string> partition_labels(const Design& design,
+                                          const BasePartition& partition) {
+  std::vector<std::string> labels;
+  for (const std::size_t id : partition.modes.bits())
+    labels.push_back(qualified_label(design, id));
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+json::Value labels_json(const std::vector<std::string>& labels) {
+  json::Value arr = json::Value::array();
+  for (const std::string& l : labels) arr.push_back(json::Value(l));
+  return arr;
+}
+
+json::Value scheme_json(const Design& design,
+                        const std::vector<BasePartition>& partitions,
+                        const PartitionScheme& scheme,
+                        const SchemeEvaluation& eval) {
+  json::Value v = json::Value::object();
+  v.set("fits", json::Value(eval.fits));
+  v.set("total_frames", json::Value(eval.total_frames));
+  v.set("worst_frames", json::Value(eval.worst_frames));
+  v.set("resources", resources_json(eval.total_resources));
+
+  // Regions sorted by their member-label lists (with frames as tie-break),
+  // so the rendering has one canonical form per semantic scheme.
+  struct RegionRow {
+    std::vector<std::vector<std::string>> members;
+    std::uint64_t frames = 0;
+  };
+  std::vector<RegionRow> rows;
+  for (std::size_t r = 0; r < scheme.regions.size(); ++r) {
+    RegionRow row;
+    for (const std::size_t member : scheme.regions[r].members)
+      row.members.push_back(partition_labels(design, partitions[member]));
+    std::sort(row.members.begin(), row.members.end());
+    if (r < eval.regions.size()) row.frames = eval.regions[r].frames;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const RegionRow& a,
+                                         const RegionRow& b) {
+    if (a.members != b.members) return a.members < b.members;
+    return a.frames < b.frames;
+  });
+  json::Value regions = json::Value::array();
+  for (const RegionRow& row : rows) {
+    json::Value region = json::Value::object();
+    region.set("frames", json::Value(row.frames));
+    json::Value members = json::Value::array();
+    for (const auto& labels : row.members) members.push_back(labels_json(labels));
+    region.set("partitions", members);
+    regions.push_back(std::move(region));
+  }
+  v.set("regions", regions);
+
+  std::vector<std::vector<std::string>> static_rows;
+  for (const std::size_t member : scheme.static_members)
+    static_rows.push_back(partition_labels(design, partitions[member]));
+  std::sort(static_rows.begin(), static_rows.end());
+  json::Value statics = json::Value::array();
+  for (const auto& labels : static_rows) statics.push_back(labels_json(labels));
+  v.set("static", statics);
+  return v;
+}
+
+json::Value baseline_json(const SchemeSummary& summary) {
+  json::Value v = json::Value::object();
+  v.set("fits", json::Value(summary.eval.fits));
+  v.set("total_frames", json::Value(summary.eval.total_frames));
+  v.set("worst_frames", json::Value(summary.eval.worst_frames));
+  v.set("resources", resources_json(summary.eval.total_resources));
+  return v;
+}
+
+std::uint32_t parse_res_component(const json::Value& v) {
+  const std::uint64_t raw = v.as_u64();
+  if (raw > UINT32_MAX) throw ParseError("budget component out of range");
+  return static_cast<std::uint32_t>(raw);
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Infeasible: return "infeasible";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::string PartitionRequest::target_string() const {
+  if (!device.empty()) return "device " + device;
+  if (budget)
+    return "budget " + std::to_string(budget->clbs) + "," +
+           std::to_string(budget->brams) + "," + std::to_string(budget->dsps);
+  return "auto";
+}
+
+PartitionerOptions default_partitioner_options() {
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = 48;
+  opt.search.max_move_evaluations = 2'000'000;
+  return opt;
+}
+
+Request parse_request(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  if (!doc.is_object()) throw ParseError("request must be a JSON object");
+
+  Request req;
+  if (const json::Value* id = doc.find("id")) req.id = id->as_string();
+
+  const std::string& type = doc.at("type").as_string();
+  if (type == "stats") {
+    req.type = Request::Type::Stats;
+    return req;
+  }
+  if (type == "ping") {
+    req.type = Request::Type::Ping;
+    return req;
+  }
+  if (type != "partition") throw ParseError("unknown request type '" + type + "'");
+
+  req.type = Request::Type::Partition;
+  PartitionRequest& p = req.partition;
+  p.id = req.id;
+  p.options = default_partitioner_options();
+
+  // Unknown fields fail loudly, mirroring Args::check_known on the CLI.
+  static const char* known[] = {"type",    "id",      "design_xml",
+                                "device",  "budget",  "candidate_sets",
+                                "evals",   "threads", "timeout_ms"};
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known))
+      throw ParseError("unknown request field '" + key + "'");
+  }
+
+  p.design_xml = doc.at("design_xml").as_string();
+  if (p.design_xml.empty()) throw ParseError("design_xml must not be empty");
+  if (const json::Value* device = doc.find("device")) {
+    p.device = device->as_string();
+    if (p.device.empty()) throw ParseError("device must not be empty");
+  }
+  if (const json::Value* budget = doc.find("budget")) {
+    const auto& items = budget->items();
+    if (items.size() != 3)
+      throw ParseError("budget must be a [clbs, brams, dsps] triple");
+    p.budget = ResourceVec{parse_res_component(items[0]),
+                           parse_res_component(items[1]),
+                           parse_res_component(items[2])};
+  }
+  if (!p.device.empty() && p.budget)
+    throw ParseError("device and budget are mutually exclusive");
+  if (const json::Value* v = doc.find("candidate_sets"))
+    p.options.search.max_candidate_sets = v->as_u64();
+  if (const json::Value* v = doc.find("evals"))
+    p.options.search.max_move_evaluations = v->as_u64();
+  if (const json::Value* v = doc.find("threads"))
+    p.options.search.threads = static_cast<unsigned>(v->as_u64());
+  if (const json::Value* v = doc.find("timeout_ms")) p.timeout_ms = v->as_u64();
+  return req;
+}
+
+json::Value partition_result_json(const Design& design,
+                                  const PartitionerResult& result,
+                                  const std::string& device_name,
+                                  const ResourceVec& budget) {
+  json::Value v = json::Value::object();
+  v.set("design", json::Value(design.name()));
+  v.set("feasible", json::Value(result.feasible));
+  v.set("device",
+        device_name.empty() ? json::Value() : json::Value(device_name));
+  v.set("budget", resources_json(budget));
+  if (result.feasible) {
+    json::Value proposed = scheme_json(design, result.base_partitions,
+                                       result.proposed.scheme,
+                                       result.proposed.eval);
+    proposed.set("from_search", json::Value(result.proposed_from_search));
+    v.set("proposed", std::move(proposed));
+  } else {
+    v.set("proposed", json::Value());
+    v.set("lower_bound",
+          resources_json(design.largest_configuration_area() +
+                         design.static_base()));
+  }
+  json::Value baselines = json::Value::object();
+  baselines.set("modular", baseline_json(result.modular));
+  baselines.set("single_region", baseline_json(result.single_region));
+  baselines.set("static", baseline_json(result.static_impl));
+  v.set("baselines", baselines);
+
+  // Deterministic core of the stats only: units_replayed and the cache
+  // numbers vary with thread interleaving and would break the byte-identity
+  // contract between runs with different --threads.
+  json::Value stats = json::Value::object();
+  stats.set("move_evaluations", json::Value(result.stats.move_evaluations));
+  stats.set("candidate_sets",
+            json::Value(static_cast<std::uint64_t>(result.stats.candidate_sets)));
+  stats.set("greedy_runs",
+            json::Value(static_cast<std::uint64_t>(result.stats.greedy_runs)));
+  stats.set("states_recorded", json::Value(result.stats.states_recorded));
+  stats.set("units",
+            json::Value(static_cast<std::uint64_t>(result.stats.units)));
+  stats.set("budget_exhausted", json::Value(result.stats.budget_exhausted));
+  v.set("stats", stats);
+  return v;
+}
+
+std::string ok_response(const std::string& id, const std::string& result_json) {
+  return "{\"id\":" + json::escape(id) + ",\"ok\":true,\"result\":" +
+         result_json + "}";
+}
+
+std::string error_response(const std::string& id, ErrorCode code,
+                           const std::string& message) {
+  json::Value err = json::Value::object();
+  err.set("code", json::Value(std::string(error_code_name(code))));
+  err.set("message", json::Value(message));
+  return "{\"id\":" + json::escape(id) + ",\"ok\":false,\"error\":" +
+         err.dump() + "}";
+}
+
+}  // namespace prpart::server

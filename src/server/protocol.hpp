@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/partitioner.hpp"
+#include "design/design.hpp"
+#include "util/json.hpp"
+
+namespace prpart::server {
+
+/// Typed protocol error codes (docs/protocol.md). The wire form is the
+/// snake_case name.
+enum class ErrorCode {
+  BadRequest,   ///< malformed JSON, unknown type, invalid design/arguments
+  Infeasible,   ///< the design fits no target (partitioner lower bound)
+  Timeout,      ///< the job's deadline fired before the search finished
+  Overloaded,   ///< admission control rejected the job (queue full/draining)
+  Internal,     ///< unexpected server-side failure
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// One `partition` job as received on the wire.
+struct PartitionRequest {
+  std::string id;          ///< client-chosen correlation id, echoed back
+  std::string design_xml;  ///< the design in the tool's XML input format
+  std::string device;      ///< named target device; empty = none
+  std::optional<ResourceVec> budget;  ///< explicit budget; overrides nothing:
+                                      ///< device and budget are exclusive
+  PartitionerOptions options;         ///< effort knobs (defaults as the CLI)
+  std::uint64_t timeout_ms = 0;       ///< per-job deadline; 0 = server default
+
+  /// Target identity for the cache key: "device <name>", "budget c,b,d" or
+  /// "auto" (smallest-device walk).
+  std::string target_string() const;
+};
+
+struct Request {
+  enum class Type { Partition, Stats, Ping };
+  Type type = Type::Ping;
+  std::string id;
+  PartitionRequest partition;  ///< meaningful when type == Partition
+};
+
+/// Parses one newline-delimited request. Throws ParseError on malformed
+/// JSON, an unknown `type`, conflicting target fields or bad option values;
+/// the server maps that to a `bad_request` response.
+Request parse_request(const std::string& line);
+
+/// Effort defaults shared by `prpart partition`, `prpart submit` and the
+/// server, so the same submission produces the same work everywhere.
+PartitionerOptions default_partitioner_options();
+
+/// The single scheme/stats encoder shared by the server and the CLI's
+/// `--json` output (the byte-identity contract of the integration tests).
+///
+/// Regions and partitions are rendered as sorted mode-name lists and only
+/// the deterministic core of SearchStats is included, so the encoding is
+/// identical for every thread count and for designs that differ only in
+/// module/mode/configuration declaration order.
+json::Value partition_result_json(const Design& design,
+                                  const PartitionerResult& result,
+                                  const std::string& device_name,
+                                  const ResourceVec& budget);
+
+/// Response envelopes. `result_json` is spliced verbatim so a cache hit
+/// reproduces the cold response byte for byte.
+std::string ok_response(const std::string& id, const std::string& result_json);
+std::string error_response(const std::string& id, ErrorCode code,
+                           const std::string& message);
+
+}  // namespace prpart::server

@@ -1,0 +1,323 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "design/io_xml.hpp"
+#include "server/hash.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace prpart::server {
+
+namespace {
+
+std::uint64_t latency_us_since(std::int64_t submit_ns) {
+  const std::int64_t delta = monotonic_now_ns() - submit_ns;
+  return delta > 0 ? static_cast<std::uint64_t>(delta / kNsPerUs) : 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      library_(DeviceLibrary::virtex5()),
+      cache_(options_.cache_entries) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    require(!started_, "server already started");
+    listener_ = TcpListener::bind(options_.port);
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  const unsigned workers = std::max(1u, options_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  if (options_.log && options_.log_interval_ms > 0)
+    logger_thread_ = std::thread([this] { logger_loop(); });
+  log_line("listening on 127.0.0.1:" + std::to_string(listener_.port()) +
+           " (" + std::to_string(workers) + " workers, queue " +
+           std::to_string(options_.max_queue) + ")");
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopped_) return;
+    if (stopping_.load()) return;  // a concurrent stop is already draining
+    stopping_.store(true);
+  }
+  logger_cv_.notify_all();
+
+  // 1. Stop accepting new connections.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // 2. Drain: admission now rejects, workers finish every queued and
+  //    in-flight job (fulfilling every response promise), then exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+
+  // 3. Unblock handler threads waiting for more requests; their pending
+  //    responses were all written or are being written right now.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) conn->stream.shutdown_read();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_)
+      if (conn->thread.joinable()) conn->thread.join();
+    conns_.clear();
+  }
+
+  if (logger_thread_.joinable()) logger_thread_.join();
+  log_line("drained: " + stats_snapshot().log_line());
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  stopped_ = true;
+}
+
+StatsSnapshot Server::stats_snapshot() const {
+  std::size_t depth = 0;
+  std::size_t in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = queue_.size();
+    in_flight = in_flight_;
+  }
+  return stats_.snapshot(depth, in_flight);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    std::optional<TcpStream> stream = listener_.accept(50);
+    // Reap finished connections so a long-lived server does not accumulate
+    // one Connection record per client ever served.
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load()) {
+          (*it)->thread.join();
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!stream) continue;
+    auto conn = std::make_unique<Connection>();
+    conn->stream = std::move(*stream);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void Server::handle_connection(Connection* conn) {
+  try {
+    while (std::optional<std::string> line = conn->stream.read_line()) {
+      if (line->empty()) continue;
+      const std::string response = handle_request(*line);
+      conn->stream.write_all(response + "\n");
+    }
+  } catch (const SocketError&) {
+    // Peer vanished (or stalled past the send timeout): drop the connection.
+  }
+  conn->done.store(true);
+}
+
+std::string Server::handle_request(const std::string& line) {
+  std::string id;
+  try {
+    Request request = parse_request(line);
+    id = request.id;
+    switch (request.type) {
+      case Request::Type::Ping: {
+        json::Value pong = json::Value::object();
+        pong.set("pong", json::Value(true));
+        return ok_response(id, pong.dump());
+      }
+      case Request::Type::Stats:
+        return stats_response(id);
+      case Request::Type::Partition:
+        return handle_partition(std::move(request.partition));
+    }
+    stats_.job_failed();
+    return error_response(id, ErrorCode::Internal, "unhandled request type");
+  } catch (const Error& e) {
+    // Malformed JSON, schema violations, bad design XML, unknown device:
+    // everything thrown before a job was admitted is the client's fault.
+    stats_.job_failed();
+    return error_response(id, ErrorCode::BadRequest, e.what());
+  } catch (const std::exception& e) {
+    stats_.job_failed();
+    return error_response(id, ErrorCode::Internal, e.what());
+  }
+}
+
+std::string Server::handle_partition(PartitionRequest request) {
+  const std::int64_t submit_ns = monotonic_now_ns();
+  // Validate everything the worker would otherwise trip over, so
+  // bad_request never costs a queue slot: the design must parse and a named
+  // device must exist.
+  Design design = design_from_xml(request.design_xml);
+  if (!request.device.empty()) library_.by_name(request.device);
+  if (request.options.search.threads == 0)
+    request.options.search.threads = std::max(1u, options_.job_threads);
+
+  const std::string key =
+      job_cache_key(design, request.target_string(), request.options);
+  if (std::optional<std::string> hit = cache_.lookup(key)) {
+    stats_.cache_hit(latency_us_since(submit_ns));
+    return ok_response(request.id, *hit);
+  }
+  stats_.cache_miss();
+
+  auto job = std::make_shared<Job>(std::move(request), std::move(design), key,
+                                   submit_ns);
+  const std::uint64_t timeout_ms = job->request.timeout_ms != 0
+                                       ? job->request.timeout_ms
+                                       : options_.default_timeout_ms;
+  job->cancel.set_timeout_ms(static_cast<std::int64_t>(timeout_ms));
+  std::future<std::string> response = job->response.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (draining_) {
+      stats_.job_rejected();
+      return error_response(job->request.id, ErrorCode::Overloaded,
+                            "server is draining");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      stats_.job_rejected();
+      return error_response(job->request.id, ErrorCode::Overloaded,
+                            "job queue is full (" +
+                                std::to_string(options_.max_queue) +
+                                " waiting)");
+    }
+    queue_.push_back(job);
+    stats_.job_accepted();
+  }
+  queue_cv_.notify_one();
+  return response.get();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left: exit
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    execute_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+void Server::execute_job(Job& job) {
+  std::string response;
+  try {
+    check_cancel(&job.cancel);  // the deadline may have fired while queued
+    PartitionerOptions options = job.request.options;
+    options.search.cancel = &job.cancel;
+
+    PartitionerResult result;
+    std::string device_name;
+    ResourceVec budget;
+    if (!job.request.device.empty()) {
+      const Device& device = library_.by_name(job.request.device);
+      device_name = device.name();
+      budget = device.capacity();
+      result = partition_design(job.design, budget, options);
+    } else if (job.request.budget) {
+      budget = *job.request.budget;
+      result = partition_design(job.design, budget, options);
+    } else {
+      DevicePartitionResult dp =
+          partition_on_smallest_device(job.design, library_, options);
+      device_name = dp.device->name();
+      budget = dp.device->capacity();
+      result = std::move(dp.result);
+    }
+
+    if (!result.feasible) {
+      stats_.job_infeasible(latency_us_since(job.submit_ns));
+      response = error_response(
+          job.request.id, ErrorCode::Infeasible,
+          "design does not fit the target (lower bound " +
+              (job.design.largest_configuration_area() +
+               job.design.static_base())
+                  .to_string() +
+              ", budget " + budget.to_string() + ")");
+    } else {
+      const std::string payload =
+          partition_result_json(job.design, result, device_name, budget)
+              .dump();
+      // Deterministic engine: the stored bytes equal any future cold run,
+      // so cache hits are byte-identical to fresh responses.
+      cache_.store(job.cache_key, payload);
+      stats_.job_completed(latency_us_since(job.submit_ns));
+      response = ok_response(job.request.id, payload);
+    }
+  } catch (const CancelledError&) {
+    stats_.job_timed_out();
+    response = error_response(job.request.id, ErrorCode::Timeout,
+                              "job exceeded its deadline");
+  } catch (const DeviceError& e) {
+    // Auto-device mode: the design fits no library device at all.
+    stats_.job_infeasible(latency_us_since(job.submit_ns));
+    response = error_response(job.request.id, ErrorCode::Infeasible, e.what());
+  } catch (const Error& e) {
+    stats_.job_failed();
+    response = error_response(job.request.id, ErrorCode::Internal, e.what());
+  } catch (const std::exception& e) {
+    stats_.job_failed();
+    response = error_response(job.request.id, ErrorCode::Internal, e.what());
+  }
+  job.response.set_value(std::move(response));
+}
+
+std::string Server::stats_response(const std::string& id) const {
+  return ok_response(id, stats_snapshot().to_json().dump());
+}
+
+void Server::logger_loop() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  while (!stopping_.load()) {
+    logger_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.log_interval_ms),
+                        [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    lock.unlock();
+    log_line(stats_snapshot().log_line());
+    lock.lock();
+  }
+}
+
+void Server::log_line(const std::string& line) {
+  if (!options_.log) return;
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  *options_.log << "[prpart serve] " << line << "\n";
+  options_.log->flush();
+}
+
+}  // namespace prpart::server

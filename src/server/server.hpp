@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "device/device.hpp"
+#include "server/cache.hpp"
+#include "server/protocol.hpp"
+#include "server/stats.hpp"
+#include "util/cancel.hpp"
+#include "util/socket.hpp"
+
+namespace prpart::server {
+
+struct ServerOptions {
+  /// Bind address is always loopback (the protocol is trusted-client);
+  /// port 0 picks an ephemeral port, read back with Server::port().
+  std::uint16_t port = 0;
+  /// Scheduler worker threads: how many partition jobs execute at once.
+  unsigned workers = 2;
+  /// Admission control: jobs waiting beyond this depth are rejected with
+  /// `overloaded` instead of queueing unboundedly.
+  std::size_t max_queue = 16;
+  /// Deadline for jobs that do not carry their own timeout_ms; 0 = none.
+  std::uint64_t default_timeout_ms = 0;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_entries = 256;
+  /// Worker threads *inside* one job's region-allocation search (the
+  /// existing parallel_for pool), used when the request does not pin its
+  /// own `threads`. Kept at 1 by default so K scheduler workers do not
+  /// multiply into K x hardware_concurrency search threads.
+  unsigned job_threads = 1;
+  /// Nullable log sink plus the period of the stats log line (0 = off).
+  std::ostream* log = nullptr;
+  std::uint64_t log_interval_ms = 0;
+};
+
+/// The `prpart serve` engine: a TCP front end multiplexing the
+/// deterministic partitioning engine across concurrent clients.
+///
+///   * one accept thread, one handler thread per connection, `workers`
+///     scheduler threads draining a bounded job queue;
+///   * admission control rejects with `overloaded` when the queue is full
+///     or the server is draining;
+///   * per-job cooperative timeouts via CancelToken threaded through
+///     SearchOptions (deadline runs from admission, so queue wait counts);
+///   * a content-addressed result cache serving byte-identical responses
+///     for repeated submissions;
+///   * stop() drains gracefully: stops accepting, finishes queued and
+///     in-flight jobs, flushes responses, then joins every thread.
+///
+/// start()/stop() are not thread-safe against each other; everything the
+/// spawned threads touch is internally synchronised. The destructor stops
+/// the server if still running, so tests can boot it in-process and rely on
+/// scope exit.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and spawns the accept, worker and logger threads.
+  /// Throws SocketError when the port cannot be bound.
+  void start();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Graceful drain; idempotent. Safe to call from a signal-driven main
+  /// loop or test teardown.
+  void stop();
+
+  /// Live counters (also served over the wire as a `stats` request).
+  StatsSnapshot stats_snapshot() const;
+
+ private:
+  struct Job {
+    Job(PartitionRequest req, Design parsed, std::string key,
+        std::int64_t submitted)
+        : request(std::move(req)),
+          design(std::move(parsed)),
+          cache_key(std::move(key)),
+          submit_ns(submitted) {}
+
+    PartitionRequest request;
+    Design design;
+    std::string cache_key;
+    std::int64_t submit_ns;
+    CancelToken cancel;
+    std::promise<std::string> response;  ///< the full response line
+  };
+
+  struct Connection {
+    TcpStream stream;
+    std::thread thread;
+    std::atomic<bool> done{false};  ///< lets the accept loop reap the thread
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void logger_loop();
+  void handle_connection(Connection* conn);
+  /// Parses and dispatches one request line; never throws.
+  std::string handle_request(const std::string& line);
+  std::string handle_partition(PartitionRequest request);
+  void execute_job(Job& job);
+  std::string stats_response(const std::string& id) const;
+  void log_line(const std::string& line);
+
+  const ServerOptions options_;
+  const DeviceLibrary library_;
+  ResultCache cache_;
+  ServerStats stats_;
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread logger_thread_;
+
+  // Job queue (admission control + scheduler handoff).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+
+  // Connection registry, so stop() can unblock handler threads.
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Connection>> conns_;
+
+  // Lifecycle.
+  std::mutex lifecycle_mutex_;
+  std::condition_variable logger_cv_;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};  ///< read lock-free by the accept loop
+  bool stopped_ = false;
+
+  std::mutex log_mutex_;
+};
+
+}  // namespace prpart::server

@@ -1,0 +1,125 @@
+#include "server/stats.hpp"
+
+#include <algorithm>
+
+namespace prpart::server {
+
+namespace {
+
+std::uint64_t percentile(std::vector<std::uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+json::Value StatsSnapshot::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("accepted", json::Value(accepted));
+  v.set("rejected", json::Value(rejected));
+  v.set("completed", json::Value(completed));
+  v.set("infeasible", json::Value(infeasible));
+  v.set("timed_out", json::Value(timed_out));
+  v.set("failed", json::Value(failed));
+  v.set("cache_hits", json::Value(cache_hits));
+  v.set("cache_misses", json::Value(cache_misses));
+  v.set("queue_depth", json::Value(static_cast<std::uint64_t>(queue_depth)));
+  v.set("in_flight", json::Value(static_cast<std::uint64_t>(in_flight)));
+  v.set("latency_count", json::Value(latency_count));
+  v.set("p50_latency_us", json::Value(p50_latency_us));
+  v.set("p99_latency_us", json::Value(p99_latency_us));
+  return v;
+}
+
+std::string StatsSnapshot::log_line() const {
+  return "jobs accepted=" + std::to_string(accepted) +
+         " rejected=" + std::to_string(rejected) +
+         " completed=" + std::to_string(completed) +
+         " infeasible=" + std::to_string(infeasible) +
+         " timed_out=" + std::to_string(timed_out) +
+         " failed=" + std::to_string(failed) +
+         " queue=" + std::to_string(queue_depth) +
+         " in_flight=" + std::to_string(in_flight) +
+         " cache_hits=" + std::to_string(cache_hits) +
+         " cache_misses=" + std::to_string(cache_misses) +
+         " p50_us=" + std::to_string(p50_latency_us) +
+         " p99_us=" + std::to_string(p99_latency_us);
+}
+
+void ServerStats::job_accepted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++accepted_;
+}
+
+void ServerStats::job_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServerStats::job_completed(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  record_latency(latency_us);
+}
+
+void ServerStats::job_infeasible(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++infeasible_;
+  record_latency(latency_us);
+}
+
+void ServerStats::job_timed_out() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++timed_out_;
+}
+
+void ServerStats::job_failed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failed_;
+}
+
+void ServerStats::cache_hit(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++cache_hits_;
+  record_latency(latency_us);
+}
+
+void ServerStats::cache_miss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++cache_misses_;
+}
+
+void ServerStats::record_latency(std::uint64_t latency_us) {
+  ++latency_count_;
+  if (latencies_.size() < kReservoir) {
+    latencies_.push_back(latency_us);
+  } else {
+    latencies_[latency_next_] = latency_us;
+    latency_next_ = (latency_next_ + 1) % kReservoir;
+  }
+}
+
+StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
+                                    std::size_t in_flight) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsSnapshot s;
+  s.accepted = accepted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.infeasible = infeasible_;
+  s.timed_out = timed_out_;
+  s.failed = failed_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.queue_depth = queue_depth;
+  s.in_flight = in_flight;
+  s.latency_count = latency_count_;
+  s.p50_latency_us = percentile(latencies_, 0.50);
+  s.p99_latency_us = percentile(latencies_, 0.99);
+  return s;
+}
+
+}  // namespace prpart::server

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace prpart::server {
+
+/// One consistent view of the serving counters, taken under the stats lock.
+struct StatsSnapshot {
+  std::uint64_t accepted = 0;        ///< jobs admitted to the queue
+  std::uint64_t rejected = 0;        ///< jobs refused by admission control
+  std::uint64_t completed = 0;       ///< jobs finished with an ok response
+  std::uint64_t infeasible = 0;      ///< jobs answered `infeasible`
+  std::uint64_t timed_out = 0;       ///< jobs cancelled by their deadline
+  std::uint64_t failed = 0;          ///< bad_request / internal failures
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t queue_depth = 0;       ///< jobs waiting at snapshot time
+  std::size_t in_flight = 0;         ///< jobs executing at snapshot time
+  std::uint64_t latency_count = 0;   ///< completed-job latency samples
+  std::uint64_t p50_latency_us = 0;  ///< submit -> response, cache hits incl.
+  std::uint64_t p99_latency_us = 0;
+
+  json::Value to_json() const;
+  /// One-line rendering for the periodic server log.
+  std::string log_line() const;
+};
+
+/// Internally synchronised serving counters plus a bounded reservoir of the
+/// most recent job latencies for the p50/p99 estimates. Everything here is
+/// observability only: no decision in the serving path reads it back.
+class ServerStats {
+ public:
+  void job_accepted();
+  void job_rejected();
+  void job_completed(std::uint64_t latency_us);
+  void job_infeasible(std::uint64_t latency_us);
+  void job_timed_out();
+  void job_failed();
+  void cache_hit(std::uint64_t latency_us);
+  void cache_miss();
+
+  /// Queue depth and in-flight count are owned by the scheduler; it reports
+  /// them at snapshot time.
+  StatsSnapshot snapshot(std::size_t queue_depth, std::size_t in_flight) const;
+
+ private:
+  void record_latency(std::uint64_t latency_us);
+
+  /// Last kReservoir latencies; percentile estimates sort a copy.
+  static constexpr std::size_t kReservoir = 4096;
+
+  mutable std::mutex mutex_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t infeasible_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t latency_count_ = 0;
+  std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace prpart::server

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+/// Thrown by long-running operations when their CancelToken fires. Derives
+/// from Error so existing catch-all handlers keep working; the server maps
+/// it to the `timeout` protocol error.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Cooperative cancellation: a flag plus an optional monotonic deadline.
+/// The owner arms it (cancel() from any thread, or set_deadline() before
+/// starting the work); the worker polls cancelled() at loop boundaries and
+/// unwinds with CancelledError via check(). All members are safe to call
+/// concurrently.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Requests cancellation; visible to every thread polling this token.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute monotonic deadline (monotonic_now_ns() units);
+  /// 0 disarms. Set before handing the token to workers.
+  void set_deadline(std::int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Arms the deadline `timeout_ms` from now; <= 0 disarms.
+  void set_timeout_ms(std::int64_t timeout_ms) {
+    set_deadline(timeout_ms > 0 ? monotonic_now_ns() + timeout_ms * kNsPerMs
+                                : 0);
+  }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && monotonic_now_ns() >= deadline;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// Throws CancelledError when `token` (nullable) has fired. The idiom for
+/// cancellation points inside search/flow loops.
+inline void check_cancel(const CancelToken* token) {
+  if (token && token->cancelled())
+    throw CancelledError("operation cancelled (timeout or shutdown)");
+}
+
+}  // namespace prpart

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace prpart {
+
+/// Nanoseconds on a monotonic clock (std::chrono::steady_clock). The single
+/// time source for deadlines, latency measurements and periodic logging, so
+/// wall-clock adjustments can never fire a timeout early or late.
+std::int64_t monotonic_now_ns();
+
+/// Convenience conversions for the common protocol units.
+constexpr std::int64_t kNsPerUs = 1'000;
+constexpr std::int64_t kNsPerMs = 1'000'000;
+constexpr std::int64_t kNsPerSec = 1'000'000'000;
+
+}  // namespace prpart

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace prpart {
+
+/// A socket operation failed at the OS level (bind, connect, send, ...).
+class SocketError : public Error {
+ public:
+  explicit SocketError(const std::string& what) : Error(what) {}
+};
+
+/// A connected TCP byte stream with line-oriented reads, sized for the
+/// newline-delimited JSON protocol. Dependency-free POSIX sockets; writes
+/// never raise SIGPIPE (a peer that vanished surfaces as SocketError).
+/// Move-only: the destructor closes the descriptor.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  /// Adopts an already-connected descriptor (e.g. from TcpListener).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to host:port (numeric IPv4 dotted quad or "localhost").
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// terminator (a trailing '\r' is also stripped). Returns nullopt on a
+  /// clean EOF with no buffered data. A line longer than `max_line` bytes
+  /// throws SocketError (protocol abuse guard).
+  std::optional<std::string> read_line(std::size_t max_line = kMaxLine);
+
+  /// Writes the whole buffer, retrying short writes.
+  void write_all(std::string_view data);
+
+  /// Half-closes the read side; a blocked read_line on another thread
+  /// returns EOF. Used by the server's graceful drain.
+  void shutdown_read();
+
+  void close();
+
+  /// Default cap on one protocol line (64 MiB covers any realistic design).
+  static constexpr std::size_t kMaxLine = 64u << 20;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// A listening TCP socket bound to the loopback interface. accept() polls
+/// with a timeout so the server's accept loop can observe its stop flag
+/// without signals or self-pipes.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:port; port 0 picks an ephemeral port
+  /// (read it back with port() — the integration tests boot on port 0).
+  static TcpListener bind(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms for a connection; nullopt on timeout (callers
+  /// loop and re-check their stop condition).
+  std::optional<TcpStream> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace prpart

@@ -10,6 +10,7 @@
 
 #include "design/io_xml.hpp"
 #include "synth/ip_library.hpp"
+#include "util/json.hpp"
 
 namespace prpart::cli {
 namespace {
@@ -282,6 +283,141 @@ TEST_F(CliTest, OptimalInfeasibleBudget) {
   invoke({"generate", "--seed", "4", "--class", "logic", "--out", small});
   const CliRun r = invoke({"optimal", small, "--budget", "30,0,0"});
   EXPECT_EQ(r.code, 2);
+}
+
+TEST_F(CliTest, OptionsWithoutCommandFail) {
+  // Regression: an option-only argv used to fall through to a raw
+  // std::out_of_range instead of a usage error.
+  const CliRun r = invoke({"--budget", "1,2,3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("missing command"), std::string::npos);
+}
+
+TEST_F(CliTest, LintWithoutDesignFails) {
+  const CliRun r = invoke({"lint"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("expects a design file"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionWithoutDesignFails) {
+  const CliRun r = invoke({"partition"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("expects a design file"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateWithoutDesignFails) {
+  EXPECT_EQ(invoke({"simulate"}).code, 1);
+}
+
+TEST_F(CliTest, BitstreamsWithoutDesignFails) {
+  EXPECT_EQ(invoke({"bitstreams"}).code, 1);
+}
+
+TEST_F(CliTest, FlowWithoutDesignFails) {
+  EXPECT_EQ(invoke({"flow"}).code, 1);
+}
+
+TEST_F(CliTest, OptimalWithoutDesignFails) {
+  EXPECT_EQ(invoke({"optimal"}).code, 1);
+}
+
+TEST_F(CliTest, SubmitWithoutDesignFails) {
+  EXPECT_EQ(invoke({"submit"}).code, 1);
+}
+
+TEST_F(CliTest, DevicesRejectsUnknownOption) {
+  const CliRun r = invoke({"devices", "--frob", "x"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateRejectsNonNumericValue) {
+  EXPECT_EQ(invoke({"estimate", "--luts", "many"}).code, 1);
+}
+
+TEST_F(CliTest, GenerateRejectsTypoOption) {
+  EXPECT_EQ(invoke({"generate", "--sede", "3"}).code, 1);
+}
+
+TEST_F(CliTest, SimulateRejectsTypoOption) {
+  EXPECT_EQ(invoke({"simulate", design_path_, "--stpes", "5"}).code, 1);
+}
+
+TEST_F(CliTest, BitstreamsRejectsTypoOption) {
+  EXPECT_EQ(invoke({"bitstreams", design_path_, "--uot", "d"}).code, 1);
+}
+
+TEST_F(CliTest, FlowRejectsTypoOption) {
+  EXPECT_EQ(invoke({"flow", design_path_, "--budget", "1,2,3"}).code, 1);
+}
+
+TEST_F(CliTest, OptimalRejectsTypoOption) {
+  EXPECT_EQ(invoke({"optimal", design_path_, "--staets", "5"}).code, 1);
+}
+
+TEST_F(CliTest, ServeRejectsUnknownOption) {
+  // check_known fires before any socket is opened, so this cannot hang.
+  const CliRun r = invoke({"serve", "--prot", "1234"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsRejectsUnknownOption) {
+  EXPECT_EQ(invoke({"stats", "--hots", "x"}).code, 1);
+}
+
+TEST_F(CliTest, SubmitRejectsConflictingTargets) {
+  const CliRun r = invoke({"submit", design_path_, "--device", "XC5VFX70T",
+                           "--budget", "1,2,3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsWithoutServerFails) {
+  // Nothing listens on the discard port: the client must fail cleanly.
+  const CliRun r = invoke({"stats", "--port", "9"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionJsonIsMachineReadable) {
+  const CliRun r = invoke({"partition", design_path_, "--budget",
+                           "6800,64,150", "--evals", "300000", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const json::Value v = json::parse(r.out);
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_GT(v.at("proposed").at("total_frames").as_u64(), 0u);
+  EXPECT_EQ(v.at("budget").at("clbs").as_u64(), 6800u);
+  EXPECT_TRUE(v.at("baselines").at("modular").is_object());
+}
+
+TEST_F(CliTest, PartitionJsonInfeasibleStillEmitsJsonAndExits2) {
+  const CliRun r =
+      invoke({"partition", design_path_, "--budget", "100,1,1", "--json"});
+  EXPECT_EQ(r.code, 2);
+  const json::Value v = json::parse(r.out);
+  EXPECT_FALSE(v.at("feasible").as_bool());
+  EXPECT_TRUE(v.at("proposed").is_null());
+  EXPECT_GT(v.at("lower_bound").at("clbs").as_u64(), 0u);
+}
+
+TEST_F(CliTest, PartitionJsonRejectsFloorplanCombination) {
+  const CliRun r = invoke({"partition", design_path_, "--budget",
+                           "6800,64,150", "--json", "--floorplan"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--json"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionJsonIdenticalAcrossThreadCounts) {
+  const CliRun r1 = invoke({"partition", design_path_, "--budget",
+                            "6800,64,150", "--evals", "300000", "--threads",
+                            "1", "--json"});
+  const CliRun r4 = invoke({"partition", design_path_, "--budget",
+                            "6800,64,150", "--evals", "300000", "--threads",
+                            "4", "--json"});
+  ASSERT_EQ(r1.code, 0) << r1.err;
+  ASSERT_EQ(r4.code, 0) << r4.err;
+  EXPECT_EQ(r4.out, r1.out);
 }
 
 TEST_F(CliTest, DeterministicOutput) {

@@ -1,0 +1,75 @@
+#include "server/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace prpart::server {
+namespace {
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  cache.store("k", "payload");
+  EXPECT_EQ(cache.lookup("k"), "payload");
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCacheTest, StoreRefreshesExistingEntry) {
+  ResultCache cache(4);
+  cache.store("k", "old");
+  cache.store("k", "new");
+  EXPECT_EQ(cache.lookup("k"), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.store("a", "1");
+  cache.store("b", "2");
+  cache.store("c", "3");  // evicts a
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+  ResultCache cache(2);
+  cache.store("a", "1");
+  cache.store("b", "2");
+  EXPECT_TRUE(cache.lookup("a").has_value());  // a is now most recent
+  cache.store("c", "3");                       // evicts b, not a
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.store("k", "payload");
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache cache(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 12);
+        cache.store(key, "v");
+        (void)cache.lookup(key);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.stats().entries, 8u);
+}
+
+}  // namespace
+}  // namespace prpart::server

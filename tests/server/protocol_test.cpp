@@ -1,0 +1,176 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart::server {
+namespace {
+
+Design small_design() {
+  std::vector<Module> modules = {
+      {"Filter", {{"LowPass", {120, 4, 2}}, {"HighPass", {150, 2, 6}}}},
+      {"Codec", {{"Fast", {80, 8, 0}}, {"Dense", {60, 12, 1}}}},
+  };
+  std::vector<Configuration> configs = {
+      {"Receive", {1, 2}},
+      {"Transmit", {2, 1}},
+  };
+  return Design("radio", {40, 1, 0}, std::move(modules), std::move(configs));
+}
+
+TEST(ProtocolTest, ErrorCodeNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::BadRequest), "bad_request");
+  EXPECT_STREQ(error_code_name(ErrorCode::Infeasible), "infeasible");
+  EXPECT_STREQ(error_code_name(ErrorCode::Timeout), "timeout");
+  EXPECT_STREQ(error_code_name(ErrorCode::Overloaded), "overloaded");
+  EXPECT_STREQ(error_code_name(ErrorCode::Internal), "internal");
+}
+
+TEST(ProtocolTest, ParsesPingAndStats) {
+  const Request ping = parse_request("{\"type\":\"ping\",\"id\":\"p1\"}");
+  EXPECT_EQ(ping.type, Request::Type::Ping);
+  EXPECT_EQ(ping.id, "p1");
+  const Request stats = parse_request("{\"type\":\"stats\"}");
+  EXPECT_EQ(stats.type, Request::Type::Stats);
+  EXPECT_EQ(stats.id, "");
+}
+
+TEST(ProtocolTest, PartitionRequestDefaultsMatchTheCli) {
+  const Request r = parse_request(
+      "{\"type\":\"partition\",\"id\":\"j\",\"design_xml\":\"<x/>\"}");
+  ASSERT_EQ(r.type, Request::Type::Partition);
+  const PartitionerOptions defaults = default_partitioner_options();
+  EXPECT_EQ(r.partition.options.search.max_candidate_sets,
+            defaults.search.max_candidate_sets);
+  EXPECT_EQ(r.partition.options.search.max_move_evaluations,
+            defaults.search.max_move_evaluations);
+  EXPECT_EQ(r.partition.options.search.threads, 0u);
+  EXPECT_EQ(r.partition.timeout_ms, 0u);
+  EXPECT_EQ(r.partition.target_string(), "auto");
+}
+
+TEST(ProtocolTest, PartitionRequestAllFields) {
+  const Request r = parse_request(
+      "{\"type\":\"partition\",\"id\":\"j2\",\"design_xml\":\"<x/>\","
+      "\"device\":\"XC5VLX30T\",\"candidate_sets\":7,\"evals\":1234,"
+      "\"threads\":3,\"timeout_ms\":250}");
+  EXPECT_EQ(r.partition.device, "XC5VLX30T");
+  EXPECT_EQ(r.partition.options.search.max_candidate_sets, 7u);
+  EXPECT_EQ(r.partition.options.search.max_move_evaluations, 1234u);
+  EXPECT_EQ(r.partition.options.search.threads, 3u);
+  EXPECT_EQ(r.partition.timeout_ms, 250u);
+  EXPECT_EQ(r.partition.target_string(), "device XC5VLX30T");
+}
+
+TEST(ProtocolTest, BudgetTripleParses) {
+  const Request r = parse_request(
+      "{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+      "\"budget\":[100,20,30]}");
+  ASSERT_TRUE(r.partition.budget.has_value());
+  EXPECT_EQ(r.partition.budget->clbs, 100u);
+  EXPECT_EQ(r.partition.budget->brams, 20u);
+  EXPECT_EQ(r.partition.budget->dsps, 30u);
+  EXPECT_EQ(r.partition.target_string(), "budget 100,20,30");
+}
+
+TEST(ProtocolTest, MalformedRequestsThrow) {
+  EXPECT_THROW(parse_request("not json"), ParseError);
+  EXPECT_THROW(parse_request("[1]"), ParseError);
+  EXPECT_THROW(parse_request("{\"id\":\"x\"}"), ParseError);  // no type
+  EXPECT_THROW(parse_request("{\"type\":\"bogus\"}"), ParseError);
+  // Partition without a design.
+  EXPECT_THROW(parse_request("{\"type\":\"partition\"}"), ParseError);
+  EXPECT_THROW(
+      parse_request("{\"type\":\"partition\",\"design_xml\":\"\"}"),
+      ParseError);
+  // Unknown fields fail loudly instead of being ignored.
+  EXPECT_THROW(parse_request("{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+                             "\"evalz\":1}"),
+               ParseError);
+  // Conflicting targets.
+  EXPECT_THROW(parse_request("{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+                             "\"device\":\"D\",\"budget\":[1,2,3]}"),
+               ParseError);
+  // Budget must be a triple.
+  EXPECT_THROW(parse_request("{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+                             "\"budget\":[1,2]}"),
+               ParseError);
+}
+
+TEST(ProtocolTest, OkResponseSplicesThePayloadVerbatim) {
+  const std::string payload = "{\"x\":1,\"y\":[true,null]}";
+  const std::string line = ok_response("req-1", payload);
+  EXPECT_EQ(line, "{\"id\":\"req-1\",\"ok\":true,\"result\":" + payload + "}");
+  const json::Value doc = json::parse(line);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("result").dump(), payload);
+}
+
+TEST(ProtocolTest, ErrorResponseShape) {
+  const json::Value doc =
+      json::parse(error_response("req-2", ErrorCode::Overloaded, "full"));
+  EXPECT_EQ(doc.at("id").as_string(), "req-2");
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(doc.at("error").at("message").as_string(), "full");
+}
+
+TEST(ProtocolTest, ResultJsonFeasibleShape) {
+  const Design design = small_design();
+  PartitionerOptions options = default_partitioner_options();
+  options.search.max_move_evaluations = 100'000;
+  // Tight enough that the fully-static implementation cannot fit, forcing a
+  // scheme with at least one reconfigurable region.
+  const ResourceVec budget{400, 30, 12};
+  const PartitionerResult result = partition_design(design, budget, options);
+  ASSERT_TRUE(result.feasible);
+
+  const json::Value v = partition_result_json(design, result, "", budget);
+  EXPECT_EQ(v.at("design").as_string(), "radio");
+  EXPECT_TRUE(v.at("device").is_null());
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_EQ(v.at("budget").at("clbs").as_u64(), 400u);
+  const json::Value& proposed = v.at("proposed");
+  EXPECT_GT(proposed.at("total_frames").as_u64(), 0u);
+  EXPECT_GE(proposed.at("regions").items().size(), 1u);
+  for (const char* name : {"modular", "single_region", "static"})
+    EXPECT_TRUE(v.at("baselines").at(name).is_object()) << name;
+  // Only the deterministic core of the stats: scheduling-dependent counters
+  // would break byte-identity across thread counts.
+  EXPECT_EQ(v.at("stats").find("units_replayed"), nullptr);
+  EXPECT_EQ(v.at("stats").find("cache_hits"), nullptr);
+  EXPECT_GT(v.at("stats").at("move_evaluations").as_u64(), 0u);
+}
+
+TEST(ProtocolTest, ResultJsonInfeasibleShape) {
+  const Design design = small_design();
+  const ResourceVec budget{10, 0, 0};
+  const PartitionerResult result =
+      partition_design(design, budget, default_partitioner_options());
+  ASSERT_FALSE(result.feasible);
+  const json::Value v = partition_result_json(design, result, "", budget);
+  EXPECT_FALSE(v.at("feasible").as_bool());
+  EXPECT_TRUE(v.at("proposed").is_null());
+  EXPECT_GT(v.at("lower_bound").at("clbs").as_u64(), 0u);
+}
+
+TEST(ProtocolTest, ResultJsonIsDeterministic) {
+  const Design design = small_design();
+  PartitionerOptions options = default_partitioner_options();
+  options.search.max_move_evaluations = 100'000;
+  const ResourceVec budget{4000, 60, 60};
+  const std::string a =
+      partition_result_json(design, partition_design(design, budget, options),
+                            "", budget)
+          .dump();
+  options.search.threads = 4;
+  const std::string b =
+      partition_result_json(design, partition_design(design, budget, options),
+                            "", budget)
+          .dump();
+  EXPECT_EQ(a, b);  // thread count must not leak into the encoding
+}
+
+}  // namespace
+}  // namespace prpart::server

@@ -1,0 +1,407 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "design/io_xml.hpp"
+#include "server/client.hpp"
+#include "synth/ip_library.hpp"
+
+namespace prpart::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kEvals = 60'000;
+
+Design small_design() {
+  std::vector<Module> modules = {
+      {"Filter", {{"LowPass", {120, 4, 2}}, {"HighPass", {150, 2, 6}}}},
+      {"Codec", {{"Fast", {80, 8, 0}}, {"Dense", {60, 12, 1}}}},
+  };
+  std::vector<Configuration> configs = {
+      {"Receive", {1, 2}},
+      {"Transmit", {2, 1}},
+  };
+  return Design("radio", {40, 1, 0}, std::move(modules), std::move(configs));
+}
+
+/// small_design() with every declaration list permuted: a semantically
+/// identical design whose XML bytes differ.
+Design permuted_small_design() {
+  std::vector<Module> modules = {
+      {"Codec", {{"Dense", {60, 12, 1}}, {"Fast", {80, 8, 0}}}},
+      {"Filter", {{"HighPass", {150, 2, 6}}, {"LowPass", {120, 4, 2}}}},
+  };
+  std::vector<Configuration> configs = {
+      {"Transmit", {2, 1}},
+      {"Receive", {1, 2}},
+  };
+  return Design("radio", {40, 1, 0}, std::move(modules), std::move(configs));
+}
+
+PartitionRequest small_request(const std::string& id,
+                               std::uint64_t evals = kEvals) {
+  PartitionRequest req;
+  req.id = id;
+  req.design_xml = design_to_xml(small_design());
+  req.budget = ResourceVec{4000, 60, 60};
+  req.options = default_partitioner_options();
+  req.options.search.max_move_evaluations = evals;
+  return req;
+}
+
+PartitionRequest receiver_request(const std::string& id,
+                                  std::uint64_t evals = kEvals) {
+  PartitionRequest req;
+  req.id = id;
+  req.design_xml = design_to_xml(synth::wireless_receiver_design());
+  req.budget = ResourceVec{6800, 64, 150};
+  req.options = default_partitioner_options();
+  req.options.search.max_move_evaluations = evals;
+  return req;
+}
+
+ServerOptions quiet_options() {
+  ServerOptions opt;
+  opt.port = 0;  // ephemeral
+  opt.workers = 4;
+  return opt;
+}
+
+/// Sends `request` over a raw socket and returns the raw response line,
+/// bypassing the Client's parse/re-dump round trip: the tests below compare
+/// these bytes directly.
+std::string raw_exchange(std::uint16_t port, const json::Value& request) {
+  TcpStream stream = TcpStream::connect("127.0.0.1", port);
+  stream.write_all(request.dump() + "\n");
+  const std::optional<std::string> line = stream.read_line();
+  EXPECT_TRUE(line.has_value());
+  return line.value_or("");
+}
+
+/// Extracts the spliced `result` payload from a raw ok response line.
+std::string result_payload(const std::string& line, const std::string& id) {
+  const std::string prefix =
+      "{\"id\":" + json::escape(id) + ",\"ok\":true,\"result\":";
+  EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+  if (line.rfind(prefix, 0) != 0) return "";
+  return line.substr(prefix.size(), line.size() - prefix.size() - 1);
+}
+
+TEST(ServerTest, BootsPingsAndStops) {
+  Server server(quiet_options());
+  server.start();
+  ASSERT_NE(server.port(), 0);
+  Client client("127.0.0.1", server.port());
+  const ClientResponse pong = client.ping("p");
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.id, "p");
+  EXPECT_TRUE(pong.result.at("pong").as_bool());
+  server.stop();
+  // After the drain the listener is closed: new clients are refused.
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", server.port()), SocketError);
+}
+
+TEST(ServerTest, StopIsIdempotent) {
+  Server server(quiet_options());
+  server.start();
+  server.stop();
+  server.stop();  // second drain is a no-op; destructor adds a third
+}
+
+TEST(ServerTest, ResponseMatchesOneShotCliByteForByte) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("prpart_server_test_" + std::to_string(::getpid()) +
+                        "_" + info->name());
+  fs::create_directories(dir);
+  const std::string design_path = (dir / "receiver.xml").string();
+  {
+    std::ofstream f(design_path);
+    f << design_to_xml(synth::wireless_receiver_design());
+  }
+  std::ostringstream cli_out, cli_err;
+  const int code = cli::run({"partition", design_path, "--budget",
+                             "6800,64,150", "--evals", std::to_string(kEvals),
+                             "--json"},
+                            cli_out, cli_err);
+  ASSERT_EQ(code, 0) << cli_err.str();
+  std::string expected = cli_out.str();
+  ASSERT_FALSE(expected.empty());
+  expected.pop_back();  // trailing newline
+
+  Server server(quiet_options());
+  server.start();
+  const std::string line = raw_exchange(
+      server.port(), partition_request_json(receiver_request("cli-twin")));
+  EXPECT_EQ(result_payload(line, "cli-twin"), expected);
+  fs::remove_all(dir);
+}
+
+TEST(ServerTest, CacheHitIsByteIdenticalToColdRun) {
+  Server server(quiet_options());
+  server.start();
+  const json::Value request = partition_request_json(small_request("c1"));
+  const std::string cold = raw_exchange(server.port(), request);
+  const std::string warm = raw_exchange(server.port(), request);
+  EXPECT_EQ(warm, cold);
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 1u);  // the warm response ran no search
+}
+
+TEST(ServerTest, PermutedDesignXmlHitsTheCache) {
+  Server server(quiet_options());
+  server.start();
+  PartitionRequest permuted = small_request("perm");
+  permuted.design_xml = design_to_xml(permuted_small_design());
+  ASSERT_NE(permuted.design_xml, small_request("perm").design_xml);
+
+  const std::string first = raw_exchange(
+      server.port(), partition_request_json(small_request("perm")));
+  const std::string second =
+      raw_exchange(server.port(), partition_request_json(permuted));
+  // Content addressing sees through declaration order: same canonical
+  // design, same key, byte-identical payload.
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(server.stats_snapshot().cache_hits, 1u);
+}
+
+TEST(ServerTest, EightConcurrentClientsGetConsistentResponses) {
+  ServerOptions opt = quiet_options();
+  opt.max_queue = 32;
+  opt.cache_entries = 0;  // force every job through the search
+  Server server(opt);
+  server.start();
+
+  constexpr int kClients = 8;
+  std::vector<std::string> lines(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back([&, i] {
+      // Two distinct designs interleaved; ids are distinct per client but
+      // excluded from the payload bytes under comparison.
+      const PartitionRequest req = (i % 2 == 0)
+                                       ? small_request("s" + std::to_string(i))
+                                       : receiver_request("r" + std::to_string(i));
+      lines[static_cast<std::size_t>(i)] =
+          raw_exchange(server.port(), partition_request_json(req));
+    });
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const std::string id = (i % 2 == 0 ? "s" : "r") + std::to_string(i);
+    const std::string payload = result_payload(lines[static_cast<std::size_t>(i)], id);
+    ASSERT_FALSE(payload.empty()) << lines[static_cast<std::size_t>(i)];
+    // Every client running the same design must see identical bytes.
+    const std::string reference = result_payload(
+        lines[i % 2 == 0 ? 0u : 1u], i % 2 == 0 ? "s0" : "r1");
+    EXPECT_EQ(payload, reference) << "client " << i;
+  }
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ServerTest, OverCapacityBurstIsRejectedWithoutWedging) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 1;
+  opt.max_queue = 1;
+  opt.cache_entries = 0;
+  Server server(opt);
+  server.start();
+
+  constexpr int kBurst = 10;
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kBurst; ++i)
+    clients.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const ClientResponse resp =
+          client.submit(small_request("b" + std::to_string(i), 500'000));
+      if (resp.ok)
+        ++ok;
+      else if (resp.error_code == "overloaded")
+        ++overloaded;
+      else
+        ++other;
+    });
+  for (std::thread& t : clients) t.join();
+
+  // One worker and one queue slot against ten simultaneous submissions:
+  // some jobs complete, the overflow is rejected, nothing crashes or hangs.
+  EXPECT_EQ(ok + overloaded, kBurst);
+  EXPECT_EQ(other, 0);
+  EXPECT_GE(overloaded.load(), 1);
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(overloaded.load()));
+  server.stop();
+  EXPECT_EQ(server.stats_snapshot().queue_depth, 0u);
+}
+
+TEST(ServerTest, JobTimeoutReturnsTimeoutError) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  PartitionRequest req = receiver_request("slow", 100'000'000);
+  // A 1ms deadline (armed at admission) is always in the past by the time
+  // the search reaches a cancellation point; the job itself takes tens of
+  // milliseconds at the very least.
+  req.timeout_ms = 1;
+  const ClientResponse resp = client.submit(req);
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "timeout");
+  EXPECT_EQ(server.stats_snapshot().timed_out, 1u);
+}
+
+TEST(ServerTest, ServerDefaultTimeoutApplies) {
+  ServerOptions opt = quiet_options();
+  opt.default_timeout_ms = 1;
+  Server server(opt);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const ClientResponse resp =
+      client.submit(receiver_request("slow-default", 100'000'000));
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "timeout");
+}
+
+TEST(ServerTest, BadRequestsGetTypedErrors) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  // Malformed JSON line.
+  {
+    TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+    stream.write_all("this is not json\n");
+    const std::optional<std::string> line = stream.read_line();
+    ASSERT_TRUE(line.has_value());
+    const json::Value doc = json::parse(*line);
+    EXPECT_FALSE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("error").at("code").as_string(), "bad_request");
+  }
+  // Unknown device name.
+  {
+    PartitionRequest req = small_request("bad-dev");
+    req.budget.reset();
+    req.device = "XC9NOPE";
+    const ClientResponse resp = client.submit(req);
+    ASSERT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error_code, "bad_request");
+  }
+  // Invalid design XML.
+  {
+    PartitionRequest req = small_request("bad-xml");
+    req.design_xml = "<not a design>";
+    const ClientResponse resp = client.submit(req);
+    ASSERT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error_code, "bad_request");
+  }
+  // Structurally valid but hopeless budget.
+  {
+    PartitionRequest req = small_request("tiny");
+    req.budget = ResourceVec{10, 0, 0};
+    const ClientResponse resp = client.submit(req);
+    ASSERT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error_code, "infeasible");
+  }
+  // The connection survives all of the above.
+  EXPECT_TRUE(client.ping().ok);
+}
+
+TEST(ServerTest, DrainCompletesAdmittedJobs) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 2;
+  opt.cache_entries = 0;
+  Server server(opt);
+  server.start();
+
+  constexpr int kJobs = 4;
+  std::atomic<int> ok{0}, overloaded{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kJobs; ++i)
+    clients.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const ClientResponse resp =
+          client.submit(small_request("d" + std::to_string(i), 400'000));
+      if (resp.ok)
+        ++ok;
+      else if (resp.error_code == "overloaded")
+        ++overloaded;
+      else
+        ++other;
+    });
+  // Let the jobs get admitted, then drain while they are in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  for (std::thread& t : clients) t.join();
+
+  // Every admitted job got a real response; anything that arrived after the
+  // drain began was rejected as overloaded — never dropped.
+  EXPECT_EQ(ok + overloaded, kJobs);
+  EXPECT_EQ(other, 0);
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST(ServerTest, StatsRequestReportsCounters) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.submit(small_request("one")).ok);
+  const ClientResponse resp = client.stats();
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.result.at("accepted").as_u64(), 1u);
+  EXPECT_EQ(resp.result.at("completed").as_u64(), 1u);
+  EXPECT_EQ(resp.result.at("latency_count").as_u64(), 1u);
+  EXPECT_GE(resp.result.at("p99_latency_us").as_u64(),
+            resp.result.at("p50_latency_us").as_u64());
+}
+
+TEST(ServerTest, ServeCommandDrainsOnSigtermAndExitsZero) {
+  // End to end through the CLI: `prpart serve` must install its handlers,
+  // serve clients, and exit 0 on SIGTERM.
+  constexpr const char* kPort = "29787";
+  std::ostringstream out, err;
+  int code = -1;
+  std::thread serve([&] {
+    code = cli::run({"serve", "--port", kPort, "--workers", "1"}, out, err);
+  });
+
+  // Wait for the listener, prove it serves, then signal the drain.
+  bool pinged = false;
+  for (int attempt = 0; attempt < 100 && !pinged; ++attempt) {
+    try {
+      Client client("127.0.0.1", 29787);
+      pinged = client.ping().ok;
+    } catch (const SocketError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(pinged) << err.str();
+  std::raise(SIGTERM);
+  serve.join();
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(err.str().find("drained:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prpart::server

@@ -1,0 +1,112 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace prpart::json {
+namespace {
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(std::uint64_t{42}).dump(), "42");
+  EXPECT_EQ(Value(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Value v = Value::object();
+  v.set("zebra", Value(std::uint64_t{1}));
+  v.set("alpha", Value(std::uint64_t{2}));
+  v.set("mid", Value(std::uint64_t{3}));
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonTest, SetReplacesInPlace) {
+  Value v = Value::object();
+  v.set("a", Value(std::uint64_t{1}));
+  v.set("b", Value(std::uint64_t{2}));
+  v.set("a", Value(std::uint64_t{9}));
+  EXPECT_EQ(v.dump(), "{\"a\":9,\"b\":2}");
+}
+
+TEST(JsonTest, ParseRoundTripsCompositeDocument) {
+  const std::string text =
+      "{\"name\":\"x\",\"ok\":true,\"n\":12,\"neg\":-3,\"f\":1.5,"
+      "\"arr\":[1,2,[3]],\"obj\":{\"inner\":null}}";
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(JsonTest, NumberTypes) {
+  EXPECT_EQ(parse("7").type(), Value::Type::Uint);
+  EXPECT_EQ(parse("-7").type(), Value::Type::Int);
+  EXPECT_EQ(parse("7.5").type(), Value::Type::Double);
+  EXPECT_EQ(parse("7e2").type(), Value::Type::Double);
+  EXPECT_EQ(parse("18446744073709551615").as_u64(), UINT64_MAX);
+}
+
+TEST(JsonTest, StringEscapes) {
+  const Value v = parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\bA");
+}
+
+TEST(JsonTest, SurrogatePairDecodesToUtf8) {
+  // U+1F600 as a surrogate pair.
+  const Value v = parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, EscapeControlCharacters) {
+  EXPECT_EQ(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse("{} x"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\"}"), ParseError);
+  EXPECT_THROW(parse("\"\\q\""), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_THROW(parse(deep), ParseError);
+}
+
+TEST(JsonTest, TypedAccessorsThrowOnMismatch) {
+  EXPECT_THROW(parse("7").as_string(), ParseError);
+  EXPECT_THROW(parse("\"x\"").as_u64(), ParseError);
+  EXPECT_THROW(parse("[]").members(), ParseError);
+}
+
+TEST(JsonTest, ObjectLookup) {
+  const Value v = parse("{\"a\":1}");
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.at("a").as_u64(), 1u);
+  EXPECT_THROW(v.at("missing"), ParseError);
+}
+
+TEST(JsonTest, EqualValuesDumpIdenticalBytes) {
+  // The property the content-addressed cache rests on.
+  const Value a = parse("{\"k\":[1,2,{\"n\":null}]}");
+  const Value b = parse("{\"k\":[1,2,{\"n\":null}]}");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+}  // namespace
+}  // namespace prpart::json

@@ -1,0 +1,102 @@
+#include "util/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace prpart {
+namespace {
+
+TEST(SocketTest, BindEphemeralPortReportsIt) {
+  TcpListener listener = TcpListener::bind(0);
+  EXPECT_TRUE(listener.valid());
+  EXPECT_NE(listener.port(), 0);
+}
+
+TEST(SocketTest, AcceptTimesOutWithoutClient) {
+  TcpListener listener = TcpListener::bind(0);
+  EXPECT_FALSE(listener.accept(10).has_value());
+}
+
+TEST(SocketTest, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener = TcpListener::bind(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", dead_port), SocketError);
+}
+
+TEST(SocketTest, LineRoundTrip) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread echo([&] {
+    std::optional<TcpStream> peer = listener.accept(2000);
+    ASSERT_TRUE(peer.has_value());
+    while (std::optional<std::string> line = peer->read_line())
+      peer->write_all("echo:" + *line + "\n");
+  });
+  {
+    TcpStream client = TcpStream::connect("localhost", listener.port());
+    // Two requests in one write: the reader must split on '\n'.
+    client.write_all("first\nsecond\n");
+    EXPECT_EQ(client.read_line(), "echo:first");
+    EXPECT_EQ(client.read_line(), "echo:second");
+    client.write_all("third\r\n");
+    EXPECT_EQ(client.read_line(), "echo:third");
+  }
+  echo.join();
+}
+
+TEST(SocketTest, CleanEofReturnsNullopt) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    std::optional<TcpStream> peer = listener.accept(2000);
+    ASSERT_TRUE(peer.has_value());
+    peer->write_all("bye\n");
+  });
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  EXPECT_EQ(client.read_line(), "bye");
+  EXPECT_FALSE(client.read_line().has_value());
+  server.join();
+}
+
+TEST(SocketTest, UnterminatedTrailingDataIsFinalLine) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    std::optional<TcpStream> peer = listener.accept(2000);
+    ASSERT_TRUE(peer.has_value());
+    peer->write_all("no newline");
+  });
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  EXPECT_EQ(client.read_line(), "no newline");
+  EXPECT_FALSE(client.read_line().has_value());
+  server.join();
+}
+
+TEST(SocketTest, OverlongLineThrows) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread server([&] {
+    std::optional<TcpStream> peer = listener.accept(2000);
+    ASSERT_TRUE(peer.has_value());
+    peer->write_all(std::string(128, 'x') + "\n");
+  });
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  EXPECT_THROW(client.read_line(64), SocketError);
+  server.join();
+}
+
+TEST(SocketTest, ShutdownReadUnblocksReader) {
+  TcpListener listener = TcpListener::bind(0);
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  std::optional<TcpStream> peer = listener.accept(2000);
+  ASSERT_TRUE(peer.has_value());
+  std::thread reader([&] { EXPECT_FALSE(peer->read_line().has_value()); });
+  // Give the reader a moment to block, then half-close its socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  peer->shutdown_read();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace prpart
