@@ -1,0 +1,54 @@
+#include "analysis/diagnostic.hpp"
+
+#include <algorithm>
+
+namespace prpart::analysis {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+namespace {
+
+int rank(Severity s) {
+  switch (s) {
+    case Severity::Error: return 0;
+    case Severity::Warning: return 1;
+    case Severity::Info: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+void sort_by_severity(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return rank(a.severity) < rank(b.severity);
+                   });
+}
+
+std::string render_text(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& file) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    std::string prefix;
+    if (d.span.known()) {
+      if (!file.empty()) prefix += file + ":";
+      prefix += d.span.to_string() + ": ";
+    } else if (!file.empty()) {
+      prefix += file + ": ";
+    }
+    out += prefix + std::string(to_string(d.severity)) + "[" + d.code +
+           "]: " + d.message + "\n";
+    if (!d.fixit.empty()) out += "  fix: " + d.fixit + "\n";
+  }
+  return out;
+}
+
+}  // namespace prpart::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xml/xml.hpp"
+
+namespace prpart::analysis {
+
+/// Severity of a finding. Errors block partitioning (the design cannot be
+/// constructed, or no scheme can fit the target); warnings flag probable
+/// mistakes; infos are advisory hints.
+enum class Severity { Info, Warning, Error };
+
+const char* to_string(Severity s);
+
+/// One finding of the design analyzer.
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  /// Stable machine-readable code, e.g. "dead-mode". Every code is
+  /// catalogued in docs/diagnostics.md.
+  std::string code;
+  std::string message;
+  /// Suggested fix; empty = none.
+  std::string fixit;
+  /// Source position of the offending element in the input XML; unknown
+  /// (line 0) for designs built programmatically.
+  xml::Span span;
+};
+
+/// Orders diagnostics errors-first (Error, Warning, Info), keeping the
+/// emission order within each severity (stable).
+void sort_by_severity(std::vector<Diagnostic>& diagnostics);
+
+/// Renders diagnostics one per line, compiler style:
+///
+///   design.xml:12:5: error[unknown-mode-ref]: ...
+///     fix: declare the mode or fix the reference
+///
+/// The `file:` prefix is omitted when `file` is empty, the `line:col:`
+/// prefix when the span is unknown.
+std::string render_text(const std::vector<Diagnostic>& diagnostics,
+                        const std::string& file = "");
+
+}  // namespace prpart::analysis

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "design/io_xml.hpp"
+
+namespace prpart::analysis {
+
+/// Result of analyzing raw XML text: structural diagnostics plus, when the
+/// document is sound, the constructed design with its source spans and the
+/// semantic findings of analyze_design.
+struct SourceAnalysis {
+  AnalysisResult result;
+  /// Engaged when the document parsed and passed every structural check.
+  std::optional<ParsedDesign> parsed;
+
+  bool has_errors() const { return result.has_errors(); }
+};
+
+/// Front end of the analyzer. Unlike design_from_xml — which throws on the
+/// first problem — this walk is tolerant: every XML syntax error, schema
+/// violation, unknown module/mode reference and duplicate is collected as
+/// an error diagnostic with a source span. When the text survives all
+/// structural checks the design is built and the semantic checks run too.
+SourceAnalysis analyze_design_source(const std::string& text,
+                                     const AnalysisOptions& options = {});
+
+}  // namespace prpart::analysis

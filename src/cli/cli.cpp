@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/frontend.hpp"
 #include "bitstream/bitstream.hpp"
 #include "core/clustering.hpp"
 #include "core/compatibility.hpp"
@@ -17,7 +18,6 @@
 #include "core/report.hpp"
 #include "core/result_io.hpp"
 #include "design/io_xml.hpp"
-#include "design/lint.hpp"
 #include "design/synthetic.hpp"
 #include "floorplan/floorplanner.hpp"
 #include "flow/flow.hpp"
@@ -40,7 +40,7 @@ constexpr const char* kUsage = R"(prpart - automated partitioning for partial re
 
 usage:
   prpart devices
-  prpart lint <design.xml>
+  prpart analyze <design.xml> [--device NAME | --budget C,B,D] [--json]
   prpart estimate [--luts N] [--ffs N] [--mults N] [--kbits N] [--distbits N]
   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [--out FILE]
   prpart partition <design.xml> [--device NAME | --budget C,B,D]
@@ -61,7 +61,11 @@ usage:
   prpart stats [--host H] [--port N] [--json]
 
 With neither --device nor --budget, partitioning walks the Virtex-5 library
-from the smallest device up (the paper's device-selection mode). `flow`
+from the smallest device up (the paper's device-selection mode). `analyze`
+(alias: `lint`) runs the static diagnostics engine: structural checks with
+source spans, design hygiene warnings and a resource lower-bound
+infeasibility proof; it exits 0 when clean, 4 when an error-severity
+diagnostic fires. `flow`
 runs the complete pipeline (partition, floorplan with feedback, UCF,
 bitstreams) and writes the artefacts into --out. --threads N runs the
 region-allocation search on N worker threads (default: hardware
@@ -138,15 +142,35 @@ int cmd_devices(std::ostream& out) {
   return 0;
 }
 
-int cmd_lint(const Args& args, std::ostream& out) {
-  const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const auto issues = lint_design(design);
-  if (issues.empty()) {
-    out << "no issues found\n";
-    return 0;
+/// Builds analyzer options from --device/--budget. An unknown device or a
+/// conflicting pair is a usage error (exit 1), reported before any
+/// analysis runs.
+analysis::AnalysisOptions analysis_options_from(const Args& args) {
+  analysis::AnalysisOptions opt;
+  if (const auto device = args.value("device")) {
+    opt.library.by_name(*device);  // throws DeviceError when unknown
+    opt.device = *device;
   }
-  out << render_lint(issues);
-  return 0;
+  if (const auto budget = args.value("budget")) opt.budget = parse_budget(*budget);
+  if (!opt.device.empty() && opt.budget)
+    throw ParseError("--device and --budget are mutually exclusive");
+  return opt;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out) {
+  const std::string& path = args.positionals().at(1);
+  const analysis::SourceAnalysis sa =
+      analysis::analyze_design_source(read_file(path),
+                                      analysis_options_from(args));
+  if (args.has("json")) {
+    // Same encoder as the server's `analyze` result payload, byte for byte.
+    out << analysis::analysis_json(sa.result).dump() << "\n";
+  } else if (sa.result.diagnostics.empty()) {
+    out << "no issues found\n";
+  } else {
+    out << analysis::render_text(sa.result.diagnostics, path);
+  }
+  return sa.has_errors() ? 4 : 0;
 }
 
 int cmd_estimate(const Args& args, std::ostream& out) {
@@ -190,6 +214,34 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
     throw ParseError("--json cannot be combined with --floorplan/--ucf");
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
   const DeviceLibrary lib = DeviceLibrary::virtex5();
+  // Lower-bound pre-check for explicit targets: a provably hopeless design
+  // is rejected with the proof before any search runs. (--json keeps the
+  // full engine run so its payload stays byte-identical to the server's.)
+  if (!json_out) {
+    std::optional<ResourceVec> pre_budget;
+    std::string label = "budget";
+    if (const auto b = args.value("budget")) {
+      pre_budget = parse_budget(*b);
+    } else if (const auto d = args.value("device")) {
+      const Device& device = lib.by_name(*d);
+      pre_budget = device.capacity();
+      label = device.name();
+    }
+    if (pre_budget) {
+      if (const auto proof =
+              analysis::prove_infeasible(design, *pre_budget, lib, label)) {
+        err << "design does not fit the target (lower bound "
+            << (design.largest_configuration_area() + design.static_base())
+                   .to_string()
+            << ", budget " << pre_budget->to_string() << ")\n"
+            << "  " << proof->to_string() << "\n";
+        if (!proof->smallest_fitting_device.empty())
+          err << "  smallest fitting library device: "
+              << proof->smallest_fitting_device << "\n";
+        return 2;
+      }
+    }
+  }
   const Target t =
       resolve_and_partition(design, args, lib, options_from(args));
   if (json_out) {
@@ -601,10 +653,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       parsed.check_known({});
       return cmd_devices(out);
     }
-    if (command == "lint") {
+    if (command == "analyze" || command == "lint") {
       need_design();
-      parsed.check_known({});
-      return cmd_lint(parsed, out);
+      parsed.check_known({"device", "budget", "json"});
+      return cmd_analyze(parsed, out);
     }
     if (command == "estimate") {
       parsed.check_known({"luts", "ffs", "mults", "kbits", "distbits"});

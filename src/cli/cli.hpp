@@ -12,7 +12,8 @@ namespace prpart::cli {
 /// Commands:
 ///   prpart help
 ///   prpart devices
-///   prpart lint <design.xml>
+///   prpart analyze <design.xml> [--device NAME | --budget C,B,D] [--json]
+///                  (alias: lint)
 ///   prpart estimate [--luts N] [--ffs N] [--mults N] [--kbits N]
 ///                   [--distbits N]
 ///   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [-out F]
@@ -30,7 +31,8 @@ namespace prpart::cli {
 /// `partition --save FILE` archives the chosen scheme; `simulate --load
 /// FILE` replays it without re-running the search.
 ///
-/// Returns a process exit code (0 success, 1 user error, 2 infeasible).
+/// Returns a process exit code (0 success, 1 user error, 2 infeasible;
+/// `analyze` exits 4 when any error-severity diagnostic fires).
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

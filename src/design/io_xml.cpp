@@ -24,23 +24,44 @@ void write_resources(xml::Element& e, const ResourceVec& r) {
 
 }  // namespace
 
-Design design_from_xml(const std::string& text) {
-  const auto root = xml::parse(text);
-  if (root->name() != "design")
-    throw ParseError("expected <design> root element, got <" + root->name() +
-                     ">");
-  const std::string name = root->has_attr("name") ? root->attr("name") : "design";
+xml::Span DesignSpans::module_span(const std::string& module) const {
+  const auto it = modules.find(module);
+  return it != modules.end() ? it->second : root;
+}
+
+xml::Span DesignSpans::mode_span(const std::string& module,
+                                 const std::string& mode) const {
+  const auto it = modes.find({module, mode});
+  return it != modes.end() ? it->second : module_span(module);
+}
+
+xml::Span DesignSpans::configuration_span(std::size_t index) const {
+  return index < configurations.size() ? configurations[index] : root;
+}
+
+Design design_from_element(const xml::Element& root, DesignSpans* spans) {
+  if (root.name() != "design")
+    throw ParseError("expected <design> root element, got <" + root.name() +
+                         ">",
+                     root.span().line, root.span().column);
+  if (spans) spans->root = root.span();
+  const std::string name = root.has_attr("name") ? root.attr("name") : "design";
 
   ResourceVec static_base;
-  if (const xml::Element* s = root->find_child("static"))
+  if (const xml::Element* s = root.find_child("static"))
     static_base = read_resources(*s);
 
   std::vector<Module> modules;
-  for (const xml::Element* m : root->children_named("module")) {
+  for (const xml::Element* m : root.children_named("module")) {
     Module mod;
     mod.name = m->attr("name");
-    for (const xml::Element* mode : m->children_named("mode"))
+    if (spans) spans->modules.emplace(mod.name, m->span());
+    for (const xml::Element* mode : m->children_named("mode")) {
       mod.modes.push_back(Mode{mode->attr("name"), read_resources(*mode)});
+      if (spans)
+        spans->modes.emplace(std::make_pair(mod.name, mod.modes.back().name),
+                             mode->span());
+    }
     modules.push_back(std::move(mod));
   }
 
@@ -58,12 +79,13 @@ Design design_from_xml(const std::string& text) {
   };
 
   std::vector<Configuration> configurations;
-  const xml::Element& configs = root->child("configurations");
+  const xml::Element& configs = root.child("configurations");
   for (const xml::Element* c : configs.children_named("configuration")) {
     Configuration conf;
     conf.name = c->has_attr("name")
                     ? c->attr("name")
                     : "Conf" + std::to_string(configurations.size() + 1);
+    if (spans) spans->configurations.push_back(c->span());
     conf.mode_of_module.assign(modules.size(), 0);
     for (const xml::Element* use : c->children_named("use")) {
       const std::size_t mi = module_index(use->attr("module"));
@@ -77,6 +99,17 @@ Design design_from_xml(const std::string& text) {
 
   return Design(name, static_base, std::move(modules),
                 std::move(configurations));
+}
+
+Design design_from_xml(const std::string& text) {
+  return design_from_element(*xml::parse(text));
+}
+
+ParsedDesign design_from_xml_with_spans(const std::string& text) {
+  const auto root = xml::parse(text);
+  DesignSpans spans;
+  Design design = design_from_element(*root, &spans);
+  return {std::move(design), std::move(spans)};
 }
 
 std::string design_to_xml(const Design& design) {

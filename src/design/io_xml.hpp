@@ -1,10 +1,38 @@
 #pragma once
 
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "design/design.hpp"
+#include "xml/xml.hpp"
 
 namespace prpart {
+
+/// Source positions of the design elements in the XML document they were
+/// parsed from. Lets the analyzer point every diagnostic at the offending
+/// `<module>`/`<mode>`/`<configuration>` in the input file. Positions are
+/// unknown (line 0) for designs built programmatically.
+struct DesignSpans {
+  xml::Span root;
+  /// Span of each <module> element, by module name.
+  std::map<std::string, xml::Span> modules;
+  /// Span of each <mode> element, by (module name, mode name).
+  std::map<std::pair<std::string, std::string>, xml::Span> modes;
+  /// Span of each <configuration> element, in declaration order.
+  std::vector<xml::Span> configurations;
+
+  xml::Span module_span(const std::string& module) const;
+  xml::Span mode_span(const std::string& module, const std::string& mode) const;
+  xml::Span configuration_span(std::size_t index) const;
+};
+
+/// A design together with the source spans of its elements.
+struct ParsedDesign {
+  Design design;
+  DesignSpans spans;
+};
 
 /// Reads a design from the XML input format of the proposed tool flow
 /// (Fig. 2: "design files ... a list of valid configurations ... in XML
@@ -26,6 +54,17 @@ namespace prpart {
 /// Modules omitted from a <configuration> are absent (mode 0). Resource
 /// attributes default to 0 when missing.
 Design design_from_xml(const std::string& text);
+
+/// Like design_from_xml, but also returns the source span of every module,
+/// mode and configuration element.
+ParsedDesign design_from_xml_with_spans(const std::string& text);
+
+/// Builds a design from an already-parsed element tree, recording element
+/// spans into `spans` when non-null. Throws ParseError on the first schema
+/// problem (strict; the analysis front end does its own tolerant walk over
+/// the same tree before calling this).
+Design design_from_element(const xml::Element& root,
+                           DesignSpans* spans = nullptr);
 
 /// Serialises a design back to the same format; round-trips exactly.
 std::string design_to_xml(const Design& design);

@@ -34,11 +34,31 @@ json::Value partition_request_json(const PartitionRequest& request) {
   return v;
 }
 
+json::Value analyze_request_json(const AnalyzeRequest& request) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value("analyze"));
+  v.set("id", json::Value(request.id));
+  v.set("design_xml", json::Value(request.design_xml));
+  if (!request.device.empty()) v.set("device", json::Value(request.device));
+  if (request.budget) {
+    json::Value budget = json::Value::array();
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->clbs)));
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->brams)));
+    budget.push_back(json::Value(static_cast<std::uint64_t>(request.budget->dsps)));
+    v.set("budget", budget);
+  }
+  return v;
+}
+
 Client::Client(const std::string& host, std::uint16_t port)
     : stream_(TcpStream::connect(host, port)) {}
 
 ClientResponse Client::submit(const PartitionRequest& request) {
   return roundtrip(partition_request_json(request));
+}
+
+ClientResponse Client::analyze(const AnalyzeRequest& request) {
+  return roundtrip(analyze_request_json(request));
 }
 
 ClientResponse Client::stats(const std::string& id) {

@@ -35,6 +35,11 @@ class Client {
   /// the server's default deadline.
   ClientResponse submit(const PartitionRequest& request);
 
+  /// Runs the static diagnostics engine over one design on the server.
+  /// Always ok (with diagnostics in the result) unless the request itself
+  /// is malformed.
+  ClientResponse analyze(const AnalyzeRequest& request);
+
   /// Fetches the server's stats snapshot.
   ClientResponse stats(const std::string& id = "stats");
 
@@ -54,5 +59,8 @@ class Client {
 /// Builds the wire form of a partition request (shared by Client::submit
 /// and the tests that drive a raw socket).
 json::Value partition_request_json(const PartitionRequest& request);
+
+/// Builds the wire form of an analyze request.
+json::Value analyze_request_json(const AnalyzeRequest& request);
 
 }  // namespace prpart::server

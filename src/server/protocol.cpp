@@ -153,6 +153,37 @@ Request parse_request(const std::string& line) {
     req.type = Request::Type::Ping;
     return req;
   }
+  if (type == "analyze") {
+    req.type = Request::Type::Analyze;
+    AnalyzeRequest& a = req.analyze;
+    a.id = req.id;
+    static const char* known[] = {"type", "id", "design_xml", "device",
+                                  "budget"};
+    for (const auto& [key, value] : doc.members()) {
+      (void)value;
+      if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+            return key == k;
+          }) == std::end(known))
+        throw ParseError("unknown request field '" + key + "'");
+    }
+    a.design_xml = doc.at("design_xml").as_string();
+    if (a.design_xml.empty()) throw ParseError("design_xml must not be empty");
+    if (const json::Value* device = doc.find("device")) {
+      a.device = device->as_string();
+      if (a.device.empty()) throw ParseError("device must not be empty");
+    }
+    if (const json::Value* budget = doc.find("budget")) {
+      const auto& items = budget->items();
+      if (items.size() != 3)
+        throw ParseError("budget must be a [clbs, brams, dsps] triple");
+      a.budget = ResourceVec{parse_res_component(items[0]),
+                             parse_res_component(items[1]),
+                             parse_res_component(items[2])};
+    }
+    if (!a.device.empty() && a.budget)
+      throw ParseError("device and budget are mutually exclusive");
+    return req;
+  }
   if (type != "partition") throw ParseError("unknown request type '" + type + "'");
 
   req.type = Request::Type::Partition;

@@ -36,11 +36,22 @@ struct PartitionRequest {
   std::string target_string() const;
 };
 
+/// One `analyze` job: run the static diagnostics engine over a design
+/// without partitioning it. Served inline (no queue slot): analysis is
+/// orders of magnitude cheaper than a search.
+struct AnalyzeRequest {
+  std::string id;
+  std::string design_xml;
+  std::string device;                 ///< named target device; "" = none
+  std::optional<ResourceVec> budget;  ///< explicit budget; excludes device
+};
+
 struct Request {
-  enum class Type { Partition, Stats, Ping };
+  enum class Type { Partition, Analyze, Stats, Ping };
   Type type = Type::Ping;
   std::string id;
   PartitionRequest partition;  ///< meaningful when type == Partition
+  AnalyzeRequest analyze;      ///< meaningful when type == Analyze
 };
 
 /// Parses one newline-delimited request. Throws ParseError on malformed

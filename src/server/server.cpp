@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/frontend.hpp"
 #include "design/io_xml.hpp"
 #include "server/hash.hpp"
 #include "util/clock.hpp"
@@ -152,6 +153,8 @@ std::string Server::handle_request(const std::string& line) {
       }
       case Request::Type::Stats:
         return stats_response(id);
+      case Request::Type::Analyze:
+        return handle_analyze(request.analyze);
       case Request::Type::Partition:
         return handle_partition(std::move(request.partition));
     }
@@ -168,6 +171,24 @@ std::string Server::handle_request(const std::string& line) {
   }
 }
 
+std::string Server::handle_analyze(const AnalyzeRequest& request) {
+  // Served inline on the handler thread: the diagnostics engine costs
+  // milliseconds, so it never competes with partition jobs for queue slots.
+  // An unknown device is the client's fault (bad_request, thrown by
+  // by_name); a malformed design is NOT — reporting it is the whole point,
+  // so it comes back as an ok response full of error diagnostics.
+  analysis::AnalysisOptions options;
+  options.library = library_;
+  if (!request.device.empty()) {
+    library_.by_name(request.device);
+    options.device = request.device;
+  }
+  options.budget = request.budget;
+  const analysis::SourceAnalysis sa =
+      analysis::analyze_design_source(request.design_xml, options);
+  return ok_response(request.id, analysis::analysis_json(sa.result).dump());
+}
+
 std::string Server::handle_partition(PartitionRequest request) {
   const std::int64_t submit_ns = monotonic_now_ns();
   // Validate everything the worker would otherwise trip over, so
@@ -175,6 +196,34 @@ std::string Server::handle_partition(PartitionRequest request) {
   // device must exist.
   Design design = design_from_xml(request.design_xml);
   if (!request.device.empty()) library_.by_name(request.device);
+
+  // Lower-bound pre-check for explicit targets: a provably hopeless job is
+  // answered `infeasible` with the proof before admission, so it never
+  // occupies a queue slot or burns a search.
+  {
+    std::optional<ResourceVec> budget;
+    std::string label;
+    if (!request.device.empty()) {
+      const Device& device = library_.by_name(request.device);
+      budget = device.capacity();
+      label = device.name();
+    } else if (request.budget) {
+      budget = *request.budget;
+      label = "budget";
+    }
+    if (budget) {
+      if (const auto proof =
+              analysis::prove_infeasible(design, *budget, library_, label)) {
+        stats_.job_infeasible(latency_us_since(submit_ns));
+        return error_response(
+            request.id, ErrorCode::Infeasible,
+            "design does not fit the target (lower bound " +
+                (design.largest_configuration_area() + design.static_base())
+                    .to_string() +
+                ", budget " + budget->to_string() + "); " + proof->to_string());
+      }
+    }
+  }
   if (request.options.search.threads == 0)
     request.options.search.threads = std::max(1u, options_.job_threads);
 

@@ -114,6 +114,7 @@ class Server {
   /// Parses and dispatches one request line; never throws.
   std::string handle_request(const std::string& line);
   std::string handle_partition(PartitionRequest request);
+  std::string handle_analyze(const AnalyzeRequest& request);
   void execute_job(Job& job);
   std::string stats_response(const std::string& id) const;
   void log_line(const std::string& line);

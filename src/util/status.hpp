@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -25,9 +26,21 @@ class DeviceError : public Error {
 };
 
 /// Malformed XML or a document that does not match the expected schema.
+/// Carries an optional 1-based source position (0 = unknown) so callers
+/// like the design analyzer can turn the failure into a diagnostic that
+/// points back into the input file.
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what, std::size_t line = 0,
+                      std::size_t column = 0)
+      : Error(what), line_(line), column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
 };
 
 /// An internal invariant was violated; indicates a bug in the library.

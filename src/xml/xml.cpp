@@ -1,11 +1,17 @@
 #include "xml/xml.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "util/status.hpp"
 #include "util/strings.hpp"
 
 namespace prpart::xml {
+
+std::string Span::to_string() const {
+  if (!known()) return "";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
 
 void Element::set_attr(const std::string& key, const std::string& value) {
   for (auto& [k, v] : attrs_) {
@@ -111,11 +117,26 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    std::size_t line = 1;
-    for (std::size_t i = 0; i < pos_ && i < doc_.size(); ++i)
-      if (doc_[i] == '\n') ++line;
-    throw ParseError("XML parse error at line " + std::to_string(line) + ": " +
-                     what);
+    const Span at = span_at(std::min(pos_, doc_.size()));
+    throw ParseError("XML parse error at line " + std::to_string(at.line) +
+                         ": " + what,
+                     at.line, at.column);
+  }
+
+  /// Line/column of a byte offset. The parser only ever asks about
+  /// monotonically increasing positions, so the scan resumes from the last
+  /// answer instead of restarting at the top of the document.
+  Span span_at(std::size_t pos) const {
+    while (scan_pos_ < pos) {
+      if (doc_[scan_pos_] == '\n') {
+        ++scan_line_;
+        scan_col_ = 1;
+      } else {
+        ++scan_col_;
+      }
+      ++scan_pos_;
+    }
+    return {scan_line_, scan_col_};
   }
 
   bool eof() const { return pos_ >= doc_.size(); }
@@ -202,8 +223,10 @@ class Parser {
   }
 
   std::unique_ptr<Element> parse_element() {
+    const Span open = span_at(pos_);
     expect("<");
     auto elem = std::make_unique<Element>(parse_name());
+    elem->set_span(open);
     // Attributes.
     for (;;) {
       skip_ws();
@@ -244,6 +267,10 @@ class Parser {
 
   std::string_view doc_;
   std::size_t pos_ = 0;
+  // Forward-only line/column scanner state (see span_at).
+  mutable std::size_t scan_pos_ = 0;
+  mutable std::size_t scan_line_ = 1;
+  mutable std::size_t scan_col_ = 1;
 };
 
 }  // namespace

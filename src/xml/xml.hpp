@@ -1,11 +1,26 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace prpart::xml {
+
+/// 1-based position of an element in its source document; line 0 means
+/// "unknown" (e.g. an element built programmatically rather than parsed).
+/// The design analyzer threads spans through to its diagnostics so every
+/// finding points at the offending element in the input file.
+struct Span {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  constexpr bool operator==(const Span&) const = default;
+  bool known() const { return line != 0; }
+  /// "12:5", or "" when unknown.
+  std::string to_string() const;
+};
 
 /// One element of an XML document: tag name, attributes, text content and
 /// child elements.
@@ -19,6 +34,11 @@ class Element {
   explicit Element(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
+
+  /// Source position of the element's opening `<` (set by the parser;
+  /// unknown for programmatically built elements).
+  const Span& span() const { return span_; }
+  void set_span(Span span) { span_ = span; }
 
   /// Concatenated character data directly inside this element (trimmed).
   const std::string& text() const { return text_; }
@@ -52,6 +72,7 @@ class Element {
 
  private:
   std::string name_;
+  Span span_;
   std::string text_;
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<std::unique_ptr<Element>> children_;

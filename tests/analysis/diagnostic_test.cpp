@@ -1,0 +1,68 @@
+#include "analysis/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prpart::analysis {
+namespace {
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(to_string(Severity::Error), "error");
+  EXPECT_STREQ(to_string(Severity::Warning), "warning");
+  EXPECT_STREQ(to_string(Severity::Info), "info");
+}
+
+TEST(DiagnosticTest, SortPutsErrorsFirstAndIsStable) {
+  std::vector<Diagnostic> diags = {
+      {Severity::Info, "i1", "first info", "", {}},
+      {Severity::Warning, "w1", "first warning", "", {}},
+      {Severity::Error, "e1", "first error", "", {}},
+      {Severity::Warning, "w2", "second warning", "", {}},
+      {Severity::Error, "e2", "second error", "", {}},
+  };
+  sort_by_severity(diags);
+  ASSERT_EQ(diags.size(), 5u);
+  EXPECT_EQ(diags[0].code, "e1");
+  EXPECT_EQ(diags[1].code, "e2");
+  EXPECT_EQ(diags[2].code, "w1");
+  EXPECT_EQ(diags[3].code, "w2");
+  EXPECT_EQ(diags[4].code, "i1");
+}
+
+TEST(DiagnosticTest, RenderWithFileAndSpanIsCompilerStyle) {
+  const std::vector<Diagnostic> diags = {
+      {Severity::Error, "unknown-mode-ref", "no such mode",
+       "declare the mode or fix the reference", {12, 5}},
+  };
+  EXPECT_EQ(render_text(diags, "design.xml"),
+            "design.xml:12:5: error[unknown-mode-ref]: no such mode\n"
+            "  fix: declare the mode or fix the reference\n");
+}
+
+TEST(DiagnosticTest, RenderOmitsUnknownPrefixParts) {
+  const std::vector<Diagnostic> no_span = {
+      {Severity::Warning, "dead-mode", "never used", "", {}},
+  };
+  EXPECT_EQ(render_text(no_span), "warning[dead-mode]: never used\n");
+  EXPECT_EQ(render_text(no_span, "design.xml"),
+            "design.xml: warning[dead-mode]: never used\n");
+
+  const std::vector<Diagnostic> with_span = {
+      {Severity::Info, "single-config", "one configuration", "", {3, 1}},
+  };
+  EXPECT_EQ(render_text(with_span),
+            "3:1: info[single-config]: one configuration\n");
+}
+
+TEST(DiagnosticTest, RenderConcatenatesInOrder) {
+  const std::vector<Diagnostic> diags = {
+      {Severity::Error, "a", "one", "", {}},
+      {Severity::Warning, "b", "two", "", {}},
+  };
+  EXPECT_EQ(render_text(diags), "error[a]: one\nwarning[b]: two\n");
+}
+
+}  // namespace
+}  // namespace prpart::analysis

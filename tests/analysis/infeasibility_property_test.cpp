@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "device/device.hpp"
+#include "device/tiles.hpp"
+
+namespace prpart::analysis {
+namespace {
+
+/// The soundness property of the infeasibility proof: when the analyzer
+/// proves a design cannot fit a budget, the allocation search must agree
+/// (and vice versa). Both sides reduce to the §IV-C single-region lower
+/// bound, so the equivalence is exact, not merely one-sided.
+class InfeasibilityPropertyTest : public ::testing::Test {
+ protected:
+  void check(const Design& design, const ResourceVec& budget) {
+    const DeviceLibrary library = DeviceLibrary::virtex5();
+    const auto proof = prove_infeasible(design, budget, library, "budget");
+
+    PartitionerOptions options;
+    options.search.max_move_evaluations = 10000;  // feasibility is effort-free
+    const PartitionerResult result = partition_design(design, budget, options);
+
+    EXPECT_EQ(proof.has_value(), !result.feasible)
+        << design.name() << " on " << budget.to_string();
+    if (proof) {
+      EXPECT_FALSE(proof->lower_bound.fits_in(budget));
+      EXPECT_GT(proof->required, proof->available);
+    }
+  }
+};
+
+TEST_F(InfeasibilityPropertyTest, ProofMatchesTheSearchOnSyntheticDesigns) {
+  const std::vector<SyntheticDesign> suite = generate_synthetic_suite(42, 8);
+  for (const SyntheticDesign& s : suite) {
+    const ResourceVec bound =
+        tiles_for(s.design.largest_configuration_area()).resources() +
+        s.design.static_base();
+
+    // Exactly the bound: feasible on both sides.
+    check(s.design, bound);
+
+    // One unit short in any non-zero component: infeasible on both sides.
+    if (bound.clbs > 0)
+      check(s.design, {bound.clbs - 1, bound.brams, bound.dsps});
+    if (bound.brams > 0)
+      check(s.design, {bound.clbs, bound.brams - 1, bound.dsps});
+    if (bound.dsps > 0)
+      check(s.design, {bound.clbs, bound.brams, bound.dsps - 1});
+
+    // A generous budget stays feasible.
+    check(s.design, bound + ResourceVec{1000, 100, 100});
+  }
+}
+
+TEST_F(InfeasibilityPropertyTest, AnalyzerErrorImpliesPartitionInfeasible) {
+  // Drive analyze_design end to end: whenever it emits the `infeasible`
+  // error, partition_design must return feasible == false.
+  const std::vector<SyntheticDesign> suite = generate_synthetic_suite(7, 4);
+  const std::vector<ResourceVec> budgets = {
+      {100, 1, 1}, {2000, 20, 20}, {30720, 456, 384}};
+  for (const SyntheticDesign& s : suite) {
+    for (const ResourceVec& budget : budgets) {
+      AnalysisOptions options;
+      options.budget = budget;
+      const AnalysisResult analysis = analyze_design(s.design, options);
+
+      PartitionerOptions popts;
+      popts.search.max_move_evaluations = 10000;
+      const PartitionerResult result =
+          partition_design(s.design, budget, popts);
+
+      if (analysis.proof.has_value())
+        EXPECT_FALSE(result.feasible)
+            << s.design.name() << " on " << budget.to_string();
+      else
+        EXPECT_TRUE(result.feasible)
+            << s.design.name() << " on " << budget.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prpart::analysis

@@ -111,6 +111,125 @@ TEST_F(CliTest, LintReportsTheDeadMode) {
   EXPECT_NE(r.out.find("dead-mode"), std::string::npos);
 }
 
+TEST_F(CliTest, AnalyzeReportsCompilerStyleDiagnostics) {
+  const CliRun r = invoke({"analyze", design_path_});
+  EXPECT_EQ(r.code, 0) << r.err;
+  // The receiver parses from a file, so the dead-mode warning carries a
+  // resolvable file:line:col prefix.
+  EXPECT_NE(r.out.find("warning[dead-mode]"), std::string::npos);
+  EXPECT_NE(r.out.find(design_path_ + ":"), std::string::npos);
+  EXPECT_NE(r.out.find("  fix: "), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeCleanDesignSaysNoIssues) {
+  const std::string clean = (dir_ / "clean.xml").string();
+  {
+    std::ofstream f(clean);
+    f << "<design name=\"t\">\n"
+         "  <module name=\"A\">\n"
+         "    <mode name=\"A1\" clbs=\"100\"/>\n"
+         "    <mode name=\"A2\" clbs=\"200\"/>\n"
+         "  </module>\n"
+         "  <module name=\"B\">\n"
+         "    <mode name=\"B1\" clbs=\"300\" brams=\"2\"/>\n"
+         "    <mode name=\"B2\" clbs=\"50\"/>\n"
+         "  </module>\n"
+         "  <configurations>\n"
+         "    <configuration><use module=\"A\" mode=\"A1\"/>"
+         "<use module=\"B\" mode=\"B1\"/></configuration>\n"
+         "    <configuration><use module=\"A\" mode=\"A2\"/>"
+         "<use module=\"B\" mode=\"B2\"/></configuration>\n"
+         "  </configurations>\n"
+         "</design>\n";
+  }
+  const CliRun r = invoke({"analyze", clean});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out, "no issues found\n");
+}
+
+TEST_F(CliTest, AnalyzeJsonIsMachineReadable) {
+  const CliRun r = invoke({"analyze", design_path_, "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const json::Value v = json::parse(r.out);
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_EQ(v.at("errors").as_u64(), 0u);
+  EXPECT_GE(v.at("warnings").as_u64(), 1u);
+  const auto& diags = v.at("diagnostics").items();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.front().at("code").as_string(), "dead-mode");
+  EXPECT_GE(diags.front().at("line").as_u64(), 1u);
+}
+
+TEST_F(CliTest, AnalyzeBrokenXmlExitsFourWithSpans) {
+  const std::string broken = (dir_ / "broken.xml").string();
+  {
+    std::ofstream f(broken);
+    f << "<design name=\"t\">\n  <module name=\"A\">\n";
+  }
+  const CliRun r = invoke({"analyze", broken});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.out.find("error[xml-error]"), std::string::npos);
+  EXPECT_NE(r.out.find(broken + ":"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeUnknownReferenceExitsFour) {
+  const std::string bad = (dir_ / "badref.xml").string();
+  {
+    std::ofstream f(bad);
+    f << "<design name=\"t\">\n"
+         "  <module name=\"A\"><mode name=\"M1\" clbs=\"10\"/></module>\n"
+         "  <configurations>\n"
+         "    <configuration><use module=\"Z\" mode=\"M1\"/></configuration>\n"
+         "  </configurations>\n"
+         "</design>\n";
+  }
+  const CliRun r = invoke({"analyze", bad});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.out.find("error[unknown-module-ref]"), std::string::npos);
+  EXPECT_NE(r.out.find(bad + ":4:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeInfeasibleBudgetExitsFour) {
+  const CliRun r = invoke({"analyze", design_path_, "--budget", "100,1,1"});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.out.find("error[infeasible]"), std::string::npos);
+  EXPECT_NE(r.out.find("no scheme fits"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeJsonInfeasibleCarriesTheProof) {
+  const CliRun r =
+      invoke({"analyze", design_path_, "--budget", "100,1,1", "--json"});
+  EXPECT_EQ(r.code, 4);
+  const json::Value v = json::parse(r.out);
+  EXPECT_FALSE(v.at("feasible").as_bool());
+  EXPECT_EQ(v.at("proof").at("target").as_string(), "budget");
+  EXPECT_GT(v.at("proof").at("required").as_u64(),
+            v.at("proof").at("available").as_u64());
+}
+
+TEST_F(CliTest, AnalyzeRejectsConflictingTargets) {
+  const CliRun r = invoke({"analyze", design_path_, "--device", "XC5VFX70T",
+                           "--budget", "1,2,3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeUnknownDeviceIsAUsageError) {
+  const CliRun r = invoke({"analyze", design_path_, "--device", "XC7NOPE"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeRejectsTypoOption) {
+  EXPECT_EQ(invoke({"analyze", design_path_, "--jsno"}).code, 1);
+}
+
+TEST_F(CliTest, AnalyzeWithoutDesignFails) {
+  const CliRun r = invoke({"analyze"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("expects a design file"), std::string::npos);
+}
+
 TEST_F(CliTest, PartitionWithBudget) {
   const CliRun r = invoke({"partition", design_path_, "--budget",
                            "6800,64,150", "--evals", "500000"});
@@ -150,6 +269,15 @@ TEST_F(CliTest, PartitionInfeasibleBudgetExitCode2) {
   const CliRun r = invoke({"partition", design_path_, "--budget", "100,1,1"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("does not fit"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionInfeasibleBudgetExplainsTheProof) {
+  // The analyzer's pre-check runs before the search and prints the
+  // lower-bound proof with its witness device.
+  const CliRun r = invoke({"partition", design_path_, "--budget", "100,1,1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("no scheme fits"), std::string::npos);
+  EXPECT_NE(r.err.find("smallest fitting library device"), std::string::npos);
 }
 
 TEST_F(CliTest, PartitionWritesUcf) {

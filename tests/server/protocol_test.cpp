@@ -74,6 +74,50 @@ TEST(ProtocolTest, BudgetTripleParses) {
   EXPECT_EQ(r.partition.target_string(), "budget 100,20,30");
 }
 
+TEST(ProtocolTest, AnalyzeRequestParses) {
+  const Request r = parse_request(
+      "{\"type\":\"analyze\",\"id\":\"a1\",\"design_xml\":\"<x/>\"}");
+  ASSERT_EQ(r.type, Request::Type::Analyze);
+  EXPECT_EQ(r.analyze.id, "a1");
+  EXPECT_EQ(r.analyze.design_xml, "<x/>");
+  EXPECT_TRUE(r.analyze.device.empty());
+  EXPECT_FALSE(r.analyze.budget.has_value());
+}
+
+TEST(ProtocolTest, AnalyzeRequestWithTargets) {
+  const Request dev = parse_request(
+      "{\"type\":\"analyze\",\"design_xml\":\"<x/>\","
+      "\"device\":\"XC5VLX30\"}");
+  EXPECT_EQ(dev.analyze.device, "XC5VLX30");
+
+  const Request bud = parse_request(
+      "{\"type\":\"analyze\",\"design_xml\":\"<x/>\","
+      "\"budget\":[100,20,30]}");
+  ASSERT_TRUE(bud.analyze.budget.has_value());
+  EXPECT_EQ(bud.analyze.budget->clbs, 100u);
+  EXPECT_EQ(bud.analyze.budget->brams, 20u);
+  EXPECT_EQ(bud.analyze.budget->dsps, 30u);
+}
+
+TEST(ProtocolTest, MalformedAnalyzeRequestsThrow) {
+  // No design.
+  EXPECT_THROW(parse_request("{\"type\":\"analyze\"}"), ParseError);
+  EXPECT_THROW(parse_request("{\"type\":\"analyze\",\"design_xml\":\"\"}"),
+               ParseError);
+  // Unknown fields fail loudly — analyze takes no search options.
+  EXPECT_THROW(parse_request("{\"type\":\"analyze\",\"design_xml\":\"<x/>\","
+                             "\"evals\":1}"),
+               ParseError);
+  // Conflicting targets.
+  EXPECT_THROW(parse_request("{\"type\":\"analyze\",\"design_xml\":\"<x/>\","
+                             "\"device\":\"D\",\"budget\":[1,2,3]}"),
+               ParseError);
+  // Budget must be a triple.
+  EXPECT_THROW(parse_request("{\"type\":\"analyze\",\"design_xml\":\"<x/>\","
+                             "\"budget\":[1]}"),
+               ParseError);
+}
+
 TEST(ProtocolTest, MalformedRequestsThrow) {
   EXPECT_THROW(parse_request("not json"), ParseError);
   EXPECT_THROW(parse_request("[1]"), ParseError);

@@ -150,6 +150,104 @@ TEST(ServerTest, ResponseMatchesOneShotCliByteForByte) {
   fs::remove_all(dir);
 }
 
+TEST(ServerTest, AnalyzeRequestIsServedInline) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  AnalyzeRequest req;
+  req.id = "an1";
+  req.design_xml = design_to_xml(synth::wireless_receiver_design());
+  const ClientResponse resp = client.analyze(req);
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  EXPECT_TRUE(resp.result.at("feasible").as_bool());
+  EXPECT_EQ(resp.result.at("errors").as_u64(), 0u);
+  bool dead_mode = false;
+  for (const json::Value& d : resp.result.at("diagnostics").items())
+    dead_mode = dead_mode || d.at("code").as_string() == "dead-mode";
+  EXPECT_TRUE(dead_mode);
+  // Analyze bypasses the job queue entirely.
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServerTest, AnalyzeMalformedDesignReturnsDiagnosticsNotAnError) {
+  // A broken design is the expected input of the diagnostics engine: the
+  // response is ok with error-severity diagnostics, never bad_request.
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  AnalyzeRequest req;
+  req.id = "an-broken";
+  req.design_xml = "<design name=\"t\"></design>";
+  const ClientResponse resp = client.analyze(req);
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  EXPECT_TRUE(resp.result.at("feasible").is_null());
+  EXPECT_GE(resp.result.at("errors").as_u64(), 2u);  // no modules, no configs
+}
+
+TEST(ServerTest, AnalyzeUnknownDeviceIsBadRequest) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  AnalyzeRequest req;
+  req.id = "an-dev";
+  req.design_xml = design_to_xml(small_design());
+  req.device = "XC9NOPE";
+  const ClientResponse resp = client.analyze(req);
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "bad_request");
+}
+
+TEST(ServerTest, AnalyzeResponseMatchesOneShotCliByteForByte) {
+  // The served analyze payload and `prpart analyze --json` run the same
+  // encoder over the same text, so their bytes must be identical.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("prpart_server_test_" + std::to_string(::getpid()) +
+                        "_" + info->name());
+  fs::create_directories(dir);
+  const std::string design_path = (dir / "receiver.xml").string();
+  const std::string design_xml = design_to_xml(synth::wireless_receiver_design());
+  {
+    std::ofstream f(design_path);
+    f << design_xml;
+  }
+  std::ostringstream cli_out, cli_err;
+  const int code =
+      cli::run({"analyze", design_path, "--json"}, cli_out, cli_err);
+  ASSERT_EQ(code, 0) << cli_err.str();
+  std::string expected = cli_out.str();
+  ASSERT_FALSE(expected.empty());
+  expected.pop_back();  // trailing newline
+
+  Server server(quiet_options());
+  server.start();
+  AnalyzeRequest req;
+  req.id = "an-twin";
+  req.design_xml = design_xml;
+  const std::string line =
+      raw_exchange(server.port(), analyze_request_json(req));
+  EXPECT_EQ(result_payload(line, "an-twin"), expected);
+  fs::remove_all(dir);
+}
+
+TEST(ServerTest, InfeasibleJobIsRejectedBeforeAdmissionWithTheProof) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  PartitionRequest req = small_request("hopeless");
+  req.budget = ResourceVec{10, 0, 0};
+  const ClientResponse resp = client.submit(req);
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "infeasible");
+  EXPECT_NE(resp.error_message.find("no scheme fits"), std::string::npos);
+  // The proof fired before admission: no queue slot, no search.
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.infeasible, 1u);
+}
+
 TEST(ServerTest, CacheHitIsByteIdenticalToColdRun) {
   Server server(quiet_options());
   server.start();
@@ -203,7 +301,10 @@ TEST(ServerTest, EightConcurrentClientsGetConsistentResponses) {
   for (std::thread& t : clients) t.join();
 
   for (int i = 0; i < kClients; ++i) {
-    const std::string id = (i % 2 == 0 ? "s" : "r") + std::to_string(i);
+    // Append form: GCC 12's -Wrestrict misfires on the operator+ chain at
+    // -O2 (PR 105329), breaking -Werror builds.
+    std::string id = (i % 2 == 0 ? "s" : "r");
+    id += std::to_string(i);
     const std::string payload = result_payload(lines[static_cast<std::size_t>(i)], id);
     ASSERT_FALSE(payload.empty()) << lines[static_cast<std::size_t>(i)];
     // Every client running the same design must see identical bytes.
