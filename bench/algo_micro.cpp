@@ -71,6 +71,29 @@ void BM_Compatibility(benchmark::State& state) {
 }
 BENCHMARK(BM_Compatibility)->Arg(2)->Arg(4)->Arg(6);
 
+void BM_EvaluateScheme(benchmark::State& state) {
+  const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
+  const ConnectivityMatrix m(d);
+  const auto partitions = enumerate_base_partitions(d, m);
+  const CompatibilityTable compat(m, partitions);
+  const ResourceVec lower = d.largest_configuration_area() + d.static_base();
+  const ResourceVec budget{lower.clbs + lower.clbs / 3, lower.brams + 8,
+                           lower.dsps + 8};
+  SearchOptions opt;
+  opt.max_move_evaluations = 100'000;
+  const SearchResult r =
+      search_partitioning(d, m, partitions, compat, budget, opt);
+  if (!r.feasible) {
+    state.SkipWithError("search found no fitting scheme");
+    return;
+  }
+  for (auto _ : state) {
+    auto eval = evaluate_scheme(d, m, partitions, r.scheme, budget);
+    benchmark::DoNotOptimize(eval.total_frames);
+  }
+}
+BENCHMARK(BM_EvaluateScheme)->Arg(2)->Arg(4)->Arg(6);
+
 void BM_FullSearch(benchmark::State& state) {
   const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));
   const ResourceVec lower = d.largest_configuration_area() + d.static_base();

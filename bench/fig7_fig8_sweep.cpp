@@ -169,6 +169,22 @@ int main() {
     speedup.set("worst_vs_modular", json::Value(ratio(modular_worst, proposed_worst)));
     speedup.set("worst_vs_single", json::Value(ratio(single_worst, proposed_worst)));
     doc.set("speedup", speedup);
+    // Deterministic branch-and-bound effort counters summed over every
+    // design's accepted search (thread-count independent, so the CI gate
+    // can compare them against the committed baseline).
+    std::uint64_t su = 0, sp = 0, sme = 0, ssr = 0;
+    for (const SweepRow* r : rows) {
+      su += r->search_units;
+      sp += r->search_units_pruned;
+      sme += r->search_move_evaluations;
+      ssr += r->search_states_recorded;
+    }
+    json::Value search = json::Value::object();
+    search.set("units", json::Value(su));
+    search.set("units_pruned", json::Value(sp));
+    search.set("move_evaluations", json::Value(sme));
+    search.set("states_recorded", json::Value(ssr));
+    doc.set("search", search);
     doc.set("wall_seconds", json::Value(sweep.seconds));
     doc.set("ms_per_design",
             json::Value(sweep.seconds * 1e3 /

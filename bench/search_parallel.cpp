@@ -6,6 +6,12 @@
 // (result_io serialisation) to the threads=1 reference. Exits non-zero on
 // any mismatch.
 //
+// A second leg measures the branch-and-bound machinery itself: the default
+// configuration (lower-bound pruning + move table) against the exhaustive
+// PR 1 search (both disabled) at threads=1, where every counter is exact.
+// The counters and ratios land in BENCH_search.json for the CI regression
+// gate (tools/check_bench.py against the committed baseline).
+//
 //   PRPART_DESIGNS=100 ./bench_search_parallel
 //
 // Numbers depend on hardware parallelism: on a single-core host the >1
@@ -13,6 +19,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +29,8 @@
 #include "core/result_io.hpp"
 #include "core/search.hpp"
 #include "design/synthetic.hpp"
+#include "device/device.hpp"
+#include "util/json.hpp"
 
 namespace prpart::bench {
 namespace {
@@ -33,18 +42,24 @@ struct PreparedDesign {
   CompatibilityTable compat;
   ResourceVec budget;
 
-  explicit PreparedDesign(Design d)
+  explicit PreparedDesign(Design d, const DeviceLibrary& lib)
       : design(std::move(d)),
         matrix(design),
         partitions(enumerate_base_partitions(design, matrix)),
         compat(matrix, partitions) {
-    // The properties-test budget shape: 1.35x the single-region lower
-    // bound keeps the search non-trivial on every design.
+    // The budget the Fig. 7/8 sweep actually searches first: the smallest
+    // library device covering the resource lower bound. Tight by
+    // construction, so the bound and the sterile-completion proofs are
+    // exercised the way the sweep exercises them.
     const ResourceVec lower =
         design.largest_configuration_area() + design.static_base();
-    budget = ResourceVec{lower.clbs + lower.clbs / 3 + 200,
-                         lower.brams + lower.brams / 3 + 8,
-                         lower.dsps + lower.dsps / 3 + 8};
+    if (const Device* dev = lib.smallest_fitting(lower)) {
+      budget = dev->capacity();
+    } else {
+      budget = ResourceVec{lower.clbs + lower.clbs / 3 + 200,
+                           lower.brams + lower.brams / 3 + 8,
+                           lower.dsps + lower.dsps / 3 + 8};
+    }
   }
 };
 
@@ -52,14 +67,23 @@ struct RunOutcome {
   double seconds = 0.0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t move_evaluations = 0;
+  std::uint64_t full_evaluations = 0;
+  std::uint64_t moves_rescored = 0;
+  std::uint64_t states_recorded = 0;
+  std::uint64_t units = 0;
+  std::uint64_t units_pruned = 0;
   std::vector<std::string> schemes;  ///< archived XML per design
 };
 
-RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads) {
+RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads,
+                   bool use_bounding, bool use_move_table) {
   SearchOptions opt;
   opt.max_candidate_sets = 24;       // the Fig. 7 sweep's effort settings
   opt.max_move_evaluations = 400'000;
   opt.threads = threads;
+  opt.use_bounding = use_bounding;
+  opt.use_move_table = use_move_table;
 
   RunOutcome out;
   out.schemes.reserve(designs.size());
@@ -70,6 +94,12 @@ RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads) {
                                                p.budget, opt);
     out.cache_hits += r.stats.cache_hits;
     out.cache_misses += r.stats.cache_misses;
+    out.move_evaluations += r.stats.move_evaluations;
+    out.full_evaluations += r.stats.full_evaluations;
+    out.moves_rescored += r.stats.moves_rescored;
+    out.states_recorded += r.stats.states_recorded;
+    out.units += r.stats.units;
+    out.units_pruned += r.stats.units_pruned;
     out.schemes.push_back(
         r.feasible ? partitioning_to_xml(p.design, p.partitions, r.scheme,
                                          r.eval)
@@ -81,13 +111,26 @@ RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads) {
   return out;
 }
 
+json::Value counters_json(const RunOutcome& r) {
+  json::Value v = json::Value::object();
+  v.set("wall_seconds", json::Value(r.seconds));
+  v.set("move_evaluations", json::Value(r.move_evaluations));
+  v.set("full_evaluations", json::Value(r.full_evaluations));
+  v.set("moves_rescored", json::Value(r.moves_rescored));
+  v.set("states_recorded", json::Value(r.states_recorded));
+  v.set("units", json::Value(r.units));
+  v.set("units_pruned", json::Value(r.units_pruned));
+  return v;
+}
+
 int main_impl() {
   const std::size_t count = sweep_design_count(1000);
   const auto suite = generate_synthetic_suite(2013, count);
 
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
   std::vector<PreparedDesign> designs;
   designs.reserve(suite.size());
-  for (const SyntheticDesign& s : suite) designs.emplace_back(s.design);
+  for (const SyntheticDesign& s : suite) designs.emplace_back(s.design, lib);
 
   std::printf("parallel search over the Fig. 7 design set (%zu designs, "
               "seed 2013)\n\n",
@@ -95,11 +138,11 @@ int main_impl() {
   std::printf("%8s %10s %9s %10s %10s\n", "threads", "seconds", "speedup",
               "hit-rate", "identical");
 
-  const RunOutcome reference = run_all(designs, 1);
+  const RunOutcome reference = run_all(designs, 1, true, true);
   bool all_identical = true;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     const RunOutcome r =
-        threads == 1 ? reference : run_all(designs, threads);
+        threads == 1 ? reference : run_all(designs, threads, true, true);
     const std::uint64_t probes = r.cache_hits + r.cache_misses;
     const double hit_rate =
         probes == 0 ? 0.0
@@ -122,6 +165,62 @@ int main_impl() {
     return 1;
   }
   std::printf("\nall schemes byte-identical to threads=1\n");
+
+  // Branch-and-bound leg: defaults (bounding + move table) vs the
+  // exhaustive PR 1 search, both at threads=1 so full_evaluations and
+  // moves_rescored are exact rather than scheduling-dependent.
+  std::printf("\nbranch-and-bound vs exhaustive search (threads=1)\n\n");
+  const RunOutcome exhaustive = run_all(designs, 1, false, false);
+  std::size_t bnb_mismatches = 0;
+  for (std::size_t i = 0; i < designs.size(); ++i)
+    if (exhaustive.schemes[i] != reference.schemes[i]) ++bnb_mismatches;
+  const auto ratio = [](double base, double ours) {
+    return ours == 0.0 ? 0.0 : base / ours;
+  };
+  const double speedup = ratio(exhaustive.seconds, reference.seconds);
+  const double reduction = ratio(static_cast<double>(exhaustive.full_evaluations),
+                                 static_cast<double>(reference.full_evaluations));
+  std::printf("%12s %10s %12s %12s %10s %8s\n", "mode", "seconds",
+              "move-evals", "full-evals", "rescored", "pruned");
+  std::printf("%12s %10.3f %12llu %12llu %10llu %8llu\n", "exhaustive",
+              exhaustive.seconds,
+              static_cast<unsigned long long>(exhaustive.move_evaluations),
+              static_cast<unsigned long long>(exhaustive.full_evaluations),
+              static_cast<unsigned long long>(exhaustive.moves_rescored),
+              static_cast<unsigned long long>(exhaustive.units_pruned));
+  std::printf("%12s %10.3f %12llu %12llu %10llu %8llu\n", "bounded",
+              reference.seconds,
+              static_cast<unsigned long long>(reference.move_evaluations),
+              static_cast<unsigned long long>(reference.full_evaluations),
+              static_cast<unsigned long long>(reference.moves_rescored),
+              static_cast<unsigned long long>(reference.units_pruned));
+  std::printf("\nwall-clock speedup: %.2fx   full-evaluation reduction: "
+              "%.2fx   schemes identical: %s\n",
+              speedup, reduction,
+              bnb_mismatches == 0
+                  ? "yes"
+                  : ("NO (" + std::to_string(bnb_mismatches) + ")").c_str());
+  if (bnb_mismatches != 0) {
+    // Bounding may legitimately change results only when the evaluation
+    // budget was exhausted mid-search; the Fig. 7 settings never hit it.
+    std::printf("\nFAIL: bounded schemes diverged from the exhaustive "
+                "search\n");
+    return 1;
+  }
+
+  // Machine-readable summary for the CI regression gate. Everything but
+  // the wall-clock fields is deterministic (threads=1 counters).
+  {
+    json::Value doc = json::Value::object();
+    doc.set("designs", json::Value(static_cast<std::uint64_t>(designs.size())));
+    doc.set("bounded", counters_json(reference));
+    doc.set("exhaustive", counters_json(exhaustive));
+    doc.set("wall_speedup_vs_exhaustive", json::Value(speedup));
+    doc.set("full_evaluation_reduction", json::Value(reduction));
+    std::ofstream bench_json("BENCH_search.json");
+    bench_json << doc.dump() << "\n";
+    std::printf("wrote BENCH_search.json\n");
+  }
   return 0;
 }
 

@@ -48,6 +48,10 @@ SweepResult run_sweep(std::uint64_t seed, std::size_t count) {
     row.single_total = pr.single_region.eval.total_frames;
     row.single_worst = pr.single_region.eval.worst_frames;
     row.modular_fits = pr.modular.eval.fits;
+    row.search_units = pr.stats.units;
+    row.search_units_pruned = pr.stats.units_pruned;
+    row.search_move_evaluations = pr.stats.move_evaluations;
+    row.search_states_recorded = pr.stats.states_recorded;
 
     row.modular_min_device = static_cast<std::size_t>(-1);
     for (std::size_t d = 0; d < lib.devices().size(); ++d) {

@@ -30,6 +30,13 @@ struct SweepRow {
   /// Smallest library device whose capacity covers the modular scheme's
   /// resource bill (size_t(-1) when none does).
   std::size_t modular_min_device = 0;
+
+  // Deterministic search-effort counters of the design's final (accepted)
+  // search — the branch-and-bound regression signal in BENCH_sweep.json.
+  std::uint64_t search_units = 0;
+  std::uint64_t search_units_pruned = 0;
+  std::uint64_t search_move_evaluations = 0;
+  std::uint64_t search_states_recorded = 0;
 };
 
 struct SweepResult {

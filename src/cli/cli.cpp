@@ -45,7 +45,8 @@ usage:
   prpart generate [--seed S] [--class logic|memory|dsp|dspmem] [--out FILE]
   prpart partition <design.xml> [--device NAME | --budget C,B,D]
                    [--candidate-sets N] [--evals N] [--threads N]
-                   [--floorplan] [--ucf FILE] [--save FILE] [--json]
+                   [--floorplan] [--ucf FILE] [--save FILE]
+                   [--search-stats] [--json]
   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
                   [--steps N] [--seed S] [--prefetch] [--load FILE]
                   [--threads N]
@@ -70,6 +71,10 @@ runs the complete pipeline (partition, floorplan with feedback, UCF,
 bitstreams) and writes the artefacts into --out. --threads N runs the
 region-allocation search on N worker threads (default: hardware
 concurrency; results are byte-identical for every N, and N=1 runs inline).
+--search-stats prints the branch-and-bound search counters (work units,
+pruned units, move/full evaluations, move-table rescores and lower-bound
+tightness) after the partitioning; --json always carries the deterministic
+subset in the `stats` object.
 )";
 
 std::string read_file(const std::string& path) {
@@ -276,6 +281,26 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
   out << "\nProposed partitioning:\n"
       << render_scheme_partitions(design, t.result.base_partitions,
                                   t.result.proposed.scheme);
+
+  if (args.has("search-stats")) {
+    const SearchStats& s = t.result.stats;
+    out << "\nSearch statistics:\n"
+        << "  work units:       " << s.units << " (" << s.units_pruned
+        << " pruned by the lower bound)\n"
+        << "  move evaluations: " << s.move_evaluations
+        << (s.budget_exhausted ? " (budget exhausted)" : "") << "\n"
+        << "  full evaluations: " << s.full_evaluations << " fresh, "
+        << s.moves_rescored << " rescored from the move table\n"
+        << "  greedy descents:  " << s.greedy_runs << " over "
+        << s.candidate_sets << " candidate sets, " << s.states_recorded
+        << " states recorded\n";
+    if (s.bound_best_sum > 0) {
+      // Mean lb/best over accepted units: 100% means the bound was exact.
+      out << "  bound tightness:  " << (100 * s.bound_lb_sum) / s.bound_best_sum
+          << "% (lb sum " << s.bound_lb_sum << " / best sum "
+          << s.bound_best_sum << ")\n";
+    }
+  }
 
   if (const auto save = args.value("save")) {
     std::ofstream f(*save, std::ios::binary);
@@ -637,7 +662,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << kUsage;
       return 0;
     }
-    const Args parsed(args, {"floorplan", "prefetch", "json"});
+    const Args parsed(args, {"floorplan", "prefetch", "json", "search-stats"});
     if (parsed.positionals().empty()) {
       err << "error: missing command\n" << kUsage;
       return 1;
@@ -669,7 +694,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "partition") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
-                          "threads", "floorplan", "ucf", "save", "json"});
+                          "threads", "floorplan", "ucf", "save",
+                          "search-stats", "json"});
       return cmd_partition(parsed, out, err);
     }
     if (command == "simulate") {

@@ -56,8 +56,9 @@ SchemeEvaluation evaluate_scheme(const Design& design,
   // --- Coverage: every mode of every configuration must be provided -------
   DynBitset static_modes(matrix.modes());
   for (std::size_t p : scheme.static_members) static_modes |= partitions[p].modes;
+  DynBitset provided(matrix.modes());  // scratch; assignment reuses its words
   for (std::size_t c = 0; c < nconf && eval.valid; ++c) {
-    DynBitset provided = static_modes;
+    provided = static_modes;
     for (std::size_t r = 0; r < scheme.regions.size(); ++r) {
       const int a = eval.regions[r].active[c];
       if (a >= 0)
@@ -82,11 +83,12 @@ SchemeEvaluation evaluate_scheme(const Design& design,
   // --- Reconfiguration time (Eqs. 7-11) -----------------------------------
   // Total: per region, the number of unordered configuration pairs whose
   // active members are both present and differ, times the region's frames.
+  std::vector<std::uint64_t> count;  // scratch; clear() keeps the capacity
   for (RegionReport& report : eval.regions) {
     std::uint64_t present = 0;
     std::uint64_t same_pairs = 0;
     // Count occurrences of each active member.
-    std::vector<std::uint64_t> count;
+    count.clear();
     for (int a : report.active) {
       if (a < 0) continue;
       ++present;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/cost_cache.hpp"
 #include "core/covering.hpp"
+#include "core/search_internal.hpp"
 #include "util/parallel_for.hpp"
 #include "util/status.hpp"
 
@@ -14,188 +16,7 @@ namespace prpart {
 
 namespace {
 
-// Heuristic weights for collapsing a ResourceVec into one scalar: frames per
-// primitive (x10), i.e. the configuration-memory cost of one unit of each
-// resource. Only used to rank states; all reported numbers stay in frames.
-constexpr std::uint64_t kWClb = 18;   // 36 frames / 20 CLBs
-constexpr std::uint64_t kWBram = 75;  // 30 frames / 4 BRAMs
-constexpr std::uint64_t kWDsp = 35;   // 28 frames / 8 DSPs
-
-std::uint64_t weighted_area(const ResourceVec& r) {
-  return r.clbs * kWClb + r.brams * kWBram + r.dsps * kWDsp;
-}
-
-std::uint64_t budget_excess(const ResourceVec& used, const ResourceVec& budget) {
-  auto over = [](std::uint32_t u, std::uint32_t b) -> std::uint64_t {
-    return u > b ? u - b : 0;
-  };
-  return over(used.clbs, budget.clbs) * kWClb +
-         over(used.brams, budget.brams) * kWBram +
-         over(used.dsps, budget.dsps) * kWDsp;
-}
-
-/// Lexicographic objective: first fit (budget excess), then — once fitting —
-/// total reconfiguration time with area as tie-break; while not fitting,
-/// area (the route towards fitting) with time as tie-break.
-struct Objective {
-  std::uint64_t excess;
-  std::uint64_t primary;
-  std::uint64_t secondary;
-
-  bool operator<(const Objective& o) const {
-    if (excess != o.excess) return excess < o.excess;
-    if (primary != o.primary) return primary < o.primary;
-    return secondary < o.secondary;
-  }
-};
-
-/// One region-in-progress: a set of base partitions plus the incremental
-/// cost-model quantities needed to evaluate moves in O(1).
-///
-/// The pair bookkeeping is weight-generalised: tw_union is the summed
-/// weight of all configuration pairs where the group is active in both,
-/// tw_same the part where the *same* member is active in both. Their
-/// difference, times frames, is the group's (possibly weighted) Eq. 10
-/// term. With uniform weights tw_union = C(|occ|, 2).
-///
-/// `members` is kept sorted at all times: the sorted member set is the
-/// group's identity in the shared cost cache.
-struct Group {
-  std::vector<std::size_t> members;
-  DynBitset occ;             ///< union of member occupancies (configs)
-  ResourceVec raw;           ///< element-wise max of member areas (Eq. 2)
-  ResourceVec promote_area;  ///< element-wise SUM (cost of going static)
-  TileCount tiles;           ///< Eqs. 3-5 on raw
-  std::uint64_t frames = 0;  ///< Eq. 6
-  std::uint64_t occ_count = 0;     ///< |occ| (uniform-weight fast path)
-  std::uint64_t tw_union = 0;      ///< pair weight over occ x occ
-  std::uint64_t tw_same = 0;       ///< pair weight kept by one member
-  std::uint64_t contrib = 0;       ///< this region's term of Eq. 10
-  bool alive = true;
-};
-
-std::uint64_t pairs2(std::uint64_t n) { return n * (n - 1) / 2; }
-
-struct State {
-  std::vector<Group> groups;
-  std::vector<std::size_t> static_members;
-  ResourceVec static_extra;  ///< promoted partitions, raw sum
-  ResourceVec pr_res;        ///< tile-rounded region footprints, summed
-  std::uint64_t ttotal = 0;
-  std::size_t alive = 0;
-
-  ResourceVec total_res(const ResourceVec& static_base) const {
-    return pr_res + static_base + static_extra;
-  }
-};
-
-struct Move {
-  enum class Kind { Merge, Promote } kind = Kind::Merge;
-  std::size_t a = 0, b = 0;
-};
-
-/// Summed weight over unordered pairs within `occ`.
-std::uint64_t pair_weight_within(const PairWeights* weights,
-                                 const DynBitset& occ) {
-  if (!weights) return pairs2(occ.count());
-  std::uint64_t total = 0;
-  const std::vector<std::size_t> bits = occ.bits();
-  for (std::size_t a = 0; a < bits.size(); ++a)
-    for (std::size_t b = a + 1; b < bits.size(); ++b)
-      total += (*weights)[bits[a]][bits[b]];
-  return total;
-}
-
-/// Summed weight over pairs with one configuration in each (disjoint)
-/// occupancy set.
-std::uint64_t pair_weight_between(const PairWeights* weights, const Group& a,
-                                  const Group& b) {
-  if (!weights) return a.occ_count * b.occ_count;
-  std::uint64_t total = 0;
-  for (std::size_t i : a.occ.bits())
-    for (std::size_t j : b.occ.bits()) total += (*weights)[i][j];
-  return total;
-}
-
-/// All currently valid moves on `s`, in the canonical (i, j) enumeration
-/// order shared by every execution mode.
-std::vector<Move> moves_of(const State& s, bool allow_static_promotion) {
-  std::vector<Move> moves;
-  const std::size_t n = s.groups.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!s.groups[i].alive) continue;
-    for (std::size_t j = i + 1; j < n; ++j)
-      if (s.groups[j].alive) moves.push_back({Move::Kind::Merge, i, j});
-    if (allow_static_promotion) moves.push_back({Move::Kind::Promote, i, 0});
-  }
-  return moves;
-}
-
-/// Canonicalised copy of the grouping in `s`: members sorted within each
-/// region, regions sorted lexicographically, static members sorted. Equal
-/// groupings render identically, so schemes can be deduplicated and ordered
-/// independently of the order in which threads discovered them — and the
-/// result_io serialisation of the returned scheme is reproducible.
-PartitionScheme canonical_scheme(const State& s) {
-  PartitionScheme scheme;
-  for (const Group& g : s.groups)
-    if (g.alive) {
-      Region region{g.members};
-      std::sort(region.members.begin(), region.members.end());
-      scheme.regions.push_back(std::move(region));
-    }
-  std::sort(
-      scheme.regions.begin(), scheme.regions.end(),
-      [](const Region& a, const Region& b) { return a.members < b.members; });
-  scheme.static_members = s.static_members;
-  std::sort(scheme.static_members.begin(), scheme.static_members.end());
-  return scheme;
-}
-
-/// Injective flat encoding of a canonical scheme (sizes delimit the member
-/// lists). Lexicographic order on the encoding is the final tie-break of
-/// the leaderboard's total order, and equality is the exact deduplication
-/// criterion — no hash collisions can alias two distinct groupings.
-std::vector<std::uint64_t> scheme_key(const PartitionScheme& scheme) {
-  std::vector<std::uint64_t> key;
-  std::size_t total = 2 + scheme.static_members.size();
-  for (const Region& r : scheme.regions) total += 1 + r.members.size();
-  key.reserve(total);
-  key.push_back(scheme.regions.size());
-  for (const Region& r : scheme.regions) {
-    key.push_back(r.members.size());
-    for (std::size_t m : r.members) key.push_back(m);
-  }
-  key.push_back(scheme.static_members.size());
-  for (std::size_t m : scheme.static_members) key.push_back(m);
-  return key;
-}
-
-struct Kept {
-  std::uint64_t ttotal = 0;
-  std::uint64_t warea = 0;
-  std::vector<std::uint64_t> key;
-  PartitionScheme scheme;
-};
-
-/// Total order on recorded schemes: objective first, canonical key last.
-bool kept_before(const Kept& a, const Kept& b) {
-  if (a.ttotal != b.ttotal) return a.ttotal < b.ttotal;
-  if (a.warea != b.warea) return a.warea < b.warea;
-  return a.key < b.key;
-}
-
-/// Inserts `entry` into the sorted leaderboard, dropping exact duplicates
-/// and trimming to `keep` entries. Because kept_before is a total order and
-/// duplicates compare equal, the final leaderboard is independent of the
-/// insertion order — the keystone of thread-count-independent results.
-void insert_kept(std::vector<Kept>& kept, Kept entry, std::size_t keep) {
-  const auto pos =
-      std::lower_bound(kept.begin(), kept.end(), entry, kept_before);
-  if (pos != kept.end() && pos->key == entry.key) return;
-  kept.insert(pos, std::move(entry));
-  if (kept.size() > keep) kept.pop_back();
-}
+using namespace search_internal;  // NOLINT(google-build-using-namespace)
 
 /// One independent greedy descent: a candidate set's initial state,
 /// optionally forced through a distinct first move (§IV-C's restarts).
@@ -210,151 +31,270 @@ struct UnitOutcome {
   std::uint64_t cap = 0;           ///< evaluation cap the unit ran with
   bool truncated = false;          ///< stopped because evals reached cap
   bool ran = false;
+  bool pruned_speculative = false; ///< skipped on the shared bound hint
   std::size_t greedy_runs = 0;
   std::uint64_t states_recorded = 0;
+  std::uint64_t full_evaluations = 0;  ///< merge costs computed from scratch
+  std::uint64_t moves_rescored = 0;    ///< served by the move table
 };
 
-/// Executes one work unit. Entirely thread-confined apart from the shared
-/// read-only inputs and the internally synchronised cost cache, so units
-/// can run concurrently in any order.
-class UnitRunner {
+/// Shared *hint* of the worst kept leaderboard objective, fed by finished
+/// units and read (relaxed) by workers to skip units whose completion lower
+/// bound cannot enter the board. Purely speculative: the canonical merge
+/// re-decides every prune from the deterministic board, replaying units the
+/// hint skipped wrongly, so thread interleaving never leaks into results.
+class BoundHint {
  public:
-  UnitRunner(const Design& design, const ResourceVec& budget,
-             const SearchOptions& options, GroupCostCache* cache,
-             std::uint64_t cap)
-      : design_(design), budget_(budget), options_(options), cache_(cache) {
-    out_.cap = cap;
+  explicit BoundHint(std::size_t keep) : keep_(keep) {}
+
+  /// Worst kept objective once the board is full; UINT64_MAX (prunes
+  /// nothing) before that.
+  std::uint64_t worst() const { return worst_.load(std::memory_order_relaxed); }
+
+  void offer(const std::vector<Kept>& entries) {
+    if (entries.empty()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Kept& e : entries)
+      insert_kept(kept_, Kept{e.ttotal, e.warea, e.key, {}}, keep_);
+    if (kept_.size() >= keep_)
+      worst_.store(kept_.back().ttotal, std::memory_order_relaxed);
   }
 
-  UnitOutcome run(const State& initial, const std::optional<Move>& first) {
-    out_.ran = true;
-    State s = initial;
-    if (first) {
-      apply_move(s, *first);
-      record(s);
+ private:
+  const std::size_t keep_;
+  std::mutex mutex_;
+  std::vector<Kept> kept_;  ///< schemes omitted; only the order matters
+  std::atomic<std::uint64_t> worst_{~std::uint64_t{0}};
+};
+
+/// Runs the units of one candidate set on one worker. The set's state is
+/// copied once; each unit's moves are applied in place and unwound through
+/// the undo records afterwards, and merge costs are re-used across the
+/// set's restarts through a version-stamped move table (the restarts share
+/// the initial state, so step-one move scores differ only around the forced
+/// first move). Entirely thread-confined apart from the shared read-only
+/// inputs and the internally synchronised cost cache.
+class ChunkRunner {
+ public:
+  ChunkRunner(const Design& design, const ResourceVec& budget,
+              const SearchOptions& options, GroupCostCache* cache,
+              const State& initial)
+      : design_(design), budget_(budget), options_(options), cache_(cache),
+        s_(initial) {
+    const std::size_t n = s_.groups.size();
+    versions_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) versions_[i] = i + 1;
+    version_counter_ = n;
+    alive_list_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (s_.groups[i].alive) alive_list_.push_back(i);
+    // The table is quadratic in the candidate-set size; past a few hundred
+    // groups its footprint outweighs the rescoring win, so fall back to
+    // fresh evaluation (results are identical either way).
+    if (options_.use_move_table && n <= kMaxTableGroups) {
+      table_.resize(n * n);
+      // Pairwise-compatibility rows: bit j of compat_[i] says the groups'
+      // occupancies are disjoint, so the greedy scan can reject an
+      // incompatible pair on one bit test instead of a table probe. Kept
+      // symmetric, and maintained under apply()/unwind() like the stamps.
+      compat_.assign(n, DynBitset(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (s_.groups[i].occ.intersects(s_.groups[j].occ)) continue;
+          compat_[i].set(j);
+          compat_[j].set(i);
+        }
+      }
     }
-    greedy(std::move(s));
+  }
+
+  UnitOutcome run_unit(const Unit& unit, std::uint64_t cap) {
+    out_ = UnitOutcome{};
+    out_.cap = cap;
+    out_.ran = true;
+    if (unit.first) {
+      apply(*unit.first);
+      record();
+    }
+    greedy();
+    unwind();
     return std::move(out_);
   }
 
  private:
+  /// Merge-cost memo entry, valid while both groups' version stamps match
+  /// (stamps change only when a merge rewrites group `a`; undo restores
+  /// them, so entries survive across the restarts of the set). Only
+  /// compatible merges are entered — the compat_ rows filter the rest
+  /// before the table is consulted.
+  struct MergeEntry {
+    std::uint64_t va = 0, vb = 0;  ///< 0 never matches a live version
+    GroupCost cost;
+  };
+
+  static constexpr std::size_t kMaxTableGroups = 128;
+
   Objective objective(std::uint64_t excess, std::uint64_t ttotal,
                       std::uint64_t warea) const {
     if (excess > 0) return {excess, warea, ttotal};
     return {0, ttotal, warea};
   }
 
-  Objective state_objective(const State& s) const {
-    const ResourceVec total = s.total_res(design_.static_base());
-    return objective(budget_excess(total, budget_), s.ttotal,
+  Objective state_objective() const {
+    const ResourceVec total = s_.total_res(design_.static_base());
+    return objective(budget_excess(total, budget_), s_.ttotal,
                      weighted_area(total));
   }
 
   /// Cost of the region formed by merging `ga` and `gb`, memoised on the
   /// merged member set when the cache is enabled.
   GroupCost merged_cost(const Group& ga, const Group& gb) {
-    auto compute = [&] {
-      GroupCost cost;
-      cost.raw = elementwise_max(ga.raw, gb.raw);
-      cost.tiles = tiles_for(cost.raw);
-      cost.frames = cost.tiles.frames();
-      cost.tw_union = ga.tw_union + gb.tw_union +
-                      pair_weight_between(options_.pair_weights, ga, gb);
-      return cost;
-    };
-    if (!cache_) return compute();
+    if (!cache_) return merged_group_cost(ga, gb, options_.pair_weights);
     key_buffer_.resize(ga.members.size() + gb.members.size());
     std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
                gb.members.end(), key_buffer_.begin());
     if (const std::optional<GroupCost> hit = cache_->lookup(key_buffer_))
       return *hit;
-    const GroupCost cost = compute();
+    const GroupCost cost = merged_group_cost(ga, gb, options_.pair_weights);
     cache_->store(key_buffer_, cost);
     return cost;
   }
 
-  /// Metrics of the state that `move` would produce. Returns nullopt for
-  /// invalid moves (incompatible merge). Counts one move evaluation.
-  std::optional<Objective> evaluate_move(const State& s, const Move& move) {
+  /// Counts one move evaluation — the deterministic budget unit. Both the
+  /// fresh and the rescored path pay it, so truncation points (and with
+  /// them every result) are independent of the move table.
+  void count_evaluation() {
     ++out_.evals;
     if (out_.evals >= out_.cap) out_.truncated = true;
     // Cancellation point, gated so the clock read costs nothing on the hot
     // path. 512 evaluations bound the cancel latency to microseconds.
     if ((out_.evals & 511u) == 0) check_cancel(options_.cancel);
+  }
 
-    const Group& ga = s.groups[move.a];
-    if (move.kind == Move::Kind::Merge) {
-      const Group& gb = s.groups[move.b];
-      if (ga.occ.intersects(gb.occ)) return std::nullopt;  // incompatible
-      const GroupCost cost = merged_cost(ga, gb);
-      const std::uint64_t contrib =
-          (cost.tw_union - ga.tw_same - gb.tw_same) * cost.frames;
-      const ResourceVec pr = s.pr_res + cost.tiles.resources();
-      // Subtract the two old footprints (kept as additions to avoid
-      // unsigned underflow juggling: compute the new total directly).
-      ResourceVec total = pr + design_.static_base() + s.static_extra;
-      total.clbs -= ga.tiles.resources().clbs + gb.tiles.resources().clbs;
-      total.brams -= ga.tiles.resources().brams + gb.tiles.resources().brams;
-      total.dsps -= ga.tiles.resources().dsps + gb.tiles.resources().dsps;
-      const std::uint64_t ttotal = s.ttotal - ga.contrib - gb.contrib + contrib;
-      return objective(budget_excess(total, budget_), ttotal,
-                       weighted_area(total));
-    }
-
-    // Promote: the whole group's mode set becomes permanently present.
-    ResourceVec total = s.pr_res + design_.static_base() + s.static_extra +
-                        ga.promote_area;
-    total.clbs -= ga.tiles.resources().clbs;
-    total.brams -= ga.tiles.resources().brams;
-    total.dsps -= ga.tiles.resources().dsps;
-    const std::uint64_t ttotal = s.ttotal - ga.contrib;
+  Objective merge_objective(const Group& ga, const Group& gb,
+                            const GroupCost& cost) const {
+    const std::uint64_t contrib =
+        (cost.tw_union - ga.tw_same - gb.tw_same) * cost.frames;
+    const ResourceVec pr = s_.pr_res + cost.tiles.resources();
+    // Subtract the two old footprints (kept as additions to avoid
+    // unsigned underflow juggling: compute the new total directly).
+    ResourceVec total = pr + design_.static_base() + s_.static_extra;
+    total.clbs -= ga.tiles.resources().clbs + gb.tiles.resources().clbs;
+    total.brams -= ga.tiles.resources().brams + gb.tiles.resources().brams;
+    total.dsps -= ga.tiles.resources().dsps + gb.tiles.resources().dsps;
+    const std::uint64_t ttotal = s_.ttotal - ga.contrib - gb.contrib + contrib;
     return objective(budget_excess(total, budget_), ttotal,
                      weighted_area(total));
   }
 
-  void apply_move(State& s, const Move& move) {
-    Group& ga = s.groups[move.a];
-    auto remove_footprint = [&](const Group& g) {
-      s.pr_res.clbs -= g.tiles.resources().clbs;
-      s.pr_res.brams -= g.tiles.resources().brams;
-      s.pr_res.dsps -= g.tiles.resources().dsps;
-      s.ttotal -= g.contrib;
-    };
+  /// Metrics of the state merging groups i and j would produce, nullopt for
+  /// incompatible pairs. Counts one move evaluation; serves the score from
+  /// the move table when both version stamps still match. With the table
+  /// (and its compat_ rows) enabled, the caller has already rejected
+  /// incompatible pairs, so only the table-less path re-checks occupancy.
+  std::optional<Objective> evaluate_merge(std::size_t i, std::size_t j) {
+    count_evaluation();
+    const Group& ga = s_.groups[i];
+    const Group& gb = s_.groups[j];
+    if (table_.empty()) {
+      if (ga.occ.intersects(gb.occ)) return std::nullopt;
+      ++out_.full_evaluations;
+      return merge_objective(ga, gb, merged_cost(ga, gb));
+    }
+    MergeEntry& entry = table_[i * s_.groups.size() + j];
+    if (entry.va == versions_[i] && entry.vb == versions_[j]) {
+      ++out_.moves_rescored;
+      return merge_objective(ga, gb, entry.cost);
+    }
+    ++out_.full_evaluations;
+    const GroupCost cost = merged_cost(ga, gb);
+    entry.va = versions_[i];
+    entry.vb = versions_[j];
+    entry.cost = cost;
+    return merge_objective(ga, gb, cost);
+  }
+
+  /// Metrics of promoting group i into the static region: the whole
+  /// group's mode set becomes permanently present. Already O(1) from the
+  /// group's incremental fields — no table needed.
+  Objective evaluate_promote(std::size_t i) {
+    count_evaluation();
+    const Group& ga = s_.groups[i];
+    ResourceVec total = s_.pr_res + design_.static_base() + s_.static_extra +
+                        ga.promote_area;
+    total.clbs -= ga.tiles.resources().clbs;
+    total.brams -= ga.tiles.resources().brams;
+    total.dsps -= ga.tiles.resources().dsps;
+    const std::uint64_t ttotal = s_.ttotal - ga.contrib;
+    return objective(budget_excess(total, budget_), ttotal,
+                     weighted_area(total));
+  }
+
+  /// Removes / reinserts an index of the sorted alive list.
+  void alive_erase(std::size_t g) {
+    alive_list_.erase(
+        std::lower_bound(alive_list_.begin(), alive_list_.end(), g));
+  }
+  void alive_insert(std::size_t g) {
+    alive_list_.insert(
+        std::lower_bound(alive_list_.begin(), alive_list_.end(), g), g);
+  }
+
+  void apply(const Move& move) {
+    GroupCost cost;
+    if (move.kind == Move::Kind::Merge)
+      cost = merged_cost(s_.groups[move.a], s_.groups[move.b]);
+    UndoRecord undo = apply_move(s_, move, &cost);
+    undo.prior_version = versions_[move.a];
+    alive_erase(move.kind == Move::Kind::Merge ? move.b : move.a);
     if (move.kind == Move::Kind::Merge) {
-      Group& gb = s.groups[move.b];
-      remove_footprint(ga);
-      remove_footprint(gb);
-      const GroupCost cost = merged_cost(ga, gb);
-      std::vector<std::size_t> merged(ga.members.size() + gb.members.size());
-      std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
-                 gb.members.end(), merged.begin());
-      ga.members = std::move(merged);
-      ga.occ |= gb.occ;
-      ga.raw = cost.raw;
-      ga.promote_area += gb.promote_area;
-      ga.tiles = cost.tiles;
-      ga.frames = cost.frames;
-      ga.occ_count += gb.occ_count;
-      ga.tw_union = cost.tw_union;
-      ga.tw_same += gb.tw_same;
-      ga.contrib = (ga.tw_union - ga.tw_same) * ga.frames;
-      gb.alive = false;
-      --s.alive;
-      s.pr_res += ga.tiles.resources();
-      s.ttotal += ga.contrib;
-    } else {
-      remove_footprint(ga);
-      s.static_extra += ga.promote_area;
-      s.static_members.insert(s.static_members.end(), ga.members.begin(),
-                              ga.members.end());
-      ga.alive = false;
-      --s.alive;
+      versions_[move.a] = ++version_counter_;
+      if (!compat_.empty()) {
+        // Group a absorbed b's occupancy: a is now compatible with exactly
+        // the groups both were compatible with. Row first, then mirror the
+        // column so the rows stay symmetric.
+        row_undo_.push_back(compat_[move.a]);
+        compat_[move.a] &= compat_[move.b];
+        for (std::size_t k = 0; k < compat_.size(); ++k) {
+          if (k == move.a) continue;
+          if (compat_[move.a].test(k))
+            compat_[k].set(move.a);
+          else
+            compat_[k].reset(move.a);
+        }
+      }
+    }
+    undo_stack_.push_back(std::move(undo));
+  }
+
+  /// Reverses every move this unit applied, restoring the set's initial
+  /// state (and the groups' version stamps and compatibility rows,
+  /// revalidating table entries for the next restart).
+  void unwind() {
+    while (!undo_stack_.empty()) {
+      UndoRecord& undo = undo_stack_.back();
+      versions_[undo.move.a] = undo.prior_version;
+      alive_insert(undo.move.kind == Move::Kind::Merge ? undo.move.b
+                                                       : undo.move.a);
+      if (undo.move.kind == Move::Kind::Merge && !compat_.empty()) {
+        compat_[undo.move.a] = std::move(row_undo_.back());
+        row_undo_.pop_back();
+        for (std::size_t k = 0; k < compat_.size(); ++k) {
+          if (k == undo.move.a) continue;
+          if (compat_[undo.move.a].test(k))
+            compat_[k].set(undo.move.a);
+          else
+            compat_[k].reset(undo.move.a);
+        }
+      }
+      undo_move(s_, undo);
+      undo_stack_.pop_back();
     }
   }
 
   /// Records the state when it fits and enters the unit's leaderboard.
-  void record(const State& s) {
-    const ResourceVec total = s.total_res(design_.static_base());
+  void record() {
+    const ResourceVec total = s_.total_res(design_.static_base());
     if (!total.fits_in(budget_)) return;
     ++out_.states_recorded;
     const std::uint64_t warea = weighted_area(total);
@@ -364,39 +304,85 @@ class UnitRunner {
       const Kept& worst = out_.kept.back();
       // Strictly worse than the current worst: cannot enter. Objective ties
       // fall through to the canonical-key comparison in insert_kept.
-      if (s.ttotal > worst.ttotal ||
-          (s.ttotal == worst.ttotal && warea > worst.warea))
+      if (s_.ttotal > worst.ttotal ||
+          (s_.ttotal == worst.ttotal && warea > worst.warea))
         return;
     }
     Kept entry;
-    entry.ttotal = s.ttotal;
+    entry.ttotal = s_.ttotal;
     entry.warea = warea;
-    entry.scheme = canonical_scheme(s);
+    entry.scheme = canonical_scheme(s_);
     entry.key = scheme_key(entry.scheme);
     insert_kept(out_.kept, std::move(entry), keep);
   }
 
   /// Greedy descent: repeatedly apply the objective-minimising move while it
-  /// strictly improves; records every visited state.
-  void greedy(State s) {
+  /// strictly improves; records every visited state. Evaluation order is
+  /// the canonical (i, j)-merges-then-promote enumeration of moves_of().
+  void greedy() {
     ++out_.greedy_runs;
-    record(s);
-    while (s.alive > 0 && !out_.truncated) {
+    record();
+    while (s_.alive > 0 && !out_.truncated) {
       check_cancel(options_.cancel);
-      const Objective current = state_objective(s);
       std::optional<Move> best_move;
-      Objective best_obj = current;
-      for (const Move& m : moves_of(s, options_.allow_static_promotion)) {
-        const std::optional<Objective> obj = evaluate_move(s, m);
-        if (out_.truncated) return;
-        if (obj && *obj < best_obj) {
-          best_obj = *obj;
-          best_move = m;
+      Objective best_obj = state_objective();
+      if (!compat_.empty()) {
+        // Table path: walk only the alive groups (sorted, so the (i, j)
+        // enumeration order is canonical) and reject incompatible pairs on
+        // one row bit. Every considered pair still pays its budget unit —
+        // truncation points must not depend on the move table.
+        for (std::size_t ii = 0; ii < alive_list_.size(); ++ii) {
+          const std::size_t i = alive_list_[ii];
+          const DynBitset& row = compat_[i];
+          for (std::size_t jj = ii + 1; jj < alive_list_.size(); ++jj) {
+            const std::size_t j = alive_list_[jj];
+            if (!row.test(j)) {
+              count_evaluation();
+              if (out_.truncated) return;
+              continue;
+            }
+            const std::optional<Objective> obj = evaluate_merge(i, j);
+            if (out_.truncated) return;
+            if (obj && *obj < best_obj) {
+              best_obj = *obj;
+              best_move = Move{Move::Kind::Merge, i, j};
+            }
+          }
+          if (options_.allow_static_promotion) {
+            const Objective obj = evaluate_promote(i);
+            if (out_.truncated) return;
+            if (obj < best_obj) {
+              best_obj = obj;
+              best_move = Move{Move::Kind::Promote, i, 0};
+            }
+          }
+        }
+      } else {
+        const std::size_t n = s_.groups.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!s_.groups[i].alive) continue;
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (!s_.groups[j].alive) continue;
+            const std::optional<Objective> obj = evaluate_merge(i, j);
+            if (out_.truncated) return;
+            if (obj && *obj < best_obj) {
+              best_obj = *obj;
+              best_move = Move{Move::Kind::Merge, i, j};
+            }
+          }
+          if (options_.allow_static_promotion) {
+            const Objective obj = evaluate_promote(i);
+            if (out_.truncated) return;
+            if (obj < best_obj) {
+              best_obj = obj;
+              best_move = Move{Move::Kind::Promote, i, 0};
+            }
+          }
         }
       }
       if (!best_move) return;  // local optimum
-      apply_move(s, *best_move);
-      record(s);
+      apply(*best_move);
+      record();
     }
   }
 
@@ -405,6 +391,14 @@ class UnitRunner {
   const SearchOptions& options_;
   GroupCostCache* cache_;
   GroupCostCache::Key key_buffer_;
+  State s_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t version_counter_ = 0;
+  std::vector<MergeEntry> table_;   ///< empty when the move table is off
+  std::vector<DynBitset> compat_;   ///< pairwise compatibility, empty with table_
+  std::vector<DynBitset> row_undo_; ///< saved compat_ rows, one per applied merge
+  std::vector<std::size_t> alive_list_;  ///< sorted indices of alive groups
+  std::vector<UndoRecord> undo_stack_;
   UnitOutcome out_;
 };
 
@@ -430,6 +424,8 @@ class Searcher {
         require(row.size() == matrix_.configs(),
                 "pair_weights must be square");
     }
+    const unsigned threads =
+        options_.threads != 0 ? options_.threads : default_thread_count();
 
     // Phase 1 — enumerate the work: candidate partition sets (successive
     // covering-list removals, §IV-C) and, per set, one unit for the
@@ -437,13 +433,16 @@ class Searcher {
     const std::vector<std::size_t> order = covering_order(partitions_);
     std::vector<State> initials;
     std::vector<Unit> units;
+    std::vector<std::pair<std::size_t, std::size_t>> set_units;
     for (std::size_t skip = 0; skip < order.size(); ++skip) {
       check_cancel(options_.cancel);
       if (initials.size() >= options_.max_candidate_sets) break;
       const CoverResult cov = cover(partitions_, matrix_, order, skip);
       if (!cov.complete) break;  // removals only make covering harder
-      State initial = initial_state(cov.selected);
+      State initial = initial_state(partitions_, compat_,
+                                    options_.pair_weights, cov.selected);
       const std::size_t set = initials.size();
+      const std::size_t begin = units.size();
       units.push_back(Unit{set, std::nullopt});
       std::size_t first_moves = 0;
       for (const Move& m : moves_of(initial, options_.allow_static_promotion)) {
@@ -454,65 +453,136 @@ class Searcher {
         units.push_back(Unit{set, m});
         ++first_moves;
       }
+      set_units.emplace_back(begin, units.size());
       initials.push_back(std::move(initial));
     }
     stats_.units = units.size();
 
-    // Phase 2 — run every unit, fanned out across the worker pool. Each
-    // unit speculates with the evaluation budget that is left according to
-    // a relaxed global counter; the merge below corrects any unit whose
-    // speculative cap disagrees with the canonical sequential one.
+    // Phase 1b — the branch-and-bound lower bounds. One admissible bound
+    // per unit on the weighted total frames of every fitting completion of
+    // its start state (the set's initial state pushed through the forced
+    // first move). A pure function of the unit, so the fan-out is
+    // deterministic by construction.
+    std::vector<std::uint64_t> unit_lb;
+    if (options_.use_bounding) {
+      unit_lb.assign(units.size(), 0);
+      parallel_for(initials.size(), threads, [&](std::size_t k) {
+        State s = initials[k];  // scratch copy, restored by undo below
+        for (std::size_t i = set_units[k].first; i < set_units[k].second;
+             ++i) {
+          check_cancel(options_.cancel);
+          if (!units[i].first) {
+            unit_lb[i] = completion_lower_bound(
+                s, design_.static_base(), budget_,
+                options_.allow_static_promotion);
+            continue;
+          }
+          const Move& m = *units[i].first;
+          GroupCost cost;
+          if (m.kind == Move::Kind::Merge)
+            cost = merged_group_cost(s.groups[m.a], s.groups[m.b],
+                                     options_.pair_weights);
+          UndoRecord undo = apply_move(s, m, &cost);
+          unit_lb[i] = completion_lower_bound(s, design_.static_base(),
+                                              budget_,
+                                              options_.allow_static_promotion);
+          undo_move(s, undo);
+        }
+      });
+    }
+
+    // Phase 2 — run the units, one candidate set per task so the set's
+    // restarts share a chunk runner (state copy, undo stack, move table).
+    // Each unit speculates twice: with the evaluation budget left according
+    // to a relaxed global counter, and with the shared bound hint deciding
+    // whether it is worth running at all. The merge below corrects any unit
+    // whose speculative cap or prune disagrees with the canonical one.
     GroupCostCache cache;
     GroupCostCache* cache_ptr = options_.use_cost_cache ? &cache : nullptr;
     std::vector<UnitOutcome> outcomes(units.size());
     std::atomic<std::uint64_t> consumed_hint{0};
-    const unsigned threads =
-        options_.threads != 0 ? options_.threads : default_thread_count();
-    parallel_for(units.size(), threads, [&](std::size_t i) {
-      const std::uint64_t hint =
-          std::min(consumed_hint.load(std::memory_order_relaxed),
-                   options_.max_move_evaluations);
-      const std::uint64_t cap = options_.max_move_evaluations - hint;
-      if (cap == 0) return;  // almost certainly exhausted; merge re-checks
-      UnitRunner runner(design_, budget_, options_, cache_ptr, cap);
-      outcomes[i] = runner.run(initials[units[i].set], units[i].first);
-      consumed_hint.fetch_add(outcomes[i].evals, std::memory_order_relaxed);
+    const std::size_t keep =
+        std::max<std::size_t>(1, options_.keep_alternatives);
+    BoundHint hint(keep);
+    parallel_for(initials.size(), threads, [&](std::size_t k) {
+      ChunkRunner runner(design_, budget_, options_, cache_ptr, initials[k]);
+      for (std::size_t i = set_units[k].first; i < set_units[k].second; ++i) {
+        if (options_.use_bounding) {
+          const std::uint64_t lb = unit_lb[i];
+          if (lb == kNoFittingCompletion || lb > hint.worst()) {
+            outcomes[i].pruned_speculative = true;
+            continue;
+          }
+        }
+        const std::uint64_t consumed =
+            std::min(consumed_hint.load(std::memory_order_relaxed),
+                     options_.max_move_evaluations);
+        const std::uint64_t cap = options_.max_move_evaluations - consumed;
+        if (cap == 0) continue;  // almost certainly exhausted; merge re-checks
+        outcomes[i] = runner.run_unit(units[i], cap);
+        consumed_hint.fetch_add(outcomes[i].evals, std::memory_order_relaxed);
+        hint.offer(outcomes[i].kept);
+      }
     });
 
     // Phase 3 — deterministic merge in canonical unit order. A unit is
-    // accepted verbatim when its speculative run is exactly what a
-    // sequential search would have done with the remaining budget;
-    // otherwise it is replayed with the canonical cap. Once the budget is
-    // exhausted every later unit is dropped, mirroring the sequential
-    // early-out.
+    // pruned when its lower bound proves it cannot displace any entry of
+    // the (canonical) leaderboard — the bound exceeds the worst kept
+    // objective of a full board, strictly, so objective ties still compete
+    // on the canonical-key order. A surviving unit is accepted verbatim
+    // when its speculative run is exactly what a sequential search would
+    // have done with the remaining budget; otherwise it is replayed with
+    // the canonical cap. Once the budget is exhausted every later unit is
+    // dropped, mirroring the sequential early-out.
     std::vector<Kept> kept;
-    const std::size_t keep =
-        std::max<std::size_t>(1, options_.keep_alternatives);
     std::uint64_t remaining = options_.max_move_evaluations;
     bool any_unit = false;
     std::size_t last_set = 0;
     for (std::size_t i = 0; i < units.size(); ++i) {
       check_cancel(options_.cancel);
       if (stats_.budget_exhausted) break;
+      if (options_.use_bounding) {
+        const std::uint64_t lb = unit_lb[i];
+        const bool sterile = lb == kNoFittingCompletion;
+        const bool dominated =
+            kept.size() >= keep && lb > kept.back().ttotal;
+        if (sterile || dominated) {
+          ++stats_.units_pruned;
+          if (!sterile) stats_.bound_gap_sum += lb - kept.back().ttotal;
+          any_unit = true;
+          last_set = units[i].set;
+          continue;
+        }
+      }
       UnitOutcome& out = outcomes[i];
-      const bool replay = !out.ran || (out.truncated ? out.cap != remaining
-                                                     : out.evals >= remaining);
+      const bool replay =
+          out.pruned_speculative || !out.ran ||
+          (out.truncated ? out.cap != remaining : out.evals >= remaining);
       if (replay) {
-        UnitRunner runner(design_, budget_, options_, cache_ptr, remaining);
-        out = runner.run(initials[units[i].set], units[i].first);
+        ChunkRunner runner(design_, budget_, options_, cache_ptr,
+                           initials[units[i].set]);
+        out = runner.run_unit(units[i], remaining);
         ++stats_.units_replayed;
       }
       remaining -= out.evals;
       stats_.move_evaluations += out.evals;
       stats_.greedy_runs += out.greedy_runs;
       stats_.states_recorded += out.states_recorded;
+      stats_.full_evaluations += out.full_evaluations;
+      stats_.moves_rescored += out.moves_rescored;
       if (out.truncated) stats_.budget_exhausted = true;
       any_unit = true;
       last_set = units[i].set;
+      if (options_.use_bounding && !out.kept.empty()) {
+        stats_.bound_lb_sum += unit_lb[i];
+        stats_.bound_best_sum += out.kept.front().ttotal;
+      }
       for (Kept& entry : out.kept)
         insert_kept(kept, std::move(entry), keep);
     }
     stats_.candidate_sets = any_unit ? last_set + 1 : 0;
+    for (const UnitOutcome& out : outcomes)
+      if (out.pruned_speculative) ++stats_.units_pruned_speculative;
     if (cache_ptr) {
       const GroupCostCache::Stats cs = cache.stats();
       stats_.cache_hits = cs.hits;
@@ -526,6 +596,8 @@ class Searcher {
       result.feasible = true;
       result.scheme = kept.front().scheme;
       result.scheme.label = "proposed";
+      // evaluate_scheme stays the oracle for accepted leaders: the
+      // incremental bookkeeping proposes, the full evaluator certifies.
       result.eval = evaluate_scheme(design_, matrix_, partitions_,
                                     result.scheme, budget_);
       require(result.eval.valid, "search produced an invalid scheme: " +
@@ -541,28 +613,6 @@ class Searcher {
   }
 
  private:
-  State initial_state(const std::vector<std::size_t>& candidate) const {
-    State s;
-    s.groups.reserve(candidate.size());
-    for (std::size_t p : candidate) {
-      Group g;
-      g.members = {p};
-      g.occ = compat_.occupancy(p);
-      g.raw = partitions_[p].area;
-      g.promote_area = partitions_[p].area;
-      g.tiles = tiles_for(g.raw);
-      g.frames = g.tiles.frames();
-      g.occ_count = g.occ.count();
-      g.tw_union = pair_weight_within(options_.pair_weights, g.occ);
-      g.tw_same = g.tw_union;
-      g.contrib = 0;  // a single alternative never reconfigures
-      s.groups.push_back(std::move(g));
-      s.pr_res += s.groups.back().tiles.resources();
-    }
-    s.alive = s.groups.size();
-    return s;
-  }
-
   const Design& design_;
   const ConnectivityMatrix& matrix_;
   const std::vector<BasePartition>& partitions_;

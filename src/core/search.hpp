@@ -57,6 +57,22 @@ struct SearchOptions {
   /// Results are identical with the cache off; the switch exists for
   /// benchmarking and fault isolation.
   bool use_cost_cache = true;
+  /// Branch-and-bound pruning: drop a restart unit without running it when
+  /// an admissible lower bound on every fitting completion of its start
+  /// state (completion_lower_bound, see DESIGN.md) proves it cannot enter
+  /// the final leaderboard. Pruning is sound — any thread count and either
+  /// setting of this switch return byte-identical schemes — unless the
+  /// evaluation budget runs out, in which case pruning spends the budget on
+  /// non-dominated units instead (equal or better results, still
+  /// deterministic per setting). Off reproduces the exhaustive unit
+  /// schedule; the property suite compares the two.
+  bool use_bounding = true;
+  /// Reuse merge costs across the restarts of one candidate set through a
+  /// version-stamped per-worker move table instead of recomputing them for
+  /// every considered move. Purely a wall-clock lever: results and every
+  /// deterministic counter (including move_evaluations and the budget
+  /// truncation points) are identical with the table off.
+  bool use_move_table = true;
   /// Cooperative cancellation (nullable; must outlive the search). Workers
   /// poll it at unit boundaries and every few hundred move evaluations;
   /// when it fires the search unwinds with CancelledError instead of
@@ -82,12 +98,33 @@ struct SearchStats {
   /// Work units (independent greedy descents) enumerated across all
   /// candidate sets; the grain of the parallel fan-out.
   std::size_t units = 0;
+  /// Units the branch-and-bound merge dropped without consuming any
+  /// evaluation budget: their completion lower bound exceeded the worst
+  /// kept leaderboard entry (or proved no completion could fit).
+  std::size_t units_pruned = 0;
+  /// Bound-tightness accumulators. Over pruned units: the summed margin by
+  /// which the lower bound beat the pruning threshold. Over units that
+  /// contributed leaderboard entries: the summed bound vs the summed best
+  /// recorded objective (their ratio is the bound's tightness in [0, 1];
+  /// 1 would be a perfect oracle).
+  std::uint64_t bound_gap_sum = 0;
+  std::uint64_t bound_lb_sum = 0;
+  std::uint64_t bound_best_sum = 0;
 
   // Scheduling-dependent: these vary with thread interleaving and are NOT
   // part of the determinism contract (they never influence results).
   /// Units re-executed during the deterministic merge because their
   /// speculative evaluation budget disagreed with the canonical one.
   std::size_t units_replayed = 0;
+  /// Units skipped during the speculative phase because the shared bound
+  /// hint dominated them (the canonical merge re-decides each case).
+  std::size_t units_pruned_speculative = 0;
+  /// Merge costs computed from scratch (move-table misses plus every
+  /// compatible merge consideration when the table is off). Exact at
+  /// threads=1; replays perturb it slightly at higher thread counts.
+  std::uint64_t full_evaluations = 0;
+  /// Move considerations served from the incremental move table.
+  std::uint64_t moves_rescored = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t cache_entries = 0;

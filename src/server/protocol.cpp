@@ -269,6 +269,11 @@ json::Value partition_result_json(const Design& design,
   stats.set("states_recorded", json::Value(result.stats.states_recorded));
   stats.set("units",
             json::Value(static_cast<std::uint64_t>(result.stats.units)));
+  stats.set("units_pruned",
+            json::Value(static_cast<std::uint64_t>(result.stats.units_pruned)));
+  stats.set("bound_gap_sum", json::Value(result.stats.bound_gap_sum));
+  stats.set("bound_lb_sum", json::Value(result.stats.bound_lb_sum));
+  stats.set("bound_best_sum", json::Value(result.stats.bound_best_sum));
   stats.set("budget_exhausted", json::Value(result.stats.budget_exhausted));
   v.set("stats", stats);
   return v;

@@ -308,6 +308,7 @@ void Server::execute_job(Job& job) {
       result = std::move(dp.result);
     }
 
+    stats_.search_finished(result.stats);
     if (!result.feasible) {
       stats_.job_infeasible(latency_us_since(job.submit_ns));
       response = error_response(

@@ -31,6 +31,13 @@ json::Value StatsSnapshot::to_json() const {
   v.set("latency_count", json::Value(latency_count));
   v.set("p50_latency_us", json::Value(p50_latency_us));
   v.set("p99_latency_us", json::Value(p99_latency_us));
+  json::Value search = json::Value::object();
+  search.set("units", json::Value(search_units));
+  search.set("units_pruned", json::Value(search_units_pruned));
+  search.set("move_evaluations", json::Value(search_move_evaluations));
+  search.set("full_evaluations", json::Value(search_full_evaluations));
+  search.set("moves_rescored", json::Value(search_moves_rescored));
+  v.set("search", search);
   return v;
 }
 
@@ -46,7 +53,9 @@ std::string StatsSnapshot::log_line() const {
          " cache_hits=" + std::to_string(cache_hits) +
          " cache_misses=" + std::to_string(cache_misses) +
          " p50_us=" + std::to_string(p50_latency_us) +
-         " p99_us=" + std::to_string(p99_latency_us);
+         " p99_us=" + std::to_string(p99_latency_us) +
+         " search_units=" + std::to_string(search_units) +
+         " search_pruned=" + std::to_string(search_units_pruned);
 }
 
 void ServerStats::job_accepted() {
@@ -92,6 +101,15 @@ void ServerStats::cache_miss() {
   ++cache_misses_;
 }
 
+void ServerStats::search_finished(const SearchStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  search_units_ += stats.units;
+  search_units_pruned_ += stats.units_pruned;
+  search_move_evaluations_ += stats.move_evaluations;
+  search_full_evaluations_ += stats.full_evaluations;
+  search_moves_rescored_ += stats.moves_rescored;
+}
+
 void ServerStats::record_latency(std::uint64_t latency_us) {
   ++latency_count_;
   if (latencies_.size() < kReservoir) {
@@ -119,6 +137,11 @@ StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
   s.latency_count = latency_count_;
   s.p50_latency_us = percentile(latencies_, 0.50);
   s.p99_latency_us = percentile(latencies_, 0.99);
+  s.search_units = search_units_;
+  s.search_units_pruned = search_units_pruned_;
+  s.search_move_evaluations = search_move_evaluations_;
+  s.search_full_evaluations = search_full_evaluations_;
+  s.search_moves_rescored = search_moves_rescored_;
   return s;
 }
 

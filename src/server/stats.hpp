@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/search.hpp"
 #include "util/json.hpp"
 
 namespace prpart::server {
@@ -23,6 +24,14 @@ struct StatsSnapshot {
   std::uint64_t latency_count = 0;   ///< completed-job latency samples
   std::uint64_t p50_latency_us = 0;  ///< submit -> response, cache hits incl.
   std::uint64_t p99_latency_us = 0;
+  // Cumulative search-effort counters over every executed (non-cached)
+  // partitioning job: how much work the allocation search did and how much
+  // the branch-and-bound pruning saved.
+  std::uint64_t search_units = 0;
+  std::uint64_t search_units_pruned = 0;
+  std::uint64_t search_move_evaluations = 0;
+  std::uint64_t search_full_evaluations = 0;
+  std::uint64_t search_moves_rescored = 0;
 
   json::Value to_json() const;
   /// One-line rendering for the periodic server log.
@@ -42,6 +51,8 @@ class ServerStats {
   void job_failed();
   void cache_hit(std::uint64_t latency_us);
   void cache_miss();
+  /// Folds one executed job's search stats into the cumulative counters.
+  void search_finished(const SearchStats& stats);
 
   /// Queue depth and in-flight count are owned by the scheduler; it reports
   /// them at snapshot time.
@@ -63,6 +74,11 @@ class ServerStats {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t latency_count_ = 0;
+  std::uint64_t search_units_ = 0;
+  std::uint64_t search_units_pruned_ = 0;
+  std::uint64_t search_move_evaluations_ = 0;
+  std::uint64_t search_full_evaluations_ = 0;
+  std::uint64_t search_moves_rescored_ = 0;
   std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
   std::size_t latency_next_ = 0;
 };

@@ -17,25 +17,9 @@ std::size_t word_count(std::size_t nbits) {
 DynBitset::DynBitset(std::size_t nbits)
     : nbits_(nbits), words_(word_count(nbits), 0) {}
 
-void DynBitset::check_index(std::size_t i) const {
-  if (i >= nbits_)
-    throw InternalError("DynBitset index " + std::to_string(i) +
-                        " out of range (size " + std::to_string(nbits_) + ")");
-}
-
-void DynBitset::set(std::size_t i) {
-  check_index(i);
-  words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
-}
-
-void DynBitset::reset(std::size_t i) {
-  check_index(i);
-  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
-}
-
-bool DynBitset::test(std::size_t i) const {
-  check_index(i);
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+void DynBitset::throw_index_out_of_range(std::size_t i) const {
+  throw InternalError("DynBitset index " + std::to_string(i) +
+                      " out of range (size " + std::to_string(nbits_) + ")");
 }
 
 std::size_t DynBitset::count() const {

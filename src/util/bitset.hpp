@@ -20,9 +20,22 @@ class DynBitset {
 
   std::size_t size() const { return nbits_; }
 
-  void set(std::size_t i);
-  void reset(std::size_t i);
-  bool test(std::size_t i) const;
+  // The single-bit accessors and the pairwise-disjointness test are the
+  // partitioner's hottest operations (the greedy move scan runs millions
+  // per search), so they live in the header; the failure paths stay
+  // out-of-line to keep the inlined code small.
+  void set(std::size_t i) {
+    check_index(i);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void reset(std::size_t i) {
+    check_index(i);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  bool test(std::size_t i) const {
+    check_index(i);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
 
   /// Number of set bits.
   std::size_t count() const;
@@ -58,7 +71,10 @@ class DynBitset {
   std::string to_string() const;
 
  private:
-  void check_index(std::size_t i) const;
+  void check_index(std::size_t i) const {
+    if (i >= nbits_) throw_index_out_of_range(i);
+  }
+  [[noreturn]] void throw_index_out_of_range(std::size_t i) const;
 
   std::size_t nbits_ = 0;
   std::vector<std::uint64_t> words_;

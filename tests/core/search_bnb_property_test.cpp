@@ -1,0 +1,233 @@
+// Property suite for the branch-and-bound search against the exhaustive
+// baseline (SearchOptions::use_bounding = false reproduces the pre-bounding
+// unit schedule exactly):
+//
+//  * with the evaluation budget not binding, pruning is invisible — schemes,
+//    alternatives, and objective values are byte-identical, across synthetic
+//    seeds, the paper example, the §V case study, and non-uniform transition
+//    weights;
+//  * when the budget binds, pruning may only help (it spends the budget on
+//    non-dominated units): the bounded result is never worse;
+//  * the move table is a pure wall-clock lever: the full deterministic
+//    fingerprint (results and counters, including truncation points) is
+//    identical with the table on and off;
+//  * cancellation unwinds with CancelledError in every mode — a cancelled
+//    search can never be mistaken for a completed one.
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/result_io.hpp"
+#include "design/synthetic.hpp"
+#include "synth/ip_library.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace prpart {
+namespace {
+
+using testing::paper_example;
+
+struct Harness {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+  CompatibilityTable compat;
+
+  explicit Harness(Design d)
+      : design(std::move(d)),
+        matrix(design),
+        partitions(enumerate_base_partitions(design, matrix)),
+        compat(matrix, partitions) {}
+
+  SearchResult run(const ResourceVec& budget, SearchOptions opt) {
+    return search_partitioning(design, matrix, partitions, compat, budget,
+                               opt);
+  }
+
+  ResourceVec slack_budget() const {
+    const ResourceVec lower =
+        design.largest_configuration_area() + design.static_base();
+    return {lower.clbs + lower.clbs / 3 + 200,
+            lower.brams + lower.brams / 3 + 8,
+            lower.dsps + lower.dsps / 3 + 8};
+  }
+};
+
+/// The result bytes a run promises: the archived XML of the scheme and of
+/// every ranked alternative, plus their objective values. Deliberately
+/// excludes the stats (pruned units consume no evaluations, so counters
+/// legitimately differ between the bounded and the exhaustive search).
+std::string result_fingerprint(Harness& h, const ResourceVec& budget,
+                               const SearchResult& r) {
+  std::ostringstream out;
+  out << "feasible=" << r.feasible << "\n";
+  if (!r.feasible) return out.str();
+  out << partitioning_to_xml(h.design, h.partitions, r.scheme, r.eval);
+  for (const RankedScheme& alt : r.alternatives) {
+    const SchemeEvaluation e =
+        evaluate_scheme(h.design, h.matrix, h.partitions, alt.scheme, budget);
+    out << "alternative=" << alt.total_frames << "\n"
+        << partitioning_to_xml(h.design, h.partitions, alt.scheme, e);
+  }
+  return out.str();
+}
+
+/// Bounded vs exhaustive on one configuration. Byte-identical when the
+/// evaluation budget did not bind; never worse when it did.
+void expect_bounding_invisible(Harness& h, const ResourceVec& budget,
+                               SearchOptions opt) {
+  opt.use_bounding = false;
+  const SearchResult exhaustive = h.run(budget, opt);
+  opt.use_bounding = true;
+  const SearchResult bounded = h.run(budget, opt);
+  EXPECT_EQ(bounded.stats.units, exhaustive.stats.units);
+  if (!exhaustive.stats.budget_exhausted &&
+      !bounded.stats.budget_exhausted) {
+    EXPECT_EQ(result_fingerprint(h, budget, bounded),
+              result_fingerprint(h, budget, exhaustive));
+    return;
+  }
+  // Budget bound: pruning redirects evaluations to non-dominated units, so
+  // the bounded search explores a superset of the useful space.
+  EXPECT_GE(bounded.feasible, exhaustive.feasible);
+  if (bounded.feasible && exhaustive.feasible) {
+    EXPECT_LE(bounded.alternatives.front().total_frames,
+              exhaustive.alternatives.front().total_frames);
+  }
+}
+
+PairWeights random_weights(std::size_t n, Rng& rng) {
+  PairWeights w(n, std::vector<std::uint32_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      w[i][j] = w[j][i] = static_cast<std::uint32_t>(1 + rng.uniform(0, 6));
+  return w;
+}
+
+TEST(SearchBnbProperty, PaperExampleMatchesExhaustive) {
+  Harness h(paper_example());
+  SearchOptions opt;
+  opt.keep_alternatives = 6;
+  expect_bounding_invisible(h, {900, 8, 16}, opt);
+  expect_bounding_invisible(h, h.slack_budget(), opt);
+  opt.allow_static_promotion = false;
+  expect_bounding_invisible(h, h.slack_budget(), opt);
+}
+
+TEST(SearchBnbProperty, CaseStudyMatchesExhaustive) {
+  Harness h(synth::wireless_receiver_design());
+  SearchOptions opt;
+  opt.max_candidate_sets = 64;
+  opt.max_move_evaluations = 2'000'000;
+  expect_bounding_invisible(h, {6800, 64, 150}, opt);
+}
+
+class SearchBnbSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearchBnbSeeds, SyntheticDesignsMatchExhaustive) {
+  Rng rng(GetParam());
+  const auto cls = static_cast<CircuitClass>(GetParam() % 4);
+  Harness h(generate_synthetic(rng, cls).design);
+  SearchOptions opt;
+  opt.max_move_evaluations = 400'000;  // keep the suite fast
+  expect_bounding_invisible(h, h.slack_budget(), opt);
+
+  // The same property under non-uniform transition weights, where the bound
+  // runs on the weighted accumulators.
+  Rng wrng(500 + GetParam());
+  const PairWeights w = random_weights(h.matrix.configs(), wrng);
+  opt.pair_weights = &w;
+  expect_bounding_invisible(h, h.slack_budget(), opt);
+
+  // And under a deliberately binding evaluation budget (the not-worse leg).
+  opt.pair_weights = nullptr;
+  opt.max_move_evaluations = 2'000;
+  expect_bounding_invisible(h, h.slack_budget(), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(SyntheticSeeds, SearchBnbSeeds,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SearchBnbProperty, PruningActuallyFires) {
+  // The bound must earn its keep somewhere: across the paper example and
+  // the synthetic seeds, at least one run prunes units. (Aggregated so the
+  // test does not pin which design prunes — that may shift as the bound
+  // tightens.)
+  std::size_t pruned = 0;
+  {
+    Harness h(paper_example());
+    pruned += h.run({900, 8, 16}, SearchOptions{}).stats.units_pruned;
+  }
+  for (std::uint64_t seed = 0; seed < 10 && pruned == 0; ++seed) {
+    Rng rng(seed);
+    Harness h(generate_synthetic(rng, static_cast<CircuitClass>(seed % 4))
+                  .design);
+    SearchOptions opt;
+    opt.max_move_evaluations = 400'000;
+    pruned += h.run(h.slack_budget(), opt).stats.units_pruned;
+  }
+  EXPECT_GT(pruned, 0u);
+}
+
+TEST(SearchBnbProperty, MoveTableIsPureWallClock) {
+  // Full deterministic fingerprint — results AND counters, including the
+  // budget truncation points — must be identical with the table on and off.
+  Harness h(paper_example());
+  for (std::uint64_t evals : {std::uint64_t{50}, std::uint64_t{1000},
+                              std::uint64_t{1'000'000}}) {
+    SearchOptions opt;
+    opt.max_move_evaluations = evals;
+    opt.threads = 1;
+    opt.use_move_table = true;
+    const SearchResult on = h.run({900, 8, 16}, opt);
+    opt.use_move_table = false;
+    const SearchResult off = h.run({900, 8, 16}, opt);
+    EXPECT_EQ(result_fingerprint(h, {900, 8, 16}, on),
+              result_fingerprint(h, {900, 8, 16}, off));
+    EXPECT_EQ(on.stats.move_evaluations, off.stats.move_evaluations);
+    EXPECT_EQ(on.stats.states_recorded, off.stats.states_recorded);
+    EXPECT_EQ(on.stats.greedy_runs, off.stats.greedy_runs);
+    EXPECT_EQ(on.stats.budget_exhausted, off.stats.budget_exhausted);
+    EXPECT_EQ(on.stats.units_pruned, off.stats.units_pruned);
+    // At threads=1 the scheduling-dependent split is exact too: every
+    // consideration is either rescored or fresh, and the table only moves
+    // considerations between the two buckets.
+    EXPECT_EQ(off.stats.moves_rescored, 0u);
+    EXPECT_GT(on.stats.moves_rescored, 0u);
+    EXPECT_LT(on.stats.full_evaluations, off.stats.full_evaluations);
+  }
+}
+
+TEST(SearchBnbProperty, CancellationThrowsInEveryMode) {
+  Harness h(synth::wireless_receiver_design());
+  for (const bool bounding : {true, false}) {
+    CancelToken token;
+    token.cancel();  // already fired: the very first poll must throw
+    SearchOptions opt;
+    opt.use_bounding = bounding;
+    opt.cancel = &token;
+    EXPECT_THROW(h.run({6800, 64, 150}, opt), CancelledError);
+  }
+  for (const bool bounding : {true, false}) {
+    // Mid-search: a deadline far shorter than the case-study search's run
+    // time fires between move evaluations (polled every 512).
+    CancelToken token;
+    SearchOptions opt;
+    opt.use_bounding = bounding;
+    opt.max_candidate_sets = 64;
+    opt.max_move_evaluations = 100'000'000;
+    opt.cancel = &token;
+    token.set_timeout_ms(1);
+    EXPECT_THROW(h.run({6800, 64, 150}, opt), CancelledError);
+  }
+}
+
+}  // namespace
+}  // namespace prpart

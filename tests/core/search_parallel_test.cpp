@@ -57,6 +57,10 @@ std::string fingerprint(Harness& h, const ResourceVec& budget,
   out << "states_recorded=" << r.stats.states_recorded << "\n";
   out << "budget_exhausted=" << r.stats.budget_exhausted << "\n";
   out << "units=" << r.stats.units << "\n";
+  out << "units_pruned=" << r.stats.units_pruned << "\n";
+  out << "bound_gap_sum=" << r.stats.bound_gap_sum << "\n";
+  out << "bound_lb_sum=" << r.stats.bound_lb_sum << "\n";
+  out << "bound_best_sum=" << r.stats.bound_best_sum << "\n";
   if (!r.feasible) return out.str();
   out << partitioning_to_xml(h.design, h.partitions, r.scheme, r.eval);
   for (const RankedScheme& alt : r.alternatives) {

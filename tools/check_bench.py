@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated bench JSON against the committed baseline.
+
+Usage:
+    check_bench.py BASELINE CURRENT [--tolerance 0.25]
+
+Walks both documents and compares every numeric leaf present in the
+baseline within a relative tolerance (default +-25%). Wall-clock keys
+(anything containing "seconds", "speedup", "ms_per" or "hit_rate") are
+skipped: they depend on the host, while the remaining counters are
+deterministic outputs of the search and must not drift silently.
+
+BENCH_search.json additionally carries the branch-and-bound acceptance
+floor: the full-evaluation reduction of the bounded search over the
+exhaustive one must stay >= 5x.
+
+Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+
+SKIP_SUBSTRINGS = ("seconds", "speedup", "ms_per", "hit_rate")
+
+# (path-suffix, floor): hard minimums the current run must clear regardless
+# of what the baseline says.
+FLOORS = {"full_evaluation_reduction": 5.0}
+
+
+def flatten(doc):
+    out = {}
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, path + (key,))
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            out[".".join(path)] = float(node)
+    walk(doc, ())
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = flatten(json.load(f))
+        with open(args.current) as f:
+            current = flatten(json.load(f))
+    except (OSError, ValueError) as err:
+        print(f"check_bench: {err}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for path, base in sorted(baseline.items()):
+        if any(s in path for s in SKIP_SUBSTRINGS):
+            continue
+        if path not in current:
+            failures.append(f"{path}: missing from current run (baseline {base:g})")
+            continue
+        cur = current[path]
+        limit = abs(base) * args.tolerance
+        if abs(cur - base) > limit:
+            failures.append(
+                f"{path}: {cur:g} deviates from baseline {base:g} "
+                f"by more than {args.tolerance:.0%}")
+
+    for suffix, floor in FLOORS.items():
+        for path, cur in current.items():
+            if path.endswith(suffix) and cur < floor:
+                failures.append(f"{path}: {cur:g} below the hard floor {floor:g}")
+
+    checked = sum(
+        1 for p in baseline if not any(s in p for s in SKIP_SUBSTRINGS))
+    if failures:
+        print(f"check_bench: {len(failures)} regression(s) vs {args.baseline}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"check_bench: {checked} counters within "
+          f"{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
