@@ -4,13 +4,57 @@
 // Python implementation; these benches document the C++ costs.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/clustering.hpp"
 #include "core/compatibility.hpp"
 #include "core/covering.hpp"
+#include "core/eval_kernel.hpp"
 #include "core/partitioner.hpp"
+#include "core/schemes.hpp"
 #include "core/search.hpp"
 #include "design/synthetic.hpp"
 #include "synth/ip_library.hpp"
+
+// Binary-wide allocation counter: the kernel-evaluation benches assert that
+// the steady state (shared context + reused scratch and output) performs
+// zero heap allocations per evaluation, which is the contract DESIGN.md §4d
+// promises the search's inner loop. Counting in the replaced operator new
+// observes every std:: container allocation with no instrumentation in the
+// code under test.
+static std::atomic<std::uint64_t> g_heap_allocations{0};
+
+// GCC pairs new/delete expressions with the *default* operator new it can
+// see through inlining and flags the std::free below as mismatched; with
+// the whole global new/delete family replaced here the pairing is in fact
+// consistent (new -> malloc, delete -> free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -93,6 +137,85 @@ void BM_EvaluateScheme(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvaluateScheme)->Arg(2)->Arg(4)->Arg(6);
+
+/// Shared fixture state for the evaluation-kernel micro legs: one design,
+/// a representative valid scheme (the search winner, or the modular scheme
+/// when the tight budget admits none), and the once-per-design EvalContext.
+struct KernelFixture {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+  ResourceVec budget;
+  PartitionScheme scheme;
+  EvalContext context;
+
+  explicit KernelFixture(std::uint32_t modules)
+      : design(sized_design(modules)),
+        matrix(design),
+        partitions(enumerate_base_partitions(design, matrix)),
+        context(design, matrix, partitions) {
+    const ResourceVec lower =
+        design.largest_configuration_area() + design.static_base();
+    budget = ResourceVec{lower.clbs + lower.clbs / 3, lower.brams + 8,
+                         lower.dsps + 8};
+    const CompatibilityTable compat(matrix, partitions);
+    SearchOptions opt;
+    opt.max_move_evaluations = 100'000;
+    const SearchResult r =
+        search_partitioning(design, matrix, partitions, compat, budget, opt);
+    scheme = r.feasible ? r.scheme
+                        : make_modular_scheme(design, matrix, partitions);
+  }
+};
+
+void BM_EvaluateSchemeReference(benchmark::State& state) {
+  const KernelFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto eval = evaluate_scheme_reference(fx.design, fx.matrix, fx.partitions,
+                                          fx.scheme, fx.budget);
+    benchmark::DoNotOptimize(eval.total_frames);
+  }
+}
+BENCHMARK(BM_EvaluateSchemeReference)->Arg(2)->Arg(4)->Arg(6);
+
+// Cold kernel path: the context is shared, but scratch and output are
+// constructed per evaluation, so every call re-sizes its buffers. The gap
+// to the warm leg below is the price of allocation the scratch exists to
+// remove.
+void BM_EvaluateSchemeKernelCold(benchmark::State& state) {
+  const KernelFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    EvalScratch scratch;
+    const SchemeEvaluation eval =
+        fx.context.evaluate(fx.scheme, fx.budget, scratch);
+    benchmark::DoNotOptimize(eval.total_frames);
+  }
+}
+BENCHMARK(BM_EvaluateSchemeKernelCold)->Arg(2)->Arg(4)->Arg(6);
+
+// Warm kernel path: scratch and output reused across calls, the steady
+// state of the search and the serve workers. Asserts the §4d contract that
+// it allocates nothing after the first evaluation has sized the buffers.
+void BM_EvaluateSchemeKernelWarm(benchmark::State& state) {
+  const KernelFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  EvalScratch scratch;
+  SchemeEvaluation eval;
+  fx.context.evaluate_into(fx.scheme, fx.budget, scratch, eval);  // size once
+  std::uint64_t steady_allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    fx.context.evaluate_into(fx.scheme, fx.budget, scratch, eval);
+    steady_allocations +=
+        g_heap_allocations.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(eval.total_frames);
+  }
+  state.counters["allocs_per_eval"] = benchmark::Counter(
+      static_cast<double>(steady_allocations), benchmark::Counter::kAvgIterations);
+  if (steady_allocations != 0)
+    state.SkipWithError("steady-state kernel evaluation hit the heap");
+}
+BENCHMARK(BM_EvaluateSchemeKernelWarm)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_FullSearch(benchmark::State& state) {
   const Design d = sized_design(static_cast<std::uint32_t>(state.range(0)));

@@ -9,24 +9,35 @@
 // A second leg measures the branch-and-bound machinery itself: the default
 // configuration (lower-bound pruning + move table) against the exhaustive
 // PR 1 search (both disabled) at threads=1, where every counter is exact.
-// The counters and ratios land in BENCH_search.json for the CI regression
-// gate (tools/check_bench.py against the committed baseline).
 //
-//   PRPART_DESIGNS=100 ./bench_search_parallel
+// A third leg times the word-parallel evaluation kernel (DESIGN.md §4d)
+// against the scalar reference evaluator, separately over the Fig. 7
+// designs and over a serve-scale suite of 16-24-module designs, verifying
+// identical totals; PRPART_EVAL_REPS scales the repetition count. The
+// counters and ratios of all legs land in BENCH_search.json for the CI
+// regression gate (tools/check_bench.py against the committed baseline;
+// hard floor of 1.5x on the serve-scale kernel speedup).
+//
+//   PRPART_DESIGNS=100 PRPART_EVAL_REPS=60 ./bench_search_parallel
 //
 // Numbers depend on hardware parallelism: on a single-core host the >1
 // thread rows only demonstrate identity, not speedup.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/sweep_common.hpp"
 #include "core/clustering.hpp"
 #include "core/compatibility.hpp"
+#include "core/eval_kernel.hpp"
 #include "core/result_io.hpp"
+#include "core/schemes.hpp"
 #include "core/search.hpp"
 #include "design/synthetic.hpp"
 #include "device/device.hpp"
@@ -42,10 +53,14 @@ struct PreparedDesign {
   CompatibilityTable compat;
   ResourceVec budget;
 
-  explicit PreparedDesign(Design d, const DeviceLibrary& lib)
+  // `max_modes` caps the clique enumeration exactly like the partitioner's
+  // max_partition_modes option; the serve-scale evaluation designs need it
+  // because co-occurring subsets grow as 2^(configuration width).
+  explicit PreparedDesign(Design d, const DeviceLibrary& lib,
+                          std::size_t max_modes = 0)
       : design(std::move(d)),
         matrix(design),
-        partitions(enumerate_base_partitions(design, matrix)),
+        partitions(enumerate_base_partitions(design, matrix, max_modes)),
         compat(matrix, partitions) {
     // The budget the Fig. 7/8 sweep actually searches first: the smallest
     // library device covering the resource lower bound. Tight by
@@ -74,6 +89,10 @@ struct RunOutcome {
   std::uint64_t units = 0;
   std::uint64_t units_pruned = 0;
   std::vector<std::string> schemes;  ///< archived XML per design
+  /// Winning schemes of feasible designs, kept structurally for the
+  /// evaluation-kernel leg (reference vs kernel timing on real winners).
+  std::vector<PartitionScheme> winners;
+  std::vector<std::size_t> winner_design;  ///< index into `designs`
 };
 
 RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads,
@@ -88,7 +107,8 @@ RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads,
   RunOutcome out;
   out.schemes.reserve(designs.size());
   const auto started = std::chrono::steady_clock::now();
-  for (PreparedDesign& p : designs) {
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    PreparedDesign& p = designs[d];
     const SearchResult r = search_partitioning(p.design, p.matrix,
                                                p.partitions, p.compat,
                                                p.budget, opt);
@@ -104,6 +124,10 @@ RunOutcome run_all(std::vector<PreparedDesign>& designs, unsigned threads,
         r.feasible ? partitioning_to_xml(p.design, p.partitions, r.scheme,
                                          r.eval)
                    : std::string("infeasible"));
+    if (r.feasible) {
+      out.winners.push_back(r.scheme);
+      out.winner_design.push_back(d);
+    }
   }
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
@@ -208,15 +232,172 @@ int main_impl() {
     return 1;
   }
 
+  // Evaluation-kernel leg: the scalar reference evaluator vs the
+  // word-parallel EvalContext kernel over the search winners plus the
+  // modular/static baselines of every design — the evaluate_scheme
+  // population the partitioner actually runs. Contexts are built once per
+  // design and the scratch is reused, matching steady-state search use.
+  std::printf("\nscheme evaluation: scalar reference vs word-parallel "
+              "kernel\n\n");
+
+  // The Fig. 7 designs are deliberately small (2-6 modules); evaluation on
+  // them is near-trivial for both implementations and mostly measures the
+  // shared bookkeeping. The kernel's word-level parallelism and signature
+  // collapse pay off on the larger adaptive systems `prpart serve` targets,
+  // so the leg also times a serve-scale suite (16-24 modules, 4-6 modes
+  // each: around a hundred modes and dozens of configurations per design,
+  // i.e. multi-word bitset rows). The two populations are timed separately;
+  // tools/check_bench.py enforces kernel_wall_speedup >= 1.5 on the
+  // serve-scale leg, where the kernel is the enabling optimisation.
+  SyntheticOptions big;
+  big.min_modules = 16;
+  big.max_modules = 24;
+  big.min_modes = 4;
+  big.max_modes = 6;
+  big.max_clbs = 400;
+  const std::size_t small_count = designs.size();
+  for (const SyntheticDesign& s :
+       generate_synthetic_suite(77, std::max<std::size_t>(small_count / 25, 8),
+                                big))
+    designs.emplace_back(s.design, lib, /*max_modes=*/2);
+
+  std::vector<std::unique_ptr<EvalContext>> contexts;
+  contexts.reserve(designs.size());
+  for (PreparedDesign& p : designs)
+    contexts.push_back(
+        std::make_unique<EvalContext>(p.design, p.matrix, p.partitions));
+
+  // Greedy first-fit grouping of the modular scheme's members into regions
+  // with pairwise disjoint activity: a deterministic, always-valid stand-in
+  // for the merged multi-member regions the search produces, so the Eq. 11
+  // pair pass runs on every design (modular regions have one member each
+  // and skip it).
+  const auto first_fit_pack = [](const EvalContext& ctx,
+                                 const PartitionScheme& modular) {
+    PartitionScheme out;
+    std::vector<DynBitset> occ;
+    for (const Region& region : modular.regions)
+      for (std::size_t p : region.members) {
+        bool placed = false;
+        for (std::size_t g = 0; g < out.regions.size() && !placed; ++g) {
+          if (occ[g].intersects(ctx.activity(p))) continue;
+          out.regions[g].members.push_back(p);
+          occ[g] |= ctx.activity(p);
+          placed = true;
+        }
+        if (!placed) {
+          out.regions.push_back(Region{{p}});
+          occ.push_back(ctx.activity(p));
+        }
+      }
+    out.static_members = modular.static_members;
+    return out;
+  };
+
+  struct EvalJob {
+    std::size_t design = 0;
+    PartitionScheme scheme;
+  };
+  std::vector<EvalJob> fig7_jobs, serve_jobs;
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    PreparedDesign& p = designs[d];
+    std::vector<EvalJob>& jobs = d < small_count ? fig7_jobs : serve_jobs;
+    PartitionScheme modular =
+        make_modular_scheme(p.design, p.matrix, p.partitions);
+    jobs.push_back({d, first_fit_pack(*contexts[d], modular)});
+    jobs.push_back({d, std::move(modular)});
+    jobs.push_back({d, make_static_scheme(p.design, p.matrix, p.partitions)});
+  }
+  for (std::size_t w = 0; w < reference.winners.size(); ++w)
+    fig7_jobs.push_back({reference.winner_design[w], reference.winners[w]});
+
+  // Enough repetitions that the serve-scale leg runs for a meaningful
+  // fraction of a second (the floor below is a wall-clock ratio; a
+  // handful-of-milliseconds sample would be all scheduler noise).
+  int eval_reps = 60;
+  if (const char* reps_env = std::getenv("PRPART_EVAL_REPS"))
+    eval_reps = std::max(1, std::atoi(reps_env));
+  const int kEvalReps = eval_reps;
+  EvalScratch scratch;
+  SchemeEvaluation reused;  // steady state: scratch AND output reuse capacity
+  std::uint64_t ref_frames = 0, ker_frames = 0;
+  const auto time_jobs = [&](const std::vector<EvalJob>& batch, bool kernel,
+                             std::uint64_t& frames) {
+    const auto started = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kEvalReps; ++rep)
+      for (const EvalJob& job : batch) {
+        const PreparedDesign& p = designs[job.design];
+        if (kernel) {
+          contexts[job.design]->evaluate_into(job.scheme, p.budget, scratch,
+                                              reused);
+          frames += reused.total_frames;
+        } else {
+          frames += evaluate_scheme_reference(p.design, p.matrix,
+                                              p.partitions, job.scheme,
+                                              p.budget)
+                        .total_frames;
+        }
+      }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+  const double fig7_ref_seconds = time_jobs(fig7_jobs, false, ref_frames);
+  const double serve_ref_seconds = time_jobs(serve_jobs, false, ref_frames);
+  const double fig7_ker_seconds = time_jobs(fig7_jobs, true, ker_frames);
+  const double serve_ker_seconds = time_jobs(serve_jobs, true, ker_frames);
+  if (ref_frames != ker_frames) {
+    std::printf("FAIL: kernel total frames %llu != reference %llu\n",
+                static_cast<unsigned long long>(ker_frames),
+                static_cast<unsigned long long>(ref_frames));
+    return 1;
+  }
+  const double kernel_speedup = ratio(serve_ref_seconds, serve_ker_seconds);
+  const double fig7_speedup = ratio(fig7_ref_seconds, fig7_ker_seconds);
+  std::printf("  fig7 suite:  %zu schemes x %d reps: reference %.3f s, "
+              "kernel %.3f s (%.2fx), totals identical\n",
+              fig7_jobs.size(), kEvalReps, fig7_ref_seconds, fig7_ker_seconds,
+              fig7_speedup);
+  std::printf("  serve scale: %zu schemes x %d reps: reference %.3f s, "
+              "kernel %.3f s (%.2fx), totals identical\n",
+              serve_jobs.size(), kEvalReps, serve_ref_seconds,
+              serve_ker_seconds, kernel_speedup);
+  std::printf("  kernel evaluations: %llu, signature-collapsed configs: "
+              "%llu\n",
+              static_cast<unsigned long long>(
+                  scratch.stats.kernel_evaluations),
+              static_cast<unsigned long long>(
+                  scratch.stats.signature_collapsed_configs));
+
   // Machine-readable summary for the CI regression gate. Everything but
   // the wall-clock fields is deterministic (threads=1 counters).
   {
     json::Value doc = json::Value::object();
-    doc.set("designs", json::Value(static_cast<std::uint64_t>(designs.size())));
+    // The search population only; the serve-scale evaluation designs are
+    // counted inside the kernel object (serve_schemes / 3 per design).
+    doc.set("designs", json::Value(static_cast<std::uint64_t>(small_count)));
     doc.set("bounded", counters_json(reference));
     doc.set("exhaustive", counters_json(exhaustive));
     doc.set("wall_speedup_vs_exhaustive", json::Value(speedup));
     doc.set("full_evaluation_reduction", json::Value(reduction));
+    json::Value kernel = json::Value::object();
+    kernel.set("fig7_schemes",
+               json::Value(static_cast<std::uint64_t>(fig7_jobs.size())));
+    kernel.set("serve_schemes",
+               json::Value(static_cast<std::uint64_t>(serve_jobs.size())));
+    kernel.set("fig7_reference_seconds", json::Value(fig7_ref_seconds));
+    kernel.set("fig7_kernel_seconds", json::Value(fig7_ker_seconds));
+    kernel.set("serve_reference_seconds", json::Value(serve_ref_seconds));
+    kernel.set("serve_kernel_seconds", json::Value(serve_ker_seconds));
+    kernel.set("kernel_evaluations",
+               json::Value(scratch.stats.kernel_evaluations));
+    kernel.set("signature_collapsed_configs",
+               json::Value(scratch.stats.signature_collapsed_configs));
+    doc.set("kernel", kernel);
+    // Floor-gated (>= 1.5 in tools/check_bench.py): the serve-scale leg.
+    doc.set("kernel_wall_speedup", json::Value(kernel_speedup));
+    // Informational: the small Fig. 7 designs, dominated by shared setup.
+    doc.set("fig7_eval_speedup", json::Value(fig7_speedup));
     std::ofstream bench_json("BENCH_search.json");
     bench_json << doc.dump() << "\n";
     std::printf("wrote BENCH_search.json\n");

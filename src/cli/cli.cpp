@@ -300,6 +300,8 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
           << "% (lb sum " << s.bound_lb_sum << " / best sum "
           << s.bound_best_sum << ")\n";
     }
+    out << "  kernel evals:     " << s.kernel_evaluations << " ("
+        << s.signature_collapsed_configs << " configs signature-collapsed)\n";
   }
 
   if (const auto save = args.value("save")) {

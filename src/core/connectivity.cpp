@@ -12,8 +12,11 @@ ConnectivityMatrix::ConnectivityMatrix(const Design& design)
 
   node_weight_.assign(modes_, 0);
   edge_weight_.assign(modes_ * modes_, 0);
+  std::vector<std::size_t> present;  // reused across rows
+  present.reserve(modes_);
   for (const DynBitset& row : rows_) {
-    const std::vector<std::size_t> present = row.bits();
+    present.clear();
+    row.for_each_set_bit([&](std::size_t j) { present.push_back(j); });
     for (std::size_t j : present) ++node_weight_[j];
     for (std::size_t a = 0; a < present.size(); ++a)
       for (std::size_t b = a + 1; b < present.size(); ++b) {

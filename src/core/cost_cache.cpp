@@ -24,12 +24,9 @@ GroupCostCache::GroupCostCache(std::size_t shard_count, HashFn hash)
   }
 }
 
-GroupCostCache::Shard& GroupCostCache::shard_for(const Key& key) {
-  return *shards_[hash_(key) % shards_.size()];
-}
-
-std::optional<GroupCost> GroupCostCache::lookup(const Key& key) {
-  Shard& shard = shard_for(key);
+std::optional<GroupCost> GroupCostCache::lookup(const Key& key,
+                                                std::size_t hash) {
+  Shard& shard = shard_for(hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
@@ -40,8 +37,9 @@ std::optional<GroupCost> GroupCostCache::lookup(const Key& key) {
   return it->second;
 }
 
-void GroupCostCache::store(const Key& key, const GroupCost& cost) {
-  Shard& shard = shard_for(key);
+void GroupCostCache::store(const Key& key, const GroupCost& cost,
+                           std::size_t hash) {
+  Shard& shard = shard_for(hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.map.emplace(key, cost);
 }

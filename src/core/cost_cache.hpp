@@ -49,13 +49,26 @@ class GroupCostCache {
   explicit GroupCostCache(std::size_t shard_count = 16,
                           HashFn hash = &fnv1a);
 
+  /// The configured hash of `key` — callers on the miss path compute it
+  /// once and pass it to the lookup/store pair below, halving the number of
+  /// shard-selection hashes per missed key.
+  std::size_t hash_of(const Key& key) const { return hash_(key); }
+
   /// Returns the cached cost for the sorted member set `key`, or nullopt on
   /// a miss. Thread-safe; counts one hit or one miss.
-  std::optional<GroupCost> lookup(const Key& key);
+  std::optional<GroupCost> lookup(const Key& key) {
+    return lookup(key, hash_(key));
+  }
+  /// As above with the shard-selection hash precomputed (== hash_of(key)).
+  std::optional<GroupCost> lookup(const Key& key, std::size_t hash);
 
   /// Inserts `cost` for `key`. Thread-safe; concurrent stores of the same
   /// key are benign because every caller computes the identical value.
-  void store(const Key& key, const GroupCost& cost);
+  void store(const Key& key, const GroupCost& cost) {
+    store(key, cost, hash_(key));
+  }
+  /// As above with the shard-selection hash precomputed (== hash_of(key)).
+  void store(const Key& key, const GroupCost& cost, std::size_t hash);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -76,7 +89,9 @@ class GroupCostCache {
     std::unordered_map<Key, GroupCost, KeyHash> map;
   };
 
-  Shard& shard_for(const Key& key);
+  Shard& shard_for(std::size_t hash) {
+    return *shards_[hash % shards_.size()];
+  }
 
   HashFn hash_;
   std::vector<std::unique_ptr<Shard>> shards_;

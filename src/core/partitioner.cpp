@@ -3,6 +3,7 @@
 #include "core/clustering.hpp"
 #include "core/compatibility.hpp"
 #include "core/connectivity.hpp"
+#include "core/eval_kernel.hpp"
 #include "core/schemes.hpp"
 #include "util/status.hpp"
 
@@ -18,12 +19,17 @@ PartitionerResult partition_design(const Design& design,
       design, matrix, options.max_partition_modes);
   const CompatibilityTable compat(matrix, result.base_partitions);
 
+  // One evaluation-kernel context per (design, partition set): the baseline
+  // evaluations below, the search's final certification, and any caller
+  // re-evaluation share its precomputed activity matrix (DESIGN.md §4d).
+  const EvalContext context(design, matrix, result.base_partitions);
+  EvalScratch scratch;
+
   // Baselines.
   result.modular.name = "Modular";
   result.modular.scheme =
       make_modular_scheme(design, matrix, result.base_partitions);
-  result.modular.eval = evaluate_scheme(design, matrix, result.base_partitions,
-                                        result.modular.scheme, budget);
+  result.modular.eval = context.evaluate(result.modular.scheme, budget, scratch);
   require(result.modular.eval.valid,
           "modular baseline invalid: " + result.modular.eval.invalid_reason);
 
@@ -31,8 +37,7 @@ PartitionerResult partition_design(const Design& design,
   result.static_impl.scheme =
       make_static_scheme(design, matrix, result.base_partitions);
   result.static_impl.eval =
-      evaluate_scheme(design, matrix, result.base_partitions,
-                      result.static_impl.scheme, budget);
+      context.evaluate(result.static_impl.scheme, budget, scratch);
   require(result.static_impl.eval.valid,
           "static baseline invalid: " + result.static_impl.eval.invalid_reason);
 
@@ -47,8 +52,10 @@ PartitionerResult partition_design(const Design& design,
   result.feasible = result.single_region.eval.fits;
 
   if (result.feasible) {
+    SearchOptions search_options = options.search;
+    search_options.eval_context = &context;
     SearchResult search = search_partitioning(
-        design, matrix, result.base_partitions, compat, budget, options.search);
+        design, matrix, result.base_partitions, compat, budget, search_options);
     result.stats = search.stats;
     // Compare against the single-region fallback under the same objective
     // the search optimised (weighted when pair weights were supplied).
@@ -71,6 +78,12 @@ PartitionerResult partition_design(const Design& design,
       result.proposed_from_search = false;
     }
   }
+
+  // Baseline evaluations above went through the shared kernel context; fold
+  // them into the stats next to the search's own certification counts.
+  result.stats.kernel_evaluations += scratch.stats.kernel_evaluations;
+  result.stats.signature_collapsed_configs +=
+      scratch.stats.signature_collapsed_configs;
 
   return result;
 }

@@ -74,4 +74,15 @@ SchemeEvaluation evaluate_scheme(const Design& design,
                                  const PartitionScheme& scheme,
                                  const ResourceVec& budget);
 
+/// Scalar reference implementation of evaluate_scheme: per-configuration
+/// mode intersections and the direct O(C²·R) worst-case pair loop. The
+/// word-parallel kernel (core/eval_kernel.hpp) is pinned byte-identical to
+/// this — including invalid_reason strings and the first-diagnosed failing
+/// configuration — by the scheme_kernel property suite. Kept as the oracle
+/// for those tests and the bench reference leg.
+SchemeEvaluation evaluate_scheme_reference(
+    const Design& design, const ConnectivityMatrix& matrix,
+    const std::vector<BasePartition>& partitions, const PartitionScheme& scheme,
+    const ResourceVec& budget);
+
 }  // namespace prpart

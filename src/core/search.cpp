@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/cost_cache.hpp"
 #include "core/covering.hpp"
+#include "core/eval_kernel.hpp"
 #include "core/search_internal.hpp"
 #include "util/parallel_for.hpp"
 #include "util/status.hpp"
@@ -86,8 +88,16 @@ class ChunkRunner {
     for (std::size_t i = 0; i < n; ++i) versions_[i] = i + 1;
     version_counter_ = n;
     alive_list_.reserve(n);
+    alive_mask_ = DynBitset(n);
     for (std::size_t i = 0; i < n; ++i)
-      if (s_.groups[i].alive) alive_list_.push_back(i);
+      if (s_.groups[i].alive) {
+        alive_list_.push_back(i);
+        alive_mask_.set(i);
+      }
+    // Undo storage is pooled up front (each move retires one group, so a
+    // unit applies at most n): run_unit's apply/undo cycles then reuse the
+    // records' member buffers instead of allocating per move.
+    undo_stack_.resize(n);
     // The table is quadratic in the candidate-set size; past a few hundred
     // groups its footprint outweighs the rescoring win, so fall back to
     // fresh evaluation (results are identical either way).
@@ -105,6 +115,9 @@ class ChunkRunner {
           compat_[j].set(i);
         }
       }
+      // One saved row per possible merge depth; same-size assignments into
+      // the pool reuse the rows' word storage.
+      row_undo_.assign(n, DynBitset(n));
     }
   }
 
@@ -153,10 +166,11 @@ class ChunkRunner {
     key_buffer_.resize(ga.members.size() + gb.members.size());
     std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
                gb.members.end(), key_buffer_.begin());
-    if (const std::optional<GroupCost> hit = cache_->lookup(key_buffer_))
+    const std::size_t hash = cache_->hash_of(key_buffer_);
+    if (const std::optional<GroupCost> hit = cache_->lookup(key_buffer_, hash))
       return *hit;
     const GroupCost cost = merged_group_cost(ga, gb, options_.pair_weights);
-    cache_->store(key_buffer_, cost);
+    cache_->store(key_buffer_, cost, hash);
     return cost;
   }
 
@@ -171,18 +185,98 @@ class ChunkRunner {
     if ((out_.evals & 511u) == 0) check_cancel(options_.cancel);
   }
 
+  /// Counts `k` budget units at once for moves rejected without side
+  /// effects (the incompatible pairs the word scan skips wholesale).
+  /// Reproduces counting them one by one exactly: the counter stops at the
+  /// first increment that reaches the cap, and a cancellation check fires
+  /// whenever a 512-evaluation boundary is crossed. Returns true when the
+  /// unit truncated.
+  bool count_skipped(std::uint64_t k) {
+    if (k == 0) return out_.truncated;
+    const std::uint64_t before = out_.evals;
+    const std::uint64_t need =
+        out_.cap > before ? out_.cap - before : std::uint64_t{1};
+    if (k >= need) {
+      out_.evals = before + need;
+      out_.truncated = true;
+      return true;
+    }
+    out_.evals = before + k;
+    if ((out_.evals >> 9) != (before >> 9)) check_cancel(options_.cancel);
+    return false;
+  }
+
   Objective merge_objective(const Group& ga, const Group& gb,
                             const GroupCost& cost) const {
     const std::uint64_t contrib =
         (cost.tw_union - ga.tw_same - gb.tw_same) * cost.frames;
-    const ResourceVec pr = s_.pr_res + cost.tiles.resources();
-    // Subtract the two old footprints (kept as additions to avoid
-    // unsigned underflow juggling: compute the new total directly).
-    ResourceVec total = pr + design_.static_base() + s_.static_extra;
+    // scan_base_ is pr_res + static base + static_extra, hoisted out of the
+    // greedy scan (it is invariant across one scan's evaluations; unsigned
+    // addition reassociates exactly). Subtract the two old footprints (kept
+    // as additions to avoid unsigned underflow juggling: compute the new
+    // total directly).
+    ResourceVec total = scan_base_ + cost.tiles.resources();
     total.clbs -= ga.tiles.resources().clbs + gb.tiles.resources().clbs;
     total.brams -= ga.tiles.resources().brams + gb.tiles.resources().brams;
     total.dsps -= ga.tiles.resources().dsps + gb.tiles.resources().dsps;
     const std::uint64_t ttotal = s_.ttotal - ga.contrib - gb.contrib + contrib;
+    return objective(budget_excess(total, budget_), ttotal,
+                     weighted_area(total));
+  }
+
+  /// Scan-invariant aggregates of the left-hand group `i`, hoisted out of
+  /// the inner partner loop of greedy's table path: the objective of merging
+  /// (i, j) only needs these scalars of `ga` plus `gb`'s own fields, so the
+  /// per-partner work shrinks to one table probe and a handful of adds.
+  /// Unsigned +/- reassociate exactly, so the scores are bit-identical to
+  /// merge_objective's.
+  struct RowCtx {
+    ResourceVec res_base;       ///< scan_base_ - ga footprint
+    std::uint64_t tt_base = 0;  ///< s_.ttotal - ga.contrib
+    std::uint64_t tw_same = 0;  ///< ga.tw_same
+    std::uint64_t version = 0;  ///< versions_[i]
+    MergeEntry* row = nullptr;  ///< &table_[i * n]
+  };
+
+  RowCtx row_ctx(std::size_t i) {
+    const Group& ga = s_.groups[i];
+    const ResourceVec ga_res = ga.tiles.resources();
+    RowCtx ctx;
+    ctx.res_base = scan_base_;
+    ctx.res_base.clbs -= ga_res.clbs;
+    ctx.res_base.brams -= ga_res.brams;
+    ctx.res_base.dsps -= ga_res.dsps;
+    ctx.tt_base = s_.ttotal - ga.contrib;
+    ctx.tw_same = ga.tw_same;
+    ctx.version = versions_[i];
+    ctx.row = &table_[i * s_.groups.size()];
+    return ctx;
+  }
+
+  /// evaluate_merge specialised for the table path with the row context
+  /// hoisted; compatibility was already established by the word scan.
+  Objective evaluate_merge_row(const RowCtx& ctx, std::size_t i,
+                               std::size_t j) {
+    count_evaluation();
+    const Group& gb = s_.groups[j];
+    MergeEntry& entry = ctx.row[j];
+    if (entry.va != ctx.version || entry.vb != versions_[j]) {
+      ++out_.full_evaluations;
+      entry.cost = merged_cost(s_.groups[i], gb);
+      entry.va = ctx.version;
+      entry.vb = versions_[j];
+    } else {
+      ++out_.moves_rescored;
+    }
+    const GroupCost& cost = entry.cost;
+    const std::uint64_t contrib =
+        (cost.tw_union - ctx.tw_same - gb.tw_same) * cost.frames;
+    ResourceVec total = ctx.res_base + cost.tiles.resources();
+    const ResourceVec gb_res = gb.tiles.resources();
+    total.clbs -= gb_res.clbs;
+    total.brams -= gb_res.brams;
+    total.dsps -= gb_res.dsps;
+    const std::uint64_t ttotal = ctx.tt_base - gb.contrib + contrib;
     return objective(budget_excess(total, budget_), ttotal,
                      weighted_area(total));
   }
@@ -220,8 +314,7 @@ class ChunkRunner {
   Objective evaluate_promote(std::size_t i) {
     count_evaluation();
     const Group& ga = s_.groups[i];
-    ResourceVec total = s_.pr_res + design_.static_base() + s_.static_extra +
-                        ga.promote_area;
+    ResourceVec total = scan_base_ + ga.promote_area;
     total.clbs -= ga.tiles.resources().clbs;
     total.brams -= ga.tiles.resources().brams;
     total.dsps -= ga.tiles.resources().dsps;
@@ -230,21 +323,35 @@ class ChunkRunner {
                      weighted_area(total));
   }
 
-  /// Removes / reinserts an index of the sorted alive list.
+  /// Removes / reinserts an index of the sorted alive list (and mask).
   void alive_erase(std::size_t g) {
     alive_list_.erase(
         std::lower_bound(alive_list_.begin(), alive_list_.end(), g));
+    alive_mask_.reset(g);
   }
   void alive_insert(std::size_t g) {
     alive_list_.insert(
         std::lower_bound(alive_list_.begin(), alive_list_.end(), g), g);
+    alive_mask_.set(g);
   }
 
   void apply(const Move& move) {
     GroupCost cost;
-    if (move.kind == Move::Kind::Merge)
-      cost = merged_cost(s_.groups[move.a], s_.groups[move.b]);
-    UndoRecord undo = apply_move(s_, move, &cost);
+    if (move.kind == Move::Kind::Merge) {
+      // The scan that chose this move just scored it, so with the table on
+      // its entry is almost always still valid — reuse it instead of going
+      // back through the shared cost cache (hash + probe + lock).
+      const MergeEntry* entry =
+          table_.empty() ? nullptr
+                         : &table_[move.a * s_.groups.size() + move.b];
+      if (entry != nullptr && entry->va == versions_[move.a] &&
+          entry->vb == versions_[move.b])
+        cost = entry->cost;
+      else
+        cost = merged_cost(s_.groups[move.a], s_.groups[move.b]);
+    }
+    UndoRecord& undo = undo_stack_[undo_depth_++];
+    apply_move_into(s_, move, &cost, undo);
     undo.prior_version = versions_[move.a];
     alive_erase(move.kind == Move::Kind::Merge ? move.b : move.a);
     if (move.kind == Move::Kind::Merge) {
@@ -253,7 +360,7 @@ class ChunkRunner {
         // Group a absorbed b's occupancy: a is now compatible with exactly
         // the groups both were compatible with. Row first, then mirror the
         // column so the rows stay symmetric.
-        row_undo_.push_back(compat_[move.a]);
+        row_undo_[undo_depth_ - 1] = compat_[move.a];
         compat_[move.a] &= compat_[move.b];
         for (std::size_t k = 0; k < compat_.size(); ++k) {
           if (k == move.a) continue;
@@ -264,21 +371,19 @@ class ChunkRunner {
         }
       }
     }
-    undo_stack_.push_back(std::move(undo));
   }
 
   /// Reverses every move this unit applied, restoring the set's initial
   /// state (and the groups' version stamps and compatibility rows,
   /// revalidating table entries for the next restart).
   void unwind() {
-    while (!undo_stack_.empty()) {
-      UndoRecord& undo = undo_stack_.back();
+    while (undo_depth_ > 0) {
+      UndoRecord& undo = undo_stack_[--undo_depth_];
       versions_[undo.move.a] = undo.prior_version;
       alive_insert(undo.move.kind == Move::Kind::Merge ? undo.move.b
                                                        : undo.move.a);
       if (undo.move.kind == Move::Kind::Merge && !compat_.empty()) {
-        compat_[undo.move.a] = std::move(row_undo_.back());
-        row_undo_.pop_back();
+        compat_[undo.move.a] = row_undo_[undo_depth_];
         for (std::size_t k = 0; k < compat_.size(); ++k) {
           if (k == undo.move.a) continue;
           if (compat_[undo.move.a].test(k))
@@ -288,7 +393,6 @@ class ChunkRunner {
         }
       }
       undo_move(s_, undo);
-      undo_stack_.pop_back();
     }
   }
 
@@ -325,28 +429,50 @@ class ChunkRunner {
     while (s_.alive > 0 && !out_.truncated) {
       check_cancel(options_.cancel);
       std::optional<Move> best_move;
+      scan_base_ = s_.pr_res + design_.static_base() + s_.static_extra;
       Objective best_obj = state_objective();
       if (!compat_.empty()) {
-        // Table path: walk only the alive groups (sorted, so the (i, j)
-        // enumeration order is canonical) and reject incompatible pairs on
-        // one row bit. Every considered pair still pays its budget unit —
-        // truncation points must not depend on the move table.
+        // Table path: scan the words of (compat row & alive mask) so only
+        // compatible alive partners are visited bit by bit; the alive-but-
+        // incompatible partners in between are charged to the budget in
+        // bulk (they have no side effects), preserving the exact per-pair
+        // truncation points of the scalar walk. The enumeration stays the
+        // canonical ascending (i, j) order.
         for (std::size_t ii = 0; ii < alive_list_.size(); ++ii) {
           const std::size_t i = alive_list_[ii];
           const DynBitset& row = compat_[i];
-          for (std::size_t jj = ii + 1; jj < alive_list_.size(); ++jj) {
-            const std::size_t j = alive_list_[jj];
-            if (!row.test(j)) {
-              count_evaluation();
+          const RowCtx ctx = row_ctx(i);
+          const std::size_t start = i + 1;
+          for (std::size_t w = start / 64; w < alive_mask_.word_count(); ++w) {
+            const std::uint64_t range =
+                w == start / 64 ? ~std::uint64_t{0} << (start % 64)
+                                : ~std::uint64_t{0};
+            const std::uint64_t alive_w = alive_mask_.word(w) & range;
+            std::uint64_t comp_w = alive_w & row.word(w);
+            const std::uint64_t incomp_w = alive_w & ~row.word(w);
+            std::uint64_t skipped_before = 0;
+            while (comp_w != 0) {
+              const int b = std::countr_zero(comp_w);
+              comp_w &= comp_w - 1;
+              const std::uint64_t below =
+                  b == 0 ? 0 : incomp_w & ((std::uint64_t{1} << b) - 1);
+              const std::uint64_t k =
+                  static_cast<std::uint64_t>(std::popcount(below)) -
+                  skipped_before;
+              skipped_before += k;
+              if (count_skipped(k)) return;
+              const std::size_t j = w * 64 + static_cast<std::size_t>(b);
+              const Objective obj = evaluate_merge_row(ctx, i, j);
               if (out_.truncated) return;
-              continue;
+              if (obj < best_obj) {
+                best_obj = obj;
+                best_move = Move{Move::Kind::Merge, i, j};
+              }
             }
-            const std::optional<Objective> obj = evaluate_merge(i, j);
-            if (out_.truncated) return;
-            if (obj && *obj < best_obj) {
-              best_obj = *obj;
-              best_move = Move{Move::Kind::Merge, i, j};
-            }
+            const std::uint64_t tail =
+                static_cast<std::uint64_t>(std::popcount(incomp_w)) -
+                skipped_before;
+            if (count_skipped(tail)) return;
           }
           if (options_.allow_static_promotion) {
             const Objective obj = evaluate_promote(i);
@@ -396,9 +522,12 @@ class ChunkRunner {
   std::uint64_t version_counter_ = 0;
   std::vector<MergeEntry> table_;   ///< empty when the move table is off
   std::vector<DynBitset> compat_;   ///< pairwise compatibility, empty with table_
-  std::vector<DynBitset> row_undo_; ///< saved compat_ rows, one per applied merge
+  std::vector<DynBitset> row_undo_; ///< saved compat_ rows, pooled per depth
   std::vector<std::size_t> alive_list_;  ///< sorted indices of alive groups
-  std::vector<UndoRecord> undo_stack_;
+  DynBitset alive_mask_;            ///< same set, as a word-scannable mask
+  std::vector<UndoRecord> undo_stack_;   ///< pooled records, undo_depth_ used
+  std::size_t undo_depth_ = 0;
+  ResourceVec scan_base_;  ///< pr_res + static base + extra, per greedy scan
   UnitOutcome out_;
 };
 
@@ -596,10 +725,21 @@ class Searcher {
       result.feasible = true;
       result.scheme = kept.front().scheme;
       result.scheme.label = "proposed";
-      // evaluate_scheme stays the oracle for accepted leaders: the
-      // incremental bookkeeping proposes, the full evaluator certifies.
-      result.eval = evaluate_scheme(design_, matrix_, partitions_,
-                                    result.scheme, budget_);
+      // The full evaluator stays the oracle for accepted leaders: the
+      // incremental bookkeeping proposes, the kernel certifies. A caller-
+      // provided context (the partitioner's) is reused; otherwise build one
+      // for this evaluation.
+      std::optional<EvalContext> local_context;
+      const EvalContext* context = options_.eval_context;
+      if (context == nullptr) {
+        local_context.emplace(design_, matrix_, partitions_);
+        context = &*local_context;
+      }
+      EvalScratch scratch;
+      result.eval = context->evaluate(result.scheme, budget_, scratch);
+      result.stats.kernel_evaluations += scratch.stats.kernel_evaluations;
+      result.stats.signature_collapsed_configs +=
+          scratch.stats.signature_collapsed_configs;
       require(result.eval.valid, "search produced an invalid scheme: " +
                                      result.eval.invalid_reason);
       require(result.eval.fits, "search recorded a non-fitting scheme");

@@ -9,6 +9,8 @@
 
 namespace prpart {
 
+class EvalContext;  // core/eval_kernel.hpp
+
 /// Symmetric per-configuration-pair weights (scaled integers, e.g. relative
 /// transition probabilities x 10^6). weight[i][j] scales the cost of the
 /// i <-> j transition in the search objective; the uniform Eq. 10 proxy is
@@ -73,6 +75,13 @@ struct SearchOptions {
   /// deterministic counter (including move_evaluations and the budget
   /// truncation points) are identical with the table off.
   bool use_move_table = true;
+  /// Optional shared scheme-evaluation kernel context (nullable; must be
+  /// built for the same design/matrix/partitions and outlive the search,
+  /// like pair_weights). When set, the final certification of the winning
+  /// scheme reuses it instead of precomputing a fresh activity matrix; the
+  /// partitioner passes its per-design context here. Results are identical
+  /// either way.
+  const EvalContext* eval_context = nullptr;
   /// Cooperative cancellation (nullable; must outlive the search). Workers
   /// poll it at unit boundaries and every few hundred move evaluations;
   /// when it fires the search unwinds with CancelledError instead of
@@ -110,6 +119,14 @@ struct SearchStats {
   std::uint64_t bound_gap_sum = 0;
   std::uint64_t bound_lb_sum = 0;
   std::uint64_t bound_best_sum = 0;
+  /// Scheme evaluations served by the word-parallel kernel on behalf of
+  /// this search (the certification of the winning scheme; callers sharing
+  /// an EvalContext fold their own counts in above this). Deterministic.
+  std::uint64_t kernel_evaluations = 0;
+  /// Configurations the kernel's Eq. 11 pass collapsed because their active
+  /// signature duplicated another configuration's (see DESIGN.md §4d).
+  /// Deterministic.
+  std::uint64_t signature_collapsed_configs = 0;
 
   // Scheduling-dependent: these vary with thread interleaving and are NOT
   // part of the determinism contract (they never influence results).

@@ -5,19 +5,6 @@
 
 namespace prpart::search_internal {
 
-std::uint64_t weighted_area(const ResourceVec& r) {
-  return r.clbs * kWClb + r.brams * kWBram + r.dsps * kWDsp;
-}
-
-std::uint64_t budget_excess(const ResourceVec& used, const ResourceVec& budget) {
-  auto over = [](std::uint32_t u, std::uint32_t b) -> std::uint64_t {
-    return u > b ? u - b : 0;
-  };
-  return over(used.clbs, budget.clbs) * kWClb +
-         over(used.brams, budget.brams) * kWBram +
-         over(used.dsps, budget.dsps) * kWDsp;
-}
-
 namespace {
 
 std::uint64_t pairs2(std::uint64_t n) { return n * (n - 1) / 2; }
@@ -28,10 +15,11 @@ std::uint64_t pair_weight_within(const PairWeights* weights,
                                  const DynBitset& occ) {
   if (!weights) return pairs2(occ.count());
   std::uint64_t total = 0;
-  const std::vector<std::size_t> bits = occ.bits();
-  for (std::size_t a = 0; a < bits.size(); ++a)
-    for (std::size_t b = a + 1; b < bits.size(); ++b)
-      total += (*weights)[bits[a]][bits[b]];
+  occ.for_each_set_bit([&](std::size_t a) {
+    occ.for_each_set_bit([&](std::size_t b) {
+      if (b > a) total += (*weights)[a][b];
+    });
+  });
   return total;
 }
 
@@ -39,8 +27,10 @@ std::uint64_t pair_weight_between(const PairWeights* weights, const Group& a,
                                   const Group& b) {
   if (!weights) return a.occ_count * b.occ_count;
   std::uint64_t total = 0;
-  for (std::size_t i : a.occ.bits())
-    for (std::size_t j : b.occ.bits()) total += (*weights)[i][j];
+  a.occ.for_each_set_bit([&](std::size_t i) {
+    b.occ.for_each_set_bit(
+        [&](std::size_t j) { total += (*weights)[i][j]; });
+  });
   return total;
 }
 
@@ -93,6 +83,12 @@ State initial_state(const std::vector<BasePartition>& partitions,
 
 UndoRecord apply_move(State& s, const Move& move, const GroupCost* merge_cost) {
   UndoRecord undo;
+  apply_move_into(s, move, merge_cost, undo);
+  return undo;
+}
+
+void apply_move_into(State& s, const Move& move, const GroupCost* merge_cost,
+                     UndoRecord& undo) {
   undo.move = move;
   undo.prior_pr_res = s.pr_res;
   undo.prior_static_extra = s.static_extra;
@@ -111,7 +107,10 @@ UndoRecord apply_move(State& s, const Move& move, const GroupCost* merge_cost) {
     remove_footprint(ga);
     remove_footprint(gb);
     const GroupCost& cost = *merge_cost;
-    undo.prior_members = std::move(ga.members);
+    // Copy (not move) the member list: both vectors keep their buffers, so
+    // a pooled UndoRecord makes the apply/undo cycle allocation-free once
+    // the capacities have grown to their high-water marks.
+    undo.prior_members = ga.members;
     undo.prior_raw = ga.raw;
     undo.prior_promote_area = ga.promote_area;
     undo.prior_tiles = ga.tiles;
@@ -144,7 +143,6 @@ UndoRecord apply_move(State& s, const Move& move, const GroupCost* merge_cost) {
     ga.alive = false;
     --s.alive;
   }
-  return undo;
 }
 
 void undo_move(State& s, UndoRecord& undo) {
@@ -154,7 +152,7 @@ void undo_move(State& s, UndoRecord& undo) {
     // Merged occupancies are disjoint, so subtracting b's bits restores a's
     // exact prior occupancy — the O(configs) part of the undo.
     ga.occ.subtract(gb.occ);
-    ga.members = std::move(undo.prior_members);
+    ga.members = undo.prior_members;  // copy: the record keeps its buffer
     ga.raw = undo.prior_raw;
     ga.promote_area = undo.prior_promote_area;
     ga.tiles = undo.prior_tiles;

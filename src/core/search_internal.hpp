@@ -32,10 +32,22 @@ constexpr std::uint64_t kWClb = 18;   // 36 frames / 20 CLBs
 constexpr std::uint64_t kWBram = 75;  // 30 frames / 4 BRAMs
 constexpr std::uint64_t kWDsp = 35;   // 28 frames / 8 DSPs
 
-std::uint64_t weighted_area(const ResourceVec& r);
+/// Header-inline: the move scan computes the objective of every considered
+/// move through these two, tens of millions of times per search.
+inline std::uint64_t weighted_area(const ResourceVec& r) {
+  return r.clbs * kWClb + r.brams * kWBram + r.dsps * kWDsp;
+}
 
 /// Weighted amount by which `used` exceeds `budget` (0 when it fits).
-std::uint64_t budget_excess(const ResourceVec& used, const ResourceVec& budget);
+inline std::uint64_t budget_excess(const ResourceVec& used,
+                                   const ResourceVec& budget) {
+  auto over = [](std::uint32_t u, std::uint32_t b) -> std::uint64_t {
+    return u > b ? u - b : 0;
+  };
+  return over(used.clbs, budget.clbs) * kWClb +
+         over(used.brams, budget.brams) * kWBram +
+         over(used.dsps, budget.dsps) * kWDsp;
+}
 
 /// Lexicographic objective: first fit (budget excess), then — once fitting —
 /// total reconfiguration time with area as tie-break; while not fitting,
@@ -149,8 +161,14 @@ struct UndoRecord {
 /// from a cache); promotes ignore it.
 UndoRecord apply_move(State& s, const Move& move, const GroupCost* merge_cost);
 
+/// apply_move writing into a caller-owned record: with a pooled UndoRecord
+/// (the search keeps one per possible depth) the member-list copy reuses the
+/// record's buffer, so steady-state apply/undo cycles never allocate.
+void apply_move_into(State& s, const Move& move, const GroupCost* merge_cost,
+                     UndoRecord& undo);
+
 /// Reverses the most recent un-undone apply_move. Records must be undone in
-/// strict LIFO order.
+/// strict LIFO order. The record stays intact (and reusable).
 void undo_move(State& s, UndoRecord& undo);
 
 /// Canonicalised copy of the grouping in `s`: members sorted within each

@@ -1,6 +1,7 @@
 #include "flow/flow.hpp"
 
 #include "core/connectivity.hpp"
+#include "core/eval_kernel.hpp"
 #include "floorplan/annealing.hpp"
 #include "util/status.hpp"
 
@@ -55,11 +56,12 @@ FlowResult run_flow(const Design& design, const Device& device,
     // best one fragments.
     if (!partitioning.alternatives.empty()) {
       const ConnectivityMatrix matrix(design);
+      const EvalContext context(design, matrix, partitioning.base_partitions);
+      EvalScratch scratch;
       for (std::size_t alt = 1; alt < partitioning.alternatives.size();
            ++alt) {
-        SchemeEvaluation eval = evaluate_scheme(
-            design, matrix, partitioning.base_partitions,
-            partitioning.alternatives[alt].scheme, budget);
+        SchemeEvaluation eval = context.evaluate(
+            partitioning.alternatives[alt].scheme, budget, scratch);
         if (!eval.valid || !eval.fits) continue;
         FloorplanResult alt_plan = floorplanner.place_scheme(eval);
         if (!alt_plan.success) continue;

@@ -274,6 +274,10 @@ json::Value partition_result_json(const Design& design,
   stats.set("bound_gap_sum", json::Value(result.stats.bound_gap_sum));
   stats.set("bound_lb_sum", json::Value(result.stats.bound_lb_sum));
   stats.set("bound_best_sum", json::Value(result.stats.bound_best_sum));
+  stats.set("kernel_evaluations",
+            json::Value(result.stats.kernel_evaluations));
+  stats.set("signature_collapsed_configs",
+            json::Value(result.stats.signature_collapsed_configs));
   stats.set("budget_exhausted", json::Value(result.stats.budget_exhausted));
   v.set("stats", stats);
   return v;

@@ -37,6 +37,9 @@ json::Value StatsSnapshot::to_json() const {
   search.set("move_evaluations", json::Value(search_move_evaluations));
   search.set("full_evaluations", json::Value(search_full_evaluations));
   search.set("moves_rescored", json::Value(search_moves_rescored));
+  search.set("kernel_evaluations", json::Value(search_kernel_evaluations));
+  search.set("signature_collapsed_configs",
+             json::Value(search_signature_collapsed_configs));
   v.set("search", search);
   return v;
 }
@@ -108,6 +111,8 @@ void ServerStats::search_finished(const SearchStats& stats) {
   search_move_evaluations_ += stats.move_evaluations;
   search_full_evaluations_ += stats.full_evaluations;
   search_moves_rescored_ += stats.moves_rescored;
+  search_kernel_evaluations_ += stats.kernel_evaluations;
+  search_signature_collapsed_configs_ += stats.signature_collapsed_configs;
 }
 
 void ServerStats::record_latency(std::uint64_t latency_us) {
@@ -142,6 +147,8 @@ StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
   s.search_move_evaluations = search_move_evaluations_;
   s.search_full_evaluations = search_full_evaluations_;
   s.search_moves_rescored = search_moves_rescored_;
+  s.search_kernel_evaluations = search_kernel_evaluations_;
+  s.search_signature_collapsed_configs = search_signature_collapsed_configs_;
   return s;
 }
 

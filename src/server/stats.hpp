@@ -32,6 +32,8 @@ struct StatsSnapshot {
   std::uint64_t search_move_evaluations = 0;
   std::uint64_t search_full_evaluations = 0;
   std::uint64_t search_moves_rescored = 0;
+  std::uint64_t search_kernel_evaluations = 0;
+  std::uint64_t search_signature_collapsed_configs = 0;
 
   json::Value to_json() const;
   /// One-line rendering for the periodic server log.
@@ -79,6 +81,8 @@ class ServerStats {
   std::uint64_t search_move_evaluations_ = 0;
   std::uint64_t search_full_evaluations_ = 0;
   std::uint64_t search_moves_rescored_ = 0;
+  std::uint64_t search_kernel_evaluations_ = 0;
+  std::uint64_t search_signature_collapsed_configs_ = 0;
   std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
   std::size_t latency_next_ = 0;
 };

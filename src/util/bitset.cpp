@@ -9,61 +9,21 @@ namespace prpart {
 namespace {
 constexpr std::size_t kWordBits = 64;
 
-std::size_t word_count(std::size_t nbits) {
+std::size_t words_for(std::size_t nbits) {
   return (nbits + kWordBits - 1) / kWordBits;
 }
 }  // namespace
 
 DynBitset::DynBitset(std::size_t nbits)
-    : nbits_(nbits), words_(word_count(nbits), 0) {}
+    : nbits_(nbits), words_(words_for(nbits), 0) {}
 
 void DynBitset::throw_index_out_of_range(std::size_t i) const {
   throw InternalError("DynBitset index " + std::to_string(i) +
                       " out of range (size " + std::to_string(nbits_) + ")");
 }
 
-std::size_t DynBitset::count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
-}
-
-bool DynBitset::any() const {
-  for (std::uint64_t w : words_)
-    if (w != 0) return true;
-  return false;
-}
-
-bool DynBitset::intersects(const DynBitset& other) const {
-  require(nbits_ == other.nbits_, "DynBitset size mismatch in intersects");
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & other.words_[i]) return true;
-  return false;
-}
-
-bool DynBitset::is_subset_of(const DynBitset& other) const {
-  require(nbits_ == other.nbits_, "DynBitset size mismatch in is_subset_of");
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & ~other.words_[i]) return false;
-  return true;
-}
-
-DynBitset& DynBitset::operator|=(const DynBitset& other) {
-  require(nbits_ == other.nbits_, "DynBitset size mismatch in operator|=");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
-DynBitset& DynBitset::operator&=(const DynBitset& other) {
-  require(nbits_ == other.nbits_, "DynBitset size mismatch in operator&=");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-  return *this;
-}
-
-DynBitset& DynBitset::subtract(const DynBitset& other) {
-  require(nbits_ == other.nbits_, "DynBitset size mismatch in subtract");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
+void DynBitset::throw_size_mismatch(const char* op) const {
+  throw InternalError(std::string("DynBitset size mismatch in ") + op);
 }
 
 bool DynBitset::operator==(const DynBitset& other) const {

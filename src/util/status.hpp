@@ -55,4 +55,11 @@ inline void require(bool cond, const std::string& what) {
   if (!cond) throw InternalError(what);
 }
 
+/// Literal-message overload: unlike the std::string one, the passing path
+/// touches no allocator (the evaluation kernel's invariants run on every
+/// scheme evaluation, which promises zero steady-state heap allocations).
+inline void require(bool cond, const char* what) {
+  if (!cond) throw InternalError(what);
+}
+
 }  // namespace prpart

@@ -61,6 +61,9 @@ std::string fingerprint(Harness& h, const ResourceVec& budget,
   out << "bound_gap_sum=" << r.stats.bound_gap_sum << "\n";
   out << "bound_lb_sum=" << r.stats.bound_lb_sum << "\n";
   out << "bound_best_sum=" << r.stats.bound_best_sum << "\n";
+  out << "kernel_evaluations=" << r.stats.kernel_evaluations << "\n";
+  out << "signature_collapsed_configs="
+      << r.stats.signature_collapsed_configs << "\n";
   if (!r.feasible) return out.str();
   out << partitioning_to_xml(h.design, h.partitions, r.scheme, r.eval);
   for (const RankedScheme& alt : r.alternatives) {

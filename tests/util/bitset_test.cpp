@@ -147,5 +147,81 @@ TEST(DynBitset, ZeroSizeIsValid) {
   EXPECT_TRUE(b.none());
 }
 
+TEST(DynBitset, ForEachSetBitMatchesBits) {
+  // Multi-word set with bits on word boundaries (63, 64) and in the
+  // partially-used trailing word (150 of size 151).
+  DynBitset b(151);
+  for (std::size_t i : {0u, 1u, 62u, 63u, 64u, 65u, 127u, 128u, 150u}) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set_bit([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, b.bits());
+  EXPECT_EQ(seen.size(), b.count());
+}
+
+TEST(DynBitset, ForEachSetBitOnEmptyAndDense) {
+  DynBitset empty(200);
+  std::size_t calls = 0;
+  empty.for_each_set_bit([&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+
+  DynBitset dense(130);
+  for (std::size_t i = 0; i < 130; ++i) dense.set(i);
+  std::size_t next = 0;
+  dense.for_each_set_bit([&](std::size_t i) { EXPECT_EQ(i, next++); });
+  EXPECT_EQ(next, 130u);
+}
+
+TEST(DynBitset, WordViewHasZeroTrailingBits) {
+  DynBitset b(70);  // two words, 6 used bits in the trailing word
+  b.set(69);
+  b.set(3);
+  ASSERT_EQ(b.word_count(), 2u);
+  EXPECT_EQ(b.word(0), std::uint64_t{1} << 3);
+  EXPECT_EQ(b.word(1), std::uint64_t{1} << 5);
+  b.reset(69);
+  EXPECT_EQ(b.word(1), 0u);
+}
+
+TEST(DynBitset, ClearAllAndFindFirst) {
+  DynBitset b(130);
+  EXPECT_EQ(b.find_first(), 130u);
+  b.set(128);
+  EXPECT_EQ(b.find_first(), 128u);
+  b.set(64);
+  EXPECT_EQ(b.find_first(), 64u);
+  b.clear_all();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.find_first(), 130u);
+}
+
+TEST(DynBitset, OrAndAccumulatesOverlap) {
+  DynBitset claimed(100);
+  DynBitset conflicts(100);
+  DynBitset first(100);
+  DynBitset second(100);
+  first.set(3);
+  first.set(70);
+  second.set(70);
+  second.set(90);
+  conflicts.or_and(claimed, first);
+  claimed |= first;
+  EXPECT_TRUE(conflicts.none());
+  conflicts.or_and(claimed, second);
+  claimed |= second;
+  EXPECT_EQ(conflicts.bits(), (std::vector<std::size_t>{70}));
+}
+
+TEST(DynBitset, OrAndnotAccumulatesDifference) {
+  DynBitset acc(100);
+  DynBitset need(100);
+  DynBitset have(100);
+  need.set(2);
+  need.set(65);
+  need.set(99);
+  have.set(65);
+  acc.or_andnot(need, have);
+  EXPECT_EQ(acc.bits(), (std::vector<std::size_t>{2, 99}));
+}
+
 }  // namespace
 }  // namespace prpart

@@ -10,9 +10,13 @@ baseline within a relative tolerance (default +-25%). Wall-clock keys
 skipped: they depend on the host, while the remaining counters are
 deterministic outputs of the search and must not drift silently.
 
-BENCH_search.json additionally carries the branch-and-bound acceptance
-floor: the full-evaluation reduction of the bounded search over the
-exhaustive one must stay >= 5x.
+BENCH_search.json additionally carries two acceptance floors: the
+full-evaluation reduction of the bounded search over the exhaustive one
+must stay >= 5x, and the evaluation kernel's serve-scale wall-clock
+speedup over the scalar reference evaluator must stay >= 1.5x. Floors
+are exempt from the wall-clock skip (both runs happen on the same host,
+so the ratio is comparable), and a floor key missing from the current
+run is itself a failure.
 
 Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
 """
@@ -25,7 +29,10 @@ SKIP_SUBSTRINGS = ("seconds", "speedup", "ms_per", "hit_rate")
 
 # (path-suffix, floor): hard minimums the current run must clear regardless
 # of what the baseline says.
-FLOORS = {"full_evaluation_reduction": 5.0}
+FLOORS = {
+    "full_evaluation_reduction": 5.0,
+    "kernel_wall_speedup": 1.5,
+}
 
 
 def flatten(doc):
@@ -70,10 +77,22 @@ def main():
                 f"{path}: {cur:g} deviates from baseline {base:g} "
                 f"by more than {args.tolerance:.0%}")
 
+    floored = {suffix: False for suffix in FLOORS}
     for suffix, floor in FLOORS.items():
         for path, cur in current.items():
-            if path.endswith(suffix) and cur < floor:
+            if not path.endswith(suffix):
+                continue
+            floored[suffix] = True
+            if cur < floor:
                 failures.append(f"{path}: {cur:g} below the hard floor {floor:g}")
+    # A floor can only vouch for what it measured: if the current run does
+    # not report the key at all (stale binary, renamed field), fail loudly
+    # instead of silently passing. Baselines without the key (BENCH_sweep)
+    # are fine -- floors only bind documents that carry the metric in the
+    # committed baseline.
+    for suffix, seen in floored.items():
+        if not seen and any(p.endswith(suffix) for p in baseline):
+            failures.append(f"{suffix}: floored key missing from current run")
 
     checked = sum(
         1 for p in baseline if not any(s in p for s in SKIP_SUBSTRINGS))
