@@ -21,12 +21,12 @@
 #include "design/synthetic.hpp"
 #include "floorplan/floorplanner.hpp"
 #include "flow/flow.hpp"
-#include "reconfig/controller.hpp"
 #include "reconfig/markov.hpp"
-#include "reconfig/prefetch.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "synth/estimator.hpp"
 #include "util/args.hpp"
 #include "util/status.hpp"
@@ -48,8 +48,9 @@ usage:
                    [--floorplan] [--ucf FILE] [--save FILE]
                    [--search-stats] [--json]
   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
-                  [--steps N] [--seed S] [--prefetch] [--load FILE]
-                  [--threads N]
+                  [--steps N] [--seed S] [--trace FILE | --uniform]
+                  [--prefetch] [--arrival-ns N] [--idle-frames N]
+                  [--load FILE] [--rank] [--threads N] [--json]
   prpart bitstreams <design.xml> [--device NAME | --budget C,B,D]
                     [--threads N] [--out DIR]
   prpart flow <design.xml> [--device NAME] [--threads N] [--out DIR]
@@ -75,6 +76,18 @@ concurrency; results are byte-identical for every N, and N=1 runs inline).
 pruned units, move/full evaluations, move-table rescores and lower-bound
 tightness) after the partitioning; --json always carries the deterministic
 subset in the `stats` object.
+
+`simulate` replays a transition workload against the proposed scheme
+through the ICAP datapath model and reports served reconfiguration
+latency (p50/p95/p99/max), frame and prefetch counters: a Markov-sampled
+trace of --steps transitions by default, --uniform for the Eulerian
+all-pairs circuit behind the paper's Eq. 10 proxy, or --trace FILE for a
+recorded trace (whitespace-separated configuration ids, `#` comments).
+--rank additionally replays the search's runner-up schemes; --arrival-ns
+switches from closed-loop to fixed-period arrivals (queueing shows up in
+the latency); --prefetch enables Markov-predicted prefetching within
+--idle-frames per idle period. Results are byte-deterministic for a given
+seed at any --threads value.
 )";
 
 std::string read_file(const std::string& path) {
@@ -343,27 +356,43 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool json_out = args.has("json");
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
   const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const std::size_t n = design.configurations().size();
+  if (n < 2) throw ParseError("simulation needs at least two configurations");
 
-  PartitionScheme scheme;
-  SchemeEvaluation eval;
+  server::SimulateParams params;
+  params.steps = args.u64_or("steps", 100'000);
+  if (params.steps == 0) throw ParseError("--steps must be positive");
+  params.seed = args.u64_or("seed", 1);
+  params.prefetch = args.has("prefetch");
+  params.uniform = args.has("uniform");
+  params.inter_arrival_ns = args.u64_or("arrival-ns", 0);
+
+  // Schemes to replay: the saved partitioning, or the search's proposal
+  // (plus its ranked runners-up with --rank).
+  std::vector<PartitionScheme> schemes;
+  std::vector<SchemeEvaluation> evals;
+  std::string device_name;
+  ResourceVec budget;
   if (const auto load = args.value("load")) {
     // Re-derive the base partitions and evaluate the saved scheme instead
-    // of re-running the search.
+    // of re-running the search. The budget only gates fit; use an
+    // unconstrained one for simulation.
     const ConnectivityMatrix matrix(design);
     const auto partitions = enumerate_base_partitions(design, matrix);
-    scheme = partitioning_from_xml(design, partitions, read_file(*load));
-    // The budget only gates fit; use an unconstrained one for simulation.
-    eval = evaluate_scheme(design, matrix, partitions, scheme,
-                           {~0u, ~0u, ~0u});
+    PartitionScheme scheme =
+        partitioning_from_xml(design, partitions, read_file(*load));
+    SchemeEvaluation eval =
+        evaluate_scheme(design, matrix, partitions, scheme, {~0u, ~0u, ~0u});
     if (!eval.valid) {
-      err << "loaded partitioning is invalid: " << eval.invalid_reason
-          << "\n";
+      err << "loaded partitioning is invalid: " << eval.invalid_reason << "\n";
       return 2;
     }
-    out << "loaded partitioning from " << *load << " ("
-        << with_commas(eval.total_frames) << " total frames)\n";
+    if (scheme.label.empty()) scheme.label = "loaded";
+    schemes.push_back(std::move(scheme));
+    evals.push_back(std::move(eval));
   } else {
     const Target t =
         resolve_and_partition(design, args, lib, options_from(args));
@@ -371,44 +400,104 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
       err << "design does not fit the target\n";
       return 2;
     }
-    scheme = t.result.proposed.scheme;
-    eval = t.result.proposed.eval;
+    if (t.device) device_name = t.device->name();
+    budget = t.budget;
+    schemes.push_back(t.result.proposed.scheme);
+    evals.push_back(t.result.proposed.eval);
+    if (args.has("rank")) {
+      // Replay the runners-up too; the output then ranks the candidates by
+      // what the workload actually pays instead of the Eq. 10 proxy.
+      const ConnectivityMatrix matrix(design);
+      const auto partitions = enumerate_base_partitions(design, matrix);
+      for (std::size_t i = 1; i < t.result.alternatives.size(); ++i) {
+        PartitionScheme alt = t.result.alternatives[i].scheme;
+        SchemeEvaluation eval =
+            evaluate_scheme(design, matrix, partitions, alt, t.budget);
+        if (!eval.valid || !eval.fits) continue;
+        if (alt.label.empty()) alt.label = "alt" + std::to_string(i);
+        schemes.push_back(std::move(alt));
+        evals.push_back(std::move(eval));
+      }
+    }
   }
-  const std::size_t n = design.configurations().size();
-  const auto steps = args.u64_or("steps", 1000);
-  Rng rng(args.u64_or("seed", 1));
-  const MarkovChain env = MarkovChain::random(rng, n);
 
-  if (args.has("prefetch")) {
-    PrefetchingController ctl(design, scheme, eval, env);
-    ctl.boot(0);
-    std::size_t state = 0;
-    for (std::uint64_t s = 0; s < steps; ++s) {
-      state = env.sample_next(rng, state);
-      ctl.transition(state);
+  // The workload: a trace file, the Eulerian all-pairs circuit, or a
+  // Markov-sampled trace (the default). The environment chain doubles as
+  // the prefetch predictor in every mode.
+  sim::TransitionTrace trace;
+  std::string source;
+  std::optional<MarkovChain> env;
+  if (const auto trace_path = args.value("trace")) {
+    const sim::TraceParse parsed =
+        sim::parse_trace(read_file(*trace_path), n);
+    if (!parsed.diagnostics.empty())
+      err << analysis::render_text(parsed.diagnostics, *trace_path);
+    if (!parsed.ok()) return 4;
+    if (parsed.trace.transitions() == 0) {
+      err << "trace '" << *trace_path << "' has no transitions\n";
+      return 4;
     }
-    const PrefetchStats& st = ctl.stats();
-    out << "transitions: " << st.transitions << "\n";
-    out << "stall frames: " << with_commas(st.stall_frames) << " (worst "
-        << with_commas(st.worst_stall_frames) << ")\n";
-    out << "prefetched frames: " << with_commas(st.prefetched_frames)
-        << " (useful " << st.useful_prefetches << ", wasted "
-        << st.wasted_prefetches << ")\n";
+    trace = parsed.trace;
+    source = "file";
+    Rng rng(params.seed);
+    env = MarkovChain::random(rng, n);
   } else {
-    ReconfigurationController ctl(design, scheme, eval);
-    ctl.boot(0);
-    std::size_t state = 0;
-    for (std::uint64_t s = 0; s < steps; ++s) {
-      state = env.sample_next(rng, state);
-      ctl.transition(state);
-    }
-    const RuntimeStats& st = ctl.stats();
-    out << "transitions: " << st.transitions << "\n";
-    out << "total frames: " << with_commas(st.total_frames) << " ("
-        << with_commas(st.total_ns / 1000) << " us)\n";
-    out << "worst transition: " << with_commas(st.worst_transition_frames)
-        << " frames\n";
-    out << "region loads: " << st.region_loads << "\n";
+    server::SimulateSetup setup = server::simulate_setup(n, params);
+    trace = std::move(setup.trace);
+    source = std::move(setup.source);
+    env = std::move(setup.env);
+  }
+
+  sim::SimulationOptions sopt;
+  sopt.prefetch = params.prefetch;
+  sopt.predictor = &*env;
+  sopt.inter_arrival_ns = params.inter_arrival_ns;
+  sopt.idle_frames_budget = args.u64_or("idle-frames", ~std::uint64_t{0});
+
+  std::vector<sim::SchemeRef> refs;
+  refs.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i)
+    refs.push_back(sim::SchemeRef{&schemes[i], &evals[i]});
+  const std::vector<sim::SimulationResult> results = sim::simulate_schemes(
+      design, refs, trace, sopt,
+      static_cast<unsigned>(args.u64_or("threads", 0)));
+
+  std::vector<server::SimulatedScheme> rows;
+  rows.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i)
+    rows.push_back(server::SimulatedScheme{schemes[i].label,
+                                           evals[i].total_frames,
+                                           evals[i].worst_frames, results[i]});
+  if (json_out) {
+    // Same encoder as the server's `simulate` result payload, byte for byte.
+    out << server::simulate_result_json(design, device_name, budget, params,
+                                        source, trace.transitions(), rows)
+               .dump()
+        << "\n";
+    return 0;
+  }
+
+  if (!device_name.empty()) out << "target device: " << device_name << "\n";
+  out << "trace: " << source << ", " << with_commas(trace.transitions())
+      << " transitions (seed " << params.seed << ")\n";
+  for (const server::SimulatedScheme& row : rows) {
+    const sim::SimulationResult& r = row.result;
+    out << "\n" << row.label << ": " << with_commas(row.total_frames)
+        << " total frames (Eq. 10), worst " << with_commas(row.worst_frames)
+        << "\n";
+    out << "  frames loaded: " << with_commas(r.frames_loaded) << " over "
+        << with_commas(r.region_loads) << " region loads\n";
+    out << "  latency p50/p95/p99/max: " << with_commas(r.p50_latency_ns)
+        << " / " << with_commas(r.p95_latency_ns) << " / "
+        << with_commas(r.p99_latency_ns) << " / "
+        << with_commas(r.max_latency_ns) << " ns\n";
+    out << "  total latency: " << with_commas(r.total_latency_ns / 1000)
+        << " us over " << with_commas(r.makespan_ns / 1000)
+        << " us of simulated time\n";
+    if (params.prefetch)
+      out << "  prefetched: " << with_commas(r.prefetched_frames)
+          << " frames (useful " << r.useful_prefetches << ", wasted "
+          << r.wasted_prefetches << ")\n";
   }
   return 0;
 }
@@ -664,7 +753,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << kUsage;
       return 0;
     }
-    const Args parsed(args, {"floorplan", "prefetch", "json", "search-stats"});
+    const Args parsed(args, {"floorplan", "prefetch", "json", "search-stats",
+                             "uniform", "rank"});
     if (parsed.positionals().empty()) {
       err << "error: missing command\n" << kUsage;
       return 1;
@@ -703,7 +793,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "simulate") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
-                          "threads", "steps", "seed", "prefetch", "load"});
+                          "threads", "steps", "seed", "prefetch", "load",
+                          "trace", "uniform", "rank", "arrival-ns",
+                          "idle-frames", "json"});
       return cmd_simulate(parsed, out, err);
     }
     if (command == "bitstreams") {

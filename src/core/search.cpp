@@ -723,8 +723,6 @@ class Searcher {
     result.stats = stats_;
     if (!kept.empty()) {
       result.feasible = true;
-      result.scheme = kept.front().scheme;
-      result.scheme.label = "proposed";
       // The full evaluator stays the oracle for accepted leaders: the
       // incremental bookkeeping proposes, the kernel certifies. A caller-
       // provided context (the partitioner's) is reused; otherwise build one
@@ -736,6 +734,37 @@ class Searcher {
         context = &*local_context;
       }
       EvalScratch scratch;
+      std::vector<std::uint64_t> wcost;
+      if (options_.workload_cost != nullptr) {
+        // Workload re-ranking: certify every kept alternative and stable-
+        // sort by the caller's cost, ascending. The stable sort keeps the
+        // Eq. 10 + canonical-key order on cost ties, so the re-ranked
+        // result is as deterministic as the unranked one.
+        wcost.reserve(kept.size());
+        for (const Kept& k : kept) {
+          const SchemeEvaluation eval =
+              context->evaluate(k.scheme, budget_, scratch);
+          wcost.push_back(options_.workload_cost->cost(k.scheme, eval));
+        }
+        std::vector<std::size_t> rank(kept.size());
+        for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+        std::stable_sort(rank.begin(), rank.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return wcost[a] < wcost[b];
+                         });
+        std::vector<Kept> ranked;
+        std::vector<std::uint64_t> ranked_cost;
+        ranked.reserve(kept.size());
+        ranked_cost.reserve(kept.size());
+        for (const std::size_t i : rank) {
+          ranked.push_back(std::move(kept[i]));
+          ranked_cost.push_back(wcost[i]);
+        }
+        kept = std::move(ranked);
+        wcost = std::move(ranked_cost);
+      }
+      result.scheme = kept.front().scheme;
+      result.scheme.label = "proposed";
       result.eval = context->evaluate(result.scheme, budget_, scratch);
       result.stats.kernel_evaluations += scratch.stats.kernel_evaluations;
       result.stats.signature_collapsed_configs +=
@@ -744,9 +773,10 @@ class Searcher {
                                      result.eval.invalid_reason);
       require(result.eval.fits, "search recorded a non-fitting scheme");
       result.alternatives.reserve(kept.size());
-      for (Kept& k : kept)
+      for (std::size_t i = 0; i < kept.size(); ++i)
         result.alternatives.push_back(
-            RankedScheme{std::move(k.scheme), k.ttotal});
+            RankedScheme{std::move(kept[i].scheme), kept[i].ttotal,
+                         wcost.empty() ? 0 : wcost[i]});
       result.alternatives.front().scheme.label = "proposed";
     }
     return result;

@@ -97,6 +97,7 @@ std::uint64_t PrefetchingController::transition(std::size_t config) {
       speculative_[r] = false;
     }
     loaded_[r] = needed;
+    ++stats_.stall_loads;
     stall += frames_[r];
   }
 

@@ -12,6 +12,7 @@ namespace prpart {
 /// background during idle periods and do not stall the application.
 struct PrefetchStats {
   std::uint64_t transitions = 0;
+  std::uint64_t stall_loads = 0;  ///< region reconfigurations on the critical path
   std::uint64_t stall_frames = 0;
   std::uint64_t stall_ns = 0;
   std::uint64_t worst_stall_frames = 0;

@@ -50,6 +50,23 @@ json::Value analyze_request_json(const AnalyzeRequest& request) {
   return v;
 }
 
+json::Value simulate_request_json(const SimulateRequest& request) {
+  // A simulate request is a partition request plus trace knobs; non-default
+  // knobs only, mirroring the partition builder.
+  json::Value v = partition_request_json(request.partition);
+  v.set("type", json::Value("simulate"));
+  const SimulateParams defaults;
+  if (request.params.steps != defaults.steps)
+    v.set("steps", json::Value(request.params.steps));
+  if (request.params.seed != defaults.seed)
+    v.set("seed", json::Value(request.params.seed));
+  if (request.params.prefetch) v.set("prefetch", json::Value(true));
+  if (request.params.uniform) v.set("uniform", json::Value(true));
+  if (request.params.inter_arrival_ns != 0)
+    v.set("inter_arrival_ns", json::Value(request.params.inter_arrival_ns));
+  return v;
+}
+
 Client::Client(const std::string& host, std::uint16_t port)
     : stream_(TcpStream::connect(host, port)) {}
 
@@ -59,6 +76,10 @@ ClientResponse Client::submit(const PartitionRequest& request) {
 
 ClientResponse Client::analyze(const AnalyzeRequest& request) {
   return roundtrip(analyze_request_json(request));
+}
+
+ClientResponse Client::simulate(const SimulateRequest& request) {
+  return roundtrip(simulate_request_json(request));
 }
 
 ClientResponse Client::stats(const std::string& id) {

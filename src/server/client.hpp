@@ -40,6 +40,10 @@ class Client {
   /// is malformed.
   ClientResponse analyze(const AnalyzeRequest& request);
 
+  /// Partitions a design and replays a transition trace against the
+  /// proposed scheme (docs/protocol.md, `simulate`).
+  ClientResponse simulate(const SimulateRequest& request);
+
   /// Fetches the server's stats snapshot.
   ClientResponse stats(const std::string& id = "stats");
 
@@ -62,5 +66,8 @@ json::Value partition_request_json(const PartitionRequest& request);
 
 /// Builds the wire form of an analyze request.
 json::Value analyze_request_json(const AnalyzeRequest& request);
+
+/// Builds the wire form of a simulate request.
+json::Value simulate_request_json(const SimulateRequest& request);
 
 }  // namespace prpart::server

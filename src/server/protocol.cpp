@@ -109,6 +109,48 @@ std::uint32_t parse_res_component(const json::Value& v) {
   return static_cast<std::uint32_t>(raw);
 }
 
+/// Rejects request fields outside `known`, mirroring Args::check_known on
+/// the CLI.
+template <std::size_t N>
+void check_known_fields(const json::Value& doc, const char* (&known)[N]) {
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
+          return key == k;
+        }) == std::end(known))
+      throw ParseError("unknown request field '" + key + "'");
+  }
+}
+
+/// The design/target/effort/timeout core shared by partition and simulate
+/// requests (the known-field check stays with each request type).
+void parse_partition_fields(const json::Value& doc, PartitionRequest& p) {
+  p.options = default_partitioner_options();
+  p.design_xml = doc.at("design_xml").as_string();
+  if (p.design_xml.empty()) throw ParseError("design_xml must not be empty");
+  if (const json::Value* device = doc.find("device")) {
+    p.device = device->as_string();
+    if (p.device.empty()) throw ParseError("device must not be empty");
+  }
+  if (const json::Value* budget = doc.find("budget")) {
+    const auto& items = budget->items();
+    if (items.size() != 3)
+      throw ParseError("budget must be a [clbs, brams, dsps] triple");
+    p.budget = ResourceVec{parse_res_component(items[0]),
+                           parse_res_component(items[1]),
+                           parse_res_component(items[2])};
+  }
+  if (!p.device.empty() && p.budget)
+    throw ParseError("device and budget are mutually exclusive");
+  if (const json::Value* v = doc.find("candidate_sets"))
+    p.options.search.max_candidate_sets = v->as_u64();
+  if (const json::Value* v = doc.find("evals"))
+    p.options.search.max_move_evaluations = v->as_u64();
+  if (const json::Value* v = doc.find("threads"))
+    p.options.search.threads = static_cast<unsigned>(v->as_u64());
+  if (const json::Value* v = doc.find("timeout_ms")) p.timeout_ms = v->as_u64();
+}
+
 }  // namespace
 
 const char* error_code_name(ErrorCode code) {
@@ -128,6 +170,14 @@ std::string PartitionRequest::target_string() const {
     return "budget " + std::to_string(budget->clbs) + "," +
            std::to_string(budget->brams) + "," + std::to_string(budget->dsps);
   return "auto";
+}
+
+std::string SimulateParams::cache_string() const {
+  return "simulate steps=" + std::to_string(steps) +
+         " seed=" + std::to_string(seed) +
+         " prefetch=" + (prefetch ? "1" : "0") +
+         " uniform=" + (uniform ? "1" : "0") +
+         " arrival=" + std::to_string(inter_arrival_ns);
 }
 
 PartitionerOptions default_partitioner_options() {
@@ -184,48 +234,42 @@ Request parse_request(const std::string& line) {
       throw ParseError("device and budget are mutually exclusive");
     return req;
   }
+  if (type == "simulate") {
+    req.type = Request::Type::Simulate;
+    SimulateRequest& s = req.simulate;
+    s.partition.id = req.id;
+    static const char* known[] = {
+        "type",    "id",         "design_xml", "device",
+        "budget",  "candidate_sets", "evals",  "threads",
+        "timeout_ms", "steps",   "seed",       "prefetch",
+        "uniform", "inter_arrival_ns"};
+    check_known_fields(doc, known);
+    parse_partition_fields(doc, s.partition);
+    if (const json::Value* v = doc.find("steps")) {
+      s.params.steps = v->as_u64();
+      if (s.params.steps == 0) throw ParseError("steps must be positive");
+    }
+    if (const json::Value* v = doc.find("seed")) s.params.seed = v->as_u64();
+    if (const json::Value* v = doc.find("prefetch"))
+      s.params.prefetch = v->as_bool();
+    if (const json::Value* v = doc.find("uniform"))
+      s.params.uniform = v->as_bool();
+    if (const json::Value* v = doc.find("inter_arrival_ns"))
+      s.params.inter_arrival_ns = v->as_u64();
+    return req;
+  }
   if (type != "partition") throw ParseError("unknown request type '" + type + "'");
 
   req.type = Request::Type::Partition;
   PartitionRequest& p = req.partition;
   p.id = req.id;
-  p.options = default_partitioner_options();
 
   // Unknown fields fail loudly, mirroring Args::check_known on the CLI.
   static const char* known[] = {"type",    "id",      "design_xml",
                                 "device",  "budget",  "candidate_sets",
                                 "evals",   "threads", "timeout_ms"};
-  for (const auto& [key, value] : doc.members()) {
-    (void)value;
-    if (std::find_if(std::begin(known), std::end(known), [&](const char* k) {
-          return key == k;
-        }) == std::end(known))
-      throw ParseError("unknown request field '" + key + "'");
-  }
-
-  p.design_xml = doc.at("design_xml").as_string();
-  if (p.design_xml.empty()) throw ParseError("design_xml must not be empty");
-  if (const json::Value* device = doc.find("device")) {
-    p.device = device->as_string();
-    if (p.device.empty()) throw ParseError("device must not be empty");
-  }
-  if (const json::Value* budget = doc.find("budget")) {
-    const auto& items = budget->items();
-    if (items.size() != 3)
-      throw ParseError("budget must be a [clbs, brams, dsps] triple");
-    p.budget = ResourceVec{parse_res_component(items[0]),
-                           parse_res_component(items[1]),
-                           parse_res_component(items[2])};
-  }
-  if (!p.device.empty() && p.budget)
-    throw ParseError("device and budget are mutually exclusive");
-  if (const json::Value* v = doc.find("candidate_sets"))
-    p.options.search.max_candidate_sets = v->as_u64();
-  if (const json::Value* v = doc.find("evals"))
-    p.options.search.max_move_evaluations = v->as_u64();
-  if (const json::Value* v = doc.find("threads"))
-    p.options.search.threads = static_cast<unsigned>(v->as_u64());
-  if (const json::Value* v = doc.find("timeout_ms")) p.timeout_ms = v->as_u64();
+  check_known_fields(doc, known);
+  parse_partition_fields(doc, p);
   return req;
 }
 
@@ -280,6 +324,71 @@ json::Value partition_result_json(const Design& design,
             json::Value(result.stats.signature_collapsed_configs));
   stats.set("budget_exhausted", json::Value(result.stats.budget_exhausted));
   v.set("stats", stats);
+  return v;
+}
+
+SimulateSetup simulate_setup(std::size_t configs, const SimulateParams& params) {
+  require(configs >= 2, "simulation needs at least two configurations");
+  // The chain is sampled before the trace so the trace consumes the Rng
+  // stream after it: one seed pins both.
+  Rng rng(params.seed);
+  MarkovChain env = MarkovChain::random(rng, configs);
+  if (params.uniform)
+    return SimulateSetup{std::move(env), sim::uniform_pair_trace(configs),
+                         "uniform"};
+  sim::TransitionTrace trace = sim::markov_trace(env, rng, params.steps);
+  return SimulateSetup{std::move(env), std::move(trace), "markov"};
+}
+
+json::Value simulate_result_json(const Design& design,
+                                 const std::string& device_name,
+                                 const ResourceVec& budget,
+                                 const SimulateParams& params,
+                                 const std::string& trace_source,
+                                 std::uint64_t trace_transitions,
+                                 const std::vector<SimulatedScheme>& schemes) {
+  json::Value v = json::Value::object();
+  v.set("design", json::Value(design.name()));
+  v.set("device",
+        device_name.empty() ? json::Value() : json::Value(device_name));
+  v.set("budget", resources_json(budget));
+
+  json::Value trace = json::Value::object();
+  trace.set("source", json::Value(trace_source));
+  trace.set("transitions", json::Value(trace_transitions));
+  trace.set("seed", json::Value(params.seed));
+  v.set("trace", trace);
+
+  json::Value options = json::Value::object();
+  options.set("prefetch", json::Value(params.prefetch));
+  options.set("inter_arrival_ns", json::Value(params.inter_arrival_ns));
+  v.set("options", options);
+
+  json::Value rows = json::Value::array();
+  for (const SimulatedScheme& s : schemes) {
+    const sim::SimulationResult& r = s.result;
+    json::Value row = json::Value::object();
+    row.set("label", json::Value(s.label));
+    row.set("total_frames", json::Value(s.total_frames));
+    row.set("worst_frames", json::Value(s.worst_frames));
+    row.set("transitions", json::Value(r.transitions));
+    row.set("frames_loaded", json::Value(r.frames_loaded));
+    row.set("region_loads", json::Value(r.region_loads));
+    row.set("prefetched_frames", json::Value(r.prefetched_frames));
+    row.set("useful_prefetches", json::Value(r.useful_prefetches));
+    row.set("wasted_prefetches", json::Value(r.wasted_prefetches));
+    row.set("total_latency_ns", json::Value(r.total_latency_ns));
+    row.set("p50_latency_ns", json::Value(r.p50_latency_ns));
+    row.set("p95_latency_ns", json::Value(r.p95_latency_ns));
+    row.set("p99_latency_ns", json::Value(r.p99_latency_ns));
+    row.set("max_latency_ns", json::Value(r.max_latency_ns));
+    row.set("makespan_ns", json::Value(r.makespan_ns));
+    // Deterministic despite being a double: simulated time over simulated
+    // transitions, fixed %.17g rendering.
+    row.set("transitions_per_second", json::Value(r.transitions_per_second));
+    rows.push_back(std::move(row));
+  }
+  v.set("schemes", rows);
   return v;
 }
 

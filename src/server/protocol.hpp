@@ -5,6 +5,7 @@
 
 #include "core/partitioner.hpp"
 #include "design/design.hpp"
+#include "sim/simulator.hpp"
 #include "util/json.hpp"
 
 namespace prpart::server {
@@ -46,12 +47,34 @@ struct AnalyzeRequest {
   std::optional<ResourceVec> budget;  ///< explicit budget; excludes device
 };
 
+/// Simulation knobs of a `simulate` job, shared verbatim between the server
+/// request and `prpart simulate`. The replay is a pure function of these
+/// plus the design and target, which is what makes simulate jobs cacheable.
+struct SimulateParams {
+  std::uint64_t steps = 100'000;  ///< Markov-trace transitions to replay
+  std::uint64_t seed = 1;         ///< environment-chain + trace seed
+  bool prefetch = false;          ///< Markov-predicted prefetching on
+  bool uniform = false;  ///< replay the Eulerian all-pairs trace instead
+  std::uint64_t inter_arrival_ns = 0;  ///< 0 = closed loop (see sim)
+
+  /// Canonical form folded into the job cache key next to the target.
+  std::string cache_string() const;
+};
+
+/// One `simulate` job: partition the design (exactly as a `partition` job
+/// would), then replay a transition workload against the proposed scheme.
+struct SimulateRequest {
+  PartitionRequest partition;  ///< design/target/effort/timeout core
+  SimulateParams params;
+};
+
 struct Request {
-  enum class Type { Partition, Analyze, Stats, Ping };
+  enum class Type { Partition, Analyze, Simulate, Stats, Ping };
   Type type = Type::Ping;
   std::string id;
   PartitionRequest partition;  ///< meaningful when type == Partition
   AnalyzeRequest analyze;      ///< meaningful when type == Analyze
+  SimulateRequest simulate;    ///< meaningful when type == Simulate
 };
 
 /// Parses one newline-delimited request. Throws ParseError on malformed
@@ -74,6 +97,39 @@ json::Value partition_result_json(const Design& design,
                                   const PartitionerResult& result,
                                   const std::string& device_name,
                                   const ResourceVec& budget);
+
+/// The workload a SimulateParams describes, materialised: the environment
+/// chain (also the prefetch predictor) and the transition trace. Shared by
+/// the server worker and `prpart simulate` so both replay the exact same
+/// transitions for the same params — the byte-identity contract again.
+struct SimulateSetup {
+  MarkovChain env;
+  sim::TransitionTrace trace;
+  std::string source;  ///< "markov" or "uniform"
+};
+
+/// Builds the chain/trace for `configs` configurations (requires >= 2).
+SimulateSetup simulate_setup(std::size_t configs, const SimulateParams& params);
+
+/// One simulated scheme row for the shared simulate encoder.
+struct SimulatedScheme {
+  std::string label;
+  std::uint64_t total_frames = 0;  ///< the scheme's Eq. 10 sum
+  std::uint64_t worst_frames = 0;  ///< the scheme's Eq. 11 worst pair
+  sim::SimulationResult result;
+};
+
+/// The single simulate-result encoder shared by the server's `simulate`
+/// response and the CLI's `prpart simulate --json` output, byte for byte —
+/// the same contract as partition_result_json. `trace_source` names where
+/// the transitions came from ("markov", "uniform" or "file").
+json::Value simulate_result_json(const Design& design,
+                                 const std::string& device_name,
+                                 const ResourceVec& budget,
+                                 const SimulateParams& params,
+                                 const std::string& trace_source,
+                                 std::uint64_t trace_transitions,
+                                 const std::vector<SimulatedScheme>& schemes);
 
 /// Response envelopes. `result_json` is spliced verbatim so a cache hit
 /// reproduces the cold response byte for byte.

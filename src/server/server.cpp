@@ -157,6 +157,8 @@ std::string Server::handle_request(const std::string& line) {
         return handle_analyze(request.analyze);
       case Request::Type::Partition:
         return handle_partition(std::move(request.partition));
+      case Request::Type::Simulate:
+        return handle_simulate(std::move(request.simulate));
     }
     stats_.job_failed();
     return error_response(id, ErrorCode::Internal, "unhandled request type");
@@ -190,12 +192,23 @@ std::string Server::handle_analyze(const AnalyzeRequest& request) {
 }
 
 std::string Server::handle_partition(PartitionRequest request) {
+  return admit_job(std::move(request), std::nullopt);
+}
+
+std::string Server::handle_simulate(SimulateRequest request) {
+  return admit_job(std::move(request.partition), request.params);
+}
+
+std::string Server::admit_job(PartitionRequest request,
+                              std::optional<SimulateParams> simulate) {
   const std::int64_t submit_ns = monotonic_now_ns();
   // Validate everything the worker would otherwise trip over, so
   // bad_request never costs a queue slot: the design must parse and a named
   // device must exist.
   Design design = design_from_xml(request.design_xml);
   if (!request.device.empty()) library_.by_name(request.device);
+  if (simulate && design.configurations().size() < 2)
+    throw ParseError("simulation needs at least two configurations");
 
   // Lower-bound pre-check for explicit targets: a provably hopeless job is
   // answered `infeasible` with the proof before admission, so it never
@@ -227,8 +240,12 @@ std::string Server::handle_partition(PartitionRequest request) {
   if (request.options.search.threads == 0)
     request.options.search.threads = std::max(1u, options_.job_threads);
 
-  const std::string key =
-      job_cache_key(design, request.target_string(), request.options);
+  // Simulate jobs are cached next to partition jobs: the replay is a pure
+  // function of (design, target, options, params), so the params extend the
+  // target identity in the key.
+  std::string target = request.target_string();
+  if (simulate) target += ";" + simulate->cache_string();
+  const std::string key = job_cache_key(design, target, request.options);
   if (std::optional<std::string> hit = cache_.lookup(key)) {
     stats_.cache_hit(latency_us_since(submit_ns));
     return ok_response(request.id, *hit);
@@ -237,6 +254,7 @@ std::string Server::handle_partition(PartitionRequest request) {
 
   auto job = std::make_shared<Job>(std::move(request), std::move(design), key,
                                    submit_ns);
+  job->simulate = simulate;
   const std::uint64_t timeout_ms = job->request.timeout_ms != 0
                                        ? job->request.timeout_ms
                                        : options_.default_timeout_ms;
@@ -319,9 +337,31 @@ void Server::execute_job(Job& job) {
                   .to_string() +
               ", budget " + budget.to_string() + ")");
     } else {
-      const std::string payload =
-          partition_result_json(job.design, result, device_name, budget)
-              .dump();
+      std::string payload;
+      if (job.simulate) {
+        const SimulateParams& params = *job.simulate;
+        const SimulateSetup setup = simulate_setup(
+            job.design.configurations().size(), params);
+        sim::SimulationOptions sopt;
+        sopt.prefetch = params.prefetch;
+        sopt.predictor = &setup.env;
+        sopt.inter_arrival_ns = params.inter_arrival_ns;
+        const sim::SimulationResult sr =
+            sim::simulate_scheme(job.design, result.proposed.scheme,
+                                 result.proposed.eval, setup.trace, sopt);
+        stats_.simulation_finished(sr.transitions, sr.frames_loaded);
+        payload = simulate_result_json(
+                      job.design, device_name, budget, params, setup.source,
+                      setup.trace.transitions(),
+                      {SimulatedScheme{"proposed",
+                                       result.proposed.eval.total_frames,
+                                       result.proposed.eval.worst_frames, sr}})
+                      .dump();
+      } else {
+        payload =
+            partition_result_json(job.design, result, device_name, budget)
+                .dump();
+      }
       // Deterministic engine: the stored bytes equal any future cold run,
       // so cache hits are byte-identical to fresh responses.
       cache_.store(job.cache_key, payload);

@@ -94,6 +94,9 @@ class Server {
           submit_ns(submitted) {}
 
     PartitionRequest request;
+    /// Set for `simulate` jobs: after the partition, replay this workload
+    /// against the proposed scheme and answer with the simulate payload.
+    std::optional<SimulateParams> simulate;
     Design design;
     std::string cache_key;
     std::int64_t submit_ns;
@@ -114,7 +117,12 @@ class Server {
   /// Parses and dispatches one request line; never throws.
   std::string handle_request(const std::string& line);
   std::string handle_partition(PartitionRequest request);
+  std::string handle_simulate(SimulateRequest request);
   std::string handle_analyze(const AnalyzeRequest& request);
+  /// Shared admission path of partition and simulate jobs: pre-checks,
+  /// cache lookup, queue admission, response wait.
+  std::string admit_job(PartitionRequest request,
+                        std::optional<SimulateParams> simulate);
   void execute_job(Job& job);
   std::string stats_response(const std::string& id) const;
   void log_line(const std::string& line);

@@ -41,6 +41,11 @@ json::Value StatsSnapshot::to_json() const {
   search.set("signature_collapsed_configs",
              json::Value(search_signature_collapsed_configs));
   v.set("search", search);
+  json::Value sim = json::Value::object();
+  sim.set("simulations", json::Value(simulations));
+  sim.set("transitions", json::Value(simulated_transitions));
+  sim.set("frames_loaded", json::Value(simulated_frames));
+  v.set("simulate", sim);
   return v;
 }
 
@@ -58,7 +63,8 @@ std::string StatsSnapshot::log_line() const {
          " p50_us=" + std::to_string(p50_latency_us) +
          " p99_us=" + std::to_string(p99_latency_us) +
          " search_units=" + std::to_string(search_units) +
-         " search_pruned=" + std::to_string(search_units_pruned);
+         " search_pruned=" + std::to_string(search_units_pruned) +
+         " simulations=" + std::to_string(simulations);
 }
 
 void ServerStats::job_accepted() {
@@ -115,6 +121,14 @@ void ServerStats::search_finished(const SearchStats& stats) {
   search_signature_collapsed_configs_ += stats.signature_collapsed_configs;
 }
 
+void ServerStats::simulation_finished(std::uint64_t transitions,
+                                      std::uint64_t frames) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++simulations_;
+  simulated_transitions_ += transitions;
+  simulated_frames_ += frames;
+}
+
 void ServerStats::record_latency(std::uint64_t latency_us) {
   ++latency_count_;
   if (latencies_.size() < kReservoir) {
@@ -149,6 +163,9 @@ StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
   s.search_moves_rescored = search_moves_rescored_;
   s.search_kernel_evaluations = search_kernel_evaluations_;
   s.search_signature_collapsed_configs = search_signature_collapsed_configs_;
+  s.simulations = simulations_;
+  s.simulated_transitions = simulated_transitions_;
+  s.simulated_frames = simulated_frames_;
   return s;
 }
 

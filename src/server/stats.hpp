@@ -34,6 +34,11 @@ struct StatsSnapshot {
   std::uint64_t search_moves_rescored = 0;
   std::uint64_t search_kernel_evaluations = 0;
   std::uint64_t search_signature_collapsed_configs = 0;
+  // Cumulative simulate-job counters: replays served, transitions replayed
+  // and critical-path frames loaded across them.
+  std::uint64_t simulations = 0;
+  std::uint64_t simulated_transitions = 0;
+  std::uint64_t simulated_frames = 0;
 
   json::Value to_json() const;
   /// One-line rendering for the periodic server log.
@@ -55,6 +60,8 @@ class ServerStats {
   void cache_miss();
   /// Folds one executed job's search stats into the cumulative counters.
   void search_finished(const SearchStats& stats);
+  /// Folds one simulate job's replay into the cumulative counters.
+  void simulation_finished(std::uint64_t transitions, std::uint64_t frames);
 
   /// Queue depth and in-flight count are owned by the scheduler; it reports
   /// them at snapshot time.
@@ -83,6 +90,9 @@ class ServerStats {
   std::uint64_t search_moves_rescored_ = 0;
   std::uint64_t search_kernel_evaluations_ = 0;
   std::uint64_t search_signature_collapsed_configs_ = 0;
+  std::uint64_t simulations_ = 0;
+  std::uint64_t simulated_transitions_ = 0;
+  std::uint64_t simulated_frames_ = 0;
   std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
   std::size_t latency_next_ = 0;
 };

@@ -1,0 +1,141 @@
+#include "sim/simulator.hpp"
+
+#include <map>
+
+#include "reconfig/icap_datapath.hpp"
+#include "reconfig/prefetch.hpp"
+#include "util/parallel_for.hpp"
+#include "util/status.hpp"
+
+namespace prpart::sim {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending (value, count) table.
+std::uint64_t percentile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts,
+    std::uint64_t total, double q) {
+  if (total == 0) return 0;
+  // Nearest-rank: the smallest value whose cumulative count reaches
+  // ceil(q * total).
+  const double exact = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, count] : counts) {
+    cumulative += count;
+    if (cumulative >= rank) return value;
+  }
+  return counts.back().first;
+}
+
+void finalize(SimulationResult& result,
+              const std::map<std::uint64_t, std::uint64_t>& latencies,
+              std::uint64_t makespan_ns) {
+  result.latency_counts.assign(latencies.begin(), latencies.end());
+  result.makespan_ns = makespan_ns;
+  result.p50_latency_ns = percentile(result.latency_counts, result.transitions, 0.50);
+  result.p95_latency_ns = percentile(result.latency_counts, result.transitions, 0.95);
+  result.p99_latency_ns = percentile(result.latency_counts, result.transitions, 0.99);
+  if (!result.latency_counts.empty())
+    result.max_latency_ns = result.latency_counts.back().first;
+  if (makespan_ns > 0)
+    result.transitions_per_second = static_cast<double>(result.transitions) *
+                                    1e9 / static_cast<double>(makespan_ns);
+}
+
+}  // namespace
+
+SimulationResult simulate_scheme(const Design& design,
+                                 const PartitionScheme& scheme,
+                                 const SchemeEvaluation& evaluation,
+                                 const TransitionTrace& trace,
+                                 const SimulationOptions& options) {
+  const std::size_t nconf = design.configurations().size();
+  require(evaluation.valid, "cannot simulate an invalid scheme");
+  require(evaluation.regions.size() == scheme.regions.size(),
+          "evaluation does not match scheme");
+  require(trace.configs.size() >= 2,
+          "a trace needs a boot configuration and at least one transition");
+  for (const std::uint32_t c : trace.configs)
+    require(c < nconf, "trace configuration id out of range");
+
+  SimulationResult result;
+  std::map<std::uint64_t, std::uint64_t> latencies;
+  IcapDatapath datapath(options.icap);
+
+  const auto serve = [&](std::uint64_t frames, std::uint64_t index) {
+    // Closed loop submits the moment the port is free; a fixed arrival
+    // period submits on the environment's clock and eats queueing delay.
+    const std::uint64_t submit_ns =
+        options.inter_arrival_ns == 0
+            ? datapath.ready_ns()
+            : index * options.inter_arrival_ns;
+    const IcapCompletion done =
+        datapath.submit(IcapRequest{submit_ns, frames});
+    const std::uint64_t latency = done.done_ns - submit_ns;
+    ++result.transitions;
+    result.frames_loaded += frames;
+    result.total_latency_ns += latency;
+    ++latencies[latency];
+  };
+
+  if (!options.prefetch) {
+    // Memoryless pairwise cost: transition i -> j loads exactly the regions
+    // whose active members differ (Eq. 8 per transition). Precomputing the
+    // C x C matrices keeps multi-million-step replays at O(1) per step.
+    const auto frames_of = transition_frame_matrix(evaluation, nconf);
+    std::vector<std::vector<std::uint32_t>> loads_of(
+        nconf, std::vector<std::uint32_t>(nconf, 0));
+    for (const RegionReport& region : evaluation.regions)
+      for (std::size_t i = 0; i < nconf; ++i)
+        for (std::size_t j = i + 1; j < nconf; ++j) {
+          const int a = region.active[i];
+          const int b = region.active[j];
+          if (a >= 0 && b >= 0 && a != b) {
+            ++loads_of[i][j];
+            ++loads_of[j][i];
+          }
+        }
+    for (std::size_t k = 1; k < trace.configs.size(); ++k) {
+      const std::uint32_t from = trace.configs[k - 1];
+      const std::uint32_t to = trace.configs[k];
+      result.region_loads += loads_of[from][to];
+      serve(frames_of[from][to], k - 1);
+    }
+  } else {
+    require(options.predictor != nullptr,
+            "prefetching simulation needs a predictor chain");
+    PrefetchingController controller(design, scheme, evaluation,
+                                     *options.predictor, options.icap,
+                                     options.idle_frames_budget);
+    controller.boot(trace.configs.front());
+    for (std::size_t k = 1; k < trace.configs.size(); ++k)
+      serve(controller.transition(trace.configs[k]), k - 1);
+    const PrefetchStats& ps = controller.stats();
+    result.region_loads = ps.stall_loads;
+    result.prefetched_frames = ps.prefetched_frames;
+    result.useful_prefetches = ps.useful_prefetches;
+    result.wasted_prefetches = ps.wasted_prefetches;
+  }
+
+  finalize(result, latencies, datapath.stats().last_done_ns);
+  return result;
+}
+
+std::vector<SimulationResult> simulate_schemes(
+    const Design& design, const std::vector<SchemeRef>& schemes,
+    const TransitionTrace& trace, const SimulationOptions& options,
+    unsigned threads) {
+  std::vector<SimulationResult> results(schemes.size());
+  parallel_for(schemes.size(), threads, [&](std::size_t i) {
+    require(schemes[i].scheme != nullptr && schemes[i].evaluation != nullptr,
+            "simulate_schemes got a null scheme reference");
+    results[i] = simulate_scheme(design, *schemes[i].scheme,
+                                 *schemes[i].evaluation, trace, options);
+  });
+  return results;
+}
+
+}  // namespace prpart::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "core/search.hpp"
+#include "sim/simulator.hpp"
+
+namespace prpart::sim {
+
+/// Which scalar of a SimulationResult the search should minimise.
+enum class WorkloadMetric {
+  TotalLatencyNs,  ///< summed served latency (throughput-oriented)
+  P99LatencyNs,    ///< tail latency (QoS-oriented)
+  MaxLatencyNs,    ///< worst single transition (hard-deadline-oriented)
+};
+
+/// WorkloadCost backed by the trace-driven simulator: the region-allocation
+/// search hands each near-optimal alternative here and re-ranks by the
+/// latency the workload would actually observe. Deterministic because the
+/// simulator is; cost ties fall back to the search's Eq. 10 order.
+///
+/// The design, trace and options must outlive the search call.
+class SimulatedWorkloadCost final : public WorkloadCost {
+ public:
+  SimulatedWorkloadCost(const Design& design, const TransitionTrace& trace,
+                        SimulationOptions options = {},
+                        WorkloadMetric metric = WorkloadMetric::P99LatencyNs)
+      : design_(design), trace_(trace), options_(options), metric_(metric) {}
+
+  std::uint64_t cost(const PartitionScheme& scheme,
+                     const SchemeEvaluation& evaluation) const override;
+
+  /// Schemes simulated so far (one per cost() call); exposed so tests and
+  /// stats can assert the hook actually ran.
+  std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  const Design& design_;
+  const TransitionTrace& trace_;
+  SimulationOptions options_;
+  WorkloadMetric metric_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace prpart::sim

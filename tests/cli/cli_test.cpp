@@ -313,8 +313,9 @@ TEST_F(CliTest, SimulateReportsStats) {
   const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
                            "--steps", "50", "--evals", "300000"});
   EXPECT_EQ(r.code, 0) << r.err;
-  EXPECT_NE(r.out.find("transitions: 50"), std::string::npos);
-  EXPECT_NE(r.out.find("total frames:"), std::string::npos);
+  EXPECT_NE(r.out.find("50 transitions"), std::string::npos);
+  EXPECT_NE(r.out.find("total frames (Eq. 10)"), std::string::npos);
+  EXPECT_NE(r.out.find("latency p50/p95/p99/max:"), std::string::npos);
 }
 
 TEST_F(CliTest, SimulateWithPrefetch) {
@@ -322,8 +323,64 @@ TEST_F(CliTest, SimulateWithPrefetch) {
                            "--steps", "50", "--evals", "300000",
                            "--prefetch"});
   EXPECT_EQ(r.code, 0) << r.err;
-  EXPECT_NE(r.out.find("stall frames:"), std::string::npos);
-  EXPECT_NE(r.out.find("prefetched frames:"), std::string::npos);
+  EXPECT_NE(r.out.find("frames loaded:"), std::string::npos);
+  EXPECT_NE(r.out.find("prefetched:"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateJsonIsThreadCountInvariant) {
+  const std::vector<std::string> base = {
+      "simulate",  design_path_, "--device", "XC5VFX70T", "--steps",
+      "200",       "--seed",     "9",        "--evals",   "300000",
+      "--rank",    "--json"};
+  auto with_threads = [&](const char* t) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), {"--threads", t});
+    return invoke(args);
+  };
+  const CliRun one = with_threads("1");
+  const CliRun four = with_threads("4");
+  const CliRun sixteen = with_threads("16");
+  ASSERT_EQ(one.code, 0) << one.err;
+  EXPECT_EQ(one.out, four.out);
+  EXPECT_EQ(one.out, sixteen.out);
+  // Two runs with the same seed are byte-identical too.
+  EXPECT_EQ(one.out, with_threads("1").out);
+}
+
+TEST_F(CliTest, SimulateUniformTraceMatchesEq10) {
+  // The Eulerian all-pairs circuit serves every ordered transition exactly
+  // once, so the frames loaded equal twice the Eq. 10 unordered-pair total.
+  const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
+                           "--uniform", "--evals", "300000", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const json::Value doc = json::parse(r.out);
+  const json::Value& scheme = doc.at("schemes").items().at(0);
+  EXPECT_EQ(scheme.at("frames_loaded").as_u64(),
+            2 * scheme.at("total_frames").as_u64());
+}
+
+TEST_F(CliTest, SimulateRejectsMalformedTrace) {
+  const std::string trace = (dir_ / "trace.txt").string();
+  {
+    std::ofstream f(trace);
+    f << "0\n1\nbogus\n";
+  }
+  const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "300000", "--trace", trace});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.err.find("trace-bad-token"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateReplaysTraceFile) {
+  const std::string trace = (dir_ / "trace.txt").string();
+  {
+    std::ofstream f(trace);
+    f << "# hand-written workload\n0\n1\n2\n0\n";
+  }
+  const CliRun r = invoke({"simulate", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "300000", "--trace", trace});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("file, 3 transitions"), std::string::npos);
 }
 
 TEST_F(CliTest, BitstreamsWritesFiles) {
@@ -371,8 +428,8 @@ TEST_F(CliTest, SaveThenLoadSkipsRepartitioning) {
   const CliRun load = invoke({"simulate", design_path_, "--steps", "30",
                               "--load", plan});
   EXPECT_EQ(load.code, 0) << load.err;
-  EXPECT_NE(load.out.find("loaded partitioning"), std::string::npos);
-  EXPECT_NE(load.out.find("transitions: 30"), std::string::npos);
+  EXPECT_NE(load.out.find("loaded:"), std::string::npos);
+  EXPECT_NE(load.out.find("30 transitions"), std::string::npos);
 }
 
 TEST_F(CliTest, LoadRejectsForeignPlan) {

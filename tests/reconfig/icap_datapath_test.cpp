@@ -16,6 +16,25 @@ TEST(IcapDatapath, SingleCommandMatchesIcapModel) {
   EXPECT_EQ(c.done_ns, 1000u + c.transfer_ns);
 }
 
+TEST(IcapDatapath, DefaultTimingGolden) {
+  // Hand-computed against the default model: 41 words/frame * 4 B = 164 B
+  // per frame; the effective bandwidth is min(800 MB/s fetch, 4 B * 100 MHz
+  // ICAP) = 400 MB/s, i.e. exactly 410 ns per frame; plus the fixed 2000 ns
+  // fetch setup. 10 frames: 2000 + 10 * 410 = 6100 ns.
+  IcapDatapath dp;
+  EXPECT_EQ(dp.timing().bitstream_bytes(10), 1640u);
+  EXPECT_EQ(dp.timing().effective_bandwidth_bps(), 400'000'000u);
+  EXPECT_EQ(dp.timing().reconfiguration_ns(1), 2410u);
+  EXPECT_EQ(dp.timing().reconfiguration_ns(10), 6100u);
+  const IcapCompletion c = dp.submit({0, 10});
+  EXPECT_EQ(c.done_ns, 6100u);
+  // A command landing mid-transfer queues: submitted at 3000 ns, it waits
+  // 3100 ns for the port and completes at 6100 + 6100 ns.
+  const IcapCompletion d = dp.submit({3000, 10});
+  EXPECT_EQ(d.wait_ns, 3100u);
+  EXPECT_EQ(d.done_ns, 12200u);
+}
+
 TEST(IcapDatapath, BackToBackCommandsQueue) {
   IcapDatapath dp;
   const IcapCompletion a = dp.submit({0, 1000});

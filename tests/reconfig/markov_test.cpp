@@ -52,6 +52,24 @@ TEST(MarkovChain, StationarySumsToOne) {
   EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-9);
 }
 
+TEST(MarkovChain, StationaryIsAFixedPointOfTheChain) {
+  // pi P = pi: the power iteration must converge to an actual stationary
+  // distribution, not just any normalised vector.
+  Rng rng(31);
+  for (const MarkovChain& c :
+       {MarkovChain::uniform(5), MarkovChain::random(rng, 4),
+        MarkovChain::random(rng, 7)}) {
+    const auto pi = c.stationary();
+    ASSERT_EQ(pi.size(), c.states());
+    for (std::size_t j = 0; j < c.states(); ++j) {
+      double next = 0;
+      for (std::size_t i = 0; i < c.states(); ++i)
+        next += pi[i] * c.probability(i, j);
+      EXPECT_NEAR(next, pi[j], 1e-9) << "state " << j;
+    }
+  }
+}
+
 TEST(MarkovChain, SampleNextFollowsDistribution) {
   const MarkovChain c = MarkovChain::uniform(3);
   Rng rng(17);

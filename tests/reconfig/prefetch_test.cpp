@@ -69,6 +69,63 @@ TEST(Prefetch, PerfectPredictionHidesIdleRegionLoads) {
   EXPECT_GE(pre.stats().useful_prefetches, 3u);
 }
 
+TEST(Prefetch, HitAccountingGoldenOnTheCycle) {
+  // Hand-walked golden for the full accounting. On c0 -> c2 -> c1 -> c0:
+  //   c0 -> c2: A idle at c2, nothing to load; the predictor (cycle) says c1
+  //             is next, so A2 is prefetched into the idle A region.
+  //   c2 -> c1: A2 already loaded -- a useful prefetch, zero stall.
+  //   c1 -> c0: A busy at c1, no window; reload A1 on the critical path.
+  // Per cycle: 1 stall load, 1 prefetch, 1 useful hit, 0 wasted.
+  Fixture f(idle_window_design(), {450, 4, 4});
+  const SchemeEvaluation& eval = f.result.proposed.eval;
+  std::uint64_t frames_a = 0;  // the merged {A1},{A2} region
+  for (const RegionReport& r : eval.regions)
+    if (r.reconfig_pairs > 0) frames_a = r.frames;
+  ASSERT_GT(frames_a, 0u);
+
+  PrefetchingController pre(f.design, f.result.proposed.scheme, eval,
+                            cycle021());
+  pre.boot(0);
+  std::vector<std::uint64_t> stalls;
+  const std::size_t walk[] = {2, 1, 0, 2, 1, 0, 2, 1, 0};
+  for (const std::size_t next : walk) stalls.push_back(pre.transition(next));
+  EXPECT_EQ(stalls, (std::vector<std::uint64_t>{0, 0, frames_a, 0, 0,
+                                                frames_a, 0, 0, frames_a}));
+  const PrefetchStats& s = pre.stats();
+  EXPECT_EQ(s.transitions, 9u);
+  EXPECT_EQ(s.stall_loads, 3u);
+  EXPECT_EQ(s.stall_frames, 3 * frames_a);
+  EXPECT_EQ(s.worst_stall_frames, frames_a);
+  EXPECT_EQ(s.prefetched_frames, 3 * frames_a);
+  EXPECT_EQ(s.useful_prefetches, 3u);
+  EXPECT_EQ(s.wasted_prefetches, 0u);
+  EXPECT_EQ(s.stall_ns, 3 * IcapModel{}.reconfiguration_ns(frames_a));
+}
+
+TEST(Prefetch, MispredictionIsCountedAsWasted) {
+  // Same design, but the walk defies the cycle predictor: after c0 -> c2
+  // the controller has speculatively loaded A2 for the predicted c1; going
+  // back to c0 instead overwrites it, which must count as wasted, stall the
+  // full region and never as a hit.
+  Fixture f(idle_window_design(), {450, 4, 4});
+  const SchemeEvaluation& eval = f.result.proposed.eval;
+  std::uint64_t frames_a = 0;
+  for (const RegionReport& r : eval.regions)
+    if (r.reconfig_pairs > 0) frames_a = r.frames;
+
+  PrefetchingController pre(f.design, f.result.proposed.scheme, eval,
+                            cycle021());
+  pre.boot(0);
+  EXPECT_EQ(pre.transition(2), 0u);
+  EXPECT_EQ(pre.transition(0), frames_a);
+  const PrefetchStats& s = pre.stats();
+  EXPECT_EQ(s.useful_prefetches, 0u);
+  EXPECT_EQ(s.wasted_prefetches, 1u);
+  EXPECT_EQ(s.prefetched_frames, frames_a);
+  EXPECT_EQ(s.stall_loads, 1u);
+  EXPECT_EQ(s.stall_frames, frames_a);
+}
+
 TEST(Prefetch, NeverWorseThanNoPrefetchOnActiveRegions) {
   // Prefetching only touches idle regions, so the stall of any transition
   // is at most the plain controller's cost for the same step sequence.

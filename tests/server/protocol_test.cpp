@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "util/status.hpp"
 
 namespace prpart::server {
@@ -214,6 +216,140 @@ TEST(ProtocolTest, ResultJsonIsDeterministic) {
                             "", budget)
           .dump();
   EXPECT_EQ(a, b);  // thread count must not leak into the encoding
+}
+
+TEST(ProtocolTest, SimulateRequestDefaults) {
+  const Request r = parse_request(
+      "{\"type\":\"simulate\",\"id\":\"s\",\"design_xml\":\"<x/>\"}");
+  ASSERT_EQ(r.type, Request::Type::Simulate);
+  EXPECT_EQ(r.simulate.partition.id, "s");
+  EXPECT_EQ(r.simulate.partition.target_string(), "auto");
+  EXPECT_EQ(r.simulate.params.steps, 100'000u);
+  EXPECT_EQ(r.simulate.params.seed, 1u);
+  EXPECT_FALSE(r.simulate.params.prefetch);
+  EXPECT_FALSE(r.simulate.params.uniform);
+  EXPECT_EQ(r.simulate.params.inter_arrival_ns, 0u);
+}
+
+TEST(ProtocolTest, SimulateRequestAllFields) {
+  const Request r = parse_request(
+      "{\"type\":\"simulate\",\"id\":\"s2\",\"design_xml\":\"<x/>\","
+      "\"device\":\"XC5VLX30T\",\"evals\":5000,\"steps\":250,\"seed\":9,"
+      "\"prefetch\":true,\"uniform\":false,\"inter_arrival_ns\":70000}");
+  ASSERT_EQ(r.type, Request::Type::Simulate);
+  EXPECT_EQ(r.simulate.partition.device, "XC5VLX30T");
+  EXPECT_EQ(r.simulate.partition.options.search.max_move_evaluations, 5000u);
+  EXPECT_EQ(r.simulate.params.steps, 250u);
+  EXPECT_EQ(r.simulate.params.seed, 9u);
+  EXPECT_TRUE(r.simulate.params.prefetch);
+  EXPECT_EQ(r.simulate.params.inter_arrival_ns, 70'000u);
+}
+
+TEST(ProtocolTest, MalformedSimulateRequestsThrow) {
+  // No design.
+  EXPECT_THROW(parse_request("{\"type\":\"simulate\"}"), ParseError);
+  // A zero-step trace has nothing to replay.
+  EXPECT_THROW(parse_request("{\"type\":\"simulate\",\"design_xml\":\"<x/>\","
+                             "\"steps\":0}"),
+               ParseError);
+  // Unknown fields fail loudly here too.
+  EXPECT_THROW(parse_request("{\"type\":\"simulate\",\"design_xml\":\"<x/>\","
+                             "\"stepz\":5}"),
+               ParseError);
+  // Trace knobs are rejected on plain partition requests.
+  EXPECT_THROW(parse_request("{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+                             "\"steps\":10}"),
+               ParseError);
+}
+
+TEST(ProtocolTest, SimulateCacheStringSeparatesEveryKnob) {
+  SimulateParams a;
+  std::set<std::string> keys = {a.cache_string()};
+  SimulateParams b = a;
+  b.steps = 7;
+  keys.insert(b.cache_string());
+  SimulateParams c = a;
+  c.seed = 2;
+  keys.insert(c.cache_string());
+  SimulateParams d = a;
+  d.prefetch = true;
+  keys.insert(d.cache_string());
+  SimulateParams e = a;
+  e.uniform = true;
+  keys.insert(e.cache_string());
+  SimulateParams f = a;
+  f.inter_arrival_ns = 5;
+  keys.insert(f.cache_string());
+  EXPECT_EQ(keys.size(), 6u);  // every knob lands in the cache key
+}
+
+TEST(ProtocolTest, SimulateSetupIsSeedDeterministic) {
+  SimulateParams params;
+  params.steps = 300;
+  params.seed = 4;
+  const SimulateSetup a = simulate_setup(5, params);
+  const SimulateSetup b = simulate_setup(5, params);
+  EXPECT_EQ(a.source, "markov");
+  EXPECT_EQ(a.trace.transitions(), 300u);
+  EXPECT_EQ(a.trace.configs, b.trace.configs);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(a.env.probability(i, j), b.env.probability(i, j));
+
+  params.seed = 5;
+  const SimulateSetup c = simulate_setup(5, params);
+  EXPECT_NE(a.trace.configs, c.trace.configs);
+
+  params.uniform = true;
+  const SimulateSetup u = simulate_setup(5, params);
+  EXPECT_EQ(u.source, "uniform");
+  EXPECT_EQ(u.trace.transitions(), 20u);  // 5 * 4 ordered pairs
+}
+
+TEST(ProtocolTest, SimulateResultJsonShape) {
+  const Design design = small_design();
+  PartitionerOptions options = default_partitioner_options();
+  options.search.max_move_evaluations = 100'000;
+  // Tight enough to force a reconfigurable region (see ResultJsonFeasible-
+  // Shape): a fully static proposal would load zero frames.
+  const ResourceVec budget{400, 30, 12};
+  const PartitionerResult result = partition_design(design, budget, options);
+  ASSERT_TRUE(result.feasible);
+
+  SimulateParams params;
+  params.steps = 50;
+  const SimulateSetup setup =
+      simulate_setup(design.configurations().size(), params);
+  sim::SimulationOptions sopt;
+  const sim::SimulationResult sr =
+      sim::simulate_scheme(design, result.proposed.scheme,
+                           result.proposed.eval, setup.trace, sopt);
+  const json::Value v = simulate_result_json(
+      design, "", budget, params, setup.source, setup.trace.transitions(),
+      {SimulatedScheme{"proposed", result.proposed.eval.total_frames,
+                       result.proposed.eval.worst_frames, sr}});
+  EXPECT_EQ(v.at("design").as_string(), "radio");
+  EXPECT_TRUE(v.at("device").is_null());
+  EXPECT_EQ(v.at("trace").at("source").as_string(), "markov");
+  EXPECT_EQ(v.at("trace").at("transitions").as_u64(), 50u);
+  EXPECT_FALSE(v.at("options").at("prefetch").as_bool());
+  const json::Value& row = v.at("schemes").items().at(0);
+  EXPECT_EQ(row.at("label").as_string(), "proposed");
+  EXPECT_EQ(row.at("transitions").as_u64(), 50u);
+  EXPECT_EQ(row.at("total_frames").as_u64(),
+            result.proposed.eval.total_frames);
+  EXPECT_GT(row.at("frames_loaded").as_u64(), 0u);
+  EXPECT_GE(row.at("max_latency_ns").as_u64(), row.at("p50_latency_ns").as_u64());
+  // Deterministic encoding, double field included.
+  EXPECT_EQ(v.dump(), simulate_result_json(design, "", budget, params,
+                                           setup.source,
+                                           setup.trace.transitions(),
+                                           {SimulatedScheme{
+                                               "proposed",
+                                               result.proposed.eval.total_frames,
+                                               result.proposed.eval.worst_frames,
+                                               sr}})
+                          .dump());
 }
 
 }  // namespace

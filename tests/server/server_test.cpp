@@ -477,6 +477,106 @@ TEST(ServerTest, StatsRequestReportsCounters) {
             resp.result.at("p50_latency_us").as_u64());
 }
 
+SimulateRequest simulate_request(const std::string& id,
+                                 std::uint64_t steps = 200) {
+  SimulateRequest req;
+  req.partition = receiver_request(id);
+  req.params.steps = steps;
+  req.params.seed = 3;
+  return req;
+}
+
+TEST(ServerTest, SimulateJobReturnsLatencies) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const ClientResponse resp = client.simulate(simulate_request("sim1"));
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  EXPECT_EQ(resp.result.at("trace").at("source").as_string(), "markov");
+  EXPECT_EQ(resp.result.at("trace").at("transitions").as_u64(), 200u);
+  const json::Value& row = resp.result.at("schemes").items().at(0);
+  EXPECT_EQ(row.at("label").as_string(), "proposed");
+  EXPECT_EQ(row.at("transitions").as_u64(), 200u);
+  EXPECT_GT(row.at("frames_loaded").as_u64(), 0u);
+  EXPECT_GT(row.at("p99_latency_ns").as_u64(), 0u);
+
+  // The stats surface the simulation counters.
+  const ClientResponse stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  const json::Value& sim = stats.result.at("simulate");
+  EXPECT_EQ(sim.at("simulations").as_u64(), 1u);
+  EXPECT_EQ(sim.at("transitions").as_u64(), 200u);
+  EXPECT_EQ(sim.at("frames_loaded").as_u64(), row.at("frames_loaded").as_u64());
+}
+
+TEST(ServerTest, SimulateResponseMatchesOneShotCliByteForByte) {
+  // The CLI's `simulate --json` and the server's simulate payload share one
+  // encoder and one trace construction; the bytes must agree exactly.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("prpart_server_test_" + std::to_string(::getpid()) +
+                        "_" + info->name());
+  fs::create_directories(dir);
+  const std::string design_path = (dir / "receiver.xml").string();
+  {
+    std::ofstream f(design_path);
+    f << design_to_xml(synth::wireless_receiver_design());
+  }
+  std::ostringstream cli_out, cli_err;
+  const int code = cli::run({"simulate", design_path, "--budget",
+                             "6800,64,150", "--evals", std::to_string(kEvals),
+                             "--steps", "200", "--seed", "3", "--json"},
+                            cli_out, cli_err);
+  ASSERT_EQ(code, 0) << cli_err.str();
+  std::string expected = cli_out.str();
+  ASSERT_FALSE(expected.empty());
+  expected.pop_back();  // trailing newline
+
+  Server server(quiet_options());
+  server.start();
+  const std::string line = raw_exchange(
+      server.port(), simulate_request_json(simulate_request("sim-twin")));
+  EXPECT_EQ(result_payload(line, "sim-twin"), expected);
+  fs::remove_all(dir);
+}
+
+TEST(ServerTest, SimulateCacheHitIsByteIdentical) {
+  Server server(quiet_options());
+  server.start();
+  const json::Value request =
+      simulate_request_json(simulate_request("simc"));
+  const std::string cold = raw_exchange(server.port(), request);
+  const std::string warm = raw_exchange(server.port(), request);
+  EXPECT_EQ(cold, warm);
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // A cache hit does not re-run the simulator.
+  EXPECT_EQ(stats.simulations, 1u);
+
+  // Same partition target, different trace knobs: a distinct cache entry.
+  SimulateRequest other = simulate_request("simc2");
+  other.params.seed = 99;
+  const std::string reseeded =
+      raw_exchange(server.port(), simulate_request_json(other));
+  EXPECT_NE(result_payload(cold, "simc"), result_payload(reseeded, "simc2"));
+  EXPECT_EQ(server.stats_snapshot().simulations, 2u);
+}
+
+TEST(ServerTest, SimulateRejectsSingleConfigurationDesigns) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  SimulateRequest req;
+  req.partition.id = "sim-one";
+  std::vector<Module> modules = {{"M", {{"M1", {100, 0, 0}}}}};
+  std::vector<Configuration> configs = {{"Only", {1}}};
+  req.partition.design_xml = design_to_xml(
+      Design("mono", {10, 0, 0}, std::move(modules), std::move(configs)));
+  const ClientResponse resp = client.simulate(req);
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_code, "bad_request");
+}
+
 TEST(ServerTest, ServeCommandDrainsOnSigtermAndExitsZero) {
   // End to end through the CLI: `prpart serve` must install its handlers,
   // serve clients, and exit 0 on SIGTERM.

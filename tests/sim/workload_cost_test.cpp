@@ -1,0 +1,151 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "core/clustering.hpp"
+#include "core/partitioner.hpp"
+#include "sim/trace.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/rng.hpp"
+
+namespace prpart::sim {
+namespace {
+
+/// Canonical text form of a scheme, for equality assertions.
+std::string key_of(const PartitionScheme& scheme) {
+  std::ostringstream os;
+  for (const Region& r : scheme.regions) {
+    os << "[";
+    for (const std::size_t m : r.members) os << m << ",";
+    os << "]";
+  }
+  os << " static:";
+  for (const std::size_t m : scheme.static_members) os << m << ",";
+  return os.str();
+}
+
+struct WorkloadCostTest : ::testing::Test {
+  WorkloadCostTest() : design(testing::paper_example()), budget{900, 8, 16} {
+    const MarkovChain chain =
+        MarkovChain::uniform(design.configurations().size());
+    Rng rng(17);
+    trace = markov_trace(chain, rng, 500);
+  }
+
+  Design design;
+  ResourceVec budget;
+  TransitionTrace trace;
+};
+
+TEST_F(WorkloadCostTest, SearchInvokesTheHookAndOrdersByIt) {
+  const SimulatedWorkloadCost cost(design, trace, {},
+                                   WorkloadMetric::TotalLatencyNs);
+  PartitionerOptions options;
+  options.search.workload_cost = &cost;
+  const PartitionerResult result = partition_design(design, budget, options);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.proposed_from_search);
+  // One simulation per kept alternative.
+  EXPECT_EQ(cost.evaluations(), result.alternatives.size());
+  // Alternatives come back ascending in workload cost, and the proposal is
+  // the cheapest one.
+  for (std::size_t i = 1; i < result.alternatives.size(); ++i)
+    EXPECT_LE(result.alternatives[i - 1].workload_cost,
+              result.alternatives[i].workload_cost);
+  EXPECT_EQ(key_of(result.proposed.scheme),
+            key_of(result.alternatives.front().scheme));
+  // The reported costs are the hook's values, recomputable independently.
+  const ConnectivityMatrix matrix(design);
+  const auto partitions = enumerate_base_partitions(design, matrix);
+  for (const RankedScheme& alt : result.alternatives) {
+    const SchemeEvaluation eval =
+        evaluate_scheme(design, matrix, partitions, alt.scheme, budget);
+    ASSERT_TRUE(eval.valid);
+    EXPECT_EQ(alt.workload_cost, cost.cost(alt.scheme, eval));
+  }
+}
+
+/// A cost that inverts the Eq. 10 order: more frames = cheaper.
+struct InvertedCost final : WorkloadCost {
+  std::uint64_t cost(const PartitionScheme&,
+                     const SchemeEvaluation& evaluation) const override {
+    return ~evaluation.total_frames;
+  }
+};
+
+TEST_F(WorkloadCostTest, ReRankingCanOverturnTheProxyOrder) {
+  PartitionerOptions plain;
+  const PartitionerResult baseline = partition_design(design, budget, plain);
+  ASSERT_TRUE(baseline.feasible);
+  ASSERT_GE(baseline.alternatives.size(), 2u);
+
+  const InvertedCost inverted;
+  PartitionerOptions options;
+  options.search.workload_cost = &inverted;
+  const PartitionerResult result = partition_design(design, budget, options);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.alternatives.size(), baseline.alternatives.size());
+  // Same scheme set, reversed preference: the proposal is now the
+  // highest-total-frames alternative of the baseline run, and the reported
+  // evaluation tracks the re-ranked winner.
+  const auto worst = std::max_element(
+      baseline.alternatives.begin(), baseline.alternatives.end(),
+      [](const RankedScheme& a, const RankedScheme& b) {
+        return a.total_frames < b.total_frames;
+      });
+  EXPECT_EQ(key_of(result.proposed.scheme), key_of(worst->scheme));
+  EXPECT_EQ(result.proposed.eval.total_frames, worst->total_frames);
+  for (std::size_t i = 1; i < result.alternatives.size(); ++i)
+    EXPECT_GE(result.alternatives[i - 1].total_frames,
+              result.alternatives[i].total_frames);
+}
+
+TEST_F(WorkloadCostTest, ReRankedSearchIsThreadCountInvariant) {
+  const SimulatedWorkloadCost cost(design, trace, {},
+                                   WorkloadMetric::P99LatencyNs);
+  auto run = [&](unsigned threads) {
+    PartitionerOptions options;
+    options.search.workload_cost = &cost;
+    options.search.threads = threads;
+    return partition_design(design, budget, options);
+  };
+  const PartitionerResult one = run(1);
+  const PartitionerResult four = run(4);
+  ASSERT_TRUE(one.feasible);
+  EXPECT_EQ(key_of(one.proposed.scheme), key_of(four.proposed.scheme));
+  ASSERT_EQ(one.alternatives.size(), four.alternatives.size());
+  for (std::size_t i = 0; i < one.alternatives.size(); ++i) {
+    EXPECT_EQ(key_of(one.alternatives[i].scheme),
+              key_of(four.alternatives[i].scheme));
+    EXPECT_EQ(one.alternatives[i].workload_cost,
+              four.alternatives[i].workload_cost);
+    EXPECT_EQ(one.alternatives[i].total_frames,
+              four.alternatives[i].total_frames);
+  }
+}
+
+TEST_F(WorkloadCostTest, MetricsReadTheMatchingResultField) {
+  const PartitionerResult result = partition_design(design, budget);
+  ASSERT_TRUE(result.feasible);
+  const PartitionScheme& scheme = result.proposed.scheme;
+  const SchemeEvaluation& eval = result.proposed.eval;
+  const SimulationResult r =
+      simulate_scheme(design, scheme, eval, trace);
+  const SimulatedWorkloadCost total(design, trace, {},
+                                    WorkloadMetric::TotalLatencyNs);
+  const SimulatedWorkloadCost p99(design, trace, {},
+                                  WorkloadMetric::P99LatencyNs);
+  const SimulatedWorkloadCost worst(design, trace, {},
+                                    WorkloadMetric::MaxLatencyNs);
+  EXPECT_EQ(total.cost(scheme, eval), r.total_latency_ns);
+  EXPECT_EQ(p99.cost(scheme, eval), r.p99_latency_ns);
+  EXPECT_EQ(worst.cost(scheme, eval), r.max_latency_ns);
+  EXPECT_EQ(total.evaluations() + p99.evaluations() + worst.evaluations(), 3u);
+}
+
+}  // namespace
+}  // namespace prpart::sim

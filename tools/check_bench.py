@@ -6,17 +6,19 @@ Usage:
 
 Walks both documents and compares every numeric leaf present in the
 baseline within a relative tolerance (default +-25%). Wall-clock keys
-(anything containing "seconds", "speedup", "ms_per" or "hit_rate") are
-skipped: they depend on the host, while the remaining counters are
-deterministic outputs of the search and must not drift silently.
+(anything containing "seconds", "speedup", "ms_per", "hit_rate" or
+"per_second") are skipped: they depend on the host, while the remaining
+counters are deterministic outputs of the search and simulator and must
+not drift silently.
 
-BENCH_search.json additionally carries two acceptance floors: the
-full-evaluation reduction of the bounded search over the exhaustive one
-must stay >= 5x, and the evaluation kernel's serve-scale wall-clock
-speedup over the scalar reference evaluator must stay >= 1.5x. Floors
-are exempt from the wall-clock skip (both runs happen on the same host,
-so the ratio is comparable), and a floor key missing from the current
-run is itself a failure.
+Some baselines additionally carry acceptance floors: BENCH_search.json
+requires the full-evaluation reduction of the bounded search over the
+exhaustive one to stay >= 5x and the evaluation kernel's serve-scale
+wall-clock speedup over the scalar reference to stay >= 1.5x;
+BENCH_simulate.json requires the uniform-trace ranking agreement with
+Eq. 10 to be exactly 1.0. Floors are exempt from the wall-clock skip
+(ratio floors compare runs on the same host), and a floor key missing
+from the current run is itself a failure.
 
 Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
 """
@@ -25,13 +27,18 @@ import argparse
 import json
 import sys
 
-SKIP_SUBSTRINGS = ("seconds", "speedup", "ms_per", "hit_rate")
+SKIP_SUBSTRINGS = ("seconds", "speedup", "ms_per", "hit_rate", "per_second")
 
 # (path-suffix, floor): hard minimums the current run must clear regardless
 # of what the baseline says.
 FLOORS = {
     "full_evaluation_reduction": 5.0,
     "kernel_wall_speedup": 1.5,
+    # BENCH_simulate.json: the fraction of candidate-scheme pairs whose
+    # simulated uniform-trace cost orders exactly like their Eq. 10 frame
+    # sums (ties included). The simulator's headline contract — anything
+    # below 1.0 is a correctness bug, not a perf regression.
+    "uniform_ranking_agreement": 1.0,
 }
 
 
