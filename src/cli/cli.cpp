@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <chrono>
@@ -20,6 +21,8 @@
 #include "design/io_xml.hpp"
 #include "design/synthetic.hpp"
 #include "floorplan/floorplanner.hpp"
+#include "floorplan/placement.hpp"
+#include "floorplan/rerank.hpp"
 #include "flow/flow.hpp"
 #include "reconfig/markov.hpp"
 #include "server/client.hpp"
@@ -47,10 +50,14 @@ usage:
                    [--candidate-sets N] [--evals N] [--threads N]
                    [--floorplan] [--ucf FILE] [--save FILE]
                    [--search-stats] [--json]
+  prpart floorplan <design.xml> [--device NAME | --budget C,B,D]
+                   [--candidate-sets N] [--evals N] [--threads N]
+                   [--top-k N] [--first-fit] [--no-anneal]
+                   [--anneal-seed S] [--ucf FILE] [--json]
   prpart simulate <design.xml> [--device NAME | --budget C,B,D]
                   [--steps N] [--seed S] [--trace FILE | --uniform]
                   [--prefetch] [--arrival-ns N] [--idle-frames N]
-                  [--load FILE] [--rank] [--threads N] [--json]
+                  [--floorplan] [--load FILE] [--rank] [--threads N] [--json]
   prpart bitstreams <design.xml> [--device NAME | --budget C,B,D]
                     [--threads N] [--out DIR]
   prpart flow <design.xml> [--device NAME] [--threads N] [--out DIR]
@@ -62,8 +69,10 @@ usage:
                 [--evals N] [--threads N] [--timeout MS] [--id ID] [--json]
   prpart stats [--host H] [--port N] [--json]
 
-With neither --device nor --budget, partitioning walks the Virtex-5 library
-from the smallest device up (the paper's device-selection mode). `analyze`
+With neither --device nor --budget, partitioning walks the device library
+(the paper's Virtex-5 parts plus reference parts with distinct column
+layouts; see `prpart devices`) from the smallest device up (the paper's
+device-selection mode). `analyze`
 (alias: `lint`) runs the static diagnostics engine: structural checks with
 source spans, design hygiene warnings and a resource lower-bound
 infeasibility proof; it exits 0 when clean, 4 when an error-severity
@@ -76,6 +85,21 @@ concurrency; results are byte-identical for every N, and N=1 runs inline).
 pruned units, move/full evaluations, move-table rescores and lower-bound
 tightness) after the partitioning; --json always carries the deterministic
 subset in the `stats` object.
+
+`floorplan` is the partition-floorplan co-optimization stage: it
+partitions the design, places the search's top K enumerated schemes as
+rectangles on the device's column grid (skyline packer, then greedy, then
+simulated-annealing refinement), replaces the Eq. 10 frame estimates with
+the frames of the placed rectangles, vetoes schemes with no legal
+floorplan and re-ranks the rest by placement-true cost. The re-rank only
+reorders within the enumerated candidate set and is byte-identical at any
+--threads value. --top-k bounds how many schemes are floorplanned,
+--first-fit switches the greedy rung's strategy, --no-anneal disables the
+refinement rung and --anneal-seed pins its RNG. `partition --floorplan`
+places just the proposed scheme through the same ladder; `simulate
+--floorplan` replays the workload against placement-true ICAP costs.
+Exit code 2 means every candidate was vetoed (the diagnostics name the
+binding resource column and the smallest feasible library device).
 
 `simulate` replays a transition workload against the proposed scheme
 through the ICAP datapath model and reports served reconfiguration
@@ -152,9 +176,14 @@ PartitionerOptions options_from(const Args& args) {
 }
 
 int cmd_devices(std::ostream& out) {
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary v5 = DeviceLibrary::virtex5();
   out << "Virtex-5 device library (smallest to largest):\n";
-  for (const Device& d : lib.devices())
+  for (const Device& d : v5.devices())
+    out << "  " << d.name() << ": " << d.capacity().to_string() << ", "
+        << d.rows() << " rows, " << d.columns().size() << " columns\n";
+  out << "Reference parts (distinct column layouts, for floorplanning):\n";
+  const DeviceLibrary ref = DeviceLibrary::reference_parts();
+  for (const Device& d : ref.devices())
     out << "  " << d.name() << ": " << d.capacity().to_string() << ", "
         << d.rows() << " rows, " << d.columns().size() << " columns\n";
   return 0;
@@ -231,7 +260,7 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
   if (json_out && (args.has("floorplan") || args.has("ucf")))
     throw ParseError("--json cannot be combined with --floorplan/--ucf");
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary lib = DeviceLibrary::extended();
   // Lower-bound pre-check for explicit targets: a provably hopeless design
   // is rejected with the proof before any search runs. (--json keeps the
   // full engine run so its payload stays byte-identical to the server's.)
@@ -331,20 +360,30 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
       if (!d) throw DeviceError("no library device covers the budget");
       return d;
     }();
-    const Floorplanner fp(device);
-    const FloorplanResult plan = fp.place_scheme(t.result.proposed.eval);
-    if (!plan.success) {
-      err << "floorplanning failed for region " << plan.failed_region + 1
-          << "\n";
+    const PlacedFloorplan plan =
+        floorplan_scheme(device, t.result.proposed.eval, {}, &lib);
+    if (!plan.feasible) {
+      err << "floorplanning failed on " << device.name() << ":\n";
+      for (const analysis::Diagnostic& d : plan.verdict.diagnostics) {
+        err << "  " << d.message << "\n";
+        if (!d.fixit.empty()) err << "    fix: " << d.fixit << "\n";
+      }
       return 2;
     }
-    out << "\nFloorplan on " << device.name() << ":\n";
+    out << "\nFloorplan on " << device.name() << " ("
+        << to_string(plan.stage) << "):\n";
     for (const RegionPlacement& p : plan.placements) {
       if (p.width == 0) continue;
       out << "  PRR" << p.region + 1 << ": rows [" << p.row << ","
           << p.row + p.height << ") cols [" << p.col << "," << p.col + p.width
-          << ")\n";
+          << "), " << with_commas(plan.placed_frames[p.region]) << " frames\n";
     }
+    const SchemeEvaluation placed =
+        with_placement_frames(t.result.proposed.eval, plan);
+    out << "  placement-true: " << with_commas(placed.total_frames)
+        << " total frames (estimate "
+        << with_commas(t.result.proposed.eval.total_frames) << "), worst "
+        << with_commas(placed.worst_frames) << "\n";
     if (const auto ucf_path = args.value("ucf")) {
       std::ofstream f(*ucf_path, std::ios::binary);
       if (!f) throw ParseError("cannot write '" + *ucf_path + "'");
@@ -355,10 +394,128 @@ int cmd_partition(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+server::FloorplanParams floorplan_params_from(const Args& args) {
+  server::FloorplanParams p;
+  p.top_k = args.u64_or("top-k", 5);
+  if (p.top_k == 0) throw ParseError("--top-k must be positive");
+  p.first_fit = args.has("first-fit");
+  p.anneal = !args.has("no-anneal");
+  p.anneal_seed = args.u64_or("anneal-seed", 1);
+  return p;
+}
+
+int cmd_floorplan(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool json_out = args.has("json");
+  const Design design = design_from_xml(read_file(args.positionals().at(1)));
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const server::FloorplanParams params = floorplan_params_from(args);
+  const Target t =
+      resolve_and_partition(design, args, lib, options_from(args));
+  const std::string device_name = t.device ? t.device->name() : "";
+  if (!t.result.feasible) {
+    if (json_out) {
+      out << server::floorplan_result_json(design, t.result, {}, device_name,
+                                           t.budget)
+                 .dump()
+          << "\n";
+    } else {
+      err << "design does not fit the target (lower bound "
+          << (design.largest_configuration_area() + design.static_base())
+                 .to_string()
+          << ", budget " << t.budget.to_string() << ")\n";
+    }
+    return 2;
+  }
+
+  // Placement target: the named/auto-walked device, or — for an explicit
+  // budget — the first library device whose capacity covers it (rectangles
+  // need real columns).
+  const Device* device = t.device;
+  if (!device) {
+    device = lib.smallest_fitting(t.budget);
+    if (!device) throw DeviceError("no library device covers the budget");
+  }
+
+  const FloorplanRerank rerank = floorplan_rerank(
+      design, t.result, *device, t.budget, params.rerank_options(), &lib);
+  if (json_out) {
+    // Same encoder as the server's `floorplan` result payload, byte for
+    // byte (the same contract as `partition --json`).
+    out << server::floorplan_result_json(design, t.result, rerank,
+                                         device_name, t.budget)
+               .dump()
+        << "\n";
+    return rerank.any_feasible ? 0 : 2;
+  }
+
+  out << "placement device: " << device->name() << "\n";
+  out << "budget: " << t.budget.to_string() << "\n\n";
+  out << "Placement-true re-ranking (" << rerank.ranked.size()
+      << " enumerated schemes, " << rerank.vetoed_count << " vetoed):\n";
+  for (std::size_t rank = 0; rank < rerank.ranked.size(); ++rank) {
+    const FloorplanCandidate& c = rerank.ranked[rank];
+    out << "  #" << rank + 1 << " scheme " << c.source_index + 1;
+    if (c.vetoed) {
+      out << ": VETOED (estimate " << with_commas(c.estimated_total)
+          << " frames)\n";
+      for (const analysis::Diagnostic& d : c.plan.verdict.diagnostics) {
+        out << "       " << d.message << "\n";
+        if (!d.fixit.empty()) out << "       fix: " << d.fixit << "\n";
+      }
+    } else {
+      out << " [" << to_string(c.plan.stage)
+          << "]: " << with_commas(c.placement_total)
+          << " frames placement-true (estimate "
+          << with_commas(c.estimated_total) << ", worst "
+          << with_commas(c.placement_worst) << ", waste "
+          << with_commas(c.plan.stats.waste_frames) << ")\n";
+    }
+  }
+  if (!rerank.any_feasible) {
+    err << "no enumerated scheme has a legal floorplan on " << device->name()
+        << "\n";
+    return 2;
+  }
+
+  const FloorplanCandidate& winner = rerank.ranked.front();
+  if (rerank.overturned) {
+    const auto eq10 = std::find_if(
+        rerank.ranked.begin(), rerank.ranked.end(),
+        [](const FloorplanCandidate& c) { return c.source_index == 0; });
+    out << "\nplacement-true cost overturns the Eq. 10 ranking: scheme "
+        << rerank.winner_source + 1 << " replaces scheme 1"
+        << (eq10 != rerank.ranked.end() && eq10->vetoed ? " (vetoed)"
+                                                        : " (re-ranked)")
+        << "\n";
+  } else {
+    out << "\nthe Eq. 10 winner survives placement\n";
+  }
+
+  out << "\nWinner floorplan on " << device->name() << " ("
+      << to_string(winner.plan.stage) << "):\n";
+  for (std::size_t r = 0; r < winner.plan.placements.size(); ++r) {
+    const RegionPlacement& p = winner.plan.placements[r];
+    if (p.width == 0) continue;
+    out << "  PRR" << r + 1 << ": rows [" << p.row << "," << p.row + p.height
+        << ") cols [" << p.col << "," << p.col + p.width << "), "
+        << with_commas(winner.plan.placed_frames[r]) << " frames\n";
+  }
+  out << "\nWinning partitioning:\n"
+      << render_scheme_partitions(design, t.result.base_partitions,
+                                  winner.scheme);
+  if (const auto ucf_path = args.value("ucf")) {
+    std::ofstream f(*ucf_path, std::ios::binary);
+    if (!f) throw ParseError("cannot write '" + *ucf_path + "'");
+    f << to_ucf(*device, winner.plan.placements);
+    out << "wrote " << *ucf_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   const bool json_out = args.has("json");
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary lib = DeviceLibrary::extended();
   const std::size_t n = design.configurations().size();
   if (n < 2) throw ParseError("simulation needs at least two configurations");
 
@@ -369,6 +526,9 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   params.prefetch = args.has("prefetch");
   params.uniform = args.has("uniform");
   params.inter_arrival_ns = args.u64_or("arrival-ns", 0);
+  params.floorplan = args.has("floorplan");
+  if (params.floorplan && args.value("load"))
+    throw ParseError("--floorplan cannot be combined with --load");
 
   // Schemes to replay: the saved partitioning, or the search's proposal
   // (plus its ranked runners-up with --rank).
@@ -418,6 +578,31 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
         schemes.push_back(std::move(alt));
         evals.push_back(std::move(eval));
       }
+    }
+    if (params.floorplan) {
+      // Replay against placement-true ICAP costs: floorplan every scheme
+      // through the ladder and patch its frame counts. A vetoed proposal is
+      // fatal; vetoed runners-up just drop out of the --rank replay.
+      const Device* device = t.device ? t.device : lib.smallest_fitting(t.budget);
+      if (!device) throw DeviceError("no library device covers the budget");
+      std::vector<PartitionScheme> kept_schemes;
+      std::vector<SchemeEvaluation> kept_evals;
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const PlacedFloorplan plan = floorplan_scheme(*device, evals[i]);
+        if (!plan.feasible) {
+          if (i == 0) {
+            err << "the proposed scheme has no legal floorplan on "
+                << device->name() << "\n";
+            return 2;
+          }
+          continue;
+        }
+        kept_schemes.push_back(std::move(schemes[i]));
+        kept_evals.push_back(
+            with_placement_frames(std::move(evals[i]), plan));
+      }
+      schemes = std::move(kept_schemes);
+      evals = std::move(kept_evals);
     }
   }
 
@@ -504,7 +689,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_bitstreams(const Args& args, std::ostream& out, std::ostream& err) {
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary lib = DeviceLibrary::extended();
   const Target t =
       resolve_and_partition(design, args, lib, options_from(args));
   if (!t.result.feasible) {
@@ -541,7 +726,7 @@ int cmd_bitstreams(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_flow(const Args& args, std::ostream& out, std::ostream& err) {
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary lib = DeviceLibrary::extended();
   FlowOptions opt;
   opt.partitioner = options_from(args);
 
@@ -586,7 +771,7 @@ int cmd_flow(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_optimal(const Args& args, std::ostream& out, std::ostream& err) {
   const Design design = design_from_xml(read_file(args.positionals().at(1)));
-  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const DeviceLibrary lib = DeviceLibrary::extended();
   ResourceVec budget;
   if (const auto b = args.value("budget")) {
     budget = parse_budget(*b);
@@ -754,7 +939,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     const Args parsed(args, {"floorplan", "prefetch", "json", "search-stats",
-                             "uniform", "rank"});
+                             "uniform", "rank", "first-fit", "no-anneal"});
     if (parsed.positionals().empty()) {
       err << "error: missing command\n" << kUsage;
       return 1;
@@ -790,12 +975,19 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                           "search-stats", "json"});
       return cmd_partition(parsed, out, err);
     }
+    if (command == "floorplan") {
+      need_design();
+      parsed.check_known({"device", "budget", "candidate-sets", "evals",
+                          "threads", "top-k", "first-fit", "no-anneal",
+                          "anneal-seed", "ucf", "json"});
+      return cmd_floorplan(parsed, out, err);
+    }
     if (command == "simulate") {
       need_design();
       parsed.check_known({"device", "budget", "candidate-sets", "evals",
                           "threads", "steps", "seed", "prefetch", "load",
                           "trace", "uniform", "rank", "arrival-ns",
-                          "idle-frames", "json"});
+                          "idle-frames", "floorplan", "json"});
       return cmd_simulate(parsed, out, err);
     }
     if (command == "bitstreams") {

@@ -155,6 +155,53 @@ DeviceLibrary DeviceLibrary::virtex5_full() {
   return lib;
 }
 
+namespace {
+
+/// Expands a layout pattern string ('C', 'B', 'D' per column, repeated
+/// `repeats` times) into a column vector; spaces are ignored.
+std::vector<BlockType> columns_from_pattern(const char* pattern,
+                                            std::uint32_t repeats) {
+  std::vector<BlockType> columns;
+  for (std::uint32_t rep = 0; rep < repeats; ++rep) {
+    for (const char* p = pattern; *p != '\0'; ++p) {
+      switch (*p) {
+        case 'C': columns.push_back(BlockType::Clb); break;
+        case 'B': columns.push_back(BlockType::Bram); break;
+        case 'D': columns.push_back(BlockType::Dsp); break;
+        case ' ': break;
+        default: throw InternalError("bad column pattern character");
+      }
+    }
+  }
+  return columns;
+}
+
+}  // namespace
+
+DeviceLibrary DeviceLibrary::reference_parts() {
+  DeviceLibrary lib;
+  // Artix-7-35T-like edge part: all BRAM pushed to the left die edge and
+  // all DSP to the right, so any region mixing memory and arithmetic must
+  // span most of the die width. 3 rows x 16 columns.
+  lib.add(Device("XC7A35T", 3, columns_from_pattern("BB CCCCCCCCCCCC DD", 1)));
+  // Zynq-7020-like part: BRAM and DSP columns paired back to back in the
+  // middle of each fabric stripe (the 7-series pairing), 5 rows x 50
+  // columns.
+  lib.add(Device("XC7Z020", 5, columns_from_pattern("CCCC BD CCCC", 5)));
+  // Virtex-7-585T-like part: long uninterrupted CLB spans with sparse
+  // single special columns, 14 rows x 72 columns.
+  lib.add(Device("XC7V585T", 14,
+                 columns_from_pattern("B CCCCCCCCCCCCCCCC D", 4)));
+  return lib;
+}
+
+DeviceLibrary DeviceLibrary::extended() {
+  DeviceLibrary lib = virtex5();
+  const DeviceLibrary ref = reference_parts();
+  for (const Device& d : ref.devices()) lib.add(d);
+  return lib;
+}
+
 const Device& DeviceLibrary::by_name(const std::string& name) const {
   for (const Device& d : devices_)
     if (d.name() == name) return d;

@@ -72,6 +72,20 @@ class DeviceLibrary {
   /// smallest to largest by logic capacity.
   static DeviceLibrary virtex5_full();
 
+  /// Cross-family reference parts with hand-authored column layouts, for
+  /// exercising the floorplanner against grids the Virtex-5 interleaving
+  /// heuristic never produces: a Zynq-7020-like part (BRAM and DSP columns
+  /// paired back to back), a BRAM-starved edge part (all memory pushed to
+  /// the die edges) and a large Virtex-7-like part (wide uninterrupted CLB
+  /// spans). Ordered smallest to largest.
+  static DeviceLibrary reference_parts();
+
+  /// virtex5() plus reference_parts() appended: the catalogue `--device`
+  /// resolves names against. The Virtex-5 prefix keeps its size order, so
+  /// auto-device walks behave exactly as with virtex5() unless a design
+  /// fits no Virtex-5 part at all.
+  static DeviceLibrary extended();
+
   /// Devices ordered by ascending size.
   const std::vector<Device>& devices() const { return devices_; }
 

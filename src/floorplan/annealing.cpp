@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "floorplan/geometry.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -10,28 +11,9 @@ namespace prpart {
 
 namespace {
 
-TileCount rect_tiles(const Device& device, std::uint32_t height,
-                     std::uint32_t col, std::uint32_t width) {
-  TileCount t;
-  for (std::uint32_t c = col; c < col + width; ++c) {
-    switch (device.columns()[c]) {
-      case BlockType::Clb: t.clb_tiles += height; break;
-      case BlockType::Bram: t.bram_tiles += height; break;
-      case BlockType::Dsp: t.dsp_tiles += height; break;
-    }
-  }
-  return t;
-}
-
-bool covers(const TileCount& have, const TileCount& need) {
-  return have.clb_tiles >= need.clb_tiles &&
-         have.bram_tiles >= need.bram_tiles &&
-         have.dsp_tiles >= need.dsp_tiles;
-}
-
-std::uint64_t total_tiles(const TileCount& t) {
-  return std::uint64_t{t.clb_tiles} + t.bram_tiles + t.dsp_tiles;
-}
+using fpgeom::covers;
+using fpgeom::rect_tiles;
+using fpgeom::total_tiles;
 
 /// Overlapping tile count of two rectangles.
 std::uint64_t overlap(const RegionPlacement& a, const RegionPlacement& b) {
@@ -65,11 +47,11 @@ bool sample_rectangle(Rng& rng, const Device& device, const TileCount& need,
   return false;
 }
 
-}  // namespace
-
-FloorplanResult anneal_place(const Device& device,
-                             const std::vector<TileCount>& regions,
-                             const AnnealingOptions& options) {
+/// Shared body of anneal_place / anneal_refine; `warm_start` may be null.
+FloorplanResult anneal_impl(const Device& device,
+                            const std::vector<TileCount>& regions,
+                            const std::vector<RegionPlacement>* warm_start,
+                            const AnnealingOptions& options) {
   require(options.iterations > 0, "annealing needs at least one iteration");
   require(options.cooling > 0.0 && options.cooling < 1.0,
           "cooling factor must be in (0, 1)");
@@ -78,12 +60,25 @@ FloorplanResult anneal_place(const Device& device,
   FloorplanResult result;
   result.placements.resize(regions.size());
 
-  // Initial state: every non-empty region at a random feasible anchor.
+  // Initial state: warm-started regions keep their covering rectangle;
+  // every other non-empty region starts at a random feasible anchor.
   std::vector<std::size_t> movable;
   for (std::size_t r = 0; r < regions.size(); ++r) {
     result.placements[r].region = r;
     if (total_tiles(regions[r]) == 0) continue;  // zero-area: width 0
     bool seeded = false;
+    if (warm_start != nullptr) {
+      for (const RegionPlacement& p : *warm_start) {
+        if (p.region != r || p.width == 0) continue;
+        if (p.row + p.height > device.rows() ||
+            p.col + p.width > device.columns().size())
+          break;
+        if (!covers(p.provided, regions[r])) break;
+        result.placements[r] = p;
+        seeded = true;
+        break;
+      }
+    }
     for (int attempt = 0; attempt < 256 && !seeded; ++attempt)
       seeded = sample_rectangle(rng, device, regions[r], r,
                                 result.placements[r]);
@@ -147,6 +142,21 @@ FloorplanResult anneal_place(const Device& device,
       }
   }
   return result;
+}
+
+}  // namespace
+
+FloorplanResult anneal_place(const Device& device,
+                             const std::vector<TileCount>& regions,
+                             const AnnealingOptions& options) {
+  return anneal_impl(device, regions, nullptr, options);
+}
+
+FloorplanResult anneal_refine(const Device& device,
+                              const std::vector<TileCount>& regions,
+                              const std::vector<RegionPlacement>& warm_start,
+                              const AnnealingOptions& options) {
+  return anneal_impl(device, regions, &warm_start, options);
 }
 
 }  // namespace prpart

@@ -30,4 +30,15 @@ FloorplanResult anneal_place(const Device& device,
                              const std::vector<TileCount>& regions,
                              const AnnealingOptions& options = {});
 
+/// Warm-started refinement: entries of `warm_start` with nonzero width that
+/// cover their region's requirement seed the initial state; every other
+/// region starts at a random anchor as in anneal_place. Used by the
+/// placement ladder to hand the greedy rung's partial placement to the
+/// annealer instead of throwing it away. Same determinism contract: the
+/// result is a pure function of (device, regions, warm_start, options).
+FloorplanResult anneal_refine(const Device& device,
+                              const std::vector<TileCount>& regions,
+                              const std::vector<RegionPlacement>& warm_start,
+                              const AnnealingOptions& options = {});
+
 }  // namespace prpart

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <optional>
 
+#include "floorplan/geometry.hpp"
 #include "util/status.hpp"
 
 namespace prpart {
@@ -13,30 +14,9 @@ Floorplanner::Floorplanner(const Device& device, FloorplanOptions options)
 
 namespace {
 
-std::uint64_t total_tiles(const TileCount& t) {
-  return std::uint64_t{t.clb_tiles} + t.bram_tiles + t.dsp_tiles;
-}
-
-/// Tiles of each type a rectangle of `height` rows over columns
-/// [col, col+width) provides.
-TileCount rect_tiles(const Device& device, std::uint32_t height,
-                     std::uint32_t col, std::uint32_t width) {
-  TileCount t;
-  for (std::uint32_t c = col; c < col + width; ++c) {
-    switch (device.columns()[c]) {
-      case BlockType::Clb: t.clb_tiles += height; break;
-      case BlockType::Bram: t.bram_tiles += height; break;
-      case BlockType::Dsp: t.dsp_tiles += height; break;
-    }
-  }
-  return t;
-}
-
-bool covers(const TileCount& have, const TileCount& need) {
-  return have.clb_tiles >= need.clb_tiles &&
-         have.bram_tiles >= need.bram_tiles &&
-         have.dsp_tiles >= need.dsp_tiles;
-}
+using fpgeom::covers;
+using fpgeom::rect_tiles;
+using fpgeom::total_tiles;
 
 }  // namespace
 

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "device/tiles.hpp"
+
+namespace prpart::fpgeom {
+
+/// Tiles of each type a rectangle of `height` rows over columns
+/// [col, col + width) provides.
+inline TileCount rect_tiles(const Device& device, std::uint32_t height,
+                            std::uint32_t col, std::uint32_t width) {
+  TileCount t;
+  for (std::uint32_t c = col; c < col + width; ++c) {
+    switch (device.columns()[c]) {
+      case BlockType::Clb: t.clb_tiles += height; break;
+      case BlockType::Bram: t.bram_tiles += height; break;
+      case BlockType::Dsp: t.dsp_tiles += height; break;
+    }
+  }
+  return t;
+}
+
+inline bool covers(const TileCount& have, const TileCount& need) {
+  return have.clb_tiles >= need.clb_tiles &&
+         have.bram_tiles >= need.bram_tiles &&
+         have.dsp_tiles >= need.dsp_tiles;
+}
+
+inline std::uint64_t total_tiles(const TileCount& t) {
+  return std::uint64_t{t.clb_tiles} + t.bram_tiles + t.dsp_tiles;
+}
+
+}  // namespace prpart::fpgeom

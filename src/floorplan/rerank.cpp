@@ -1,0 +1,82 @@
+#include "floorplan/rerank.hpp"
+
+#include <algorithm>
+
+#include "core/connectivity.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+FloorplanRerank floorplan_rerank(const Design& design,
+                                 const PartitionerResult& result,
+                                 const Device& device,
+                                 const ResourceVec& budget,
+                                 const FloorplanRerankOptions& options,
+                                 const DeviceLibrary* fixit_library) {
+  FloorplanRerank rerank;
+  if (!result.feasible) return rerank;
+
+  // The enumerated candidate set: the search's ranked alternatives (first
+  // entry is the proposed scheme) or, when the search found nothing and the
+  // single-region fallback was proposed, that fallback alone. The fallback
+  // keeps its stored evaluation: a single region holding every base
+  // partition is not a structurally valid scheme under evaluate_scheme
+  // (several members are active at once), it is evaluated by its own path.
+  std::vector<const PartitionScheme*> schemes;
+  const bool from_search =
+      result.proposed_from_search && !result.alternatives.empty();
+  if (from_search) {
+    for (const RankedScheme& alt : result.alternatives) {
+      if (schemes.size() >= options.top_k) break;
+      schemes.push_back(&alt.scheme);
+    }
+  } else {
+    schemes.push_back(&result.proposed.scheme);
+  }
+
+  const ConnectivityMatrix matrix(design);
+  rerank.ranked.reserve(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    FloorplanCandidate cand;
+    cand.source_index = i;
+    cand.scheme = *schemes[i];
+    cand.eval = from_search
+                    ? evaluate_scheme(design, matrix, result.base_partitions,
+                                      cand.scheme, budget)
+                    : result.proposed.eval;
+    require(cand.eval.valid, "enumerated scheme re-evaluated as invalid");
+    cand.estimated_total = cand.eval.total_frames;
+    cand.plan =
+        floorplan_scheme(device, cand.eval, options.placement, fixit_library);
+    if (cand.plan.feasible) {
+      cand.eval = with_placement_frames(cand.eval, cand.plan);
+      cand.placement_total = cand.eval.total_frames;
+      cand.placement_worst = cand.eval.worst_frames;
+    } else {
+      cand.vetoed = true;
+      ++rerank.vetoed_count;
+    }
+    rerank.ranked.push_back(std::move(cand));
+  }
+
+  // Feasible candidates ascending by placement-true cost (source order
+  // breaks ties, so equal-cost schemes keep the Eq. 10 ranking); vetoed
+  // candidates trail in source order.
+  std::stable_sort(rerank.ranked.begin(), rerank.ranked.end(),
+                   [](const FloorplanCandidate& a, const FloorplanCandidate& b) {
+                     if (a.vetoed != b.vetoed) return !a.vetoed;
+                     if (a.vetoed) return a.source_index < b.source_index;
+                     if (a.placement_total != b.placement_total)
+                       return a.placement_total < b.placement_total;
+                     return a.source_index < b.source_index;
+                   });
+
+  rerank.any_feasible = !rerank.ranked.empty() && !rerank.ranked.front().vetoed;
+  if (rerank.any_feasible) {
+    rerank.winner_source = rerank.ranked.front().source_index;
+    rerank.overturned = rerank.winner_source != 0;
+  }
+  return rerank;
+}
+
+}  // namespace prpart

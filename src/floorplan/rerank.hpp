@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "floorplan/placement.hpp"
+
+namespace prpart {
+
+struct FloorplanRerankOptions {
+  /// How many enumerated schemes to floorplan: the Eq. 10 winner plus up to
+  /// top_k - 1 runners-up (bounded by what the search kept, i.e.
+  /// SearchOptions::keep_alternatives).
+  std::size_t top_k = 5;
+  PlacementOptions placement;
+};
+
+/// One enumerated scheme after the floorplan pass.
+struct FloorplanCandidate {
+  /// Position in the search's ranking: 0 is the Eq. 10 winner, 1.. the
+  /// runners-up in ascending estimated cost.
+  std::size_t source_index = 0;
+  PartitionScheme scheme;
+  /// The scheme's evaluation; frame counts are placement-true (patched via
+  /// with_placement_frames) when the floorplan is feasible, the plain
+  /// resource-vector estimate when vetoed.
+  SchemeEvaluation eval;
+  PlacedFloorplan plan;
+  std::uint64_t estimated_total = 0;  ///< Eq. 10 from resource vectors
+  std::uint64_t placement_total = 0;  ///< Eq. 10 from placed rectangles
+  std::uint64_t placement_worst = 0;  ///< Eq. 11 from placed rectangles
+  bool vetoed = false;  ///< no legal floorplan on the target device
+};
+
+/// Outcome of the post-enumeration veto/re-rank stage.
+struct FloorplanRerank {
+  /// True when at least one enumerated scheme has a legal floorplan.
+  bool any_feasible = false;
+  /// source_index of the placement-true winner (= ranked.front()'s);
+  /// meaningful when any_feasible.
+  std::size_t winner_source = 0;
+  /// True when the placement-true winner is not the Eq. 10 winner — the
+  /// estimate was either re-ranked past (waste inverted the order) or
+  /// vetoed outright.
+  bool overturned = false;
+  std::size_t vetoed_count = 0;
+  /// All floorplanned candidates: schemes with a legal floorplan first in
+  /// ascending (placement_total, source_index) order, then the vetoed ones
+  /// in source order. Strictly a permutation of the enumerated top-K — the
+  /// stage never invents schemes.
+  std::vector<FloorplanCandidate> ranked;
+};
+
+/// Floorplans the top-K schemes of a partitioner run on `device` and
+/// re-ranks them by placement-true Eq. 10 cost, vetoing schemes with no
+/// legal floorplan. Runs single-threaded over at most top_k schemes, so the
+/// result is a pure function of its arguments — byte-identical regardless
+/// of the thread count the search ran with (the search's own determinism
+/// contract guarantees identical inputs).
+///
+/// `budget` must be the budget the partitioner ran against (the evaluations
+/// are re-derived with it); `fixit_library`, when non-null, fills the
+/// smallest-feasible-device fix-it of vetoed candidates' verdicts.
+FloorplanRerank floorplan_rerank(const Design& design,
+                                 const PartitionerResult& result,
+                                 const Device& device,
+                                 const ResourceVec& budget,
+                                 const FloorplanRerankOptions& options = {},
+                                 const DeviceLibrary* fixit_library = nullptr);
+
+}  // namespace prpart

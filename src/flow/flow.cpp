@@ -83,7 +83,7 @@ FlowResult run_flow(const Design& design, const Device& device,
       need.reserve(partitioning.proposed.eval.regions.size());
       for (const RegionReport& region : partitioning.proposed.eval.regions)
         need.push_back(region.tiles);
-      FloorplanResult annealed = anneal_place(device, need);
+      FloorplanResult annealed = anneal_place(device, need, options.annealing);
       if (annealed.success) {
         finish(result, design, std::move(partitioning), std::move(annealed),
                device);

@@ -5,6 +5,7 @@
 
 #include "bitstream/bitstream.hpp"
 #include "core/partitioner.hpp"
+#include "floorplan/annealing.hpp"
 #include "floorplan/floorplanner.hpp"
 
 namespace prpart {
@@ -27,6 +28,10 @@ struct FlowOptions {
   /// alternatives, try the simulated-annealing floorplanner before
   /// shrinking the budget (slower, but untangles fragmented instances).
   bool use_annealing_fallback = true;
+  /// Knobs of that annealing fallback (seed, iterations, schedule). Flow
+  /// outcomes are reproducible because the annealer is a pure function of
+  /// these options — change the seed here to explore other packings.
+  AnnealingOptions annealing;
 };
 
 /// Everything the tool flow of Fig. 2 produces for one design on one

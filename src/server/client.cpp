@@ -64,6 +64,23 @@ json::Value simulate_request_json(const SimulateRequest& request) {
   if (request.params.uniform) v.set("uniform", json::Value(true));
   if (request.params.inter_arrival_ns != 0)
     v.set("inter_arrival_ns", json::Value(request.params.inter_arrival_ns));
+  if (request.params.floorplan) v.set("floorplan", json::Value(true));
+  return v;
+}
+
+json::Value floorplan_request_json(const FloorplanRequest& request) {
+  // A floorplan request is a partition request plus re-rank knobs;
+  // non-default knobs only, mirroring the other builders.
+  json::Value v = partition_request_json(request.partition);
+  v.set("type", json::Value("floorplan"));
+  const FloorplanParams defaults;
+  if (request.params.top_k != defaults.top_k)
+    v.set("top_k",
+          json::Value(static_cast<std::uint64_t>(request.params.top_k)));
+  if (request.params.first_fit) v.set("strategy", json::Value("first-fit"));
+  if (!request.params.anneal) v.set("anneal", json::Value(false));
+  if (request.params.anneal_seed != defaults.anneal_seed)
+    v.set("anneal_seed", json::Value(request.params.anneal_seed));
   return v;
 }
 
@@ -80,6 +97,10 @@ ClientResponse Client::analyze(const AnalyzeRequest& request) {
 
 ClientResponse Client::simulate(const SimulateRequest& request) {
   return roundtrip(simulate_request_json(request));
+}
+
+ClientResponse Client::floorplan(const FloorplanRequest& request) {
+  return roundtrip(floorplan_request_json(request));
 }
 
 ClientResponse Client::stats(const std::string& id) {

@@ -44,6 +44,10 @@ class Client {
   /// proposed scheme (docs/protocol.md, `simulate`).
   ClientResponse simulate(const SimulateRequest& request);
 
+  /// Partitions a design and re-ranks the enumerated top-K schemes by
+  /// placement-true floorplan cost (docs/protocol.md, `floorplan`).
+  ClientResponse floorplan(const FloorplanRequest& request);
+
   /// Fetches the server's stats snapshot.
   ClientResponse stats(const std::string& id = "stats");
 
@@ -69,5 +73,8 @@ json::Value analyze_request_json(const AnalyzeRequest& request);
 
 /// Builds the wire form of a simulate request.
 json::Value simulate_request_json(const SimulateRequest& request);
+
+/// Builds the wire form of a floorplan request.
+json::Value floorplan_request_json(const FloorplanRequest& request);
 
 }  // namespace prpart::server

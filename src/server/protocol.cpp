@@ -177,7 +177,25 @@ std::string SimulateParams::cache_string() const {
          " seed=" + std::to_string(seed) +
          " prefetch=" + (prefetch ? "1" : "0") +
          " uniform=" + (uniform ? "1" : "0") +
-         " arrival=" + std::to_string(inter_arrival_ns);
+         " arrival=" + std::to_string(inter_arrival_ns) +
+         " floorplan=" + (floorplan ? "1" : "0");
+}
+
+std::string FloorplanParams::cache_string() const {
+  return "floorplan top_k=" + std::to_string(top_k) +
+         " strategy=" + (first_fit ? "first-fit" : "best-fit") +
+         " anneal=" + (anneal ? "1" : "0") +
+         " anneal_seed=" + std::to_string(anneal_seed);
+}
+
+FloorplanRerankOptions FloorplanParams::rerank_options() const {
+  FloorplanRerankOptions opt;
+  opt.top_k = top_k;
+  opt.placement.strategy =
+      first_fit ? PlacementStrategy::FirstFit : PlacementStrategy::BestFit;
+  opt.placement.use_annealer = anneal;
+  opt.placement.annealing.seed = anneal_seed;
+  return opt;
 }
 
 PartitionerOptions default_partitioner_options() {
@@ -242,7 +260,7 @@ Request parse_request(const std::string& line) {
         "type",    "id",         "design_xml", "device",
         "budget",  "candidate_sets", "evals",  "threads",
         "timeout_ms", "steps",   "seed",       "prefetch",
-        "uniform", "inter_arrival_ns"};
+        "uniform", "inter_arrival_ns", "floorplan"};
     check_known_fields(doc, known);
     parse_partition_fields(doc, s.partition);
     if (const json::Value* v = doc.find("steps")) {
@@ -256,6 +274,37 @@ Request parse_request(const std::string& line) {
       s.params.uniform = v->as_bool();
     if (const json::Value* v = doc.find("inter_arrival_ns"))
       s.params.inter_arrival_ns = v->as_u64();
+    if (const json::Value* v = doc.find("floorplan"))
+      s.params.floorplan = v->as_bool();
+    return req;
+  }
+  if (type == "floorplan") {
+    req.type = Request::Type::Floorplan;
+    FloorplanRequest& f = req.floorplan;
+    f.partition.id = req.id;
+    static const char* known[] = {
+        "type",   "id",     "design_xml",     "device",
+        "budget", "candidate_sets", "evals",  "threads",
+        "timeout_ms", "top_k", "strategy", "anneal", "anneal_seed"};
+    check_known_fields(doc, known);
+    parse_partition_fields(doc, f.partition);
+    if (const json::Value* v = doc.find("top_k")) {
+      f.params.top_k = v->as_u64();
+      if (f.params.top_k == 0) throw ParseError("top_k must be positive");
+    }
+    if (const json::Value* v = doc.find("strategy")) {
+      const std::string& s = v->as_string();
+      if (s == "first-fit")
+        f.params.first_fit = true;
+      else if (s == "best-fit")
+        f.params.first_fit = false;
+      else
+        throw ParseError("strategy must be 'first-fit' or 'best-fit'");
+    }
+    if (const json::Value* v = doc.find("anneal"))
+      f.params.anneal = v->as_bool();
+    if (const json::Value* v = doc.find("anneal_seed"))
+      f.params.anneal_seed = v->as_u64();
     return req;
   }
   if (type != "partition") throw ParseError("unknown request type '" + type + "'");
@@ -327,6 +376,86 @@ json::Value partition_result_json(const Design& design,
   return v;
 }
 
+json::Value floorplan_result_json(const Design& design,
+                                  const PartitionerResult& result,
+                                  const FloorplanRerank& rerank,
+                                  const std::string& device_name,
+                                  const ResourceVec& budget) {
+  json::Value v = json::Value::object();
+  v.set("design", json::Value(design.name()));
+  v.set("feasible", json::Value(rerank.any_feasible));
+  v.set("device",
+        device_name.empty() ? json::Value() : json::Value(device_name));
+  v.set("budget", resources_json(budget));
+  v.set("candidates",
+        json::Value(static_cast<std::uint64_t>(rerank.ranked.size())));
+  v.set("vetoed", json::Value(static_cast<std::uint64_t>(rerank.vetoed_count)));
+  v.set("overturned", json::Value(rerank.overturned));
+  v.set("winner_source",
+        rerank.any_feasible
+            ? json::Value(static_cast<std::uint64_t>(rerank.winner_source))
+            : json::Value());
+
+  // Candidates in placement-true rank order (vetoed candidates trail).
+  // Rectangles are listed in scheme-region order; region indices, rows and
+  // columns are all deterministic, so the rendering is byte-identical for
+  // every thread count the search ran with.
+  json::Value ranked = json::Value::array();
+  for (const FloorplanCandidate& cand : rerank.ranked) {
+    json::Value row = json::Value::object();
+    row.set("source_index",
+            json::Value(static_cast<std::uint64_t>(cand.source_index)));
+    row.set("vetoed", json::Value(cand.vetoed));
+    row.set("stage", json::Value(std::string(to_string(cand.plan.stage))));
+    row.set("estimated_total", json::Value(cand.estimated_total));
+    if (!cand.vetoed) {
+      row.set("placement_total", json::Value(cand.placement_total));
+      row.set("placement_worst", json::Value(cand.placement_worst));
+      row.set("waste_frames", json::Value(cand.plan.stats.waste_frames));
+      json::Value rects = json::Value::array();
+      for (std::size_t r = 0; r < cand.plan.placements.size(); ++r) {
+        const RegionPlacement& p = cand.plan.placements[r];
+        json::Value rect = json::Value::object();
+        rect.set("region", json::Value(static_cast<std::uint64_t>(r)));
+        rect.set("row", json::Value(static_cast<std::uint64_t>(p.row)));
+        rect.set("height", json::Value(static_cast<std::uint64_t>(p.height)));
+        rect.set("col", json::Value(static_cast<std::uint64_t>(p.col)));
+        rect.set("width", json::Value(static_cast<std::uint64_t>(p.width)));
+        rect.set("frames", json::Value(cand.plan.placed_frames[r]));
+        rects.push_back(std::move(rect));
+      }
+      row.set("placements", std::move(rects));
+    } else {
+      json::Value diags = json::Value::array();
+      for (const analysis::Diagnostic& d : cand.plan.verdict.diagnostics) {
+        json::Value item = json::Value::object();
+        item.set("severity",
+                 json::Value(std::string(analysis::to_string(d.severity))));
+        item.set("code", json::Value(d.code));
+        item.set("message", json::Value(d.message));
+        if (!d.fixit.empty()) item.set("fixit", json::Value(d.fixit));
+        diags.push_back(std::move(item));
+      }
+      row.set("diagnostics", std::move(diags));
+    }
+    ranked.push_back(std::move(row));
+  }
+  v.set("ranked", std::move(ranked));
+
+  if (rerank.any_feasible) {
+    // The canonical scheme rendering of the placement-true winner; its
+    // region/total/worst frame counts are the placed values.
+    const FloorplanCandidate& winner = rerank.ranked.front();
+    json::Value scheme = scheme_json(design, result.base_partitions,
+                                     winner.scheme, winner.eval);
+    scheme.set("from_search", json::Value(result.proposed_from_search));
+    v.set("winner", std::move(scheme));
+  } else {
+    v.set("winner", json::Value());
+  }
+  return v;
+}
+
 SimulateSetup simulate_setup(std::size_t configs, const SimulateParams& params) {
   require(configs >= 2, "simulation needs at least two configurations");
   // The chain is sampled before the trace so the trace consumes the Rng
@@ -362,6 +491,7 @@ json::Value simulate_result_json(const Design& design,
   json::Value options = json::Value::object();
   options.set("prefetch", json::Value(params.prefetch));
   options.set("inter_arrival_ns", json::Value(params.inter_arrival_ns));
+  options.set("floorplan", json::Value(params.floorplan));
   v.set("options", options);
 
   json::Value rows = json::Value::array();

@@ -5,6 +5,7 @@
 
 #include "core/partitioner.hpp"
 #include "design/design.hpp"
+#include "floorplan/rerank.hpp"
 #include "sim/simulator.hpp"
 #include "util/json.hpp"
 
@@ -56,6 +57,9 @@ struct SimulateParams {
   bool prefetch = false;          ///< Markov-predicted prefetching on
   bool uniform = false;  ///< replay the Eulerian all-pairs trace instead
   std::uint64_t inter_arrival_ns = 0;  ///< 0 = closed loop (see sim)
+  /// Floorplan the proposed scheme first and replay against placement-true
+  /// frame counts (vetoed schemes make the job infeasible).
+  bool floorplan = false;
 
   /// Canonical form folded into the job cache key next to the target.
   std::string cache_string() const;
@@ -68,13 +72,38 @@ struct SimulateRequest {
   SimulateParams params;
 };
 
+/// Floorplan knobs of a `floorplan` job, shared verbatim between the server
+/// request and `prpart floorplan`. Like SimulateParams, the veto/re-rank
+/// stage is a pure function of these plus the design and target, which is
+/// what makes floorplan jobs cacheable.
+struct FloorplanParams {
+  std::size_t top_k = 5;  ///< enumerated schemes to floorplan (>= 1)
+  bool first_fit = false;  ///< greedy rung strategy: first-fit, not best-fit
+  bool anneal = true;      ///< run the annealing refinement rung
+  std::uint64_t anneal_seed = 1;  ///< RNG seed of that rung
+
+  /// Canonical form folded into the job cache key next to the target.
+  std::string cache_string() const;
+  /// The same knobs in the floorplan subsystem's vocabulary.
+  FloorplanRerankOptions rerank_options() const;
+};
+
+/// One `floorplan` job: partition the design (exactly as a `partition` job
+/// would), then floorplan the top-K enumerated schemes and re-rank them by
+/// placement-true Eq. 10 cost.
+struct FloorplanRequest {
+  PartitionRequest partition;  ///< design/target/effort/timeout core
+  FloorplanParams params;
+};
+
 struct Request {
-  enum class Type { Partition, Analyze, Simulate, Stats, Ping };
+  enum class Type { Partition, Analyze, Simulate, Floorplan, Stats, Ping };
   Type type = Type::Ping;
   std::string id;
   PartitionRequest partition;  ///< meaningful when type == Partition
   AnalyzeRequest analyze;      ///< meaningful when type == Analyze
   SimulateRequest simulate;    ///< meaningful when type == Simulate
+  FloorplanRequest floorplan;  ///< meaningful when type == Floorplan
 };
 
 /// Parses one newline-delimited request. Throws ParseError on malformed
@@ -95,6 +124,18 @@ PartitionerOptions default_partitioner_options();
 /// module/mode/configuration declaration order.
 json::Value partition_result_json(const Design& design,
                                   const PartitionerResult& result,
+                                  const std::string& device_name,
+                                  const ResourceVec& budget);
+
+/// The single floorplan-result encoder shared by the server's `floorplan`
+/// response and the CLI's `prpart floorplan --json` output, byte for byte —
+/// the same contract as partition_result_json. Candidates are rendered in
+/// placement-true rank order with their rectangles in scheme-region order;
+/// vetoed candidates carry their verdict diagnostics. The winner additionally
+/// gets the canonical scheme rendering with placement-true frame counts.
+json::Value floorplan_result_json(const Design& design,
+                                  const PartitionerResult& result,
+                                  const FloorplanRerank& rerank,
                                   const std::string& device_name,
                                   const ResourceVec& budget);
 

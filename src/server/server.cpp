@@ -22,7 +22,7 @@ std::uint64_t latency_us_since(std::int64_t submit_ns) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      library_(DeviceLibrary::virtex5()),
+      library_(DeviceLibrary::extended()),
       cache_(options_.cache_entries) {}
 
 Server::~Server() { stop(); }
@@ -159,6 +159,8 @@ std::string Server::handle_request(const std::string& line) {
         return handle_partition(std::move(request.partition));
       case Request::Type::Simulate:
         return handle_simulate(std::move(request.simulate));
+      case Request::Type::Floorplan:
+        return handle_floorplan(std::move(request.floorplan));
     }
     stats_.job_failed();
     return error_response(id, ErrorCode::Internal, "unhandled request type");
@@ -192,15 +194,20 @@ std::string Server::handle_analyze(const AnalyzeRequest& request) {
 }
 
 std::string Server::handle_partition(PartitionRequest request) {
-  return admit_job(std::move(request), std::nullopt);
+  return admit_job(std::move(request), std::nullopt, std::nullopt);
 }
 
 std::string Server::handle_simulate(SimulateRequest request) {
-  return admit_job(std::move(request.partition), request.params);
+  return admit_job(std::move(request.partition), request.params, std::nullopt);
+}
+
+std::string Server::handle_floorplan(FloorplanRequest request) {
+  return admit_job(std::move(request.partition), std::nullopt, request.params);
 }
 
 std::string Server::admit_job(PartitionRequest request,
-                              std::optional<SimulateParams> simulate) {
+                              std::optional<SimulateParams> simulate,
+                              std::optional<FloorplanParams> floorplan) {
   const std::int64_t submit_ns = monotonic_now_ns();
   // Validate everything the worker would otherwise trip over, so
   // bad_request never costs a queue slot: the design must parse and a named
@@ -240,11 +247,12 @@ std::string Server::admit_job(PartitionRequest request,
   if (request.options.search.threads == 0)
     request.options.search.threads = std::max(1u, options_.job_threads);
 
-  // Simulate jobs are cached next to partition jobs: the replay is a pure
-  // function of (design, target, options, params), so the params extend the
-  // target identity in the key.
+  // Simulate and floorplan jobs are cached next to partition jobs: both
+  // stages are pure functions of (design, target, options, params), so the
+  // params extend the target identity in the key.
   std::string target = request.target_string();
   if (simulate) target += ";" + simulate->cache_string();
+  if (floorplan) target += ";" + floorplan->cache_string();
   const std::string key = job_cache_key(design, target, request.options);
   if (std::optional<std::string> hit = cache_.lookup(key)) {
     stats_.cache_hit(latency_us_since(submit_ns));
@@ -255,6 +263,7 @@ std::string Server::admit_job(PartitionRequest request,
   auto job = std::make_shared<Job>(std::move(request), std::move(design), key,
                                    submit_ns);
   job->simulate = simulate;
+  job->floorplan = floorplan;
   const std::uint64_t timeout_ms = job->request.timeout_ms != 0
                                        ? job->request.timeout_ms
                                        : options_.default_timeout_ms;
@@ -310,17 +319,23 @@ void Server::execute_job(Job& job) {
     PartitionerResult result;
     std::string device_name;
     ResourceVec budget;
+    const Device* device = nullptr;  ///< placement target (floorplan stages)
     if (!job.request.device.empty()) {
-      const Device& device = library_.by_name(job.request.device);
-      device_name = device.name();
-      budget = device.capacity();
+      device = &library_.by_name(job.request.device);
+      device_name = device->name();
+      budget = device->capacity();
       result = partition_design(job.design, budget, options);
     } else if (job.request.budget) {
       budget = *job.request.budget;
       result = partition_design(job.design, budget, options);
+      // Floorplan stages need real columns: place on the first library
+      // device whose capacity covers the budget.
+      if (job.floorplan || (job.simulate && job.simulate->floorplan))
+        device = library_.smallest_fitting(budget);
     } else {
       DevicePartitionResult dp =
           partition_on_smallest_device(job.design, library_, options);
+      device = dp.device;
       device_name = dp.device->name();
       budget = dp.device->capacity();
       result = std::move(dp.result);
@@ -338,8 +353,45 @@ void Server::execute_job(Job& job) {
               ", budget " + budget.to_string() + ")");
     } else {
       std::string payload;
-      if (job.simulate) {
+      if (job.floorplan) {
+        require(device != nullptr,
+                "no library device covers the requested budget");
+        const FloorplanRerank rerank =
+            floorplan_rerank(job.design, result, *device, budget,
+                             job.floorplan->rerank_options(), &library_);
+        stats_.floorplan_finished(rerank.ranked.size(), rerank.vetoed_count,
+                                  rerank.overturned);
+        if (!rerank.any_feasible) {
+          stats_.job_infeasible(latency_us_since(job.submit_ns));
+          job.response.set_value(error_response(
+              job.request.id, ErrorCode::Infeasible,
+              "no enumerated scheme has a legal floorplan on " +
+                  device->name()));
+          return;
+        }
+        payload = floorplan_result_json(job.design, result, rerank,
+                                        device_name, budget)
+                      .dump();
+      } else if (job.simulate) {
         const SimulateParams& params = *job.simulate;
+        SchemeEvaluation eval = result.proposed.eval;
+        if (params.floorplan) {
+          // Replay against placement-true ICAP costs: floorplan the
+          // proposed scheme and patch its frame counts before simulating.
+          require(device != nullptr,
+                  "no library device covers the requested budget");
+          const PlacedFloorplan plan = floorplan_scheme(*device, eval);
+          stats_.floorplan_finished(1, plan.feasible ? 0 : 1, false);
+          if (!plan.feasible) {
+            stats_.job_infeasible(latency_us_since(job.submit_ns));
+            job.response.set_value(error_response(
+                job.request.id, ErrorCode::Infeasible,
+                "the proposed scheme has no legal floorplan on " +
+                    device->name()));
+            return;
+          }
+          eval = with_placement_frames(std::move(eval), plan);
+        }
         const SimulateSetup setup = simulate_setup(
             job.design.configurations().size(), params);
         sim::SimulationOptions sopt;
@@ -347,15 +399,14 @@ void Server::execute_job(Job& job) {
         sopt.predictor = &setup.env;
         sopt.inter_arrival_ns = params.inter_arrival_ns;
         const sim::SimulationResult sr =
-            sim::simulate_scheme(job.design, result.proposed.scheme,
-                                 result.proposed.eval, setup.trace, sopt);
+            sim::simulate_scheme(job.design, result.proposed.scheme, eval,
+                                 setup.trace, sopt);
         stats_.simulation_finished(sr.transitions, sr.frames_loaded);
         payload = simulate_result_json(
                       job.design, device_name, budget, params, setup.source,
                       setup.trace.transitions(),
-                      {SimulatedScheme{"proposed",
-                                       result.proposed.eval.total_frames,
-                                       result.proposed.eval.worst_frames, sr}})
+                      {SimulatedScheme{"proposed", eval.total_frames,
+                                       eval.worst_frames, sr}})
                       .dump();
       } else {
         payload =

@@ -97,6 +97,9 @@ class Server {
     /// Set for `simulate` jobs: after the partition, replay this workload
     /// against the proposed scheme and answer with the simulate payload.
     std::optional<SimulateParams> simulate;
+    /// Set for `floorplan` jobs: after the partition, floorplan the top-K
+    /// enumerated schemes and answer with the re-ranked payload.
+    std::optional<FloorplanParams> floorplan;
     Design design;
     std::string cache_key;
     std::int64_t submit_ns;
@@ -118,11 +121,13 @@ class Server {
   std::string handle_request(const std::string& line);
   std::string handle_partition(PartitionRequest request);
   std::string handle_simulate(SimulateRequest request);
+  std::string handle_floorplan(FloorplanRequest request);
   std::string handle_analyze(const AnalyzeRequest& request);
-  /// Shared admission path of partition and simulate jobs: pre-checks,
-  /// cache lookup, queue admission, response wait.
+  /// Shared admission path of partition, simulate and floorplan jobs:
+  /// pre-checks, cache lookup, queue admission, response wait.
   std::string admit_job(PartitionRequest request,
-                        std::optional<SimulateParams> simulate);
+                        std::optional<SimulateParams> simulate,
+                        std::optional<FloorplanParams> floorplan);
   void execute_job(Job& job);
   std::string stats_response(const std::string& id) const;
   void log_line(const std::string& line);

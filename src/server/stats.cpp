@@ -46,6 +46,12 @@ json::Value StatsSnapshot::to_json() const {
   sim.set("transitions", json::Value(simulated_transitions));
   sim.set("frames_loaded", json::Value(simulated_frames));
   v.set("simulate", sim);
+  json::Value fp = json::Value::object();
+  fp.set("passes", json::Value(floorplans));
+  fp.set("candidates", json::Value(floorplan_candidates));
+  fp.set("vetoes", json::Value(floorplan_vetoes));
+  fp.set("overturns", json::Value(floorplan_overturns));
+  v.set("floorplan", fp);
   return v;
 }
 
@@ -64,7 +70,10 @@ std::string StatsSnapshot::log_line() const {
          " p99_us=" + std::to_string(p99_latency_us) +
          " search_units=" + std::to_string(search_units) +
          " search_pruned=" + std::to_string(search_units_pruned) +
-         " simulations=" + std::to_string(simulations);
+         " simulations=" + std::to_string(simulations) +
+         " floorplans=" + std::to_string(floorplans) +
+         " floorplan_vetoes=" + std::to_string(floorplan_vetoes) +
+         " floorplan_overturns=" + std::to_string(floorplan_overturns);
 }
 
 void ServerStats::job_accepted() {
@@ -129,6 +138,15 @@ void ServerStats::simulation_finished(std::uint64_t transitions,
   simulated_frames_ += frames;
 }
 
+void ServerStats::floorplan_finished(std::size_t candidates,
+                                     std::size_t vetoed, bool overturned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++floorplans_;
+  floorplan_candidates_ += candidates;
+  floorplan_vetoes_ += vetoed;
+  if (overturned) ++floorplan_overturns_;
+}
+
 void ServerStats::record_latency(std::uint64_t latency_us) {
   ++latency_count_;
   if (latencies_.size() < kReservoir) {
@@ -166,6 +184,10 @@ StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
   s.simulations = simulations_;
   s.simulated_transitions = simulated_transitions_;
   s.simulated_frames = simulated_frames_;
+  s.floorplans = floorplans_;
+  s.floorplan_candidates = floorplan_candidates_;
+  s.floorplan_vetoes = floorplan_vetoes_;
+  s.floorplan_overturns = floorplan_overturns_;
   return s;
 }
 

@@ -39,6 +39,14 @@ struct StatsSnapshot {
   std::uint64_t simulations = 0;
   std::uint64_t simulated_transitions = 0;
   std::uint64_t simulated_frames = 0;
+  // Cumulative floorplan-stage counters: veto/re-rank passes run (floorplan
+  // jobs plus simulate jobs with floorplan=true), schemes floorplanned,
+  // schemes vetoed, and passes where the placement-true winner differed
+  // from the Eq. 10 winner.
+  std::uint64_t floorplans = 0;
+  std::uint64_t floorplan_candidates = 0;
+  std::uint64_t floorplan_vetoes = 0;
+  std::uint64_t floorplan_overturns = 0;
 
   json::Value to_json() const;
   /// One-line rendering for the periodic server log.
@@ -62,6 +70,9 @@ class ServerStats {
   void search_finished(const SearchStats& stats);
   /// Folds one simulate job's replay into the cumulative counters.
   void simulation_finished(std::uint64_t transitions, std::uint64_t frames);
+  /// Folds one veto/re-rank pass into the cumulative counters.
+  void floorplan_finished(std::size_t candidates, std::size_t vetoed,
+                          bool overturned);
 
   /// Queue depth and in-flight count are owned by the scheduler; it reports
   /// them at snapshot time.
@@ -93,6 +104,10 @@ class ServerStats {
   std::uint64_t simulations_ = 0;
   std::uint64_t simulated_transitions_ = 0;
   std::uint64_t simulated_frames_ = 0;
+  std::uint64_t floorplans_ = 0;
+  std::uint64_t floorplan_candidates_ = 0;
+  std::uint64_t floorplan_vetoes_ = 0;
+  std::uint64_t floorplan_overturns_ = 0;
   std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
   std::size_t latency_next_ = 0;
 };

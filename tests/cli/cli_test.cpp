@@ -605,6 +605,133 @@ TEST_F(CliTest, PartitionJsonIdenticalAcrossThreadCounts) {
   EXPECT_EQ(r4.out, r1.out);
 }
 
+TEST_F(CliTest, DevicesListsReferenceParts) {
+  const CliRun r = invoke({"devices"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Reference parts"), std::string::npos);
+  EXPECT_NE(r.out.find("XC7Z020"), std::string::npos);
+  EXPECT_NE(r.out.find("XC7V585T"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanRanksCandidatesAndPrintsWinner) {
+  const CliRun r = invoke({"floorplan", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "60000"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Placement-true re-ranking"), std::string::npos);
+  EXPECT_NE(r.out.find("placement-true"), std::string::npos);
+  EXPECT_NE(r.out.find("Winner floorplan on XC5VFX70T"), std::string::npos);
+  EXPECT_NE(r.out.find("PRR1"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanBudgetTargetPicksSmallestFittingDevice) {
+  const CliRun r = invoke({"floorplan", design_path_, "--budget",
+                           "6800,64,150", "--evals", "60000"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("placement device:"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanJsonIsThreadCountInvariant) {
+  const std::vector<std::string> base = {"floorplan", design_path_,
+                                         "--device", "XC5VFX70T", "--evals",
+                                         "60000", "--json", "--threads"};
+  std::vector<std::string> a1 = base, a4 = base;
+  a1.push_back("1");
+  a4.push_back("4");
+  const CliRun r1 = invoke(a1);
+  const CliRun r4 = invoke(a4);
+  ASSERT_EQ(r1.code, 0) << r1.err;
+  ASSERT_EQ(r4.code, 0) << r4.err;
+  EXPECT_EQ(r4.out, r1.out);
+
+  const json::Value v = json::parse(r1.out);
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_EQ(v.at("device").as_string(), "XC5VFX70T");
+  ASSERT_FALSE(v.at("ranked").items().empty());
+  const json::Value& top = v.at("ranked").items().front();
+  EXPECT_FALSE(top.at("vetoed").as_bool());
+  EXPECT_GE(top.at("placement_total").as_u64(),
+            top.at("estimated_total").as_u64());
+  EXPECT_FALSE(top.at("placements").items().empty());
+  EXPECT_TRUE(v.at("winner").is_object());
+}
+
+TEST_F(CliTest, FloorplanOverturnExampleOnTheCaseStudyDevice) {
+  // The committed co-optimization example: synthetic seed 16 (logic class)
+  // on the FX70T. The Eq. 10 estimate ties all enumerated schemes; the
+  // placement-true cost re-ranks a runner-up into first place and vetoes
+  // two schemes for static overflow, with a retarget fix-it.
+  const std::string path = (dir_ / "seed16.xml").string();
+  const CliRun gen = invoke({"generate", "--seed", "16", "--class", "logic",
+                             "--out", path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const CliRun r = invoke({"floorplan", path, "--device", "XC5VFX70T",
+                           "--evals", "60000"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("overturns the Eq. 10 ranking"), std::string::npos);
+  EXPECT_NE(r.out.find("VETOED"), std::string::npos);
+  EXPECT_NE(r.out.find("retarget XC5VFX95T"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanAllVetoedExitsTwoWithDiagnostics) {
+  // Auto device walk on the seed-7 dspmem design lands on a device where
+  // every enumerated scheme is vetoed; the command reports the diagnostics
+  // and exits 2 like an infeasible partition.
+  const std::string path = (dir_ / "seed7.xml").string();
+  const CliRun gen = invoke({"generate", "--seed", "7", "--class", "dspmem",
+                             "--out", path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const CliRun r = invoke({"floorplan", path, "--device", "XC5VFX95T",
+                           "--evals", "60000"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("VETOED"), std::string::npos);
+  EXPECT_NE(r.err.find("no enumerated scheme has a legal floorplan"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanRejectsZeroTopK) {
+  const CliRun r = invoke({"floorplan", design_path_, "--device", "XC5VFX70T",
+                           "--top-k", "0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--top-k"), std::string::npos);
+}
+
+TEST_F(CliTest, FloorplanRejectsTypoOption) {
+  const CliRun r = invoke({"floorplan", design_path_, "--device", "XC5VFX70T",
+                           "--topk", "3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, PartitionFloorplanPrintsPlacementTrueCost) {
+  const CliRun r = invoke({"partition", design_path_, "--device", "XC5VFX70T",
+                           "--evals", "60000", "--floorplan"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Floorplan on XC5VFX70T"), std::string::npos);
+  EXPECT_NE(r.out.find("placement-true:"), std::string::npos);
+}
+
+TEST_F(CliTest, SimulateFloorplanReplaysPlacementTrueFrames) {
+  const CliRun plain = invoke({"simulate", design_path_, "--device",
+                               "XC5VFX70T", "--evals", "60000",
+                               "--steps", "2000"});
+  const CliRun placed = invoke({"simulate", design_path_, "--device",
+                                "XC5VFX70T", "--evals", "60000",
+                                "--steps", "2000", "--floorplan"});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  ASSERT_EQ(placed.code, 0) << placed.err;
+  // Same workload, placement-true frame counts: the replay exists and the
+  // output differs from the estimate-priced one (waste is never free on
+  // this design/device pair).
+  EXPECT_NE(placed.out, plain.out);
+}
+
+TEST_F(CliTest, SimulateRejectsFloorplanWithLoad) {
+  const CliRun r = invoke({"simulate", design_path_, "--load", "plan.xml",
+                           "--floorplan"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--floorplan"), std::string::npos);
+}
+
 TEST_F(CliTest, DeterministicOutput) {
   const std::vector<std::string> args = {"partition", design_path_,
                                          "--budget", "6800,64,150",

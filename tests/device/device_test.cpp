@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "device/tiles.hpp"
 #include "util/status.hpp"
 
@@ -131,6 +133,91 @@ TEST(DeviceLibrary, FullFamilyColumnsCoverCapacity) {
               d.capacity().dsps)
         << d.name();
   }
+}
+
+TEST(DeviceLibrary, ReferencePartsGoldenLayouts) {
+  const DeviceLibrary ref = DeviceLibrary::reference_parts();
+  ASSERT_EQ(ref.devices().size(), 3u);
+
+  // Edge part: all BRAM on the left die edge, all DSP on the right.
+  const Device& edge = ref.by_name("XC7A35T");
+  EXPECT_EQ(edge.rows(), 3u);
+  ASSERT_EQ(edge.columns().size(), 16u);
+  EXPECT_EQ(edge.columns()[0], BlockType::Bram);
+  EXPECT_EQ(edge.columns()[1], BlockType::Bram);
+  EXPECT_EQ(edge.columns()[14], BlockType::Dsp);
+  EXPECT_EQ(edge.columns()[15], BlockType::Dsp);
+  EXPECT_EQ(edge.capacity(), ResourceVec(720, 24, 48));
+
+  // Zynq-like part: every BRAM column is immediately followed by a DSP
+  // column (the 7-series back-to-back pairing).
+  const Device& zynq = ref.by_name("XC7Z020");
+  EXPECT_EQ(zynq.rows(), 5u);
+  ASSERT_EQ(zynq.columns().size(), 50u);
+  for (std::size_t c = 0; c < zynq.columns().size(); ++c) {
+    if (zynq.columns()[c] != BlockType::Bram) continue;
+    ASSERT_LT(c + 1, zynq.columns().size());
+    EXPECT_EQ(zynq.columns()[c + 1], BlockType::Dsp);
+  }
+  EXPECT_EQ(zynq.capacity(), ResourceVec(4000, 100, 200));
+
+  // Virtex-7-like part: widest uninterrupted CLB span is 16 columns.
+  const Device& v7 = ref.by_name("XC7V585T");
+  EXPECT_EQ(v7.rows(), 14u);
+  ASSERT_EQ(v7.columns().size(), 72u);
+  std::uint32_t widest = 0;
+  std::uint32_t run = 0;
+  for (BlockType t : v7.columns()) {
+    run = t == BlockType::Clb ? run + 1 : 0;
+    widest = std::max(widest, run);
+  }
+  EXPECT_EQ(widest, 16u);
+  EXPECT_EQ(v7.capacity(), ResourceVec(17920, 224, 448));
+
+  // Sorted smallest to largest, like every other library.
+  for (std::size_t i = 1; i < ref.devices().size(); ++i)
+    EXPECT_LT(ref.devices()[i - 1].capacity().clbs,
+              ref.devices()[i].capacity().clbs);
+}
+
+TEST(DeviceLibrary, ReferencePartsTileGoldens) {
+  const DeviceLibrary ref = DeviceLibrary::reference_parts();
+  const Device& zynq = ref.by_name("XC7Z020");
+  EXPECT_EQ(zynq.tiles_of(BlockType::Clb), 40u * 5);
+  EXPECT_EQ(zynq.tiles_of(BlockType::Bram), 5u * 5);
+  EXPECT_EQ(zynq.tiles_of(BlockType::Dsp), 5u * 5);
+
+  // Eq. 3-5 rounding against the Zynq-like capacity: consuming the whole
+  // part as one region costs the full column grid in tiles and frames.
+  const TileCount whole = tiles_for(zynq.capacity());
+  EXPECT_EQ(whole.clb_tiles, 200u);
+  EXPECT_EQ(whole.bram_tiles, 25u);
+  EXPECT_EQ(whole.dsp_tiles, 25u);
+  EXPECT_EQ(whole.frames(), 200u * 36 + 25u * 30 + 25u * 28);
+
+  const Device& edge = ref.by_name("XC7A35T");
+  EXPECT_EQ(edge.tiles_of(BlockType::Clb), 36u);
+  EXPECT_EQ(edge.tiles_of(BlockType::Bram), 6u);
+  EXPECT_EQ(edge.tiles_of(BlockType::Dsp), 6u);
+}
+
+TEST(DeviceLibrary, ExtendedIsVirtex5PlusReferenceParts) {
+  const DeviceLibrary ext = DeviceLibrary::extended();
+  const DeviceLibrary v5 = DeviceLibrary::virtex5();
+  const DeviceLibrary ref = DeviceLibrary::reference_parts();
+  ASSERT_EQ(ext.devices().size(), v5.devices().size() + ref.devices().size());
+  // The Virtex-5 prefix keeps its order, so auto-device walks are unchanged
+  // for designs that fit any Virtex-5 part.
+  for (std::size_t i = 0; i < v5.devices().size(); ++i)
+    EXPECT_EQ(ext.devices()[i].name(), v5.devices()[i].name());
+  for (std::size_t i = 0; i < ref.devices().size(); ++i)
+    EXPECT_EQ(ext.devices()[v5.devices().size() + i].name(),
+              ref.devices()[i].name());
+  EXPECT_NO_THROW(ext.by_name("XC7Z020"));
+  EXPECT_NO_THROW(ext.by_name("XC5VFX70T"));
+  // Names stay unique across the merged catalogue.
+  for (std::size_t i = 0; i < ext.devices().size(); ++i)
+    EXPECT_EQ(ext.index_of(ext.devices()[i].name()), i);
 }
 
 TEST(DeviceLibrary, FX70THoldsCaseStudyBudget) {

@@ -86,19 +86,66 @@ TEST(Annealing, ImpossibleInstanceFails) {
   EXPECT_FALSE(r.success);
 }
 
+void expect_byte_identical(const FloorplanResult& a, const FloorplanResult& b) {
+  ASSERT_EQ(a.success, b.success);
+  ASSERT_EQ(a.failed_region, b.failed_region);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].region, b.placements[i].region);
+    EXPECT_EQ(a.placements[i].row, b.placements[i].row);
+    EXPECT_EQ(a.placements[i].height, b.placements[i].height);
+    EXPECT_EQ(a.placements[i].col, b.placements[i].col);
+    EXPECT_EQ(a.placements[i].width, b.placements[i].width);
+    EXPECT_EQ(a.placements[i].provided, b.placements[i].provided);
+  }
+}
+
 TEST(Annealing, DeterministicForSeed) {
+  // Byte-exact: every field of every placement, not just the anchor. The
+  // annealer's result is a pure function of (device, regions, options).
   const Device d("test", {1600, 16, 16}, 2);
   const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}};
   AnnealingOptions opt;
   opt.seed = 99;
   const FloorplanResult a = anneal_place(d, need, opt);
   const FloorplanResult b = anneal_place(d, need, opt);
-  ASSERT_EQ(a.success, b.success);
-  for (std::size_t i = 0; i < a.placements.size(); ++i) {
-    EXPECT_EQ(a.placements[i].row, b.placements[i].row);
-    EXPECT_EQ(a.placements[i].col, b.placements[i].col);
-    EXPECT_EQ(a.placements[i].width, b.placements[i].width);
+  expect_byte_identical(a, b);
+}
+
+TEST(Annealing, SeedSelectsTheExploration) {
+  // Different seeds walk different trajectories; on a loose instance both
+  // must still succeed (seed changes exploration, never soundness).
+  const Device d = fragmented_device();
+  const std::vector<TileCount> need = {{2, 1, 0}, {2, 1, 0}, {4, 0, 0}};
+  AnnealingOptions opt;
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    opt.seed = seed;
+    const FloorplanResult r = anneal_place(d, need, opt);
+    EXPECT_TRUE(r.success) << "seed " << seed;
   }
+}
+
+TEST(Annealing, RefineAcceptsAWarmStart) {
+  // Hand the annealer the greedy rung's wedged partial placement (the big
+  // CLB region parked over a BRAM column). It must still untangle the
+  // instance, and repeat the exact same result when called again.
+  const Device d = fragmented_device();
+  const std::vector<TileCount> need = {{2, 1, 0}, {2, 1, 0}, {4, 0, 0}};
+  const FloorplanResult greedy = Floorplanner(d).place(need);
+  ASSERT_FALSE(greedy.success);
+
+  const FloorplanResult a = anneal_refine(d, need, greedy.placements);
+  EXPECT_TRUE(a.success);
+  const FloorplanResult b = anneal_refine(d, need, greedy.placements);
+  expect_byte_identical(a, b);
+}
+
+TEST(Annealing, RefineWithEmptyWarmStartMatchesColdStart) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}, {6, 0, 0}};
+  const FloorplanResult cold = anneal_place(d, need);
+  const FloorplanResult warm = anneal_refine(d, need, {});
+  expect_byte_identical(cold, warm);
 }
 
 TEST(Annealing, ZeroAreaRegionsIgnored) {

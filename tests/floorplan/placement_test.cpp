@@ -1,0 +1,316 @@
+#include "floorplan/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+using B = BlockType;
+
+/// 1-row device with two BRAM columns separated by CLB columns (same shape
+/// as the annealing tests): C C C B C C C B C C C C
+Device fragmented_device() {
+  return Device("frag", 1,
+                {B::Clb, B::Clb, B::Clb, B::Bram, B::Clb, B::Clb, B::Clb,
+                 B::Bram, B::Clb, B::Clb, B::Clb, B::Clb});
+}
+
+/// A synthetic evaluated scheme over `tiles`: every region reconfigures on
+/// the single configuration pair, so placement-true totals are just sums.
+SchemeEvaluation eval_of(const std::vector<TileCount>& tiles,
+                         const ResourceVec& static_resources = {}) {
+  SchemeEvaluation e;
+  e.valid = true;
+  e.fits = true;
+  e.static_resources = static_resources;
+  for (const TileCount& t : tiles) {
+    RegionReport r;
+    r.tiles = t;
+    r.frames = t.frames();
+    r.reconfig_pairs = 1;
+    r.active = {0, 1};
+    e.regions.push_back(std::move(r));
+    e.total_frames += t.frames();
+  }
+  e.worst_frames = e.total_frames;
+  return e;
+}
+
+bool rects_disjoint(const std::vector<RegionPlacement>& placements) {
+  for (std::size_t a = 0; a < placements.size(); ++a)
+    for (std::size_t b = a + 1; b < placements.size(); ++b) {
+      const RegionPlacement& p = placements[a];
+      const RegionPlacement& q = placements[b];
+      if (p.width == 0 || q.width == 0) continue;
+      const bool row_overlap =
+          p.row < q.row + q.height && q.row < p.row + p.height;
+      const bool col_overlap =
+          p.col < q.col + q.width && q.col < p.col + p.width;
+      if (row_overlap && col_overlap) return false;
+    }
+  return true;
+}
+
+TEST(Skyline, PlacementsCoverRequirementsAndStayDisjoint) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const std::vector<TileCount> need = {{4, 1, 0}, {3, 0, 1}, {6, 0, 0}};
+  const FloorplanResult r = skyline_place(d, need);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.placements.size(), need.size());
+  for (std::size_t i = 0; i < need.size(); ++i) {
+    const RegionPlacement& p = r.placements[i];
+    EXPECT_EQ(p.region, i);  // scheme order restored
+    EXPECT_LE(p.row + p.height, d.rows());
+    EXPECT_LE(p.col + p.width, d.columns().size());
+    EXPECT_GE(p.provided.clb_tiles, need[i].clb_tiles);
+    EXPECT_GE(p.provided.bram_tiles, need[i].bram_tiles);
+    EXPECT_GE(p.provided.dsp_tiles, need[i].dsp_tiles);
+  }
+  EXPECT_TRUE(rects_disjoint(r.placements));
+}
+
+TEST(Skyline, DeterministicAcrossCalls) {
+  const Device d("test", {3200, 32, 32}, 4);
+  const std::vector<TileCount> need = {{9, 2, 0}, {5, 0, 2}, {14, 1, 1},
+                                       {3, 0, 0}};
+  const FloorplanResult a = skyline_place(d, need);
+  const FloorplanResult b = skyline_place(d, need);
+  ASSERT_EQ(a.success, b.success);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].region, b.placements[i].region);
+    EXPECT_EQ(a.placements[i].row, b.placements[i].row);
+    EXPECT_EQ(a.placements[i].height, b.placements[i].height);
+    EXPECT_EQ(a.placements[i].col, b.placements[i].col);
+    EXPECT_EQ(a.placements[i].width, b.placements[i].width);
+  }
+}
+
+TEST(Skyline, ZeroAreaRegionsGetWidthZero) {
+  const Device d("test", {800, 8, 8}, 1);
+  const FloorplanResult r = skyline_place(d, {{0, 0, 0}, {2, 0, 0}});
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.placements[0].width, 0u);
+  EXPECT_GT(r.placements[1].width, 0u);
+}
+
+TEST(Skyline, ReportsFailedRegion) {
+  const Device d = fragmented_device();
+  // Three BRAM-needing regions on a two-BRAM-column device.
+  const FloorplanResult r =
+      skyline_place(d, {{1, 1, 0}, {1, 1, 0}, {1, 1, 0}});
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.failed_region, 3u);
+}
+
+TEST(Skyline, RandomizedSweepStaysSoundOnEveryDevice) {
+  const DeviceLibrary lib = DeviceLibrary::reference_parts();
+  Rng rng(2013);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Device& d =
+        lib.devices()[rng.below(lib.devices().size())];
+    std::vector<TileCount> need;
+    const std::size_t regions = 1 + rng.below(5);
+    for (std::size_t i = 0; i < regions; ++i)
+      need.push_back(TileCount{
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Clb) / 4 + 1)),
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Bram) / 4 + 1)),
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Dsp) / 4 + 1))});
+    const FloorplanResult r = skyline_place(d, need);
+    if (!r.success) continue;
+    ASSERT_EQ(r.placements.size(), need.size());
+    EXPECT_TRUE(rects_disjoint(r.placements));
+    for (std::size_t i = 0; i < need.size(); ++i) {
+      EXPECT_GE(r.placements[i].provided.clb_tiles, need[i].clb_tiles);
+      EXPECT_GE(r.placements[i].provided.bram_tiles, need[i].bram_tiles);
+      EXPECT_GE(r.placements[i].provided.dsp_tiles, need[i].dsp_tiles);
+    }
+  }
+}
+
+TEST(FloorplanScheme, FastPathReportsSkylineStage) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const SchemeEvaluation eval = eval_of({{4, 1, 0}, {3, 0, 1}});
+  const PlacedFloorplan plan = floorplan_scheme(d, eval);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.stage, FloorplanStage::Skyline);
+  EXPECT_EQ(plan.verdict.kind, FloorplanVerdict::Kind::Feasible);
+  EXPECT_TRUE(plan.verdict.diagnostics.empty());
+  ASSERT_EQ(plan.placements.size(), 2u);
+  ASSERT_EQ(plan.placed_frames.size(), 2u);
+}
+
+TEST(FloorplanScheme, EscalatesToAnnealerOnFragmentedInstances) {
+  // 2-row C C B device. The only legal packing stands the pure-CLB region
+  // upright (height 2, width 1) so both CLB+BRAM regions can stack beside
+  // the single BRAM column. Skyline and greedy both lay it flat (lower top /
+  // same zero waste, earlier in scan order) and wedge; the annealer's joint
+  // re-seating finds the upright packing.
+  const Device d("cc_b", 2, {B::Clb, B::Clb, B::Bram});
+  const std::vector<TileCount> need = {{2, 0, 0}, {1, 1, 0}, {1, 1, 0}};
+  ASSERT_FALSE(skyline_place(d, need).success);
+  ASSERT_FALSE(Floorplanner(d, {PlacementStrategy::BestFit})
+                   .place(need)
+                   .success);
+  const SchemeEvaluation eval = eval_of(need);
+  const PlacedFloorplan plan = floorplan_scheme(d, eval);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.stage, FloorplanStage::Annealed);
+}
+
+TEST(FloorplanScheme, LadderIsDeterministic) {
+  // An instance the ladder can only solve on the annealed rung, so this
+  // checks determinism of the randomised rung end to end.
+  const Device d("cc_b", 2, {B::Clb, B::Clb, B::Bram});
+  const SchemeEvaluation eval = eval_of({{2, 0, 0}, {1, 1, 0}, {1, 1, 0}});
+  const PlacedFloorplan a = floorplan_scheme(d, eval);
+  const PlacedFloorplan b = floorplan_scheme(d, eval);
+  ASSERT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].row, b.placements[i].row);
+    EXPECT_EQ(a.placements[i].height, b.placements[i].height);
+    EXPECT_EQ(a.placements[i].col, b.placements[i].col);
+    EXPECT_EQ(a.placements[i].width, b.placements[i].width);
+  }
+  EXPECT_EQ(a.placed_frames, b.placed_frames);
+}
+
+TEST(FloorplanScheme, RegionUnplaceableVerdictNamesBindingAndFixit) {
+  const Device d = fragmented_device();
+  const DeviceLibrary lib = DeviceLibrary::virtex5();
+  const SchemeEvaluation eval =
+      eval_of({{1, 1, 0}, {1, 1, 0}, {1, 1, 0}});  // needs 3 BRAM columns
+  const PlacedFloorplan plan = floorplan_scheme(d, eval, {}, &lib);
+  ASSERT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.stage, FloorplanStage::None);
+  EXPECT_EQ(plan.verdict.kind, FloorplanVerdict::Kind::RegionUnplaceable);
+  EXPECT_EQ(plan.verdict.binding, B::Bram);
+  EXPECT_EQ(plan.verdict.required, 3u);
+  EXPECT_EQ(plan.verdict.available, 2u);
+  EXPECT_FALSE(plan.verdict.fragmented);  // a genuine tile shortfall
+  // The smallest Virtex-5 part places three one-tile BRAM regions.
+  EXPECT_EQ(plan.verdict.smallest_feasible_device, "XC5VLX20T");
+  ASSERT_EQ(plan.verdict.diagnostics.size(), 1u);
+  EXPECT_EQ(plan.verdict.diagnostics[0].code, "floorplan-region-unplaceable");
+  EXPECT_EQ(plan.verdict.diagnostics[0].fixit, "retarget XC5VLX20T");
+}
+
+TEST(FloorplanScheme, FragmentationIsFlaggedWhenTilesExist) {
+  const Device d = fragmented_device();
+  // By count this fits exactly (10 CLB tiles, 1 of 2 BRAM tiles). But the
+  // longest pure-CLB run is 4 columns, so every 5-CLB rectangle must bridge
+  // a BRAM column; two of them consume both, leaving the BRAM region
+  // without a home. No packing exists — the failure Eqs. 3-5 cannot see.
+  const SchemeEvaluation eval = eval_of({{5, 0, 0}, {5, 0, 0}, {0, 1, 0}});
+  const PlacedFloorplan plan = floorplan_scheme(d, eval);
+  ASSERT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.verdict.kind, FloorplanVerdict::Kind::RegionUnplaceable);
+  EXPECT_TRUE(plan.verdict.fragmented);
+}
+
+TEST(FloorplanScheme, StaticOverflowVerdict) {
+  const Device d("test", {800, 8, 8}, 1);  // 40 CLB tiles, 2 BRAM, 1 DSP
+  // One region swallowing most of the fabric, then static logic that no
+  // longer fits in what is left.
+  const SchemeEvaluation eval =
+      eval_of({{38, 0, 0}}, ResourceVec{200, 0, 0});
+  const PlacedFloorplan plan = floorplan_scheme(d, eval);
+  ASSERT_FALSE(plan.feasible);
+  EXPECT_EQ(plan.verdict.kind, FloorplanVerdict::Kind::StaticOverflow);
+  EXPECT_EQ(plan.verdict.binding, B::Clb);
+  ASSERT_EQ(plan.verdict.diagnostics.size(), 1u);
+  EXPECT_EQ(plan.verdict.diagnostics[0].code, "floorplan-static-overflow");
+}
+
+TEST(FloorplanScheme, RequiresValidEvaluation) {
+  const Device d("test", {800, 8, 8}, 1);
+  SchemeEvaluation eval;  // valid = false
+  EXPECT_THROW(floorplan_scheme(d, eval), InternalError);
+}
+
+TEST(PlacementTrue, PatchedEvaluationSumsPlacedFrames) {
+  const Device d("test", {1600, 16, 16}, 2);
+  const SchemeEvaluation eval = eval_of({{4, 1, 0}, {3, 0, 1}});
+  const PlacedFloorplan plan = floorplan_scheme(d, eval);
+  ASSERT_TRUE(plan.feasible);
+  const SchemeEvaluation placed = with_placement_frames(eval, plan);
+  EXPECT_EQ(placed.total_frames,
+            plan.placed_frames[0] + plan.placed_frames[1]);
+  EXPECT_EQ(placed.worst_frames, placed.total_frames);  // single pair
+  EXPECT_EQ(placed.regions[0].frames, plan.placed_frames[0]);
+  EXPECT_EQ(placed.regions[1].frames, plan.placed_frames[1]);
+  EXPECT_EQ(placement_true_total(eval, plan), placed.total_frames);
+  EXPECT_EQ(placement_true_worst(eval, plan), placed.worst_frames);
+}
+
+// Property: a placed rectangle covers its region's tile requirement and
+// frames are monotone in tiles, so placement-true frames can only be >= the
+// Eq. 3-6 estimate — for every region, on every device, for any workload.
+TEST(PlacementTrue, PlacedFramesDominateEstimateProperty) {
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const Device& d = lib.devices()[rng.below(lib.devices().size())];
+    std::vector<TileCount> need;
+    const std::size_t regions = 1 + rng.below(4);
+    for (std::size_t i = 0; i < regions; ++i)
+      need.push_back(TileCount{
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Clb) / 3 + 1)),
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Bram) / 3 + 1)),
+          static_cast<std::uint32_t>(rng.below(d.tiles_of(B::Dsp) / 3 + 1))});
+    const SchemeEvaluation eval = eval_of(need);
+    const PlacedFloorplan plan = floorplan_scheme(d, eval);
+    if (!plan.feasible) continue;
+    ++checked;
+    for (std::size_t r = 0; r < eval.regions.size(); ++r)
+      EXPECT_GE(plan.placed_frames[r], eval.regions[r].frames)
+          << d.name() << " region " << r;
+    EXPECT_GE(placement_true_total(eval, plan), eval.total_frames);
+    EXPECT_GE(placement_true_worst(eval, plan), eval.worst_frames);
+  }
+  EXPECT_GT(checked, 20);  // the sweep must actually exercise the property
+}
+
+// Property (one direction of the veto soundness chain): when the full
+// pipeline floorplans a scheme on a device, the analysis engine's
+// single-region lower bound cannot prove the design infeasible there. The
+// converse does not hold — prove_infeasible == nullopt says nothing about
+// rectangle packings.
+TEST(PlacementTrue, FloorplanFeasibleImpliesLowerBoundFeasibleProperty) {
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  PartitionerOptions popt;
+  popt.search.max_move_evaluations = 40'000;
+  popt.search.threads = 1;
+  int checked = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const SyntheticDesign s = generate_synthetic(
+        rng, static_cast<CircuitClass>(seed % 4));
+    for (const Device& d : lib.devices()) {
+      const PartitionerResult result =
+          partition_design(s.design, d.capacity(), popt);
+      if (!result.feasible) continue;
+      const PlacedFloorplan plan =
+          floorplan_scheme(d, result.proposed.eval);
+      if (!plan.feasible) continue;
+      ++checked;
+      EXPECT_FALSE(
+          analysis::prove_infeasible(s.design, d.capacity(), lib, d.name())
+              .has_value())
+          << s.design.name() << " on " << d.name();
+      break;  // one feasible device per design keeps the sweep fast
+    }
+  }
+  EXPECT_GT(checked, 3);
+}
+
+}  // namespace
+}  // namespace prpart

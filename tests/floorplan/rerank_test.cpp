@@ -1,0 +1,234 @@
+#include "floorplan/rerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "design/synthetic.hpp"
+#include "tests/core/example_designs.hpp"
+#include "util/rng.hpp"
+
+namespace prpart {
+namespace {
+
+PartitionerOptions search_options(unsigned threads,
+                                  std::uint64_t evals = 200'000) {
+  PartitionerOptions opt;
+  opt.search.max_candidate_sets = 48;
+  opt.search.max_move_evaluations = evals;
+  opt.search.threads = threads;
+  return opt;
+}
+
+/// The committed overturn example: synthetic seed 16, logic class, placed on
+/// the paper's case-study FX70T. All four enumerated schemes tie on the
+/// Eq. 10 estimate; placement-true frames split the tie against source
+/// order and veto two schemes outright (static overflow).
+SyntheticDesign seed16_logic() {
+  Rng rng(16);
+  return generate_synthetic(rng, CircuitClass::Logic);
+}
+
+TEST(FloorplanRerank, RankedIsPermutationOfEnumeratedTopK) {
+  const Design design = testing::paper_example();
+  const ResourceVec budget{900, 10, 16};
+  const PartitionerResult result =
+      partition_design(design, budget, search_options(1));
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.proposed_from_search);
+
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const Device* device = lib.smallest_fitting(budget);
+  ASSERT_NE(device, nullptr);
+  FloorplanRerankOptions opt;
+  opt.top_k = 3;
+  const FloorplanRerank rerank =
+      floorplan_rerank(design, result, *device, budget, opt, &lib);
+
+  // Strictly a permutation of the enumerated top-K: every source index
+  // appears exactly once and none is invented.
+  const std::size_t expect =
+      std::min<std::size_t>(opt.top_k, result.alternatives.size());
+  ASSERT_EQ(rerank.ranked.size(), expect);
+  std::set<std::size_t> sources;
+  for (const FloorplanCandidate& c : rerank.ranked) {
+    EXPECT_LT(c.source_index, expect);
+    EXPECT_TRUE(sources.insert(c.source_index).second)
+        << "duplicated source " << c.source_index;
+    // The rerank stage re-evaluates the enumerated scheme; the estimate must
+    // round-trip to what the search ranked it with.
+    EXPECT_EQ(c.estimated_total,
+              result.alternatives[c.source_index].total_frames);
+  }
+
+  // Feasible prefix ascending by (placement_total, source), vetoed suffix
+  // in source order.
+  bool seen_veto = false;
+  for (std::size_t i = 0; i + 1 < rerank.ranked.size(); ++i) {
+    const FloorplanCandidate& a = rerank.ranked[i];
+    const FloorplanCandidate& b = rerank.ranked[i + 1];
+    if (a.vetoed) seen_veto = true;
+    EXPECT_FALSE(seen_veto && !b.vetoed) << "feasible after vetoed";
+    if (!a.vetoed && !b.vetoed) {
+      EXPECT_TRUE(a.placement_total < b.placement_total ||
+                  (a.placement_total == b.placement_total &&
+                   a.source_index < b.source_index));
+    }
+    if (a.vetoed && b.vetoed) {
+      EXPECT_LT(a.source_index, b.source_index);
+    }
+  }
+  if (rerank.any_feasible) {
+    EXPECT_EQ(rerank.winner_source, rerank.ranked.front().source_index);
+  }
+}
+
+TEST(FloorplanRerank, PlacementTotalsDominateEstimates) {
+  const Design design = testing::paper_example();
+  const ResourceVec budget{900, 10, 16};
+  const PartitionerResult result =
+      partition_design(design, budget, search_options(1));
+  ASSERT_TRUE(result.feasible);
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const Device* device = lib.smallest_fitting(budget);
+  ASSERT_NE(device, nullptr);
+  const FloorplanRerank rerank =
+      floorplan_rerank(design, result, *device, budget, {}, &lib);
+  ASSERT_TRUE(rerank.any_feasible);
+  for (const FloorplanCandidate& c : rerank.ranked) {
+    if (c.vetoed) continue;
+    EXPECT_GE(c.placement_total, c.estimated_total);
+    EXPECT_EQ(c.placement_total, c.eval.total_frames);
+    EXPECT_EQ(c.placement_worst, c.eval.worst_frames);
+    ASSERT_EQ(c.plan.placements.size(), c.eval.regions.size());
+    for (std::size_t r = 0; r < c.eval.regions.size(); ++r)
+      EXPECT_EQ(c.eval.regions[r].frames, c.plan.placed_frames[r]);
+  }
+}
+
+// The re-rank stage runs single-threaded over the search's deterministic
+// output, so its result is byte-identical at any search thread count.
+TEST(FloorplanRerank, ByteIdenticalAcrossSearchThreadCounts) {
+  const SyntheticDesign s = seed16_logic();
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const Device& device = lib.by_name("XC5VFX70T");
+  const ResourceVec budget = device.capacity();
+
+  std::vector<FloorplanRerank> reranks;
+  for (unsigned threads : {1u, 4u, 16u}) {
+    const PartitionerResult result = partition_design(
+        s.design, budget, search_options(threads, 60'000));
+    ASSERT_TRUE(result.feasible);
+    reranks.push_back(
+        floorplan_rerank(s.design, result, device, budget, {}, &lib));
+  }
+
+  const FloorplanRerank& base = reranks.front();
+  for (std::size_t v = 1; v < reranks.size(); ++v) {
+    const FloorplanRerank& other = reranks[v];
+    ASSERT_EQ(base.ranked.size(), other.ranked.size());
+    EXPECT_EQ(base.any_feasible, other.any_feasible);
+    EXPECT_EQ(base.winner_source, other.winner_source);
+    EXPECT_EQ(base.overturned, other.overturned);
+    EXPECT_EQ(base.vetoed_count, other.vetoed_count);
+    for (std::size_t i = 0; i < base.ranked.size(); ++i) {
+      const FloorplanCandidate& a = base.ranked[i];
+      const FloorplanCandidate& b = other.ranked[i];
+      EXPECT_EQ(a.source_index, b.source_index);
+      EXPECT_EQ(a.vetoed, b.vetoed);
+      EXPECT_EQ(a.estimated_total, b.estimated_total);
+      EXPECT_EQ(a.placement_total, b.placement_total);
+      EXPECT_EQ(a.placement_worst, b.placement_worst);
+      ASSERT_EQ(a.plan.placements.size(), b.plan.placements.size());
+      for (std::size_t p = 0; p < a.plan.placements.size(); ++p) {
+        EXPECT_EQ(a.plan.placements[p].row, b.plan.placements[p].row);
+        EXPECT_EQ(a.plan.placements[p].height, b.plan.placements[p].height);
+        EXPECT_EQ(a.plan.placements[p].col, b.plan.placements[p].col);
+        EXPECT_EQ(a.plan.placements[p].width, b.plan.placements[p].width);
+      }
+    }
+  }
+}
+
+// Committed overturn example (also exercised end to end by the CLI tests
+// and examples/floorplan_coopt): on the FX70T the Eq. 10 estimate ties all
+// four enumerated schemes, the placement-true cost re-ranks scheme 2 (zero
+// -indexed) past scheme 0, and two schemes are vetoed for static overflow
+// with a retarget fix-it.
+TEST(FloorplanRerank, PlacementTrueCostOverturnsTheEstimateRanking) {
+  const SyntheticDesign s = seed16_logic();
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const Device& device = lib.by_name("XC5VFX70T");
+  const ResourceVec budget = device.capacity();
+  const PartitionerResult result =
+      partition_design(s.design, budget, search_options(1, 60'000));
+  ASSERT_TRUE(result.feasible);
+  const FloorplanRerank rerank =
+      floorplan_rerank(s.design, result, device, budget, {}, &lib);
+
+  ASSERT_TRUE(rerank.any_feasible);
+  EXPECT_TRUE(rerank.overturned);
+  EXPECT_NE(rerank.winner_source, 0u);
+  EXPECT_EQ(rerank.vetoed_count, 2u);
+
+  // The Eq. 10 winner survives the veto but loses the re-rank: it places at
+  // a strictly higher placement-true cost than the new winner despite an
+  // equal (or better) estimate.
+  const auto eq10 = std::find_if(
+      rerank.ranked.begin(), rerank.ranked.end(),
+      [](const FloorplanCandidate& c) { return c.source_index == 0; });
+  ASSERT_NE(eq10, rerank.ranked.end());
+  ASSERT_FALSE(eq10->vetoed);
+  const FloorplanCandidate& winner = rerank.ranked.front();
+  EXPECT_GT(eq10->placement_total, winner.placement_total);
+  EXPECT_LE(winner.estimated_total, eq10->estimated_total);
+
+  // Vetoed candidates carry the typed verdict with a fix-it.
+  for (const FloorplanCandidate& c : rerank.ranked) {
+    if (!c.vetoed) continue;
+    EXPECT_EQ(c.plan.verdict.kind, FloorplanVerdict::Kind::StaticOverflow);
+    ASSERT_FALSE(c.plan.verdict.diagnostics.empty());
+    EXPECT_EQ(c.plan.verdict.smallest_feasible_device, "XC5VFX95T");
+  }
+}
+
+TEST(FloorplanRerank, AllVetoedLeavesNoWinner) {
+  const Design design = testing::paper_example();
+  const ResourceVec budget{900, 10, 16};
+  const PartitionerResult result =
+      partition_design(design, budget, search_options(1));
+  ASSERT_TRUE(result.feasible);
+  // A device far too small for any enumerated scheme: every candidate is
+  // vetoed and the trailer keeps source order.
+  const Device tiny("tiny", 1, {BlockType::Clb, BlockType::Bram});
+  const FloorplanRerank rerank =
+      floorplan_rerank(design, result, tiny, budget, {});
+  ASSERT_FALSE(rerank.ranked.empty());
+  EXPECT_FALSE(rerank.any_feasible);
+  EXPECT_FALSE(rerank.overturned);
+  EXPECT_EQ(rerank.vetoed_count, rerank.ranked.size());
+  for (std::size_t i = 0; i < rerank.ranked.size(); ++i) {
+    EXPECT_TRUE(rerank.ranked[i].vetoed);
+    EXPECT_EQ(rerank.ranked[i].source_index, i);
+    EXPECT_FALSE(rerank.ranked[i].plan.verdict.diagnostics.empty());
+  }
+}
+
+TEST(FloorplanRerank, InfeasiblePartitionYieldsEmptyRerank) {
+  const Design design = testing::paper_example();
+  const ResourceVec budget{1, 0, 0};  // hopeless
+  const PartitionerResult result =
+      partition_design(design, budget, search_options(1, 1'000));
+  ASSERT_FALSE(result.feasible);
+  const Device d("test", {800, 8, 8}, 1);
+  const FloorplanRerank rerank =
+      floorplan_rerank(design, result, d, budget, {});
+  EXPECT_TRUE(rerank.ranked.empty());
+  EXPECT_FALSE(rerank.any_feasible);
+}
+
+}  // namespace
+}  // namespace prpart

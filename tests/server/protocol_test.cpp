@@ -352,5 +352,123 @@ TEST(ProtocolTest, SimulateResultJsonShape) {
                           .dump());
 }
 
+TEST(ProtocolTest, FloorplanRequestDefaults) {
+  const Request r = parse_request(
+      "{\"type\":\"floorplan\",\"id\":\"f\",\"design_xml\":\"<x/>\"}");
+  ASSERT_EQ(r.type, Request::Type::Floorplan);
+  EXPECT_EQ(r.floorplan.partition.id, "f");
+  EXPECT_EQ(r.floorplan.partition.target_string(), "auto");
+  EXPECT_EQ(r.floorplan.params.top_k, 5u);
+  EXPECT_FALSE(r.floorplan.params.first_fit);
+  EXPECT_TRUE(r.floorplan.params.anneal);
+  EXPECT_EQ(r.floorplan.params.anneal_seed, 1u);
+}
+
+TEST(ProtocolTest, FloorplanRequestAllFields) {
+  const Request r = parse_request(
+      "{\"type\":\"floorplan\",\"id\":\"f2\",\"design_xml\":\"<x/>\","
+      "\"device\":\"XC5VFX70T\",\"evals\":5000,\"top_k\":3,"
+      "\"strategy\":\"first-fit\",\"anneal\":false,\"anneal_seed\":9}");
+  ASSERT_EQ(r.type, Request::Type::Floorplan);
+  EXPECT_EQ(r.floorplan.partition.device, "XC5VFX70T");
+  EXPECT_EQ(r.floorplan.partition.options.search.max_move_evaluations, 5000u);
+  EXPECT_EQ(r.floorplan.params.top_k, 3u);
+  EXPECT_TRUE(r.floorplan.params.first_fit);
+  EXPECT_FALSE(r.floorplan.params.anneal);
+  EXPECT_EQ(r.floorplan.params.anneal_seed, 9u);
+  const FloorplanRerankOptions opt = r.floorplan.params.rerank_options();
+  EXPECT_EQ(opt.top_k, 3u);
+  EXPECT_EQ(opt.placement.strategy, PlacementStrategy::FirstFit);
+  EXPECT_FALSE(opt.placement.use_annealer);
+  EXPECT_EQ(opt.placement.annealing.seed, 9u);
+}
+
+TEST(ProtocolTest, MalformedFloorplanRequestsThrow) {
+  // No design.
+  EXPECT_THROW(parse_request("{\"type\":\"floorplan\"}"), ParseError);
+  // Zero candidates would veto everything vacuously.
+  EXPECT_THROW(parse_request("{\"type\":\"floorplan\",\"design_xml\":\"<x/>\","
+                             "\"top_k\":0}"),
+               ParseError);
+  // Strategy names are closed.
+  EXPECT_THROW(parse_request("{\"type\":\"floorplan\",\"design_xml\":\"<x/>\","
+                             "\"strategy\":\"worst-fit\"}"),
+               ParseError);
+  // Unknown fields fail loudly, and floorplan knobs are rejected on plain
+  // partition requests.
+  EXPECT_THROW(parse_request("{\"type\":\"floorplan\",\"design_xml\":\"<x/>\","
+                             "\"top_q\":3}"),
+               ParseError);
+  EXPECT_THROW(parse_request("{\"type\":\"partition\",\"design_xml\":\"<x/>\","
+                             "\"top_k\":3}"),
+               ParseError);
+}
+
+TEST(ProtocolTest, SimulateRequestParsesFloorplanFlag) {
+  const Request r = parse_request(
+      "{\"type\":\"simulate\",\"id\":\"s\",\"design_xml\":\"<x/>\","
+      "\"floorplan\":true}");
+  ASSERT_EQ(r.type, Request::Type::Simulate);
+  EXPECT_TRUE(r.simulate.params.floorplan);
+  SimulateParams plain;
+  EXPECT_NE(r.simulate.params.cache_string(), plain.cache_string());
+}
+
+TEST(ProtocolTest, FloorplanCacheStringSeparatesEveryKnob) {
+  FloorplanParams a;
+  std::set<std::string> keys = {a.cache_string()};
+  FloorplanParams b = a;
+  b.top_k = 7;
+  keys.insert(b.cache_string());
+  FloorplanParams c = a;
+  c.first_fit = true;
+  keys.insert(c.cache_string());
+  FloorplanParams d = a;
+  d.anneal = false;
+  keys.insert(d.cache_string());
+  FloorplanParams e = a;
+  e.anneal_seed = 2;
+  keys.insert(e.cache_string());
+  EXPECT_EQ(keys.size(), 5u);  // every knob lands in the cache key
+}
+
+TEST(ProtocolTest, FloorplanResultJsonEncodesRankingAndWinner) {
+  const Design design = small_design();
+  // Tight enough that every enumerated scheme keeps reconfigurable regions
+  // (a loose budget folds the design into the static region and the winner
+  // would have no rectangles to encode).
+  const ResourceVec budget{400, 30, 10};
+  const PartitionerResult result = partition_design(design, budget);
+  ASSERT_TRUE(result.feasible);
+  const DeviceLibrary lib = DeviceLibrary::extended();
+  const Device* device = lib.smallest_fitting(budget);
+  ASSERT_NE(device, nullptr);
+  const FloorplanRerank rerank =
+      floorplan_rerank(design, result, *device, budget, {}, &lib);
+  ASSERT_TRUE(rerank.any_feasible);
+
+  const json::Value v =
+      floorplan_result_json(design, result, rerank, device->name(), budget);
+  EXPECT_EQ(v.at("design").as_string(), "radio");
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_EQ(v.at("device").as_string(), device->name());
+  EXPECT_EQ(v.at("candidates").as_u64(), rerank.ranked.size());
+  EXPECT_EQ(v.at("vetoed").as_u64(), rerank.vetoed_count);
+  EXPECT_EQ(v.at("overturned").as_bool(), rerank.overturned);
+  EXPECT_EQ(v.at("winner_source").as_u64(), rerank.winner_source);
+  const auto& ranked = v.at("ranked").items();
+  ASSERT_EQ(ranked.size(), rerank.ranked.size());
+  const json::Value& top = ranked.front();
+  EXPECT_FALSE(top.at("vetoed").as_bool());
+  EXPECT_EQ(top.at("placement_total").as_u64(),
+            rerank.ranked.front().placement_total);
+  EXPECT_FALSE(top.at("placements").items().empty());
+  EXPECT_TRUE(v.at("winner").is_object());
+  // Deterministic encoding.
+  EXPECT_EQ(v.dump(), floorplan_result_json(design, result, rerank,
+                                            device->name(), budget)
+                          .dump());
+}
+
 }  // namespace
 }  // namespace prpart::server

@@ -577,6 +577,118 @@ TEST(ServerTest, SimulateRejectsSingleConfigurationDesigns) {
   EXPECT_EQ(resp.error_code, "bad_request");
 }
 
+FloorplanRequest floorplan_request(const std::string& id) {
+  FloorplanRequest req;
+  req.partition = receiver_request(id);
+  return req;
+}
+
+TEST(ServerTest, FloorplanJobReturnsRankingAndWinner) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const ClientResponse resp = client.floorplan(floorplan_request("fp1"));
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  EXPECT_TRUE(resp.result.at("feasible").as_bool());
+  // Budget-targeted job: `device` names the explicit partition target only
+  // (same convention as partition/simulate payloads), so it is null here
+  // even though a library device was resolved for placement.
+  EXPECT_TRUE(resp.result.at("device").is_null());
+  EXPECT_GE(resp.result.at("candidates").as_u64(), 1u);
+  const json::Value& top = resp.result.at("ranked").items().at(0);
+  EXPECT_FALSE(top.at("vetoed").as_bool());
+  EXPECT_GE(top.at("placement_total").as_u64(),
+            top.at("estimated_total").as_u64());
+  EXPECT_TRUE(resp.result.at("winner").is_object());
+
+  // The stats surface the floorplan counters.
+  const ClientResponse stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  const json::Value& fp = stats.result.at("floorplan");
+  EXPECT_EQ(fp.at("passes").as_u64(), 1u);
+  EXPECT_EQ(fp.at("candidates").as_u64(), resp.result.at("candidates").as_u64());
+  EXPECT_EQ(fp.at("vetoes").as_u64(), resp.result.at("vetoed").as_u64());
+}
+
+TEST(ServerTest, FloorplanResponseMatchesOneShotCliByteForByte) {
+  // `prpart floorplan --json` and the server's floorplan payload share one
+  // encoder and one re-rank pass; the bytes must agree exactly.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("prpart_server_test_" + std::to_string(::getpid()) +
+                        "_" + info->name());
+  fs::create_directories(dir);
+  const std::string design_path = (dir / "receiver.xml").string();
+  {
+    std::ofstream f(design_path);
+    f << design_to_xml(synth::wireless_receiver_design());
+  }
+  std::ostringstream cli_out, cli_err;
+  const int code = cli::run({"floorplan", design_path, "--budget",
+                             "6800,64,150", "--evals", std::to_string(kEvals),
+                             "--json"},
+                            cli_out, cli_err);
+  ASSERT_EQ(code, 0) << cli_err.str();
+  std::string expected = cli_out.str();
+  ASSERT_FALSE(expected.empty());
+  expected.pop_back();  // trailing newline
+
+  Server server(quiet_options());
+  server.start();
+  const std::string line = raw_exchange(
+      server.port(), floorplan_request_json(floorplan_request("fp-twin")));
+  EXPECT_EQ(result_payload(line, "fp-twin"), expected);
+  fs::remove_all(dir);
+}
+
+TEST(ServerTest, FloorplanCacheHitIsByteIdentical) {
+  Server server(quiet_options());
+  server.start();
+  const json::Value request =
+      floorplan_request_json(floorplan_request("fpc"));
+  const std::string cold = raw_exchange(server.port(), request);
+  const std::string warm = raw_exchange(server.port(), request);
+  EXPECT_EQ(cold, warm);
+  StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  // A cache hit does not re-run the placement pass.
+  EXPECT_EQ(stats.floorplans, 1u);
+
+  // Same partition target, different re-rank knobs: a distinct cache entry.
+  FloorplanRequest other = floorplan_request("fpc2");
+  other.params.top_k = 2;
+  const std::string retuned =
+      raw_exchange(server.port(), floorplan_request_json(other));
+  EXPECT_NE(result_payload(cold, "fpc"), result_payload(retuned, "fpc2"));
+  EXPECT_EQ(server.stats_snapshot().floorplans, 2u);
+}
+
+TEST(ServerTest, SimulateWithFloorplanReplaysPlacementTrueFrames) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  SimulateRequest plain = simulate_request("sim-plain");
+  SimulateRequest placed = simulate_request("sim-placed");
+  placed.params.floorplan = true;
+  const ClientResponse plain_resp = client.simulate(plain);
+  const ClientResponse placed_resp = client.simulate(placed);
+  ASSERT_TRUE(plain_resp.ok) << plain_resp.error_message;
+  ASSERT_TRUE(placed_resp.ok) << placed_resp.error_message;
+  // Placement-true frame counts dominate the estimates, so the replay
+  // loads at least as many frames.
+  const json::Value& plain_row = plain_resp.result.at("schemes").items().at(0);
+  const json::Value& placed_row =
+      placed_resp.result.at("schemes").items().at(0);
+  EXPECT_GE(placed_row.at("frames_loaded").as_u64(),
+            plain_row.at("frames_loaded").as_u64());
+  // The placement pass ran exactly once (the plain job skips it), and the
+  // two jobs landed in distinct cache entries.
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.floorplans, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+}
+
 TEST(ServerTest, ServeCommandDrainsOnSigtermAndExitsZero) {
   // End to end through the CLI: `prpart serve` must install its handlers,
   // serve clients, and exit 0 on SIGTERM.

@@ -16,7 +16,10 @@ requires the full-evaluation reduction of the bounded search over the
 exhaustive one to stay >= 5x and the evaluation kernel's serve-scale
 wall-clock speedup over the scalar reference to stay >= 1.5x;
 BENCH_simulate.json requires the uniform-trace ranking agreement with
-Eq. 10 to be exactly 1.0. Floors are exempt from the wall-clock skip
+Eq. 10 to be exactly 1.0; BENCH_floorplan.json requires every legal
+floorplan to cover its Eq. 10 estimate and the placement-true re-ranking
+to be identical across search thread counts (both exactly 1.0). Floors
+are exempt from the wall-clock skip
 (ratio floors compare runs on the same host), and a floor key missing
 from the current run is itself a failure.
 
@@ -39,6 +42,13 @@ FLOORS = {
     # sums (ties included). The simulator's headline contract — anything
     # below 1.0 is a correctness bug, not a perf regression.
     "uniform_ranking_agreement": 1.0,
+    # BENCH_floorplan.json: fraction of legal floorplans whose placed frame
+    # total covers the Eq. 10 estimate (tiles round up, never down), and the
+    # fraction of designs whose placement-true re-ranking is identical at
+    # search thread counts {1, 4, 16}. Both are correctness contracts of the
+    # floorplan subsystem, not perf metrics.
+    "placement_dominates_agreement": 1.0,
+    "thread_identity_agreement": 1.0,
 }
 
 
