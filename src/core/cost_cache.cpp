@@ -17,17 +17,14 @@ GroupCostCache::GroupCostCache(std::size_t shard_count, HashFn hash)
     : hash_(hash) {
   require(shard_count > 0, "cost cache needs at least one shard");
   shards_.reserve(shard_count);
-  for (std::size_t i = 0; i < shard_count; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->map = std::unordered_map<Key, GroupCost, KeyHash>(0, KeyHash{hash_});
-    shards_.push_back(std::move(shard));
-  }
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>(hash_));
 }
 
 std::optional<GroupCost> GroupCostCache::lookup(const Key& key,
                                                 std::size_t hash) {
   Shard& shard = shard_for(hash);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +37,7 @@ std::optional<GroupCost> GroupCostCache::lookup(const Key& key,
 void GroupCostCache::store(const Key& key, const GroupCost& cost,
                            std::size_t hash) {
   Shard& shard = shard_for(hash);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   shard.map.emplace(key, cost);
 }
 
@@ -51,8 +48,10 @@ GroupCostCache::Stats GroupCostCache::stats() const {
 
 std::size_t GroupCostCache::size() const {
   std::size_t total = 0;
+  // One shard at a time: sequential acquisitions of one hierarchy level
+  // are legal; holding two shards at once would not be.
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     total += shard->map.size();
   }
   return total;

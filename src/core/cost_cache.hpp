@@ -4,13 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "device/resources.hpp"
 #include "device/tiles.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace prpart {
 
@@ -85,8 +85,14 @@ class GroupCostCache {
     std::size_t operator()(const Key& key) const { return fn(key); }
   };
   struct Shard {
-    std::mutex mutex;
-    std::unordered_map<Key, GroupCost, KeyHash> map;
+    explicit Shard(HashFn fn) : map(0, KeyHash{fn}) {}
+
+    /// All shards share one hierarchy level: a thread holds at most one
+    /// shard at a time (lookup/store touch exactly the key's shard), and
+    /// the lock-order validator enforces it — two shards held at once
+    /// abort, which is what makes per-shard locking deadlock-free.
+    Mutex mutex{lock_order::Level::kCostCacheShard, "core.cost_cache.shard"};
+    std::unordered_map<Key, GroupCost, KeyHash> map PRPART_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(std::size_t hash) {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #include "core/search_internal.hpp"
 #include "util/parallel_for.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace prpart {
 
@@ -55,7 +55,7 @@ class BoundHint {
 
   void offer(const std::vector<Kept>& entries) {
     if (entries.empty()) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const Kept& e : entries)
       insert_kept(kept_, Kept{e.ttotal, e.warea, e.key, {}}, keep_);
     if (kept_.size() >= keep_)
@@ -64,8 +64,9 @@ class BoundHint {
 
  private:
   const std::size_t keep_;
-  std::mutex mutex_;
-  std::vector<Kept> kept_;  ///< schemes omitted; only the order matters
+  Mutex mutex_{lock_order::Level::kSearchBoundHint, "search.bound_hint"};
+  std::vector<Kept> kept_ PRPART_GUARDED_BY(mutex_);  ///< schemes omitted;
+                                                      ///< only order matters
   std::atomic<std::uint64_t> worst_{~std::uint64_t{0}};
 };
 

@@ -3,7 +3,7 @@
 namespace prpart::server {
 
 std::optional<std::string> ResultCache::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -16,7 +16,7 @@ std::optional<std::string> ResultCache::lookup(const std::string& key) {
 
 void ResultCache::store(const std::string& key, const std::string& payload) {
   if (max_entries_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->payload = payload;
@@ -33,7 +33,7 @@ void ResultCache::store(const std::string& key, const std::string& payload) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return Stats{hits_, misses_, evictions_, lru_.size()};
 }
 

@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace prpart::server {
 
@@ -43,12 +44,16 @@ class ResultCache {
   };
 
   const std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Sits below the scheduler locks in the hierarchy (lock_order.hpp):
+  /// cache probes and stores must happen with no queue lock held.
+  mutable Mutex mutex_{lock_order::Level::kResultCache, "server.result_cache"};
+  /// front = most recently used
+  std::list<Entry> lru_ PRPART_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      PRPART_GUARDED_BY(mutex_);
+  std::uint64_t hits_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ PRPART_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace prpart::server

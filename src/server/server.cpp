@@ -1,7 +1,6 @@
 #include "server/server.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "analysis/frontend.hpp"
 #include "design/io_xml.hpp"
@@ -29,7 +28,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    const MutexLock lock(lifecycle_mutex_);
     require(!started_, "server already started");
     listener_ = TcpListener::bind(options_.port);
     started_ = true;
@@ -48,7 +47,7 @@ void Server::start() {
 
 void Server::stop() {
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    const MutexLock lock(lifecycle_mutex_);
     if (!started_ || stopped_) return;
     if (stopping_.load()) return;  // a concurrent stop is already draining
     stopping_.store(true);
@@ -62,7 +61,7 @@ void Server::stop() {
   // 2. Drain: admission now rejects, workers finish every queued and
   //    in-flight job (fulfilling every response promise), then exit.
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const MutexLock lock(queue_mutex_);
     draining_ = true;
   }
   queue_cv_.notify_all();
@@ -72,11 +71,11 @@ void Server::stop() {
   // 3. Unblock handler threads waiting for more requests; their pending
   //    responses were all written or are being written right now.
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const MutexLock lock(conns_mutex_);
     for (const auto& conn : conns_) conn->stream.shutdown_read();
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const MutexLock lock(conns_mutex_);
     for (const auto& conn : conns_)
       if (conn->thread.joinable()) conn->thread.join();
     conns_.clear();
@@ -84,7 +83,7 @@ void Server::stop() {
 
   if (logger_thread_.joinable()) logger_thread_.join();
   log_line("drained: " + stats_snapshot().log_line());
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  const MutexLock lock(lifecycle_mutex_);
   stopped_ = true;
 }
 
@@ -92,7 +91,7 @@ StatsSnapshot Server::stats_snapshot() const {
   std::size_t depth = 0;
   std::size_t in_flight = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const MutexLock lock(queue_mutex_);
     depth = queue_.size();
     in_flight = in_flight_;
   }
@@ -105,7 +104,7 @@ void Server::accept_loop() {
     // Reap finished connections so a long-lived server does not accumulate
     // one Connection record per client ever served.
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      const MutexLock lock(conns_mutex_);
       for (auto it = conns_.begin(); it != conns_.end();) {
         if ((*it)->done.load()) {
           (*it)->thread.join();
@@ -120,7 +119,7 @@ void Server::accept_loop() {
     conn->stream = std::move(*stream);
     Connection* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      const MutexLock lock(conns_mutex_);
       conns_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw] { handle_connection(raw); });
@@ -269,23 +268,37 @@ std::string Server::admit_job(PartitionRequest request,
                                        : options_.default_timeout_ms;
   job->cancel.set_timeout_ms(static_cast<std::int64_t>(timeout_ms));
   std::future<std::string> response = job->response.get_future();
+  // The queue critical section decides admission and nothing else. Stats
+  // are folded in and error responses rendered only after the lock drops:
+  // the stats mutex sits *below* the queue mutex in the hierarchy
+  // (lock_order.hpp), so touching ServerStats here would be an inversion —
+  // exactly the latent bug the lock-order validator caught.
+  enum class Verdict { kAdmitted, kDraining, kQueueFull };
+  Verdict verdict = Verdict::kAdmitted;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (draining_) {
+    const MutexLock lock(queue_mutex_);
+    if (draining_)
+      verdict = Verdict::kDraining;
+    else if (queue_.size() >= options_.max_queue)
+      verdict = Verdict::kQueueFull;
+    else
+      queue_.push_back(job);
+  }
+  switch (verdict) {
+    case Verdict::kDraining:
       stats_.job_rejected();
       return error_response(job->request.id, ErrorCode::Overloaded,
                             "server is draining");
-    }
-    if (queue_.size() >= options_.max_queue) {
+    case Verdict::kQueueFull:
       stats_.job_rejected();
       return error_response(job->request.id, ErrorCode::Overloaded,
                             "job queue is full (" +
                                 std::to_string(options_.max_queue) +
                                 " waiting)");
-    }
-    queue_.push_back(job);
-    stats_.job_accepted();
+    case Verdict::kAdmitted:
+      break;
   }
+  stats_.job_accepted();
   queue_cv_.notify_one();
   return response.get();
 }
@@ -294,8 +307,10 @@ void Server::worker_loop() {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      const MutexLock lock(queue_mutex_);
+      // Explicit wait loop (no predicate lambda): the analysis can then see
+      // that queue_/draining_ are only read with queue_mutex_ held.
+      while (queue_.empty() && !draining_) queue_cv_.wait(queue_mutex_);
       if (queue_.empty()) return;  // draining and nothing left: exit
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -303,7 +318,7 @@ void Server::worker_loop() {
     }
     execute_job(*job);
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      const MutexLock lock(queue_mutex_);
       --in_flight_;
     }
   }
@@ -442,12 +457,13 @@ std::string Server::stats_response(const std::string& id) const {
 }
 
 void Server::logger_loop() {
-  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   while (!stopping_.load()) {
-    logger_cv_.wait_for(lock,
-                        std::chrono::milliseconds(options_.log_interval_ms),
-                        [this] { return stopping_.load(); });
+    logger_cv_.wait_for_ms(lifecycle_mutex_, options_.log_interval_ms);
     if (stopping_.load()) break;
+    // The stats snapshot takes the queue and stats locks, which sit below
+    // the lifecycle mutex — but holding an outer lock across a log write
+    // would serialise stop() behind slow sinks, so drop it first.
     lock.unlock();
     log_line(stats_snapshot().log_line());
     lock.lock();
@@ -456,7 +472,7 @@ void Server::logger_loop() {
 
 void Server::log_line(const std::string& line) {
   if (!options_.log) return;
-  std::lock_guard<std::mutex> lock(log_mutex_);
+  const MutexLock lock(log_mutex_);
   *options_.log << "[prpart serve] " << line << "\n";
   options_.log->flush();
 }

@@ -1,13 +1,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -18,6 +16,7 @@
 #include "server/stats.hpp"
 #include "util/cancel.hpp"
 #include "util/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace prpart::server {
 
@@ -142,25 +141,29 @@ class Server {
   std::vector<std::thread> workers_;
   std::thread logger_thread_;
 
-  // Job queue (admission control + scheduler handoff).
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::size_t in_flight_ = 0;
-  bool draining_ = false;
+  // Job queue (admission control + scheduler handoff). Near-leaf in the
+  // lock hierarchy (lock_order.hpp): the queue critical sections are pure
+  // queue manipulation — stats, cache and log sit outside them.
+  mutable Mutex queue_mutex_{lock_order::Level::kServerQueue, "server.queue"};
+  CondVar queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_ PRPART_GUARDED_BY(queue_mutex_);
+  std::size_t in_flight_ PRPART_GUARDED_BY(queue_mutex_) = 0;
+  bool draining_ PRPART_GUARDED_BY(queue_mutex_) = false;
 
   // Connection registry, so stop() can unblock handler threads.
-  std::mutex conns_mutex_;
-  std::list<std::unique_ptr<Connection>> conns_;
+  Mutex conns_mutex_{lock_order::Level::kServerConns, "server.conns"};
+  std::list<std::unique_ptr<Connection>> conns_ PRPART_GUARDED_BY(conns_mutex_);
 
-  // Lifecycle.
-  std::mutex lifecycle_mutex_;
-  std::condition_variable logger_cv_;
-  bool started_ = false;
+  // Lifecycle. Outermost level: held across the logger's periodic sleep.
+  Mutex lifecycle_mutex_{lock_order::Level::kServerLifecycle,
+                         "server.lifecycle"};
+  CondVar logger_cv_;
+  bool started_ PRPART_GUARDED_BY(lifecycle_mutex_) = false;
   std::atomic<bool> stopping_{false};  ///< read lock-free by the accept loop
-  bool stopped_ = false;
+  bool stopped_ PRPART_GUARDED_BY(lifecycle_mutex_) = false;
 
-  std::mutex log_mutex_;
+  // Leaf: a log line may be emitted while holding anything.
+  Mutex log_mutex_{lock_order::Level::kServerLog, "server.log"};
 };
 
 }  // namespace prpart::server

@@ -77,50 +77,50 @@ std::string StatsSnapshot::log_line() const {
 }
 
 void ServerStats::job_accepted() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++accepted_;
 }
 
 void ServerStats::job_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++rejected_;
 }
 
 void ServerStats::job_completed(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++completed_;
   record_latency(latency_us);
 }
 
 void ServerStats::job_infeasible(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++infeasible_;
   record_latency(latency_us);
 }
 
 void ServerStats::job_timed_out() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++timed_out_;
 }
 
 void ServerStats::job_failed() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++failed_;
 }
 
 void ServerStats::cache_hit(std::uint64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++cache_hits_;
   record_latency(latency_us);
 }
 
 void ServerStats::cache_miss() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++cache_misses_;
 }
 
 void ServerStats::search_finished(const SearchStats& stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   search_units_ += stats.units;
   search_units_pruned_ += stats.units_pruned;
   search_move_evaluations_ += stats.move_evaluations;
@@ -132,7 +132,7 @@ void ServerStats::search_finished(const SearchStats& stats) {
 
 void ServerStats::simulation_finished(std::uint64_t transitions,
                                       std::uint64_t frames) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++simulations_;
   simulated_transitions_ += transitions;
   simulated_frames_ += frames;
@@ -140,7 +140,7 @@ void ServerStats::simulation_finished(std::uint64_t transitions,
 
 void ServerStats::floorplan_finished(std::size_t candidates,
                                      std::size_t vetoed, bool overturned) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++floorplans_;
   floorplan_candidates_ += candidates;
   floorplan_vetoes_ += vetoed;
@@ -159,7 +159,7 @@ void ServerStats::record_latency(std::uint64_t latency_us) {
 
 StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
                                     std::size_t in_flight) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   StatsSnapshot s;
   s.accepted = accepted_;
   s.rejected = rejected_;

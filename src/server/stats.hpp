@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/search.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace prpart::server {
 
@@ -79,37 +79,42 @@ class ServerStats {
   StatsSnapshot snapshot(std::size_t queue_depth, std::size_t in_flight) const;
 
  private:
-  void record_latency(std::uint64_t latency_us);
+  void record_latency(std::uint64_t latency_us) PRPART_REQUIRES(mutex_);
 
   /// Last kReservoir latencies; percentile estimates sort a copy.
   static constexpr std::size_t kReservoir = 4096;
 
-  mutable std::mutex mutex_;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t infeasible_ = 0;
-  std::uint64_t timed_out_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t latency_count_ = 0;
-  std::uint64_t search_units_ = 0;
-  std::uint64_t search_units_pruned_ = 0;
-  std::uint64_t search_move_evaluations_ = 0;
-  std::uint64_t search_full_evaluations_ = 0;
-  std::uint64_t search_moves_rescored_ = 0;
-  std::uint64_t search_kernel_evaluations_ = 0;
-  std::uint64_t search_signature_collapsed_configs_ = 0;
-  std::uint64_t simulations_ = 0;
-  std::uint64_t simulated_transitions_ = 0;
-  std::uint64_t simulated_frames_ = 0;
-  std::uint64_t floorplans_ = 0;
-  std::uint64_t floorplan_candidates_ = 0;
-  std::uint64_t floorplan_vetoes_ = 0;
-  std::uint64_t floorplan_overturns_ = 0;
-  std::vector<std::uint64_t> latencies_;  ///< ring buffer of size <= kReservoir
-  std::size_t latency_next_ = 0;
+  /// Low in the lock hierarchy (lock_order.hpp): counters are folded in
+  /// with no scheduler lock held, so stats can never extend — or deadlock
+  /// against — the admission/dequeue critical sections.
+  mutable Mutex mutex_{lock_order::Level::kServerStats, "server.stats"};
+  std::uint64_t accepted_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t infeasible_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t timed_out_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cache_hits_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cache_misses_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t latency_count_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_units_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_units_pruned_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_move_evaluations_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_full_evaluations_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_moves_rescored_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_kernel_evaluations_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t search_signature_collapsed_configs_ PRPART_GUARDED_BY(mutex_) =
+      0;
+  std::uint64_t simulations_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t simulated_transitions_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t simulated_frames_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t floorplans_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t floorplan_candidates_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t floorplan_vetoes_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t floorplan_overturns_ PRPART_GUARDED_BY(mutex_) = 0;
+  /// ring buffer of size <= kReservoir
+  std::vector<std::uint64_t> latencies_ PRPART_GUARDED_BY(mutex_);
+  std::size_t latency_next_ PRPART_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace prpart::server

@@ -1,0 +1,159 @@
+#include "util/lock_order.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace prpart::lock_order {
+
+namespace {
+
+struct HeldLock {
+  const void* mutex;
+  std::uint32_t level;
+  const char* name;
+};
+
+/// The calling thread's lock set, acquisition order preserved. A wrapper
+/// function avoids the dynamic-initialisation order problem for mutexes
+/// locked from static constructors.
+std::vector<HeldLock>& held_locks() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+bool initial_enabled() {
+  // Read-only getenv: the process never calls setenv, so this cannot race.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("PRPART_LOCK_ORDER"))
+    return *env != '\0' && *env != '0';
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool> g_enabled{initial_enabled()};
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+/// lockdep-style witness store: for every mutex that was ever acquired
+/// *while other locks were held*, the lock set at its most recent such
+/// acquisition. A violation report pairs the current thread's stack with
+/// this recorded context, so an A→B / B→A inversion shows both orders.
+/// Guarded by a plain std::mutex — the validator must not recurse into
+/// itself through prpart::Mutex.
+std::mutex g_witness_mutex;
+std::unordered_map<const void*, std::string>& witnesses() {
+  static auto* map = new std::unordered_map<const void*, std::string>();
+  return *map;
+}
+
+std::string describe(const std::vector<HeldLock>& held) {
+  if (held.empty()) return "(nothing)";
+  std::string out;
+  for (const HeldLock& h : held) {
+    if (!out.empty()) out += ", ";
+    out += h.name;
+    out += " (level " + std::to_string(h.level) + ")";
+  }
+  return out;
+}
+
+void record_witness(const void* mutex, const std::vector<HeldLock>& held) {
+  std::string context = describe(held);
+  const std::lock_guard<std::mutex> lock(g_witness_mutex);
+  witnesses()[mutex] = std::move(context);
+}
+
+std::string witness_for(const void* mutex) {
+  const std::lock_guard<std::mutex> lock(g_witness_mutex);
+  const auto it = witnesses().find(mutex);
+  return it == witnesses().end() ? std::string() : it->second;
+}
+
+void report_violation(const std::string& report) {
+  if (ViolationHandler handler = g_handler.load(std::memory_order_acquire)) {
+    handler(report);
+    return;
+  }
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+std::string held_description() { return describe(held_locks()); }
+
+void on_acquire(const void* mutex, std::uint32_t level, const char* name) {
+  if (!enabled()) return;
+  std::vector<HeldLock>& held = held_locks();
+  if (!held.empty()) {
+    // Find the *worst* held lock for the report: any held level >= the
+    // attempted level violates the strictly-increasing rule.
+    const HeldLock* conflict = nullptr;
+    for (const HeldLock& h : held) {
+      if (h.mutex == mutex) {
+        conflict = &h;
+        break;
+      }
+      if (h.level >= level && (conflict == nullptr || h.level > conflict->level))
+        conflict = &h;
+    }
+    if (conflict != nullptr) {
+      std::string report =
+          "prpart lock-order violation: acquiring " + std::string(name) +
+          " (level " + std::to_string(level) + ")";
+      if (conflict->mutex == mutex) {
+        report += " recursively — this thread already holds it\n";
+      } else {
+        report += " while holding " + std::string(conflict->name) +
+                  " (level " + std::to_string(conflict->level) +
+                  ") — levels must strictly increase (see "
+                  "src/util/lock_order.hpp and DESIGN.md §9)\n";
+      }
+      report += "  this thread holds: " + describe(held) + "\n";
+      const std::string prior = witness_for(mutex);
+      if (!prior.empty())
+        report += "  " + std::string(name) +
+                  " was previously acquired while holding: " + prior + "\n";
+      const std::string prior_conflict = witness_for(conflict->mutex);
+      if (conflict->mutex != mutex && !prior_conflict.empty())
+        report += "  " + std::string(conflict->name) +
+                  " was previously acquired while holding: " + prior_conflict +
+                  "\n";
+      report_violation(report);
+      // A non-aborting handler (tests) returns here; fall through so the
+      // acquisition is recorded and the matching unlock stays balanced.
+    }
+    record_witness(mutex, held);
+  }
+  held.push_back(HeldLock{mutex, level, name});
+}
+
+void on_release(const void* mutex) {
+  if (!enabled()) return;
+  std::vector<HeldLock>& held = held_locks();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Released a lock the validator never saw acquired: set_enabled(true)
+  // raced an already-held lock, or enablement flipped mid-stream. Benign.
+}
+
+}  // namespace prpart::lock_order

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prpart::lock_order {
+
+/// The project-wide lock hierarchy: every `prpart::Mutex` registers one of
+/// these levels, and a thread may only acquire a mutex whose level is
+/// *strictly greater* than the level of every mutex it already holds. Any
+/// other acquisition — lower level, or a second mutex of the same level —
+/// is an ordering violation and aborts with both lock sets (see
+/// DESIGN.md §9 for the rationale behind each assignment).
+///
+/// The numbering encodes the rules, outermost first:
+///
+///   * `kServerLifecycle` is outermost: it is held across the logger's
+///     periodic sleep, so nothing else may be held when taking it.
+///   * `kServerStats` and `kResultCache` sit *below* the scheduler locks:
+///     observability counters and cache probes must be recorded with no
+///     scheduler lock held, so the hot admission/dequeue sections stay pure
+///     queue manipulation (the PR that introduced this layer moved the
+///     stats aggregation in `Server::admit_job` out of the queue critical
+///     section to satisfy exactly this edge).
+///   * `kServerQueue` is near-leaf: only the log may be acquired beneath
+///     it. Everything a job needs (cache store, stats fold, search locks)
+///     happens before or after the queue critical section, never inside.
+///   * The search-internal levels (`kSearchBoundHint`, `kCostCacheShard`)
+///     order the shared state of one region-allocation search; shards are
+///     one level, so holding two shards at once is (deliberately) illegal.
+///   * `kServerLog` is the true leaf: a log line may be emitted while
+///     holding anything.
+///
+/// Gaps between values leave room for new locks without renumbering.
+enum class Level : std::uint32_t {
+  kServerLifecycle = 10,  ///< Server start/stop state + logger wakeups
+  kServerConns = 20,      ///< Server connection registry
+  kServerStats = 30,      ///< ServerStats counters + latency reservoir
+  kResultCache = 40,      ///< content-addressed LRU result cache
+  kSearchBoundHint = 50,  ///< shared leaderboard hint of the parallel search
+  kCostCacheShard = 60,   ///< one GroupCostCache shard (never two at once)
+  kParallelForError = 70, ///< first-exception slot of a parallel_for pool
+  kServerQueue = 80,      ///< bounded job queue + admission control
+  kServerLog = 90,        ///< serialised log sink (leaf)
+};
+
+/// Whether acquisitions are being validated. Defaults to on in debug
+/// builds (`NDEBUG` undefined — the asan-ubsan and tsan presets) and off in
+/// release builds; the environment variable `PRPART_LOCK_ORDER` overrides
+/// in either direction (`0` disables, anything else enables), and the test
+/// presets set it so the full suite always runs validated.
+bool enabled();
+void set_enabled(bool on);
+
+/// Called by Mutex::lock() *before* blocking (an inversion must abort, not
+/// deadlock). Validates `level` against the calling thread's held set, then
+/// records the acquisition.
+void on_acquire(const void* mutex, std::uint32_t level, const char* name);
+
+/// Called by Mutex::unlock(); removes the mutex from the held set.
+void on_release(const void* mutex);
+
+/// Human-readable rendering of the calling thread's held set, innermost
+/// last: "server.lifecycle (level 10), server.queue (level 80)".
+std::string held_description();
+
+/// Receives the full violation report. The default handler prints it to
+/// stderr and calls std::abort(); tests install a recording handler to
+/// assert on violations without dying. When a non-default handler returns,
+/// the acquisition is recorded anyway so lock/unlock stay balanced.
+using ViolationHandler = void (*)(const std::string& report);
+
+/// Installs `handler` (nullptr restores the abort default) and returns the
+/// previous one. Not thread-safe against concurrent violations — install
+/// before spawning threads (it exists for single-threaded unit tests).
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+}  // namespace prpart::lock_order

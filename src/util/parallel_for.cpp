@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace prpart {
 
@@ -31,7 +31,7 @@ void parallel_for(std::size_t count, unsigned threads,
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex(lock_order::Level::kParallelForError, "parallel_for.error");
   std::atomic<bool> failed{false};
 
   auto worker = [&] {
@@ -42,7 +42,9 @@ void parallel_for(std::size_t count, unsigned threads,
       try {
         body(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        // Any lock the body held was released during unwinding, so the
+        // error slot is a leaf in the lock hierarchy.
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -60,6 +62,8 @@ void parallel_for(std::size_t count, unsigned threads,
 }
 
 unsigned default_thread_count(const char* env_var) {
+  // Read-only getenv: the process never calls setenv, so this cannot race.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv(env_var)) {
     const std::uint64_t n = parse_u64(env);
     return n == 0 ? 1u : static_cast<unsigned>(n);

@@ -15,8 +15,27 @@ namespace prpart {
 
 namespace {
 
+/// Thread-safe strerror: handler threads can hit errno paths concurrently,
+/// so the static-buffer std::strerror is off limits (concurrency-mt-unsafe).
+/// Overload dispatch covers both strerror_r flavours — glibc's GNU variant
+/// returns the message pointer (possibly ignoring the buffer), the XSI
+/// variant fills the buffer and returns an int status.
+[[maybe_unused]] const char* strerror_message(const char* msg,
+                                              const char* /*buf*/) {
+  return msg;
+}
+[[maybe_unused]] const char* strerror_message(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+
+std::string errno_message(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return strerror_message(strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 [[noreturn]] void throw_errno(const std::string& op) {
-  throw SocketError(op + ": " + std::strerror(errno));
+  throw SocketError(op + ": " + errno_message(errno));
 }
 
 sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/lock_order.hpp"
+
+/// Clang thread-safety capability annotations (-Wthread-safety), expanding
+/// to nothing on other compilers. The CI `thread-safety` job compiles the
+/// tree with clang++ and -Wthread-safety -Wthread-safety-beta promoted to
+/// errors, so a mutex-protected member read without its lock, a forgotten
+/// annotation on a locking function, or a release on the wrong path fails
+/// the build — on every code path, including the ones no test executes.
+///
+/// Use `prpart::Mutex` + `prpart::MutexLock` (below) instead of std::mutex
+/// + std::lock_guard for any lock the analysis should track: the std types
+/// carry no capability attributes, so locking through them is invisible to
+/// the checker (and to the runtime lock-order validator).
+#if defined(__clang__)
+#define PRPART_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PRPART_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define PRPART_CAPABILITY(x) PRPART_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PRPART_SCOPED_CAPABILITY PRPART_THREAD_ANNOTATION(scoped_lockable)
+/// Data member is protected by the given capability.
+#define PRPART_GUARDED_BY(x) PRPART_THREAD_ANNOTATION(guarded_by(x))
+/// Pointed-to data is protected by the given capability.
+#define PRPART_PT_GUARDED_BY(x) PRPART_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function may only be called while holding the given capabilities.
+#define PRPART_REQUIRES(...) \
+  PRPART_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define PRPART_ACQUIRE(...) \
+  PRPART_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (which the caller must hold).
+#define PRPART_RELEASE(...) \
+  PRPART_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define PRPART_TRY_ACQUIRE(...) \
+  PRPART_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function may not be called while holding the given capabilities.
+#define PRPART_EXCLUDES(...) PRPART_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define PRPART_ASSERT_CAPABILITY(x) \
+  PRPART_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define PRPART_RETURN_CAPABILITY(x) PRPART_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the function's locking is intentionally opaque.
+#define PRPART_NO_THREAD_SAFETY_ANALYSIS \
+  PRPART_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace prpart {
+
+class CondVar;
+
+/// std::mutex with (a) Clang capability annotations so -Wthread-safety can
+/// prove guarded members are only touched under it, and (b) a mandatory
+/// level in the documented lock hierarchy (lock_order.hpp), validated at
+/// runtime in debug/test builds: acquiring out of hierarchy order aborts
+/// with both lock sets — a lockdep for the interleavings TSan never runs.
+class PRPART_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(lock_order::Level level, const char* name)
+      : level_(static_cast<std::uint32_t>(level)), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// The hierarchy check runs *before* blocking: an inversion must abort
+  /// with a report, not sit in the deadlock it was about to create.
+  void lock() PRPART_ACQUIRE() {
+    lock_order::on_acquire(this, level_, name_);
+    mu_.lock();
+  }
+
+  void unlock() PRPART_RELEASE() {
+    mu_.unlock();
+    lock_order::on_release(this);
+  }
+
+  std::uint32_t level() const { return level_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const std::uint32_t level_;
+  const char* const name_;
+};
+
+/// Scoped lock over Mutex (the std::lock_guard replacement the analysis
+/// understands), with explicit unlock()/lock() for the drop-the-lock-
+/// around-slow-work pattern (e.g. the server's periodic logger).
+class PRPART_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PRPART_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  ~MutexLock() PRPART_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early; the destructor then does nothing.
+  void unlock() PRPART_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after unlock() (full hierarchy re-check applies).
+  void lock() PRPART_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with Mutex. Waits adopt the Mutex's native
+/// handle, so the lock-order bookkeeping keeps the mutex in the holder set
+/// across the wait: the thread runs no code while it is released, and it
+/// re-holds the mutex before returning — the recorded state matches every
+/// state the thread can observe.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is held again on return.
+  /// Spurious wakeups happen: call in a while-loop over the predicate (the
+  /// loop keeps the guarded reads visibly under the capability, which a
+  /// predicate lambda would hide from the analysis).
+  void wait(Mutex& mu) PRPART_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// As wait(), giving up after `ms` milliseconds.
+  std::cv_status wait_for_ms(Mutex& mu, std::uint64_t ms) PRPART_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(native, std::chrono::milliseconds(ms));
+    native.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace prpart

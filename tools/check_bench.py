@@ -51,6 +51,44 @@ FLOORS = {
     "thread_identity_agreement": 1.0,
 }
 
+# Host-dependent keys that are *deliberately* neither drift-checked nor
+# floored: raw wall clocks and the ratios derived from them (their inputs
+# are drift-checked counters, so a real regression still surfaces there).
+# check_invariants.py cross-checks this registry against the committed
+# baselines: a new BENCH key must either drift-check, carry a floor, or be
+# declared here — nothing bypasses gating silently. Keyed by baseline file.
+INFORMATIONAL = {
+    "BENCH_search.json": {
+        "bounded.wall_seconds",
+        "exhaustive.wall_seconds",
+        "wall_speedup_vs_exhaustive",
+        "fig7_eval_speedup",
+        "kernel.fig7_reference_seconds",
+        "kernel.fig7_kernel_seconds",
+        "kernel.serve_reference_seconds",
+        "kernel.serve_kernel_seconds",
+    },
+    "BENCH_sweep.json": {
+        "wall_seconds",
+        "ms_per_design",
+        "speedup.total_vs_modular",
+        "speedup.total_vs_single",
+        "speedup.worst_vs_modular",
+        "speedup.worst_vs_single",
+    },
+    "BENCH_simulate.json": {
+        "uniform.wall_seconds",
+        "markov.wall_seconds",
+        "markov.transitions_per_second",
+        "prefetch.wall_seconds",
+        "prefetch.prefetch_hit_rate",
+    },
+    "BENCH_floorplan.json": {
+        "rerank_wall_seconds",
+        "identity_wall_seconds",
+    },
+}
+
 
 def flatten(doc):
     out = {}
