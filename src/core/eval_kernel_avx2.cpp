@@ -1,0 +1,146 @@
+// AVX2 tier of the evaluation kernel (DESIGN.md §4e). This TU is compiled
+// with -mavx2 (see src/core/CMakeLists.txt); nothing in it executes unless
+// runtime dispatch selected the tier after __builtin_cpu_supports("avx2"),
+// so the vector code never runs on a CPU without the ISA.
+
+#include "core/eval_kernel_tiers.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace prpart::eval_tiers {
+
+namespace {
+
+/// 256-bit word kernels plus SSE 16-bit-lane masks for run_batch. The
+/// bitset buffers are u64 vectors of arbitrary length, handled four words
+/// per op with a scalar tail; the int16 signature rows are handled eight
+/// lanes per op (pack the 0/0xFFFF compare lanes to bytes, then movemask).
+struct Avx2Ops {
+  static void conflict_accumulate(std::uint64_t* occ, std::uint64_t* con,
+                                  const std::uint64_t* act, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(act + i));
+      __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(occ + i));
+      __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(con + i));
+      c = _mm256_or_si256(c, _mm256_and_si256(o, a));
+      o = _mm256_or_si256(o, a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(con + i), c);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(occ + i), o);
+    }
+    for (; i < n; ++i) {
+      con[i] |= occ[i] & act[i];
+      occ[i] |= act[i];
+    }
+  }
+
+  static void or_into(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_or_si256(d, s));
+    }
+    for (; i < n; ++i) dst[i] |= src[i];
+  }
+
+  static bool any(const std::uint64_t* w, std::size_t n) {
+    std::size_t i = 0;
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4)
+      acc = _mm256_or_si256(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i)));
+    std::uint64_t tail = 0;
+    for (; i < n; ++i) tail |= w[i];
+    return _mm256_testz_si256(acc, acc) == 0 || tail != 0;
+  }
+
+  static bool missing_into(std::uint64_t* dst, const std::uint64_t* used,
+                           const std::uint64_t* touched,
+                           const std::uint64_t* stat, std::size_t n) {
+    std::size_t i = 0;
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      const __m256i u =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(used + i));
+      const __m256i t =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(touched + i));
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(stat + i));
+      const __m256i m = _mm256_andnot_si256(_mm256_or_si256(t, s), u);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), m);
+      acc = _mm256_or_si256(acc, m);
+    }
+    std::uint64_t tail = 0;
+    for (; i < n; ++i) {
+      const std::uint64_t m = used[i] & ~(touched[i] | stat[i]);
+      dst[i] = m;
+      tail |= m;
+    }
+    return _mm256_testz_si256(acc, acc) == 0 || tail != 0;
+  }
+
+  static std::uint64_t active_mask16(const std::int16_t* row, std::size_t k) {
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    const __m128i minus1 = _mm_set1_epi16(-1);
+    const __m128i zero = _mm_setzero_si128();
+    for (; i + 8 <= k; i += 8) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+      // active lanes (>= 0) compare 0xFFFF; pack to bytes, movemask to bits.
+      const __m128i ge = _mm_cmpgt_epi16(v, minus1);
+      const auto bm = static_cast<unsigned>(
+                          _mm_movemask_epi8(_mm_packs_epi16(ge, zero))) &
+                      0xffu;
+      mask |= static_cast<std::uint64_t>(bm) << i;
+    }
+    for (; i < k; ++i)
+      if (row[i] >= 0) mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+
+  static std::uint64_t eq_mask16(const std::int16_t* a, const std::int16_t* b,
+                                 std::size_t k) {
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    const __m128i zero = _mm_setzero_si128();
+    for (; i + 8 <= k; i += 8) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+      const __m128i eq = _mm_cmpeq_epi16(va, vb);
+      const auto bm = static_cast<unsigned>(
+                          _mm_movemask_epi8(_mm_packs_epi16(eq, zero))) &
+                      0xffu;
+      mask |= static_cast<std::uint64_t>(bm) << i;
+    }
+    for (; i < k; ++i)
+      if (a[i] == b[i]) mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+};
+
+}  // namespace
+
+BatchFn avx2_fn() { return &run_batch<Avx2Ops>; }
+
+}  // namespace prpart::eval_tiers
+
+#else  // !__AVX2__
+
+namespace prpart::eval_tiers {
+
+BatchFn avx2_fn() { return nullptr; }
+
+}  // namespace prpart::eval_tiers
+
+#endif

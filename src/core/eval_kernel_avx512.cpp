@@ -1,0 +1,132 @@
+// AVX-512 tier of the evaluation kernel (DESIGN.md §4e). Compiled with
+// -mavx512f -mavx512bw -mavx512dq -mavx512vl (src/core/CMakeLists.txt) and
+// only dispatched to after runtime checks for the same four features, so
+// none of this executes on a CPU without them. Relative to the AVX2 tier:
+// eight bitset words per op, the coverage combine as one ternary-logic op,
+// and the int16 signature compares produce mask registers directly
+// (AVX-512BW), 32 lanes per op with no pack/movemask dance.
+
+#include "core/eval_kernel_tiers.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace prpart::eval_tiers {
+
+namespace {
+
+struct Avx512Ops {
+  static void conflict_accumulate(std::uint64_t* occ, std::uint64_t* con,
+                                  const std::uint64_t* act, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m512i a = _mm512_loadu_si512(act + i);
+      __m512i o = _mm512_loadu_si512(occ + i);
+      __m512i c = _mm512_loadu_si512(con + i);
+      c = _mm512_or_si512(c, _mm512_and_si512(o, a));
+      o = _mm512_or_si512(o, a);
+      _mm512_storeu_si512(con + i, c);
+      _mm512_storeu_si512(occ + i, o);
+    }
+    for (; i < n; ++i) {
+      con[i] |= occ[i] & act[i];
+      occ[i] |= act[i];
+    }
+  }
+
+  static void or_into(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm512_storeu_si512(dst + i,
+                          _mm512_or_si512(_mm512_loadu_si512(dst + i),
+                                          _mm512_loadu_si512(src + i)));
+    for (; i < n; ++i) dst[i] |= src[i];
+  }
+
+  static bool any(const std::uint64_t* w, std::size_t n) {
+    std::size_t i = 0;
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8)
+      acc = _mm512_or_si512(acc, _mm512_loadu_si512(w + i));
+    std::uint64_t tail = 0;
+    for (; i < n; ++i) tail |= w[i];
+    return _mm512_test_epi64_mask(acc, acc) != 0 || tail != 0;
+  }
+
+  static bool missing_into(std::uint64_t* dst, const std::uint64_t* used,
+                           const std::uint64_t* touched,
+                           const std::uint64_t* stat, std::size_t n) {
+    std::size_t i = 0;
+    __m512i acc = _mm512_setzero_si512();
+    for (; i + 8 <= n; i += 8) {
+      const __m512i u = _mm512_loadu_si512(used + i);
+      const __m512i t = _mm512_loadu_si512(touched + i);
+      const __m512i s = _mm512_loadu_si512(stat + i);
+      // used & ~(touched | stat): truth-table minterm a·~b·~c = imm 0x10.
+      const __m512i m = _mm512_ternarylogic_epi64(u, t, s, 0x10);
+      _mm512_storeu_si512(dst + i, m);
+      acc = _mm512_or_si512(acc, m);
+    }
+    std::uint64_t tail = 0;
+    for (; i < n; ++i) {
+      const std::uint64_t m = used[i] & ~(touched[i] | stat[i]);
+      dst[i] = m;
+      tail |= m;
+    }
+    return _mm512_test_epi64_mask(acc, acc) != 0 || tail != 0;
+  }
+
+  // The lane-mask kernels run the short tail (k is the number of
+  // contributing regions, typically well under 32) through AVX-512BW
+  // masked loads instead of a scalar loop: one masked compare covers any
+  // residue, which is the whole call for realistic schemes.
+  static std::uint64_t active_mask16(const std::int16_t* row, std::size_t k) {
+    std::uint64_t mask = 0;
+    const __m512i minus1 = _mm512_set1_epi16(-1);
+    for (std::size_t i = 0; i < k; i += 32) {
+      const std::size_t rem = k - i;
+      const __mmask32 lanes =
+          rem >= 32 ? ~__mmask32{0}
+                    : static_cast<__mmask32>((1u << rem) - 1u);
+      const __m512i v = _mm512_maskz_loadu_epi16(lanes, row + i);
+      const __mmask32 m = _mm512_mask_cmpgt_epi16_mask(lanes, v, minus1);
+      mask |= static_cast<std::uint64_t>(m) << i;
+    }
+    return mask;
+  }
+
+  static std::uint64_t eq_mask16(const std::int16_t* a, const std::int16_t* b,
+                                 std::size_t k) {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < k; i += 32) {
+      const std::size_t rem = k - i;
+      const __mmask32 lanes =
+          rem >= 32 ? ~__mmask32{0}
+                    : static_cast<__mmask32>((1u << rem) - 1u);
+      const __mmask32 m = _mm512_mask_cmpeq_epi16_mask(
+          lanes, _mm512_maskz_loadu_epi16(lanes, a + i),
+          _mm512_maskz_loadu_epi16(lanes, b + i));
+      mask |= static_cast<std::uint64_t>(m) << i;
+    }
+    return mask;
+  }
+};
+
+}  // namespace
+
+BatchFn avx512_fn() { return &run_batch<Avx512Ops>; }
+
+}  // namespace prpart::eval_tiers
+
+#else  // missing AVX-512 f/bw/dq/vl
+
+namespace prpart::eval_tiers {
+
+BatchFn avx512_fn() { return nullptr; }
+
+}  // namespace prpart::eval_tiers
+
+#endif

@@ -1,0 +1,121 @@
+// NEON tier of the evaluation kernel (DESIGN.md §4e). NEON is baseline on
+// aarch64, so no extra compile flags and no runtime feature probe beyond
+// the architecture itself; on every other architecture this TU reduces to
+// the nullptr stub. Bitset words run two per 128-bit op; the int16
+// signature masks use the lane-weight trick (AND the 0/0xFFFF compare
+// lanes with {1,2,4,...,128}, horizontal-add to a byte mask).
+
+#include "core/eval_kernel_tiers.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace prpart::eval_tiers {
+
+namespace {
+
+struct NeonOps {
+  static void conflict_accumulate(std::uint64_t* occ, std::uint64_t* con,
+                                  const std::uint64_t* act, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const uint64x2_t a = vld1q_u64(act + i);
+      uint64x2_t o = vld1q_u64(occ + i);
+      uint64x2_t c = vld1q_u64(con + i);
+      c = vorrq_u64(c, vandq_u64(o, a));
+      o = vorrq_u64(o, a);
+      vst1q_u64(con + i, c);
+      vst1q_u64(occ + i, o);
+    }
+    for (; i < n; ++i) {
+      con[i] |= occ[i] & act[i];
+      occ[i] |= act[i];
+    }
+  }
+
+  static void or_into(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+      vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+    for (; i < n; ++i) dst[i] |= src[i];
+  }
+
+  static bool any(const std::uint64_t* w, std::size_t n) {
+    std::size_t i = 0;
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (; i + 2 <= n; i += 2) acc = vorrq_u64(acc, vld1q_u64(w + i));
+    std::uint64_t tail = vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1);
+    for (; i < n; ++i) tail |= w[i];
+    return tail != 0;
+  }
+
+  static bool missing_into(std::uint64_t* dst, const std::uint64_t* used,
+                           const std::uint64_t* touched,
+                           const std::uint64_t* stat, std::size_t n) {
+    std::size_t i = 0;
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (; i + 2 <= n; i += 2) {
+      const uint64x2_t u = vld1q_u64(used + i);
+      const uint64x2_t t = vld1q_u64(touched + i);
+      const uint64x2_t s = vld1q_u64(stat + i);
+      const uint64x2_t m = vbicq_u64(u, vorrq_u64(t, s));
+      vst1q_u64(dst + i, m);
+      acc = vorrq_u64(acc, m);
+    }
+    std::uint64_t tail = vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1);
+    for (; i < n; ++i) {
+      const std::uint64_t m = used[i] & ~(touched[i] | stat[i]);
+      dst[i] = m;
+      tail |= m;
+    }
+    return tail != 0;
+  }
+
+  static std::uint64_t active_mask16(const std::int16_t* row, std::size_t k) {
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    const uint16x8_t weights = {1, 2, 4, 8, 16, 32, 64, 128};
+    for (; i + 8 <= k; i += 8) {
+      const int16x8_t v = vld1q_s16(row + i);
+      const uint16x8_t ge = vcgeq_s16(v, vdupq_n_s16(0));
+      mask |= static_cast<std::uint64_t>(vaddvq_u16(vandq_u16(ge, weights)))
+              << i;
+    }
+    for (; i < k; ++i)
+      if (row[i] >= 0) mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+
+  static std::uint64_t eq_mask16(const std::int16_t* a, const std::int16_t* b,
+                                 std::size_t k) {
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    const uint16x8_t weights = {1, 2, 4, 8, 16, 32, 64, 128};
+    for (; i + 8 <= k; i += 8) {
+      const uint16x8_t eq = vceqq_s16(vld1q_s16(a + i), vld1q_s16(b + i));
+      mask |= static_cast<std::uint64_t>(vaddvq_u16(vandq_u16(eq, weights)))
+              << i;
+    }
+    for (; i < k; ++i)
+      if (a[i] == b[i]) mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+};
+
+}  // namespace
+
+BatchFn neon_fn() { return &run_batch<NeonOps>; }
+
+}  // namespace prpart::eval_tiers
+
+#else  // !__aarch64__
+
+namespace prpart::eval_tiers {
+
+BatchFn neon_fn() { return nullptr; }
+
+}  // namespace prpart::eval_tiers
+
+#endif

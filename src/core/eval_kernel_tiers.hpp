@@ -1,0 +1,431 @@
+#pragma once
+
+// Internal header of the evaluation kernel's SIMD tiers (DESIGN.md §4e).
+// It carries the tier-templated batch evaluator run_batch<Ops>, which the
+// per-tier translation units (eval_kernel_avx2/avx512/neon.cpp) instantiate
+// with their vector policy and eval_kernel.cpp dispatches to at runtime.
+// Only kernel TUs include this; it is not part of the public API.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "core/eval_kernel.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+
+/// Access seam for the tier implementations: the templated evaluator lives
+/// outside EvalContext (each instantiation is compiled in its own TU with
+/// its own -m flags), so the private members it shares with the scalar
+/// path are reached through these accessors rather than a friend template.
+struct EvalKernelDetail {
+  static const Design& design(const EvalContext& c) { return c.design_; }
+  static const ConnectivityMatrix& matrix(const EvalContext& c) {
+    return c.matrix_;
+  }
+  static const std::vector<BasePartition>& partitions(const EvalContext& c) {
+    return c.partitions_;
+  }
+  static const std::vector<DynBitset>& activity(const EvalContext& c) {
+    return c.activity_;
+  }
+  static const std::vector<DynBitset>& mode_configs(const EvalContext& c) {
+    return c.mode_configs_;
+  }
+  static const std::vector<std::uint64_t>& activity_count(
+      const EvalContext& c) {
+    return c.activity_count_;
+  }
+  static const DynBitset& used_mask(const EvalContext& c) {
+    return c.used_mask_;
+  }
+  static void prepare(const EvalContext& c, EvalScratch& s) { c.prepare(s); }
+
+  static DynBitset& region_occ(EvalScratch& s) { return s.region_occ_; }
+  static DynBitset& conflicts(EvalScratch& s) { return s.conflicts_; }
+  static DynBitset& uncovered(EvalScratch& s) { return s.uncovered_; }
+  static DynBitset& static_modes(EvalScratch& s) { return s.static_modes_; }
+  static DynBitset& touched(EvalScratch& s) { return s.touched_; }
+  static DynBitset& missing_modes(EvalScratch& s) { return s.missing_modes_; }
+  static std::vector<std::uint32_t>& kept(EvalScratch& s) { return s.kept_; }
+  static std::vector<std::uint64_t>& kept_frames(EvalScratch& s) {
+    return s.kept_frames_;
+  }
+  static std::vector<std::int16_t>& cols(EvalScratch& s) { return s.cols_; }
+  static std::vector<std::uint32_t>& reps(EvalScratch& s) { return s.reps_; }
+  static std::vector<std::uint64_t>& rep_bound(EvalScratch& s) {
+    return s.rep_bound_;
+  }
+  static std::vector<std::uint32_t>& rep_order(EvalScratch& s) {
+    return s.rep_order_;
+  }
+  static std::vector<std::uint32_t>& sig_slots(EvalScratch& s) {
+    return s.sig_slots_;
+  }
+  static std::vector<std::uint64_t>& rep_mask(EvalScratch& s) {
+    return s.rep_mask_;
+  }
+};
+
+namespace eval_tiers {
+
+/// Signature of a tier's batch entry point; eval_kernel.cpp resolves the
+/// active tier to one of these.
+using BatchFn = void (*)(const EvalContext&, const PartitionScheme* const*,
+                         std::size_t, const ResourceVec&, EvalScratch&,
+                         SchemeEvaluation*);
+
+/// Tier entry points; each returns nullptr when its TU was compiled
+/// without the matching ISA (non-x86 build, compiler without -mavx512
+/// support, ...). Runtime CPU support is checked separately by
+/// simd::tier_supported before any of these is called.
+BatchFn avx2_fn();
+BatchFn avx512_fn();
+BatchFn neon_fn();
+
+/// The signature pass packs active-member ids into int16; regions with
+/// more members fall back to the direct pair loop (mirrors the scalar
+/// tier's constant).
+inline constexpr std::size_t kMaxInt16Members = 32766;
+
+/// FNV-1a over a signature row, folded a word at a time (the per-byte form
+/// is a long serial multiply chain and was the second-hottest pass of the
+/// whole kernel at serve scale). Grouping is insensitive to the hash choice
+/// — equality is always confirmed by memcmp and representatives are pushed
+/// in first-occurrence order — so only probe length depends on it.
+inline std::uint64_t hash_row(const std::int16_t* row, std::size_t bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(row);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 1099511628211ull;
+  }
+  std::uint64_t tail = 0;
+  if (i < bytes) {
+    std::memcpy(&tail, p + i, bytes - i);
+    h = (h ^ tail) * 1099511628211ull;
+  }
+  return h;
+}
+
+/// One scheme of a batch, evaluated through the tier policy `Ops`.
+/// Byte-identical to EvalContext::evaluate_scalar_into (and so to
+/// evaluate_scheme_reference) for every input: same pass order, same
+/// invalid_reason strings, same truncation points, same counter
+/// increments. The differences are mechanical only —
+///   * bitset combination runs through Ops' word kernels;
+///   * the coverage check exploits that a region member providing mode j
+///     is active in every configuration containing j (j ∈ p.modes implies
+///     mode_configs[j] ⊆ activity[p]), so a touched mode is always
+///     covered and the test collapses to used & ~(touched | static) per
+///     word — the failing set, and with it the diagnosed configuration,
+///     is exactly the reference's;
+///   * Eq. 10 occurrence counts come from the context's precomputed row
+///     popcounts;
+///   * Eq. 11 groups signatures through a hash table instead of a sort
+///     (same distinct-signature set, so the same collapsed count and the
+///     same pair maximum) and compares surviving rows through Ops'
+///     16-bit-lane masks when the contributing regions fit one 64-bit
+///     mask.
+template <class Ops>
+void evaluate_one(const EvalContext& ctx, const PartitionScheme& scheme,
+                  const ResourceVec& budget, EvalScratch& scratch,
+                  SchemeEvaluation& eval) {
+  using D = EvalKernelDetail;
+  const auto& design = D::design(ctx);
+  const auto& partitions = D::partitions(ctx);
+  const auto& activity = D::activity(ctx);
+  const auto& mode_configs = D::mode_configs(ctx);
+  const auto& activity_count = D::activity_count(ctx);
+
+  ++scratch.stats.kernel_evaluations;
+
+  const std::size_t nconf = D::matrix(ctx).configs();
+  const std::size_t nregions = scheme.regions.size();
+  const std::size_t conf_words = D::region_occ(scratch).word_count();
+  const std::size_t mode_words = D::touched(scratch).word_count();
+
+  eval.valid = true;
+  eval.invalid_reason.clear();
+  eval.fits = false;
+  eval.pr_resources = {};
+  eval.static_resources = {};
+  eval.total_resources = {};
+  eval.total_frames = 0;
+  eval.worst_frames = 0;
+  eval.regions.resize(nregions);
+
+  // --- Region footprints (always, for every region) ------------------------
+  for (std::size_t r = 0; r < nregions; ++r) {
+    const Region& region = scheme.regions[r];
+    require(!region.members.empty(), "scheme contains an empty region");
+    RegionReport& report = eval.regions[r];
+    report.raw = {};
+    report.reconfig_pairs = 0;
+    report.active.clear();
+    for (std::size_t p : region.members) {
+      require(p < partitions.size(), "scheme references unknown partition");
+      report.raw = elementwise_max(report.raw, partitions[p].area);
+    }
+    report.tiles = tiles_for(report.raw);
+    report.frames = report.tiles.frames();
+    eval.pr_resources += report.tiles.resources();
+  }
+
+  // --- Static logic ---------------------------------------------------------
+  eval.static_resources = design.static_base();
+  for (std::size_t p : scheme.static_members) {
+    require(p < partitions.size(), "scheme references unknown partition");
+    eval.static_resources += partitions[p].area;
+  }
+  eval.total_resources = eval.pr_resources + eval.static_resources;
+  eval.fits = eval.total_resources.fits_in(budget);
+
+  // --- Active tables + double-activation (fail fast) ------------------------
+  DynBitset& occ = D::region_occ(scratch);
+  DynBitset& con = D::conflicts(scratch);
+  for (std::size_t r = 0; r < nregions; ++r) {
+    const Region& region = scheme.regions[r];
+    RegionReport& report = eval.regions[r];
+    occ.clear_all();
+    con.clear_all();
+    for (std::size_t p : region.members)
+      Ops::conflict_accumulate(occ.mutable_words(), con.mutable_words(),
+                               activity[p].words(), conf_words);
+    if (Ops::any(con.words(), conf_words)) {
+      const std::size_t cstar = con.find_first();
+      eval.valid = false;
+      eval.invalid_reason =
+          "configuration " + design.configurations()[cstar].name +
+          " activates two partitions in one region (incompatible members)";
+      report.active.assign(nconf, -1);
+      for (std::size_t m = 0; m < region.members.size(); ++m)
+        activity[region.members[m]].for_each_set_bit([&](std::size_t c) {
+          if (c < cstar) report.active[c] = static_cast<int>(m);
+        });
+      int seen = 0;
+      for (std::size_t m = 0; m < region.members.size(); ++m) {
+        if (!activity[region.members[m]].test(cstar)) continue;
+        if (++seen == 2) {
+          report.active[cstar] = static_cast<int>(m);
+          break;
+        }
+      }
+      return;  // later regions keep empty active tables, like the reference
+    }
+    report.active.assign(nconf, -1);
+    for (std::size_t m = 0; m < region.members.size(); ++m)
+      activity[region.members[m]].for_each_set_bit(
+          [&](std::size_t c) { report.active[c] = static_cast<int>(m); });
+  }
+
+  // --- Coverage, word-parallel ----------------------------------------------
+  // touched accumulates every mode some region member provides. A touched
+  // mode is always covered (see the class comment), so the coverage test
+  // is one word pass: missing = used & ~(touched | static). On failure the
+  // uncovered set is the union of the missing modes' configuration
+  // columns — exactly the reference's union, since its or_andnot branch
+  // (touched but not subset) is unreachable.
+  DynBitset& stat = D::static_modes(scratch);
+  DynBitset& touched = D::touched(scratch);
+  stat.clear_all();
+  for (std::size_t p : scheme.static_members)
+    Ops::or_into(stat.mutable_words(), partitions[p].modes.words(),
+                 mode_words);
+  touched.clear_all();
+  for (const Region& region : scheme.regions)
+    for (std::size_t p : region.members)
+      Ops::or_into(touched.mutable_words(), partitions[p].modes.words(),
+                   mode_words);
+  DynBitset& missing = D::missing_modes(scratch);
+  if (Ops::missing_into(missing.mutable_words(), D::used_mask(ctx).words(),
+                        touched.words(), stat.words(), mode_words)) {
+    DynBitset& uncov = D::uncovered(scratch);
+    uncov.clear_all();
+    missing.for_each_set_bit([&](std::size_t j) {
+      Ops::or_into(uncov.mutable_words(), mode_configs[j].words(),
+                   conf_words);
+    });
+    eval.valid = false;
+    eval.invalid_reason =
+        "configuration " + design.configurations()[uncov.find_first()].name +
+        " has modes not provided by any region or static logic";
+    return;
+  }
+
+  // --- Eq. 10 + contributing-region detection -------------------------------
+  auto& kept = D::kept(scratch);
+  auto& kept_frames = D::kept_frames(scratch);
+  kept.clear();
+  kept_frames.clear();
+  for (std::size_t r = 0; r < nregions; ++r) {
+    const Region& region = scheme.regions[r];
+    RegionReport& report = eval.regions[r];
+    std::uint64_t present = 0;
+    std::uint64_t same_pairs = 0;
+    std::size_t members_present = 0;
+    for (std::size_t p : region.members) {
+      const std::uint64_t n = activity_count[p];
+      if (n == 0) continue;
+      present += n;
+      same_pairs += n * (n - 1) / 2;
+      ++members_present;
+    }
+    report.reconfig_pairs = present * (present - 1) / 2 - same_pairs;
+    eval.total_frames += report.reconfig_pairs * report.frames;
+    if (members_present >= 2) {
+      kept.push_back(static_cast<std::uint32_t>(r));
+      kept_frames.push_back(report.frames);
+    }
+  }
+
+  // --- Eq. 11, signature-collapsed ------------------------------------------
+  const std::size_t nkept = kept.size();
+  if (nkept == 0 || nconf < 2) return;
+
+  bool fits_int16 = true;
+  for (std::uint32_t r : kept)
+    if (scheme.regions[r].members.size() > kMaxInt16Members)
+      fits_int16 = false;
+  if (!fits_int16) {
+    // Direct pair loop over the contributing regions; exact but never taken
+    // for realistically sized regions.
+    for (std::size_t i = 0; i < nconf; ++i)
+      for (std::size_t j = i + 1; j < nconf; ++j) {
+        std::uint64_t frames = 0;
+        for (std::size_t k = 0; k < nkept; ++k) {
+          const std::vector<int>& active = eval.regions[kept[k]].active;
+          const int a = active[i];
+          const int b = active[j];
+          if (a >= 0 && b >= 0 && a != b) frames += kept_frames[k];
+        }
+        eval.worst_frames = std::max(eval.worst_frames, frames);
+      }
+    return;
+  }
+
+  // Pack each configuration's active ids over the contributing regions
+  // into a contiguous int16 row (same layout as the scalar tier), then
+  // group identical rows through a linear-probe table: one representative
+  // per distinct signature preserves the pair maximum, and the distinct
+  // count — the collapsed-configs counter — is grouping-order-independent.
+  auto& cols = D::cols(scratch);
+  cols.resize(nconf * nkept);
+  for (std::size_t k = 0; k < nkept; ++k) {
+    const std::vector<int>& active = eval.regions[kept[k]].active;
+    for (std::size_t c = 0; c < nconf; ++c)
+      cols[c * nkept + k] = static_cast<std::int16_t>(active[c]);
+  }
+  const std::size_t row_bytes = nkept * sizeof(std::int16_t);
+  const auto row = [&](std::uint32_t c) { return &cols[c * nkept]; };
+
+  std::size_t table_size = 2;
+  while (table_size < nconf * 2) table_size <<= 1;
+  auto& slots = D::sig_slots(scratch);
+  slots.assign(table_size, 0);  // 0 empty, else representative config + 1
+  auto& reps = D::reps(scratch);
+  reps.clear();
+  for (std::size_t c = 0; c < nconf; ++c) {
+    const auto cc = static_cast<std::uint32_t>(c);
+    std::size_t slot = static_cast<std::size_t>(hash_row(row(cc), row_bytes)) &
+                       (table_size - 1);
+    for (;;) {
+      const std::uint32_t entry = slots[slot];
+      if (entry == 0) {
+        slots[slot] = cc + 1;
+        reps.push_back(cc);
+        break;
+      }
+      if (std::memcmp(row(entry - 1), row(cc), row_bytes) == 0) break;
+      slot = (slot + 1) & (table_size - 1);
+    }
+  }
+  scratch.stats.signature_collapsed_configs += nconf - reps.size();
+
+  // Bound pruning exactly as the scalar tier: a pair reconfigures at most
+  // the regions active on both sides, so visiting representatives in
+  // decreasing total-active-frames order lets both loops stop at the
+  // running maximum. Representative order differs from the sorted-
+  // signature tier (first occurrence vs lexicographic), which only
+  // permutes the visit order of an order-insensitive maximum.
+  const std::size_t nreps = reps.size();
+  const bool mask_fits = nkept <= 64;
+  auto& rep_bound = D::rep_bound(scratch);
+  auto& rep_mask = D::rep_mask(scratch);
+  rep_bound.resize(nreps);
+  rep_mask.resize(nreps);
+  for (std::size_t u = 0; u < nreps; ++u) {
+    const std::int16_t* ru = row(reps[u]);
+    std::uint64_t bound = 0;
+    if (mask_fits) {
+      const std::uint64_t mask = Ops::active_mask16(ru, nkept);
+      rep_mask[u] = mask;
+      for (std::uint64_t m = mask; m != 0; m &= m - 1)
+        bound += kept_frames[static_cast<std::size_t>(std::countr_zero(m))];
+    } else {
+      rep_mask[u] = 0;
+      for (std::size_t k = 0; k < nkept; ++k)
+        if (ru[k] >= 0) bound += kept_frames[k];
+    }
+    rep_bound[u] = bound;
+  }
+  auto& rep_order = D::rep_order(scratch);
+  rep_order.resize(nreps);
+  for (std::size_t u = 0; u < nreps; ++u)
+    rep_order[u] = static_cast<std::uint32_t>(u);
+  std::sort(rep_order.begin(), rep_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (rep_bound[a] != rep_bound[b])
+                return rep_bound[a] > rep_bound[b];
+              return a < b;
+            });
+
+  for (std::size_t ui = 0; ui < nreps; ++ui) {
+    const std::uint32_t u = rep_order[ui];
+    if (rep_bound[u] <= eval.worst_frames) break;
+    const std::int16_t* ru = row(reps[u]);
+    const std::uint64_t mu = rep_mask[u];
+    for (std::size_t vi = ui + 1; vi < nreps; ++vi) {
+      const std::uint32_t v = rep_order[vi];
+      if (rep_bound[v] <= eval.worst_frames) break;
+      const std::int16_t* rv = row(reps[v]);
+      std::uint64_t frames = 0;
+      if (mask_fits) {
+        // Regions active on both sides and holding different members:
+        // both-active is a precomputed mask AND, different-member comes
+        // from the tier's 16-bit-lane equality mask.
+        std::uint64_t diff = mu & rep_mask[v];
+        if (diff != 0) diff &= ~Ops::eq_mask16(ru, rv, nkept);
+        for (std::uint64_t m = diff; m != 0; m &= m - 1)
+          frames += kept_frames[static_cast<std::size_t>(std::countr_zero(m))];
+      } else {
+        for (std::size_t k = 0; k < nkept; ++k) {
+          const std::int16_t a = ru[k];
+          const std::int16_t b = rv[k];
+          if (a >= 0 && b >= 0 && a != b) frames += kept_frames[k];
+        }
+      }
+      eval.worst_frames = std::max(eval.worst_frames, frames);
+    }
+  }
+}
+
+/// Batch entry: prepare once, then evaluate each scheme through the tier
+/// policy. Identical to `count` evaluate_into calls, with the dispatch and
+/// scratch setup hoisted out of the loop.
+template <class Ops>
+void run_batch(const EvalContext& ctx, const PartitionScheme* const* schemes,
+               std::size_t count, const ResourceVec& budget,
+               EvalScratch& scratch, SchemeEvaluation* evals) {
+  EvalKernelDetail::prepare(ctx, scratch);
+  for (std::size_t i = 0; i < count; ++i)
+    evaluate_one<Ops>(ctx, *schemes[i], budget, scratch, evals[i]);
+}
+
+}  // namespace eval_tiers
+
+}  // namespace prpart

@@ -22,24 +22,45 @@ PartitionerResult partition_design(const Design& design,
   // One evaluation-kernel context per (design, partition set): the baseline
   // evaluations below, the search's final certification, and any caller
   // re-evaluation share its precomputed activity matrix (DESIGN.md §4d).
+  // A caller-provided scratch (options.search.scratch — the server's job
+  // workers keep one warm per pool thread) is reused so steady-state jobs
+  // evaluate with zero heap allocations (§4e).
   const EvalContext context(design, matrix, result.base_partitions);
-  EvalScratch scratch;
+  EvalScratch local_scratch;
+  EvalScratch& scratch = options.search.scratch != nullptr
+                             ? *options.search.scratch
+                             : local_scratch;
+  const std::uint64_t scratch_evals_before = scratch.stats.kernel_evaluations;
+  const std::uint64_t scratch_collapsed_before =
+      scratch.stats.signature_collapsed_configs;
 
-  // Baselines.
+  // Baselines, scored in one kernel batch (§4e) — same evaluations in the
+  // same order as two evaluate() calls.
   result.modular.name = "Modular";
   result.modular.scheme =
       make_modular_scheme(design, matrix, result.base_partitions);
-  result.modular.eval = context.evaluate(result.modular.scheme, budget, scratch);
-  require(result.modular.eval.valid,
-          "modular baseline invalid: " + result.modular.eval.invalid_reason);
-
   result.static_impl.name = "Static";
   result.static_impl.scheme =
       make_static_scheme(design, matrix, result.base_partitions);
-  result.static_impl.eval =
-      context.evaluate(result.static_impl.scheme, budget, scratch);
+  {
+    const PartitionScheme* baselines[2] = {&result.modular.scheme,
+                                           &result.static_impl.scheme};
+    SchemeEvaluation evals[2];
+    context.evaluate_batch_into(baselines, 2, budget, scratch, evals);
+    result.modular.eval = std::move(evals[0]);
+    result.static_impl.eval = std::move(evals[1]);
+  }
+  require(result.modular.eval.valid,
+          "modular baseline invalid: " + result.modular.eval.invalid_reason);
   require(result.static_impl.eval.valid,
           "static baseline invalid: " + result.static_impl.eval.invalid_reason);
+  // Kernel work of the baselines alone; the search folds its own
+  // certification delta into its stats, so adding the whole scratch delta
+  // at the end would double-count when the scratch is shared.
+  const std::uint64_t baseline_evals =
+      scratch.stats.kernel_evaluations - scratch_evals_before;
+  const std::uint64_t baseline_collapsed =
+      scratch.stats.signature_collapsed_configs - scratch_collapsed_before;
 
   result.single_region.name = "Single region";
   auto [single_scheme, single_eval] = single_region_scheme(
@@ -81,9 +102,8 @@ PartitionerResult partition_design(const Design& design,
 
   // Baseline evaluations above went through the shared kernel context; fold
   // them into the stats next to the search's own certification counts.
-  result.stats.kernel_evaluations += scratch.stats.kernel_evaluations;
-  result.stats.signature_collapsed_configs +=
-      scratch.stats.signature_collapsed_configs;
+  result.stats.kernel_evaluations += baseline_evals;
+  result.stats.signature_collapsed_configs += baseline_collapsed;
 
   return result;
 }

@@ -16,7 +16,11 @@ struct PartitionerOptions {
   /// work units across a worker pool (0 = hardware concurrency, 1 =
   /// inline); every thread count yields byte-identical schemes and stats,
   /// so PartitionerResult is reproducible across machines. Surfaced on the
-  /// CLI as `--threads N`.
+  /// CLI as `--threads N`. `search.pool` and `search.scratch` pass a
+  /// persistent WorkerPool and a warm EvalScratch through to both the
+  /// search phases and the partitioner's own baseline batch (§4e): the
+  /// server's job workers set them so steady-state requests spawn no
+  /// threads and allocate nothing in the kernel.
   SearchOptions search;
   /// Cap on enumerated base-partition size passed to the clustering
   /// (0 = unlimited, the paper's behaviour). The number of co-occurring

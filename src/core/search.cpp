@@ -596,7 +596,7 @@ class Searcher {
     std::vector<std::uint64_t> unit_lb;
     if (options_.use_bounding) {
       unit_lb.assign(units.size(), 0);
-      parallel_for(initials.size(), threads, [&](std::size_t k) {
+      parallel_for(options_.pool, initials.size(), threads, [&](std::size_t k) {
         State s = initials[k];  // scratch copy, restored by undo below
         for (std::size_t i = set_units[k].first; i < set_units[k].second;
              ++i) {
@@ -634,7 +634,7 @@ class Searcher {
     const std::size_t keep =
         std::max<std::size_t>(1, options_.keep_alternatives);
     BoundHint hint(keep);
-    parallel_for(initials.size(), threads, [&](std::size_t k) {
+    parallel_for(options_.pool, initials.size(), threads, [&](std::size_t k) {
       ChunkRunner runner(design_, budget_, options_, cache_ptr, initials[k]);
       for (std::size_t i = set_units[k].first; i < set_units[k].second; ++i) {
         if (options_.use_bounding) {
@@ -734,19 +734,30 @@ class Searcher {
         local_context.emplace(design_, matrix_, partitions_);
         context = &*local_context;
       }
-      EvalScratch scratch;
+      EvalScratch local_scratch;
+      EvalScratch& scratch =
+          options_.scratch != nullptr ? *options_.scratch : local_scratch;
+      const std::uint64_t scratch_evals_before =
+          scratch.stats.kernel_evaluations;
+      const std::uint64_t scratch_collapsed_before =
+          scratch.stats.signature_collapsed_configs;
       std::vector<std::uint64_t> wcost;
       if (options_.workload_cost != nullptr) {
-        // Workload re-ranking: certify every kept alternative and stable-
-        // sort by the caller's cost, ascending. The stable sort keeps the
+        // Workload re-ranking: certify every kept alternative in one kernel
+        // batch, then stable-sort by the caller's cost, ascending. The
+        // batch scores the same schemes in the same order as per-scheme
+        // calls (same counters, same results); the stable sort keeps the
         // Eq. 10 + canonical-key order on cost ties, so the re-ranked
         // result is as deterministic as the unranked one.
+        std::vector<const PartitionScheme*> frontier;
+        frontier.reserve(kept.size());
+        for (const Kept& k : kept) frontier.push_back(&k.scheme);
+        std::vector<SchemeEvaluation> evals;
+        context->evaluate_batch_into(frontier, budget_, scratch, evals);
         wcost.reserve(kept.size());
-        for (const Kept& k : kept) {
-          const SchemeEvaluation eval =
-              context->evaluate(k.scheme, budget_, scratch);
-          wcost.push_back(options_.workload_cost->cost(k.scheme, eval));
-        }
+        for (std::size_t i = 0; i < kept.size(); ++i)
+          wcost.push_back(
+              options_.workload_cost->cost(kept[i].scheme, evals[i]));
         std::vector<std::size_t> rank(kept.size());
         for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
         std::stable_sort(rank.begin(), rank.end(),
@@ -767,9 +778,13 @@ class Searcher {
       result.scheme = kept.front().scheme;
       result.scheme.label = "proposed";
       result.eval = context->evaluate(result.scheme, budget_, scratch);
-      result.stats.kernel_evaluations += scratch.stats.kernel_evaluations;
+      // Fold the kernel work of *this call* (the scratch may be a warm
+      // caller-provided one carrying earlier jobs' counts).
+      result.stats.kernel_evaluations +=
+          scratch.stats.kernel_evaluations - scratch_evals_before;
       result.stats.signature_collapsed_configs +=
-          scratch.stats.signature_collapsed_configs;
+          scratch.stats.signature_collapsed_configs -
+          scratch_collapsed_before;
       require(result.eval.valid, "search produced an invalid scheme: " +
                                      result.eval.invalid_reason);
       require(result.eval.fits, "search recorded a non-fitting scheme");

@@ -9,7 +9,9 @@
 
 namespace prpart {
 
-class EvalContext;  // core/eval_kernel.hpp
+class EvalContext;   // core/eval_kernel.hpp
+struct EvalScratch;  // core/eval_kernel.hpp
+class WorkerPool;    // util/parallel_for.hpp
 
 /// Symmetric per-configuration-pair weights (scaled integers, e.g. relative
 /// transition probabilities x 10^6). weight[i][j] scales the cost of the
@@ -98,6 +100,21 @@ struct SearchOptions {
   /// partitioner passes its per-design context here. Results are identical
   /// either way.
   const EvalContext* eval_context = nullptr;
+  /// Optional reusable evaluation scratch (nullable; one per calling
+  /// thread, like the context it pairs with). When set, the final
+  /// certification evaluates into it instead of a call-local scratch, so a
+  /// caller that keeps the scratch warm across searches — the server's job
+  /// workers — certifies with zero steady-state allocations (§4e). Kernel
+  /// counters accumulate in the scratch either way and are folded into the
+  /// returned SearchStats identically.
+  EvalScratch* scratch = nullptr;
+  /// Optional persistent worker pool (nullable; must outlive the search).
+  /// When set, the phase fan-outs run on the pool's threads instead of
+  /// spawning fresh ones — same dynamic schedule, byte-identical results —
+  /// so a server worker holding a pool reaches a thread-spawn-free steady
+  /// state across jobs (§4e). `threads` keeps its meaning as the logical
+  /// cap; a pooled run uses the pool's fixed thread count.
+  WorkerPool* pool = nullptr;
   /// Optional workload-cost re-ranking hook (nullable; must outlive the
   /// search). When set, the kept alternatives are each certified with the
   /// evaluation kernel and stable-sorted by WorkloadCost::cost ascending;

@@ -82,7 +82,13 @@ std::vector<Configuration> sample_configurations(
   std::vector<Configuration> configs;
   std::size_t stale_attempts = 0;
 
-  while (unused > 0) {
+  // Beyond full coverage, keep sampling only while min_configurations asks
+  // for more; a duplicate-sample budget bounds the tail in case the design's
+  // distinct-configuration space is smaller than the request.
+  std::size_t padding_attempts = 0;
+  while (unused > 0 || (configs.size() < opt.min_configurations &&
+                        padding_attempts < 64 * opt.min_configurations)) {
+    if (unused == 0) ++padding_attempts;
     std::vector<std::uint32_t> choice(modules.size(), 0);
     // After too many rejected samples (duplicate or empty), force progress
     // by pinning one still-unused mode; keeps generation deterministic and

@@ -39,6 +39,13 @@ struct SyntheticOptions {
   /// Probability that a module is absent (mode 0) from a given random
   /// configuration; exercises the paper's §IV-D optional-module path.
   double absence_probability = 0.1;
+  /// Keep sampling distinct random configurations beyond full mode
+  /// coverage until at least this many exist. 0 (the default) reproduces
+  /// the paper's rule exactly — stop as soon as every mode is utilised.
+  /// Larger values model deeply adaptive systems (hundreds of operating
+  /// configurations over the same modules), the population the serve-scale
+  /// evaluation benches target.
+  std::size_t min_configurations = 0;
   /// If true (default), regenerate any design whose minimum implementation
   /// (single-region lower bound) does not fit the largest library device;
   /// the paper's sweep implicitly contains only implementable designs.

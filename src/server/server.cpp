@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "analysis/frontend.hpp"
+#include "core/eval_kernel.hpp"
 #include "design/io_xml.hpp"
 #include "server/hash.hpp"
 #include "util/clock.hpp"
+#include "util/parallel_for.hpp"
 #include "util/status.hpp"
 
 namespace prpart::server {
@@ -304,6 +306,12 @@ std::string Server::admit_job(PartitionRequest request,
 }
 
 void Server::worker_loop() {
+  // Persistent per-worker execution state (§4e): the search pool's threads
+  // are spawned once here, and the kernel scratch keeps its buffers warm,
+  // so back-to-back jobs run with zero thread spawns and zero steady-state
+  // kernel allocations.
+  WorkerPool pool(std::max(1u, options_.job_threads));
+  EvalScratch scratch;
   while (true) {
     std::shared_ptr<Job> job;
     {
@@ -316,7 +324,7 @@ void Server::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    execute_job(*job);
+    execute_job(*job, pool, scratch);
     {
       const MutexLock lock(queue_mutex_);
       --in_flight_;
@@ -324,12 +332,14 @@ void Server::worker_loop() {
   }
 }
 
-void Server::execute_job(Job& job) {
+void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
   std::string response;
   try {
     check_cancel(&job.cancel);  // the deadline may have fired while queued
     PartitionerOptions options = job.request.options;
     options.search.cancel = &job.cancel;
+    options.search.pool = &pool;
+    options.search.scratch = &scratch;
 
     PartitionerResult result;
     std::string device_name;

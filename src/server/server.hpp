@@ -18,6 +18,11 @@
 #include "util/socket.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace prpart {
+struct EvalScratch;  // core/eval_kernel.hpp
+class WorkerPool;    // util/parallel_for.hpp
+}  // namespace prpart
+
 namespace prpart::server {
 
 struct ServerOptions {
@@ -113,6 +118,12 @@ class Server {
   };
 
   void accept_loop();
+  /// One job worker. Owns the worker's persistent execution state — a
+  /// WorkerPool of job_threads threads and a warm EvalScratch — and reuses
+  /// both across every job it runs, so a server in steady state spawns no
+  /// threads and performs no kernel allocations per request (§4e). Pools
+  /// are per-worker (never shared): WorkerPool::run serves one runner at a
+  /// time.
   void worker_loop();
   void logger_loop();
   void handle_connection(Connection* conn);
@@ -127,7 +138,8 @@ class Server {
   std::string admit_job(PartitionRequest request,
                         std::optional<SimulateParams> simulate,
                         std::optional<FloorplanParams> floorplan);
-  void execute_job(Job& job);
+  /// Runs one job on this worker's persistent pool + scratch.
+  void execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch);
   std::string stats_response(const std::string& id) const;
   void log_line(const std::string& line);
 

@@ -1,6 +1,9 @@
 #include "server/stats.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "util/simd.hpp"
 
 namespace prpart::server {
 
@@ -31,6 +34,11 @@ json::Value StatsSnapshot::to_json() const {
   v.set("latency_count", json::Value(latency_count));
   v.set("p50_latency_us", json::Value(p50_latency_us));
   v.set("p99_latency_us", json::Value(p99_latency_us));
+  // The evaluation kernel's dispatched SIMD tier (DESIGN.md §4e): constant
+  // for the process lifetime, reported so operators can tell which code
+  // path serves this host (and spot a forced PRPART_SIMD override).
+  v.set("simd_tier",
+        json::Value(std::string(simd::tier_name(simd::active_tier()))));
   json::Value search = json::Value::object();
   search.set("units", json::Value(search_units));
   search.set("units_pruned", json::Value(search_units_pruned));

@@ -106,9 +106,24 @@ class DynBitset {
   // Word view: the packed 64-bit words backing the set, for kernels that
   // combine several bitsets word-by-word (activity matrices, compatibility
   // rows). Bits past size() are guaranteed zero, so consumers can popcount
-  // and scan whole words without masking the trailing word.
+  // and scan whole words without masking the trailing word. The masked-tail
+  // invariant is load-bearing for the SIMD kernels, which read and combine
+  // word_count() whole words regardless of size() % 64 — every mutator in
+  // this class preserves it (pinned by BitsetTest.TailWord* in
+  // tests/util/bitset_test.cpp):
+  //   * set/reset check the index, so no tail bit is ever addressed;
+  //   * |=, &=, subtract, or_and, or_andnot combine same-capacity operands
+  //     whose tails are zero, and OR/AND/ANDNOT of zeros stays zero;
+  //   * clear_all and the constructor zero whole words.
   std::size_t word_count() const { return words_.size(); }
   std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  /// Contiguous word storage for vectorised kernels. Writers through
+  /// mutable_words() must uphold the masked-tail invariant above: bits in
+  /// [size(), word_count()*64) stay zero. The kernel's word loops only ever
+  /// combine same-capacity sets (zero tails in, zero tails out).
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t* mutable_words() { return words_.data(); }
 
   /// Calls `fn(index)` for every set bit in increasing order. The word-wise
   /// scan (countr_zero + clear-lowest) touches each word once, so iterating

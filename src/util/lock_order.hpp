@@ -37,6 +37,12 @@ enum class Level : std::uint32_t {
   kServerConns = 20,      ///< Server connection registry
   kServerStats = 30,      ///< ServerStats counters + latency reservoir
   kResultCache = 40,      ///< content-addressed LRU result cache
+  kWorkerPool = 45,       ///< persistent WorkerPool dispatch state. Above
+                          ///< the server layers (a job submits work while
+                          ///< holding no server lock) and below every
+                          ///< search lock: pool workers take bound-hint /
+                          ///< cost-cache locks inside their bodies, after
+                          ///< the pool mutex is released.
   kSearchBoundHint = 50,  ///< shared leaderboard hint of the parallel search
   kCostCacheShard = 60,   ///< one GroupCostCache shard (never two at once)
   kParallelForError = 70, ///< first-exception slot of a parallel_for pool

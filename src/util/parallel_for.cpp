@@ -1,11 +1,13 @@
 #include "util/parallel_for.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <thread>
 #include <vector>
 
+#include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -59,6 +61,123 @@ void parallel_for(std::size_t count, unsigned threads,
   for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+WorkerPool::WorkerPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  workers_.reserve(n - 1);
+  for (unsigned t = 1; t < n; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const MutexLock lock(mutex_);
+    stop_ = true;
+    wake_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::work(const std::function<void(std::size_t)>& body,
+                      std::size_t count) {
+  // Bodies run with the nested flag set (and no pool lock held), so a
+  // parallel_for or pool run issued from inside one executes inline — the
+  // same composition rule as the spawning parallel_for. The caller
+  // participates through this function too, hence save/restore rather
+  // than set/clear.
+  const bool was_inside = g_inside_parallel_for;
+  g_inside_parallel_for = true;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    try {
+      body(i);
+    } catch (...) {
+      {
+        // Any lock the body held was released during unwinding, so only
+        // the pool mutex is acquired here.
+        const MutexLock lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_relaxed);
+      // Mark every remaining index claimed so the drain condition (all
+      // indices claimed, no participant active) holds without running
+      // them — the free parallel_for's early-out, expressed in counters.
+      next_.store(count, std::memory_order_relaxed);
+      break;
+    }
+    if (failed_.load(std::memory_order_relaxed)) break;
+  }
+  g_inside_parallel_for = was_inside;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  MutexLock lock(mutex_);
+  for (;;) {
+    while (!stop_ && (generation_ == seen || !running_)) wake_.wait(mutex_);
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* body = body_;
+    const std::size_t count = count_;
+    ++active_;
+    lock.unlock();
+    work(*body, count);
+    lock.lock();
+    --active_;
+    if (active_ == 0 && next_.load(std::memory_order_relaxed) >= count_)
+      done_.notify_one();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || g_inside_parallel_for) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  {
+    const MutexLock lock(mutex_);
+    require(!running_,
+            "WorkerPool::run called concurrently; a pool serves one runner "
+            "at a time (give each job worker its own pool)");
+    body_ = &body;
+    count_ = count;
+    running_ = true;
+    failed_.store(false, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    wake_.notify_all();
+  }
+
+  // The caller is the pool's extra worker: it drains indices alongside the
+  // woken threads, then waits for the stragglers still inside a body.
+  work(body, count);
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (active_ != 0 ||
+           next_.load(std::memory_order_relaxed) < count_)
+      done_.wait(mutex_);
+    running_ = false;
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(WorkerPool* pool, std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && threads > 1 && !inside_parallel_for()) {
+    pool->run(count, body);
+    return;
+  }
+  parallel_for(count, threads, body);
 }
 
 unsigned default_thread_count(const char* env_var) {

@@ -1,0 +1,137 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/status.hpp"
+
+namespace prpart::simd {
+
+namespace {
+
+/// Forced tier + 1; 0 means "no override". A plain atomic keeps the test
+/// hook race-free against concurrent readers without a lock on the hot
+/// dispatch path.
+std::atomic<std::uint32_t> g_forced{0};
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // The kernel's AVX-512 path uses 512-bit integer ops (F), 16-bit lane
+  // compares into mask registers (BW), and the VL/DQ forms for narrow
+  // tails; a CPU missing any subset runs the AVX2 tier instead.
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+Tier resolve_default() {
+  // Read-only getenv: the process never calls setenv, so this cannot race.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("PRPART_SIMD")) return tier_from_name(env);
+  return best_supported_tier();
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kNeon: return "neon";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool tier_supported(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAvx2:
+      return cpu_has_avx2();
+    case Tier::kAvx512:
+      return cpu_has_avx512();
+  }
+  return false;
+}
+
+Tier best_supported_tier() {
+  if (tier_supported(Tier::kAvx512)) return Tier::kAvx512;
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  if (tier_supported(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+}
+
+Tier tier_from_name(const std::string& name) {
+  Tier tier;
+  if (name == "scalar") {
+    tier = Tier::kScalar;
+  } else if (name == "neon") {
+    tier = Tier::kNeon;
+  } else if (name == "avx2") {
+    tier = Tier::kAvx2;
+  } else if (name == "avx512") {
+    tier = Tier::kAvx512;
+  } else {
+    throw Error("unknown SIMD tier '" + name +
+                "' (expected scalar, neon, avx2 or avx512)");
+  }
+  if (!tier_supported(tier))
+    throw Error("SIMD tier '" + name +
+                "' is not supported on this CPU (supported: " +
+                supported_tier_list() + ")");
+  return tier;
+}
+
+Tier active_tier() {
+  const std::uint32_t forced = g_forced.load(std::memory_order_acquire);
+  if (forced != 0) return static_cast<Tier>(forced - 1);
+  // The environment choice is immutable for the process lifetime, so it is
+  // resolved exactly once; tests that need to switch tiers use the
+  // in-process override above instead of mutating the environment.
+  static const Tier resolved = resolve_default();
+  return resolved;
+}
+
+void set_forced_tier(std::optional<Tier> tier) {
+  if (!tier) {
+    g_forced.store(0, std::memory_order_release);
+    return;
+  }
+  if (!tier_supported(*tier))
+    throw Error(std::string("cannot force SIMD tier '") + tier_name(*tier) +
+                "': not supported on this CPU (supported: " +
+                supported_tier_list() + ")");
+  g_forced.store(static_cast<std::uint32_t>(*tier) + 1,
+                 std::memory_order_release);
+}
+
+std::string supported_tier_list() {
+  std::string out;
+  for (Tier tier : {Tier::kAvx512, Tier::kAvx2, Tier::kNeon, Tier::kScalar}) {
+    if (!tier_supported(tier)) continue;
+    if (!out.empty()) out += ", ";
+    out += tier_name(tier);
+  }
+  return out;
+}
+
+}  // namespace prpart::simd

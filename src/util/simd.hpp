@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace prpart::simd {
+
+/// Instruction-set tier of the scheme-evaluation kernel (DESIGN.md §4e).
+///
+/// `kScalar` is the always-available reference tier: the word-at-a-time
+/// kernel exactly as PR 5 shipped it, against which every vector tier is
+/// property-tested byte-for-byte. The vector tiers run the restructured
+/// batch evaluator over the same packed activity words; on x86-64 the best
+/// supported tier is picked at runtime from CPUID, on aarch64 NEON is
+/// architecturally guaranteed. Numeric order is preference order.
+enum class Tier : std::uint8_t {
+  kScalar = 0,  ///< portable 64-bit word loops (the PR 5 reference path)
+  kNeon = 1,    ///< aarch64 Advanced SIMD, 128-bit
+  kAvx2 = 2,    ///< x86-64 AVX2, 256-bit
+  kAvx512 = 3,  ///< x86-64 AVX-512 (F+BW+DQ+VL), 512-bit + mask registers
+};
+
+/// Lower-case tier name as spelled by `PRPART_SIMD` and reported by
+/// `prpart --version`, `partition --search-stats`, and the server `stats`
+/// response: "scalar", "neon", "avx2", "avx512".
+const char* tier_name(Tier tier);
+
+/// Whether this process can execute `tier` on the current CPU. Scalar is
+/// always supported; the x86 tiers consult CPUID (AVX-512 requires the
+/// F, BW, DQ and VL subsets the kernel's mask ops use); NEON requires an
+/// aarch64 build.
+bool tier_supported(Tier tier);
+
+/// The highest supported tier on this machine.
+Tier best_supported_tier();
+
+/// Parses a `PRPART_SIMD` value. Throws Error for an unknown name and for
+/// a tier the current CPU cannot execute — a forced tier must never fall
+/// back silently (the property suite relies on "forced means forced").
+Tier tier_from_name(const std::string& name);
+
+/// The tier the kernel dispatches to: the in-process override when set,
+/// else `PRPART_SIMD` from the environment (resolved once), else the best
+/// supported tier.
+Tier active_tier();
+
+/// In-process override for tests that sweep the tier matrix without
+/// re-exec'ing: pass a supported tier to force it, std::nullopt to restore
+/// the environment/CPUID choice. Throws Error on an unsupported tier.
+/// Not thread-safe against concurrent evaluations — set it from the main
+/// thread between test cases, like lock_order::set_violation_handler.
+void set_forced_tier(std::optional<Tier> tier);
+
+/// RAII form of set_forced_tier for test scopes.
+class ScopedForcedTier {
+ public:
+  explicit ScopedForcedTier(Tier tier) { set_forced_tier(tier); }
+  ~ScopedForcedTier() { set_forced_tier(std::nullopt); }
+  ScopedForcedTier(const ScopedForcedTier&) = delete;
+  ScopedForcedTier& operator=(const ScopedForcedTier&) = delete;
+};
+
+/// Comma-separated names of every supported tier in preference order,
+/// e.g. "avx512, avx2, scalar" — for `prpart --version`.
+std::string supported_tier_list();
+
+}  // namespace prpart::simd

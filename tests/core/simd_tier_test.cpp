@@ -1,0 +1,290 @@
+// Tier×batch identity matrix of the evaluation kernel (DESIGN.md §4e): for
+// every SIMD tier the host can run, single and batched evaluation must be
+// byte-identical to evaluate_scheme_reference — every SchemeEvaluation
+// field, the invalid_reason strings and truncation points, and the
+// deterministic EvalStats counters. Tiers the host cannot run are skipped
+// with a logged reason, never silently.
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/covering.hpp"
+#include "core/eval_kernel.hpp"
+#include "core/scheme.hpp"
+#include "core/schemes.hpp"
+#include "design/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/status.hpp"
+
+namespace prpart {
+namespace {
+
+const simd::Tier kAllTiers[] = {simd::Tier::kScalar, simd::Tier::kNeon,
+                                simd::Tier::kAvx2, simd::Tier::kAvx512};
+
+// Tiers this host can execute; the rest are reported once per test so a CI
+// log always shows which legs of the matrix ran.
+std::vector<simd::Tier> runnable_tiers(const char* test_name) {
+  std::vector<simd::Tier> tiers;
+  for (const simd::Tier tier : kAllTiers) {
+    if (simd::tier_supported(tier)) {
+      tiers.push_back(tier);
+    } else {
+      std::cout << "[ SKIPPED  ] " << test_name << ": tier '"
+                << simd::tier_name(tier)
+                << "' is not supported on this host (supported: "
+                << simd::supported_tier_list() << ")\n";
+    }
+  }
+  return tiers;
+}
+
+void expect_identical(const SchemeEvaluation& ref, const SchemeEvaluation& ker,
+                      const std::string& what) {
+  ASSERT_EQ(ref.valid, ker.valid) << what;
+  EXPECT_EQ(ref.invalid_reason, ker.invalid_reason) << what;
+  EXPECT_EQ(ref.fits, ker.fits) << what;
+  EXPECT_EQ(ref.pr_resources, ker.pr_resources) << what;
+  EXPECT_EQ(ref.static_resources, ker.static_resources) << what;
+  EXPECT_EQ(ref.total_resources, ker.total_resources) << what;
+  EXPECT_EQ(ref.total_frames, ker.total_frames) << what;
+  EXPECT_EQ(ref.worst_frames, ker.worst_frames) << what;
+  ASSERT_EQ(ref.regions.size(), ker.regions.size()) << what;
+  for (std::size_t r = 0; r < ref.regions.size(); ++r) {
+    EXPECT_EQ(ref.regions[r].raw, ker.regions[r].raw) << what << " r" << r;
+    EXPECT_EQ(ref.regions[r].tiles, ker.regions[r].tiles) << what << " r" << r;
+    EXPECT_EQ(ref.regions[r].frames, ker.regions[r].frames)
+        << what << " r" << r;
+    EXPECT_EQ(ref.regions[r].reconfig_pairs, ker.regions[r].reconfig_pairs)
+        << what << " r" << r;
+    EXPECT_EQ(ref.regions[r].active, ker.regions[r].active)
+        << what << " r" << r;
+  }
+}
+
+struct DesignUnderTest {
+  Design design;
+  ConnectivityMatrix matrix;
+  std::vector<BasePartition> partitions;
+};
+
+DesignUnderTest make_dut(Design design) {
+  ConnectivityMatrix matrix(design);
+  std::vector<BasePartition> partitions =
+      enumerate_base_partitions(design, matrix);
+  return {std::move(design), std::move(matrix), std::move(partitions)};
+}
+
+// Random region grouping over a complete cover (the population the search
+// explores): a mix of valid, double-activating and uncovered schemes.
+PartitionScheme random_scheme(const DesignUnderTest& dut, Rng& rng) {
+  const auto order = covering_order(dut.partitions);
+  const CoverResult cover_result =
+      cover(dut.partitions, dut.matrix, order, /*skip=*/0);
+  PartitionScheme scheme;
+  if (cover_result.selected.empty()) return scheme;
+  const std::size_t nregions =
+      1 + static_cast<std::size_t>(rng.below(cover_result.selected.size()));
+  scheme.regions.resize(nregions);
+  for (std::size_t p : cover_result.selected) {
+    if (rng.chance(0.1)) {
+      scheme.static_members.push_back(p);
+    } else {
+      scheme.regions[rng.below(nregions)].members.push_back(p);
+    }
+  }
+  std::erase_if(scheme.regions,
+                [](const Region& r) { return r.members.empty(); });
+  if (scheme.regions.empty() && !cover_result.selected.empty())
+    scheme.regions.push_back(Region{{cover_result.selected.front()}});
+  // Occasionally drop a region: uncovered-mode diagnostics must also match
+  // across tiers, not just the valid path.
+  if (scheme.regions.size() > 1 && rng.chance(0.25))
+    scheme.regions.pop_back();
+  return scheme;
+}
+
+TEST(SimdTierMatrix, EveryTierMatchesReferenceSingleAndBatched) {
+  const auto suite = generate_synthetic_suite(/*seed=*/20260808, /*count=*/12);
+  const ResourceVec budget{30720, 456, 384};
+  for (const simd::Tier tier : runnable_tiers("SimdTierMatrix")) {
+    const simd::ScopedForcedTier forced(tier);
+    ASSERT_EQ(simd::active_tier(), tier);
+    Rng rng(11);
+    for (const SyntheticDesign& s : suite) {
+      const DesignUnderTest dut = make_dut(s.design);
+      const EvalContext context(dut.design, dut.matrix, dut.partitions);
+      EvalScratch scratch;
+
+      std::vector<PartitionScheme> schemes;
+      for (int k = 0; k < 8; ++k) {
+        PartitionScheme scheme = random_scheme(dut, rng);
+        if (!scheme.regions.empty()) schemes.push_back(std::move(scheme));
+      }
+      if (schemes.empty()) continue;
+      const std::string label =
+          std::string(simd::tier_name(tier)) + " " + dut.design.name();
+
+      // Single evaluations match the reference.
+      std::vector<SchemeEvaluation> singles(schemes.size());
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        context.evaluate_into(schemes[i], budget, scratch, singles[i]);
+        const SchemeEvaluation ref = evaluate_scheme_reference(
+            dut.design, dut.matrix, dut.partitions, schemes[i], budget);
+        expect_identical(ref, singles[i], label + " #" + std::to_string(i));
+      }
+      const EvalStats after_singles = scratch.stats;
+
+      // The batch entry point reproduces the singles — results and counter
+      // increments.
+      std::vector<const PartitionScheme*> ptrs;
+      for (const PartitionScheme& scheme : schemes)
+        ptrs.push_back(&scheme);
+      std::vector<SchemeEvaluation> batched;
+      context.evaluate_batch_into(ptrs, budget, scratch, batched);
+      ASSERT_EQ(batched.size(), singles.size());
+      for (std::size_t i = 0; i < singles.size(); ++i)
+        expect_identical(singles[i], batched[i],
+                         label + " batch #" + std::to_string(i));
+      // The batch added exactly one kernel evaluation per scheme and
+      // collapsed exactly what the singles collapsed.
+      EXPECT_EQ(scratch.stats.kernel_evaluations,
+                after_singles.kernel_evaluations + schemes.size())
+          << label;
+      EXPECT_EQ(scratch.stats.signature_collapsed_configs,
+                2 * after_singles.signature_collapsed_configs)
+          << label;
+    }
+  }
+}
+
+TEST(SimdTierMatrix, WideConfigurationRowsMatchReferenceOnEveryTier) {
+  // Deeply adaptive designs (hundreds of configurations) make the packed
+  // activity rows span many 64-bit words, driving the tiers' full-width
+  // vector loops (8 words per AVX-512 op) and the lane-mask tails at once.
+  // The coverage-minimum designs of the other tests never leave word one.
+  SyntheticOptions wide;
+  wide.min_modules = 8;
+  wide.max_modules = 10;
+  wide.min_modes = 3;
+  wide.max_modes = 4;
+  wide.max_clbs = 400;
+  wide.min_configurations = 540;  // 9 words of configuration bits
+  const auto suite = generate_synthetic_suite(/*seed=*/909, /*count=*/1, wide);
+  const ResourceVec budget{30720, 456, 384};
+  Rng rng(5);
+  const SyntheticDesign& s = suite.front();
+  // Cap clique enumeration at pairs (the partitioner's max_partition_modes
+  // guard): unbounded subsets over a 540-configuration co-occurrence
+  // matrix would swamp the test with setup, not kernel work.
+  DesignUnderTest dut{s.design, ConnectivityMatrix(s.design), {}};
+  dut.partitions = enumerate_base_partitions(dut.design, dut.matrix, 2);
+  ASSERT_GE(dut.matrix.configs(), 512u) << s.design.name();
+  const EvalContext context(dut.design, dut.matrix, dut.partitions);
+  std::vector<PartitionScheme> schemes;
+  for (int k = 0; k < 3; ++k) {
+    PartitionScheme scheme = random_scheme(dut, rng);
+    if (!scheme.regions.empty()) schemes.push_back(std::move(scheme));
+  }
+  ASSERT_FALSE(schemes.empty());
+  std::vector<SchemeEvaluation> refs(schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i)
+    refs[i] = evaluate_scheme_reference(dut.design, dut.matrix, dut.partitions,
+                                        schemes[i], budget);
+  for (const simd::Tier tier : runnable_tiers("SimdTierMatrix.Wide")) {
+    const simd::ScopedForcedTier forced(tier);
+    EvalScratch scratch;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      SchemeEvaluation eval;
+      context.evaluate_into(schemes[i], budget, scratch, eval);
+      expect_identical(refs[i], eval,
+                       std::string(simd::tier_name(tier)) + " wide #" +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST(SimdTierMatrix, DeterministicCountersAgreeAcrossTiers) {
+  // The EvalStats counters are part of the identity contract: every tier
+  // must report the same kernel_evaluations and the same
+  // signature_collapsed_configs for the same scheme sequence.
+  const auto suite = generate_synthetic_suite(/*seed=*/515, /*count=*/8);
+  const ResourceVec budget{30720, 456, 384};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> per_tier;
+  const std::vector<simd::Tier> tiers =
+      runnable_tiers("SimdTierMatrix.Counters");
+  for (const simd::Tier tier : tiers) {
+    const simd::ScopedForcedTier forced(tier);
+    EvalStats totals;
+    Rng rng(3);
+    for (const SyntheticDesign& s : suite) {
+      const DesignUnderTest dut = make_dut(s.design);
+      const EvalContext context(dut.design, dut.matrix, dut.partitions);
+      EvalScratch scratch;
+      for (int k = 0; k < 6; ++k) {
+        const PartitionScheme scheme = random_scheme(dut, rng);
+        if (scheme.regions.empty()) continue;
+        SchemeEvaluation eval;
+        context.evaluate_into(scheme, budget, scratch, eval);
+      }
+      totals.kernel_evaluations += scratch.stats.kernel_evaluations;
+      totals.signature_collapsed_configs +=
+          scratch.stats.signature_collapsed_configs;
+    }
+    per_tier.emplace_back(totals.kernel_evaluations,
+                          totals.signature_collapsed_configs);
+  }
+  ASSERT_FALSE(per_tier.empty());
+  for (std::size_t t = 1; t < per_tier.size(); ++t) {
+    EXPECT_EQ(per_tier[t].first, per_tier[0].first)
+        << simd::tier_name(tiers[t]);
+    EXPECT_EQ(per_tier[t].second, per_tier[0].second)
+        << simd::tier_name(tiers[t]);
+  }
+  EXPECT_GT(per_tier[0].first, 0u);
+}
+
+TEST(SimdTierMatrix, ForcingAnUnsupportedTierThrowsLoudly) {
+  // PRPART_SIMD must never degrade silently: naming a tier the host cannot
+  // run (or an unknown name) is an error with the supported list attached.
+  EXPECT_THROW(simd::tier_from_name("no-such-tier"), Error);
+  for (const simd::Tier tier : kAllTiers) {
+    if (simd::tier_supported(tier)) continue;
+    EXPECT_THROW(simd::tier_from_name(simd::tier_name(tier)), Error)
+        << simd::tier_name(tier);
+  }
+}
+
+TEST(SimdTierMatrix, BaselinePairBatchMatchesPerSchemeCalls) {
+  // The partitioner scores its modular+static baselines as a batch of two;
+  // pin that shape explicitly on every tier.
+  const auto suite = generate_synthetic_suite(/*seed=*/77, /*count=*/6);
+  const ResourceVec budget{10000, 100, 100};
+  for (const simd::Tier tier : runnable_tiers("SimdTierMatrix.Baselines")) {
+    const simd::ScopedForcedTier forced(tier);
+    for (const SyntheticDesign& s : suite) {
+      const DesignUnderTest dut = make_dut(s.design);
+      const EvalContext context(dut.design, dut.matrix, dut.partitions);
+      EvalScratch scratch;
+      const PartitionScheme modular =
+          make_modular_scheme(dut.design, dut.matrix, dut.partitions);
+      const PartitionScheme statics =
+          make_static_scheme(dut.design, dut.matrix, dut.partitions);
+      const PartitionScheme* pair[2] = {&modular, &statics};
+      SchemeEvaluation batched[2];
+      context.evaluate_batch_into(pair, 2, budget, scratch, batched);
+      expect_identical(context.evaluate(modular, budget, scratch), batched[0],
+                       std::string(simd::tier_name(tier)) + " modular");
+      expect_identical(context.evaluate(statics, budget, scratch), batched[1],
+                       std::string(simd::tier_name(tier)) + " static");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prpart

@@ -37,6 +37,44 @@ TEST(Synthetic, EveryModeUsedAtLeastOnce) {
   }
 }
 
+TEST(Synthetic, MinConfigurationsPadsPastCoverage) {
+  // min_configurations keeps sampling distinct configurations beyond the
+  // paper's stop-at-full-coverage rule (the serve-scale bench population);
+  // every mode is still used and configurations stay distinct.
+  SyntheticOptions opt;
+  opt.min_modules = 6;
+  opt.max_modules = 8;
+  opt.min_configurations = 96;
+  Rng rng(4);
+  const SyntheticDesign s =
+      generate_synthetic(rng, CircuitClass::Logic, opt);
+  EXPECT_GE(s.design.configurations().size(), 96u);
+  for (std::size_t m = 0; m < s.design.mode_count(); ++m)
+    EXPECT_TRUE(s.design.mode_used(m)) << "mode " << m;
+  const auto& configs = s.design.configurations();
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    for (std::size_t j = i + 1; j < configs.size(); ++j)
+      EXPECT_NE(configs[i].mode_of_module, configs[j].mode_of_module);
+}
+
+TEST(Synthetic, MinConfigurationsStopsWhenSpaceExhausts) {
+  // A tiny design cannot honour an outsized request: generation must
+  // terminate after exhausting (a bounded sample of) the distinct space
+  // rather than loop forever, and still cover every mode.
+  SyntheticOptions opt;
+  opt.min_modules = 2;
+  opt.max_modules = 2;
+  opt.min_modes = 2;
+  opt.max_modes = 2;
+  opt.min_configurations = 1000;  // distinct non-empty configs: at most 8
+  Rng rng(5);
+  const SyntheticDesign s =
+      generate_synthetic(rng, CircuitClass::Logic, opt);
+  EXPECT_LE(s.design.configurations().size(), 8u);
+  for (std::size_t m = 0; m < s.design.mode_count(); ++m)
+    EXPECT_TRUE(s.design.mode_used(m)) << "mode " << m;
+}
+
 TEST(Synthetic, ConfigurationsAreDistinct) {
   Rng rng(3);
   const SyntheticDesign s = generate_synthetic(rng, CircuitClass::Dsp);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <unordered_set>
 
 #include "util/rng.hpp"
@@ -221,6 +222,86 @@ TEST(DynBitset, OrAndnotAccumulatesDifference) {
   have.set(65);
   acc.or_andnot(need, have);
   EXPECT_EQ(acc.bits(), (std::vector<std::size_t>{2, 99}));
+}
+
+// --- Masked-tail invariant (bitset.hpp word-view contract) -----------------
+// Every mutator keeps the unused bits of the trailing word zero, so word
+// consumers — count(), the evaluation kernel's word loops, the SIMD tiers —
+// may scan whole words without masking. These tests pin the invariant for
+// each mutator over sizes that exercise an empty, partial and full tail.
+
+namespace {
+// Sum of word popcounts: equals count() only when the tail bits are zero.
+std::uint64_t raw_word_popcount(const DynBitset& b) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < b.word_count(); ++w)
+    total += static_cast<std::uint64_t>(std::popcount(b.word(w)));
+  return total;
+}
+
+std::uint64_t tail_garbage(const DynBitset& b) {
+  if (b.size() % 64 == 0 || b.word_count() == 0) return 0;
+  const std::uint64_t used_mask =
+      (std::uint64_t{1} << (b.size() % 64)) - 1;
+  return b.word(b.word_count() - 1) & ~used_mask;
+}
+}  // namespace
+
+TEST(BitsetTest, TailWordStaysZeroThroughMutators) {
+  for (const std::size_t nbits : {1u, 63u, 64u, 65u, 127u, 128u, 130u}) {
+    DynBitset a(nbits);
+    DynBitset b(nbits);
+    for (std::size_t i = 0; i < nbits; i += 3) a.set(i);
+    for (std::size_t i = 1; i < nbits; i += 2) b.set(i);
+    EXPECT_EQ(tail_garbage(a), 0u) << nbits;
+    a |= b;
+    EXPECT_EQ(tail_garbage(a), 0u) << "|= at " << nbits;
+    a &= b;
+    EXPECT_EQ(tail_garbage(a), 0u) << "&= at " << nbits;
+    DynBitset acc(nbits);
+    acc.or_and(a, b);
+    EXPECT_EQ(tail_garbage(acc), 0u) << "or_and at " << nbits;
+    acc.or_andnot(a, b);
+    EXPECT_EQ(tail_garbage(acc), 0u) << "or_andnot at " << nbits;
+    acc.clear_all();
+    EXPECT_EQ(tail_garbage(acc), 0u) << "clear_all at " << nbits;
+    if (nbits > 1) {
+      a.set(nbits - 1);
+      a.reset(nbits - 1);
+      EXPECT_EQ(tail_garbage(a), 0u) << "set/reset at " << nbits;
+    }
+  }
+}
+
+TEST(BitsetTest, TailWordCountMatchesWordPopcounts) {
+  // count() folds raw words; with a clean tail the two totals agree for
+  // any mutation sequence on an awkward (non-multiple-of-64) size.
+  DynBitset b(97);
+  for (std::size_t i = 0; i < 97; i += 5) b.set(i);
+  DynBitset m(97);
+  for (std::size_t i = 0; i < 97; i += 7) m.set(i);
+  b |= m;
+  EXPECT_EQ(b.count(), raw_word_popcount(b));
+  b &= m;
+  EXPECT_EQ(b.count(), raw_word_popcount(b));
+  b.set(96);
+  b.reset(0);
+  EXPECT_EQ(b.count(), raw_word_popcount(b));
+}
+
+TEST(BitsetTest, TailWordMutableWordsPreservesInvariantForSameCapacityOr) {
+  // The §4e SIMD tiers combine same-capacity sets through mutable_words();
+  // OR/AND/ANDNOT of zero tails leaves a zero tail.
+  DynBitset dst(70);
+  DynBitset src(70);
+  src.set(69);
+  src.set(1);
+  std::uint64_t* d = dst.mutable_words();
+  const std::uint64_t* s = src.words();
+  for (std::size_t w = 0; w < dst.word_count(); ++w) d[w] |= s[w];
+  EXPECT_EQ(tail_garbage(dst), 0u);
+  EXPECT_EQ(dst.bits(), (std::vector<std::size_t>{1, 69}));
+  EXPECT_EQ(dst.count(), raw_word_popcount(dst));
 }
 
 }  // namespace

@@ -13,8 +13,10 @@ not drift silently.
 
 Some baselines additionally carry acceptance floors: BENCH_search.json
 requires the full-evaluation reduction of the bounded search over the
-exhaustive one to stay >= 5x and the evaluation kernel's serve-scale
-wall-clock speedup over the scalar reference to stay >= 1.5x;
+exhaustive one to stay >= 5x, the evaluation kernel's serve-scale
+wall-clock speedup over the scalar reference to stay >= 10x, and the
+SIMD-dispatched batched kernel's speedup over the forced-scalar tier to
+stay >= 1.5x;
 BENCH_simulate.json requires the uniform-trace ranking agreement with
 Eq. 10 to be exactly 1.0; BENCH_floorplan.json requires every legal
 floorplan to cover its Eq. 10 estimate and the placement-true re-ranking
@@ -36,7 +38,15 @@ SKIP_SUBSTRINGS = ("seconds", "speedup", "ms_per", "hit_rate", "per_second")
 # of what the baseline says.
 FLOORS = {
     "full_evaluation_reduction": 5.0,
-    "kernel_wall_speedup": 1.5,
+    # BENCH_search.json: serve-scale wall ratios of the evaluation kernel.
+    # kernel_wall_speedup is the scalar *reference* evaluator vs the active
+    # kernel tier; on the deeply adaptive serve population (hundreds of
+    # configurations) the measured value is ~70x, so 10x is a conservative
+    # floor with ample headroom for slower CI hosts. batch_eval_speedup is
+    # the forced-scalar word kernel (the §4d tier) vs the SIMD-dispatched
+    # batched entry point — the §4e acceptance ratio, measured ~2x.
+    "kernel_wall_speedup": 10.0,
+    "batch_eval_speedup": 1.5,
     # BENCH_simulate.json: the fraction of candidate-scheme pairs whose
     # simulated uniform-trace cost orders exactly like their Eq. 10 frame
     # sums (ties included). The simulator's headline contract — anything
@@ -63,10 +73,13 @@ INFORMATIONAL = {
         "exhaustive.wall_seconds",
         "wall_speedup_vs_exhaustive",
         "fig7_eval_speedup",
+        "simd_kernel_speedup",
         "kernel.fig7_reference_seconds",
         "kernel.fig7_kernel_seconds",
         "kernel.serve_reference_seconds",
         "kernel.serve_kernel_seconds",
+        "kernel.serve_scalar_kernel_seconds",
+        "kernel.serve_batch_seconds",
     },
     "BENCH_sweep.json": {
         "wall_seconds",
