@@ -9,6 +9,9 @@
 #include <sstream>
 #include <thread>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "analysis/frontend.hpp"
 #include "bitstream/bitstream.hpp"
 #include "core/clustering.hpp"
@@ -27,6 +30,7 @@
 #include "reconfig/markov.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
+#include "server/router.hpp"
 #include "server/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -65,7 +69,10 @@ usage:
   prpart flow <design.xml> [--device NAME] [--threads N] [--out DIR]
   prpart optimal <design.xml> [--device NAME | --budget C,B,D] [--states N]
   prpart serve [--port N] [--workers K] [--max-queue N] [--timeout MS]
-               [--cache N] [--job-threads N] [--log-interval MS]
+               [--cache N] [--store DIR] [--store-entries N]
+               [--high-watermark N] [--max-inflight N] [--io-workers K]
+               [--job-threads N] [--log-interval MS] [--shards N]
+               [--legacy-io]
   prpart submit <design.xml> [--host H] [--port N]
                 [--device NAME | --budget C,B,D] [--candidate-sets N]
                 [--evals N] [--threads N] [--timeout MS] [--id ID] [--json]
@@ -820,14 +827,102 @@ std::atomic<int> g_serve_signal{0};
 static_assert(std::atomic<int>::is_always_lock_free);
 void on_serve_signal(int) { g_serve_signal.store(1); }
 
+/// `prpart serve --shards N`: fork N single-shard server processes (each
+/// with its own port, store segment and job queue), then run the
+/// consistent-hash front router in this process. Forking happens before any
+/// thread exists in the parent, so the children start from a clean
+/// single-threaded image.
+int serve_sharded(server::ServerOptions opt, std::size_t shards,
+                  std::ostream& err) {
+  struct Shard {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+  };
+  std::vector<Shard> spawned;
+  spawned.reserve(shards);
+  const std::string store_root = opt.store_dir;
+  for (std::size_t i = 0; i < shards; ++i) {
+    int port_pipe[2];
+    if (::pipe(port_pipe) != 0) throw Error("pipe() failed for shard spawn");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: one ordinary shard server on an ephemeral port, reported to
+      // the parent through the pipe. The inherited SIGINT/SIGTERM handler
+      // flips the same flag, so a signal to the process group (Ctrl-C) and
+      // the parent's explicit SIGTERM both drain gracefully.
+      ::close(port_pipe[0]);
+      int code = 0;
+      try {
+        server::ServerOptions copt = opt;
+        copt.port = 0;
+        if (!store_root.empty())
+          copt.store_dir = store_root + "/shard-" + std::to_string(i);
+        server::Server srv(copt);
+        srv.start();
+        const std::uint16_t port = srv.port();
+        (void)!::write(port_pipe[1], &port, sizeof port);
+        ::close(port_pipe[1]);
+        while (g_serve_signal.load() == 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        srv.stop();
+      } catch (const std::exception& e) {
+        err << "error: shard " << i << ": " << e.what() << "\n";
+        ::close(port_pipe[1]);
+        code = 1;
+      }
+      // _exit: never unwind the parent's CLI state from a forked child.
+      ::_exit(code);
+    }
+    ::close(port_pipe[1]);
+    std::uint16_t port = 0;
+    const ssize_t got = ::read(port_pipe[0], &port, sizeof port);
+    ::close(port_pipe[0]);
+    if (pid < 0 || got != static_cast<ssize_t>(sizeof port)) {
+      for (const Shard& s : spawned) ::kill(s.pid, SIGTERM);
+      for (const Shard& s : spawned) ::waitpid(s.pid, nullptr, 0);
+      throw Error("failed to spawn shard " + std::to_string(i));
+    }
+    spawned.push_back(Shard{pid, port});
+  }
+
+  server::RouterOptions ropt;
+  ropt.port = opt.port;
+  for (const Shard& s : spawned) ropt.shard_ports.push_back(s.port);
+  ropt.log = &err;
+  int code = 0;
+  try {
+    server::ShardRouter router(ropt);
+    router.start();
+    while (g_serve_signal.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    router.stop();
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    code = 1;
+  }
+  for (const Shard& s : spawned) ::kill(s.pid, SIGTERM);
+  for (const Shard& s : spawned) {
+    int status = 0;
+    ::waitpid(s.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) code = 1;
+  }
+  return code;
+}
+
 int cmd_serve(const Args& args, std::ostream& err) {
   server::ServerOptions opt;
   opt.port = static_cast<std::uint16_t>(args.u64_or("port", 9797));
   opt.workers = static_cast<unsigned>(args.u64_or("workers", 2));
   opt.max_queue = args.u64_or("max-queue", 16);
+  opt.high_watermark = args.u64_or("high-watermark", 0);
   opt.default_timeout_ms = args.u64_or("timeout", 0);
   opt.cache_entries = args.u64_or("cache", 256);
+  opt.store_dir = args.value_or("store", "");
+  opt.store_entries = args.u64_or("store-entries", 4096);
   opt.job_threads = static_cast<unsigned>(args.u64_or("job-threads", 1));
+  opt.legacy_io = args.has("legacy-io");
+  opt.io_workers = static_cast<unsigned>(args.u64_or("io-workers", 2));
+  opt.max_inflight_per_conn = args.u64_or("max-inflight", 64);
   opt.log = &err;
   opt.log_interval_ms = args.u64_or("log-interval", 10'000);
 
@@ -841,6 +936,10 @@ int cmd_serve(const Args& args, std::ostream& err) {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+
+  if (const std::uint64_t shards = args.u64_or("shards", 0); shards >= 2)
+    return serve_sharded(std::move(opt), static_cast<std::size_t>(shards),
+                         err);
 
   server::Server srv(opt);
   srv.start();
@@ -953,7 +1052,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     const Args parsed(args, {"floorplan", "prefetch", "json", "search-stats",
-                             "uniform", "rank", "first-fit", "no-anneal"});
+                             "uniform", "rank", "first-fit", "no-anneal",
+                             "legacy-io"});
     if (parsed.positionals().empty()) {
       err << "error: missing command\n" << kUsage;
       return 1;
@@ -1021,8 +1121,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_optimal(parsed, out, err);
     }
     if (command == "serve") {
-      parsed.check_known({"port", "workers", "max-queue", "timeout", "cache",
-                          "job-threads", "log-interval"});
+      parsed.check_known({"port", "workers", "max-queue", "high-watermark",
+                          "timeout", "cache", "store", "store-entries",
+                          "job-threads", "legacy-io", "io-workers",
+                          "max-inflight", "log-interval", "shards"});
       return cmd_serve(parsed, err);
     }
     if (command == "submit") {

@@ -26,10 +26,19 @@ void ResultCache::store(const std::string& key, const std::string& payload) {
   lru_.push_front(Entry{key, payload});
   index_[key] = lru_.begin();
   while (lru_.size() > max_entries_) {
+    if (sink_) sink_(lru_.back().key, lru_.back().payload);
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }
+}
+
+void ResultCache::drain_to_sink() {
+  if (!sink_) return;
+  const MutexLock lock(mutex_);
+  for (const Entry& entry : lru_) sink_(entry.key, entry.payload);
+  index_.clear();
+  lru_.clear();
 }
 
 ResultCache::Stats ResultCache::stats() const {

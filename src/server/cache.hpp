@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <string>
@@ -18,8 +19,19 @@ namespace prpart::server {
 /// Bounded LRU with internal synchronisation; all methods are thread-safe.
 class ResultCache {
  public:
+  /// Receives entries as they fall out of the LRU (the disk spill path of
+  /// the persistent result store). Called with the cache mutex held —
+  /// sinks may only take locks *above* kResultCache (the disk-store index
+  /// qualifies) and must not call back into the cache.
+  using EvictionSink = std::function<void(const std::string& key,
+                                          const std::string& payload)>;
+
   /// `max_entries` == 0 disables caching (every lookup misses).
   explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Installs the eviction sink; call before the cache is shared between
+  /// threads (the sink itself is read without synchronisation afterwards).
+  void set_eviction_sink(EvictionSink sink) { sink_ = std::move(sink); }
 
   /// Returns the cached payload and refreshes its recency; counts a hit or
   /// a miss.
@@ -28,6 +40,11 @@ class ResultCache {
   /// Inserts or refreshes `key`, evicting the least recently used entry
   /// beyond capacity. Storing never counts as a hit or miss.
   void store(const std::string& key, const std::string& payload);
+
+  /// Feeds every resident entry to the eviction sink (most recent first)
+  /// and empties the cache: the shutdown flush that makes the disk store's
+  /// warm start cover entries that were never evicted. No-op without sink.
+  void drain_to_sink();
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -44,6 +61,7 @@ class ResultCache {
   };
 
   const std::size_t max_entries_;
+  EvictionSink sink_;  ///< set once before sharing; may be empty
   /// Sits below the scheduler locks in the hierarchy (lock_order.hpp):
   /// cache probes and stores must happen with no queue lock held.
   mutable Mutex mutex_{lock_order::Level::kResultCache, "server.result_cache"};

@@ -117,16 +117,33 @@ ClientResponse Client::ping(const std::string& id) {
   return roundtrip(v);
 }
 
+ClientResponse Client::metrics(const std::string& id, bool text) {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value("metrics"));
+  v.set("id", json::Value(id));
+  if (text) v.set("format", json::Value("text"));
+  return roundtrip(v);
+}
+
 ClientResponse Client::roundtrip(const json::Value& request) {
   return exchange(request.dump());
 }
 
 ClientResponse Client::exchange(const std::string& line) {
   stream_.write_all(line + "\n");
-  const std::optional<std::string> reply = stream_.read_line();
-  if (!reply) throw SocketError("server closed the connection mid-request");
-
-  const json::Value doc = json::parse(*reply);
+  json::Value doc;
+  while (true) {
+    const std::optional<std::string> reply = stream_.read_line();
+    if (!reply) throw SocketError("server closed the connection mid-request");
+    doc = json::parse(*reply);
+    // Interim `queued` backpressure notices carry no `ok` field; the final
+    // response for the same id follows on the same connection.
+    if (!doc.find("ok") && doc.find("queued")) {
+      ++queued_notices_seen_;
+      continue;
+    }
+    break;
+  }
   ClientResponse response;
   if (const json::Value* id = doc.find("id"); id && id->is_string())
     response.id = id->as_string();

@@ -54,14 +54,24 @@ class Client {
   /// Liveness probe.
   ClientResponse ping(const std::string& id = "ping");
 
+  /// Fetches the scrapeable metrics document (docs/protocol.md, `metrics`);
+  /// with `text` the result is the flattened text exposition as a string.
+  ClientResponse metrics(const std::string& id = "metrics",
+                         bool text = false);
+
   /// Escape hatch: sends an arbitrary request object and decodes the
   /// response (used by the protocol tests to exercise error paths).
   ClientResponse roundtrip(const json::Value& request);
+
+  /// Interim `queued` backpressure notices skipped while waiting for final
+  /// responses (docs/protocol.md): observability for tests and tools.
+  std::uint64_t queued_notices_seen() const { return queued_notices_seen_; }
 
  private:
   ClientResponse exchange(const std::string& line);
 
   TcpStream stream_;
+  std::uint64_t queued_notices_seen_ = 0;
 };
 
 /// Builds the wire form of a partition request (shared by Client::submit

@@ -221,6 +221,19 @@ Request parse_request(const std::string& line) {
     req.type = Request::Type::Ping;
     return req;
   }
+  if (type == "metrics") {
+    req.type = Request::Type::Metrics;
+    static const char* known[] = {"type", "id", "format"};
+    check_known_fields(doc, known);
+    if (const json::Value* format = doc.find("format")) {
+      const std::string& f = format->as_string();
+      if (f == "text")
+        req.metrics_text = true;
+      else if (f != "json")
+        throw ParseError("format must be 'json' or 'text'");
+    }
+    return req;
+  }
   if (type == "analyze") {
     req.type = Request::Type::Analyze;
     AnalyzeRequest& a = req.analyze;
@@ -534,6 +547,67 @@ std::string error_response(const std::string& id, ErrorCode code,
   err.set("message", json::Value(message));
   return "{\"id\":" + json::escape(id) + ",\"ok\":false,\"error\":" +
          err.dump() + "}";
+}
+
+std::string queued_response(const std::string& id, std::size_t position,
+                            std::uint64_t eta_ms) {
+  json::Value q = json::Value::object();
+  q.set("position", json::Value(static_cast<std::uint64_t>(position)));
+  q.set("eta_ms", json::Value(eta_ms));
+  return "{\"id\":" + json::escape(id) + ",\"queued\":" + q.dump() + "}";
+}
+
+json::Value metrics_json(const StatsSnapshot& snapshot,
+                         const MetricsExtra& extra) {
+  json::Value v = json::Value::object();
+  json::Value srv = json::Value::object();
+  srv.set("io_mode", json::Value(extra.io_mode));
+  srv.set("connections", json::Value(extra.connections));
+  srv.set("connections_total", json::Value(extra.connections_total));
+  srv.set("admission_depth", json::Value(extra.admission_depth));
+  v.set("server", srv);
+  v.set("jobs", snapshot.to_json());
+  json::Value store = json::Value::object();
+  store.set("ram_entries", json::Value(extra.ram_entries));
+  store.set("ram_evictions", json::Value(extra.ram_evictions));
+  store.set("disk_enabled", json::Value(extra.disk_enabled));
+  store.set("disk_entries", json::Value(extra.disk_entries));
+  store.set("disk_bytes", json::Value(extra.disk_bytes));
+  store.set("disk_hits", json::Value(extra.disk_hits));
+  store.set("disk_writes", json::Value(extra.disk_writes));
+  store.set("disk_evictions", json::Value(extra.disk_evictions));
+  v.set("store", store);
+  return v;
+}
+
+namespace {
+
+/// Flattens the numeric/boolean leaves of the metrics document into
+/// exposition lines. Strings (io_mode, simd_tier) become `# key value`
+/// comments so the text form still carries them.
+void append_metric_lines(const json::Value& node, const std::string& prefix,
+                         std::string& out) {
+  for (const auto& [key, value] : node.members()) {
+    const std::string path = prefix.empty() ? key : prefix + "_" + key;
+    if (value.is_object()) {
+      append_metric_lines(value, path, out);
+    } else if (value.is_bool()) {
+      out += "prpart_" + path + " " + (value.as_bool() ? "1" : "0") + "\n";
+    } else if (value.is_number()) {
+      out += "prpart_" + path + " " + value.dump() + "\n";
+    } else if (value.is_string()) {
+      out += "# prpart_" + path + " " + value.as_string() + "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string metrics_text(const StatsSnapshot& snapshot,
+                         const MetricsExtra& extra) {
+  std::string out;
+  append_metric_lines(metrics_json(snapshot, extra), "", out);
+  return out;
 }
 
 }  // namespace prpart::server

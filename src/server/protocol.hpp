@@ -6,6 +6,7 @@
 #include "core/partitioner.hpp"
 #include "design/design.hpp"
 #include "floorplan/rerank.hpp"
+#include "server/stats.hpp"
 #include "sim/simulator.hpp"
 #include "util/json.hpp"
 
@@ -97,13 +98,22 @@ struct FloorplanRequest {
 };
 
 struct Request {
-  enum class Type { Partition, Analyze, Simulate, Floorplan, Stats, Ping };
+  enum class Type {
+    Partition,
+    Analyze,
+    Simulate,
+    Floorplan,
+    Stats,
+    Ping,
+    Metrics,
+  };
   Type type = Type::Ping;
   std::string id;
   PartitionRequest partition;  ///< meaningful when type == Partition
   AnalyzeRequest analyze;      ///< meaningful when type == Analyze
   SimulateRequest simulate;    ///< meaningful when type == Simulate
   FloorplanRequest floorplan;  ///< meaningful when type == Floorplan
+  bool metrics_text = false;   ///< Metrics: text exposition format requested
 };
 
 /// Parses one newline-delimited request. Throws ParseError on malformed
@@ -177,5 +187,41 @@ json::Value simulate_result_json(const Design& design,
 std::string ok_response(const std::string& id, const std::string& result_json);
 std::string error_response(const std::string& id, ErrorCode code,
                            const std::string& message);
+
+/// Interim backpressure notice (not a final response; it has no `ok`
+/// field): the job was admitted into the soft band above `max_queue`, at
+/// `position` in the queue with a rough completion estimate. The final
+/// response for the same `id` follows later on the same connection.
+std::string queued_response(const std::string& id, std::size_t position,
+                            std::uint64_t eta_ms);
+
+/// Everything the `metrics` request reports beyond the StatsSnapshot:
+/// event-loop and store gauges owned by the server, not by ServerStats.
+struct MetricsExtra {
+  std::string io_mode;                 ///< "epoll" or "threads"
+  std::uint64_t connections = 0;       ///< currently open
+  std::uint64_t connections_total = 0; ///< accepted over the lifetime
+  std::uint64_t admission_depth = 0;   ///< framed lines awaiting admission
+  std::uint64_t ram_entries = 0;
+  std::uint64_t ram_evictions = 0;     ///< RAM entries spilled/discarded
+  bool disk_enabled = false;
+  std::uint64_t disk_entries = 0;
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t disk_evictions = 0;
+};
+
+/// The scrapeable metrics document (docs/protocol.md, `metrics`): the full
+/// stats snapshot under "jobs" plus server/store gauges. Keys are stable —
+/// check_invariants.py ties every one of them to the protocol docs.
+json::Value metrics_json(const StatsSnapshot& snapshot,
+                         const MetricsExtra& extra);
+
+/// Text exposition of the same document: one `prpart_<path> <value>` line
+/// per numeric leaf, flattened with underscores, in document order.
+/// Derived from metrics_json so the two formats can never diverge.
+std::string metrics_text(const StatsSnapshot& snapshot,
+                         const MetricsExtra& extra);
 
 }  // namespace prpart::server

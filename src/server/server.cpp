@@ -19,12 +19,51 @@ std::uint64_t latency_us_since(std::int64_t submit_ns) {
   return delta > 0 ? static_cast<std::uint64_t>(delta / kNsPerUs) : 0;
 }
 
+/// The request-line fast path's key derivation: the raw line with the
+/// `"id"` string value blanked, plus that value. Returns nullopt whenever
+/// the line is not *trivially* safe to treat this way — the full parse
+/// path then handles it:
+///   * `"id"` must appear exactly once. (In valid JSON it cannot occur
+///     unescaped inside a string value — the quotes would be escaped — so
+///     one occurrence is the top-level id field.)
+///   * the value must be a plain string with no escape sequences, so
+///     re-encoding it in ok_response reproduces the client's bytes.
+struct LineKey {
+  std::string key;  ///< the line, id value removed
+  std::string id;   ///< the id value, verbatim
+};
+
+std::optional<LineKey> line_fast_key(const std::string& line) {
+  static constexpr const char kIdField[] = "\"id\"";
+  const std::size_t at = line.find(kIdField);
+  if (at == std::string::npos) return std::nullopt;
+  if (line.find(kIdField, at + 1) != std::string::npos) return std::nullopt;
+  std::size_t i = at + sizeof(kIdField) - 1;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != ':') return std::nullopt;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '"') return std::nullopt;
+  const std::size_t value_begin = ++i;
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\') return std::nullopt;
+    ++i;
+  }
+  if (i >= line.size()) return std::nullopt;
+  LineKey out;
+  out.id = line.substr(value_begin, i - value_begin);
+  out.key = line.substr(0, value_begin) + line.substr(i);
+  return out;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       library_(DeviceLibrary::extended()),
-      cache_(options_.cache_entries) {}
+      store_(options_.cache_entries, options_.store_dir,
+             options_.store_entries),
+      line_cache_(options_.legacy_io ? 0 : options_.cache_entries) {}
 
 Server::~Server() { stop(); }
 
@@ -32,19 +71,45 @@ void Server::start() {
   {
     const MutexLock lock(lifecycle_mutex_);
     require(!started_, "server already started");
-    listener_ = TcpListener::bind(options_.port);
+    TcpListener listener = TcpListener::bind(options_.port);
+    bound_port_ = listener.port();
+    if (options_.legacy_io) {
+      listener_ = std::move(listener);
+    } else {
+      Reactor::Options ropt;
+      ropt.max_inflight = std::max<std::size_t>(1, options_.max_inflight_per_conn);
+      reactor_ = std::make_unique<Reactor>(
+          std::move(listener), ropt,
+          [this](std::uint64_t token, std::string line) {
+            {
+              const MutexLock qlock(admission_mutex_);
+              admission_.emplace_back(token, std::move(line));
+            }
+            admission_cv_.notify_one();
+          });
+    }
     started_ = true;
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (options_.legacy_io) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  } else {
+    reactor_->start();
+    const unsigned io_workers = std::max(1u, options_.io_workers);
+    io_workers_.reserve(io_workers);
+    for (unsigned i = 0; i < io_workers; ++i)
+      io_workers_.emplace_back([this] { io_worker_loop(); });
+  }
   const unsigned workers = std::max(1u, options_.workers);
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   if (options_.log && options_.log_interval_ms > 0)
     logger_thread_ = std::thread([this] { logger_loop(); });
-  log_line("listening on 127.0.0.1:" + std::to_string(listener_.port()) +
-           " (" + std::to_string(workers) + " workers, queue " +
-           std::to_string(options_.max_queue) + ")");
+  log_line("listening on 127.0.0.1:" + std::to_string(bound_port_) + " (" +
+           std::to_string(workers) + " workers, queue " +
+           std::to_string(options_.max_queue) + "/" +
+           std::to_string(high_watermark()) + ", io " +
+           (options_.legacy_io ? "threads" : "epoll") + ")");
 }
 
 void Server::stop() {
@@ -56,12 +121,26 @@ void Server::stop() {
   }
   logger_cv_.notify_all();
 
-  // 1. Stop accepting new connections.
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.close();
+  // 1. Stop accepting new connections and reading new requests. In reactor
+  //    mode the admission queue then drains: already-framed lines are still
+  //    parsed and admitted (draining_ is not set yet), so every request the
+  //    server finished reading gets a real answer.
+  if (options_.legacy_io) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listener_.close();
+  } else if (reactor_) {
+    reactor_->shutdown_input();
+    {
+      const MutexLock lock(admission_mutex_);
+      admission_closed_ = true;
+    }
+    admission_cv_.notify_all();
+    for (std::thread& w : io_workers_)
+      if (w.joinable()) w.join();
+  }
 
   // 2. Drain: admission now rejects, workers finish every queued and
-  //    in-flight job (fulfilling every response promise), then exit.
+  //    in-flight job (delivering every response), then exit.
   {
     const MutexLock lock(queue_mutex_);
     draining_ = true;
@@ -70,18 +149,27 @@ void Server::stop() {
   for (std::thread& w : workers_)
     if (w.joinable()) w.join();
 
-  // 3. Unblock handler threads waiting for more requests; their pending
-  //    responses were all written or are being written right now.
-  {
-    const MutexLock lock(conns_mutex_);
-    for (const auto& conn : conns_) conn->stream.shutdown_read();
+  // 3. Flush responses and close connections. Legacy: unblock handler
+  //    threads waiting for more requests (their pending responses were all
+  //    written or are being written right now). Reactor: every final has
+  //    been posted, so finish() writes out the outboxes and joins.
+  if (options_.legacy_io) {
+    {
+      const MutexLock lock(conns_mutex_);
+      for (const auto& conn : conns_) conn->stream.shutdown_read();
+    }
+    {
+      const MutexLock lock(conns_mutex_);
+      for (const auto& conn : conns_)
+        if (conn->thread.joinable()) conn->thread.join();
+      conns_.clear();
+    }
+  } else if (reactor_) {
+    reactor_->finish();
   }
-  {
-    const MutexLock lock(conns_mutex_);
-    for (const auto& conn : conns_)
-      if (conn->thread.joinable()) conn->thread.join();
-    conns_.clear();
-  }
+
+  // 4. Spill the RAM-resident results so a restart warm-starts from disk.
+  store_.flush();
 
   if (logger_thread_.joinable()) logger_thread_.join();
   log_line("drained: " + stats_snapshot().log_line());
@@ -124,16 +212,70 @@ void Server::accept_loop() {
       const MutexLock lock(conns_mutex_);
       conns_.push_back(std::move(conn));
     }
+    legacy_conns_total_.fetch_add(1, std::memory_order_relaxed);
     raw->thread = std::thread([this, raw] { handle_connection(raw); });
   }
+}
+
+void Server::io_worker_loop() {
+  while (true) {
+    std::uint64_t token = 0;
+    std::string line;
+    {
+      const MutexLock lock(admission_mutex_);
+      // Explicit wait loop (no predicate lambda), as in worker_loop.
+      while (admission_.empty() && !admission_closed_)
+        admission_cv_.wait(admission_mutex_);
+      if (admission_.empty()) return;  // closed and drained: exit
+      token = admission_.front().first;
+      line = std::move(admission_.front().second);
+      admission_.pop_front();
+    }
+    handle_line(token, std::move(line));
+  }
+}
+
+void Server::handle_line(std::uint64_t token, std::string line) {
+  const std::int64_t submit_ns = monotonic_now_ns();
+  std::string line_key;
+  if (std::optional<LineKey> fast = line_fast_key(line)) {
+    // Fast path: a previously completed job already answered this exact
+    // line (module the id). No JSON parse, no design parse, no hashing —
+    // this is what lets a warm pipelined stream saturate the scheduler.
+    if (std::optional<std::string> hit = line_cache_.lookup(fast->key)) {
+      stats_.cache_hit(latency_us_since(submit_ns));
+      reactor_->post_final(token, ok_response(fast->id, *hit));
+      return;
+    }
+    line_key = std::move(fast->key);
+  }
+  handle_request(
+      line, std::move(line_key),
+      [this, token](std::string&& response) {
+        reactor_->post_final(token, std::move(response));
+      },
+      [this, token](std::string&& notice) {
+        reactor_->post_notice(token, std::move(notice));
+      });
 }
 
 void Server::handle_connection(Connection* conn) {
   try {
     while (std::optional<std::string> line = conn->stream.read_line()) {
       if (line->empty()) continue;
-      const std::string response = handle_request(*line);
-      conn->stream.write_all(response + "\n");
+      std::promise<std::string> response;
+      handle_request(
+          *line, std::string(),
+          [&response](std::string&& r) { response.set_value(std::move(r)); },
+          [conn](std::string&& notice) {
+            // Best-effort interim line; a vanished peer must not disturb
+            // the job that was already admitted.
+            try {
+              conn->stream.write_all(notice + "\n");
+            } catch (const SocketError&) {
+            }
+          });
+      conn->stream.write_all(response.get_future().get() + "\n");
     }
   } catch (const SocketError&) {
     // Peer vanished (or stalled past the send timeout): drop the connection.
@@ -141,7 +283,8 @@ void Server::handle_connection(Connection* conn) {
   conn->done.store(true);
 }
 
-std::string Server::handle_request(const std::string& line) {
+void Server::handle_request(const std::string& line, std::string line_key,
+                            Deliver deliver, Deliver notice) {
   std::string id;
   try {
     Request request = parse_request(line);
@@ -150,34 +293,50 @@ std::string Server::handle_request(const std::string& line) {
       case Request::Type::Ping: {
         json::Value pong = json::Value::object();
         pong.set("pong", json::Value(true));
-        return ok_response(id, pong.dump());
+        deliver(ok_response(id, pong.dump()));
+        return;
       }
       case Request::Type::Stats:
-        return stats_response(id);
+        deliver(stats_response(id));
+        return;
+      case Request::Type::Metrics:
+        deliver(metrics_response(request));
+        return;
       case Request::Type::Analyze:
-        return handle_analyze(request.analyze);
+        deliver(handle_analyze(request.analyze));
+        return;
       case Request::Type::Partition:
-        return handle_partition(std::move(request.partition));
+        // `deliver` is passed by value (copied) so the catch blocks below
+        // can still answer when admission throws before taking ownership.
+        admit_job(std::move(request.partition), std::nullopt, std::nullopt,
+                  std::move(line_key), deliver, std::move(notice));
+        return;
       case Request::Type::Simulate:
-        return handle_simulate(std::move(request.simulate));
+        admit_job(std::move(request.simulate.partition),
+                  request.simulate.params, std::nullopt, std::move(line_key),
+                  deliver, std::move(notice));
+        return;
       case Request::Type::Floorplan:
-        return handle_floorplan(std::move(request.floorplan));
+        admit_job(std::move(request.floorplan.partition), std::nullopt,
+                  request.floorplan.params, std::move(line_key), deliver,
+                  std::move(notice));
+        return;
     }
     stats_.job_failed();
-    return error_response(id, ErrorCode::Internal, "unhandled request type");
+    deliver(error_response(id, ErrorCode::Internal, "unhandled request type"));
   } catch (const Error& e) {
     // Malformed JSON, schema violations, bad design XML, unknown device:
     // everything thrown before a job was admitted is the client's fault.
     stats_.job_failed();
-    return error_response(id, ErrorCode::BadRequest, e.what());
+    deliver(error_response(id, ErrorCode::BadRequest, e.what()));
   } catch (const std::exception& e) {
     stats_.job_failed();
-    return error_response(id, ErrorCode::Internal, e.what());
+    deliver(error_response(id, ErrorCode::Internal, e.what()));
   }
 }
 
 std::string Server::handle_analyze(const AnalyzeRequest& request) {
-  // Served inline on the handler thread: the diagnostics engine costs
+  // Served inline on the admission thread: the diagnostics engine costs
   // milliseconds, so it never competes with partition jobs for queue slots.
   // An unknown device is the client's fault (bad_request, thrown by
   // by_name); a malformed design is NOT — reporting it is the whole point,
@@ -194,21 +353,10 @@ std::string Server::handle_analyze(const AnalyzeRequest& request) {
   return ok_response(request.id, analysis::analysis_json(sa.result).dump());
 }
 
-std::string Server::handle_partition(PartitionRequest request) {
-  return admit_job(std::move(request), std::nullopt, std::nullopt);
-}
-
-std::string Server::handle_simulate(SimulateRequest request) {
-  return admit_job(std::move(request.partition), request.params, std::nullopt);
-}
-
-std::string Server::handle_floorplan(FloorplanRequest request) {
-  return admit_job(std::move(request.partition), std::nullopt, request.params);
-}
-
-std::string Server::admit_job(PartitionRequest request,
-                              std::optional<SimulateParams> simulate,
-                              std::optional<FloorplanParams> floorplan) {
+void Server::admit_job(PartitionRequest request,
+                       std::optional<SimulateParams> simulate,
+                       std::optional<FloorplanParams> floorplan,
+                       std::string line_key, Deliver deliver, Deliver notice) {
   const std::int64_t submit_ns = monotonic_now_ns();
   // Validate everything the worker would otherwise trip over, so
   // bad_request never costs a queue slot: the design must parse and a named
@@ -236,12 +384,13 @@ std::string Server::admit_job(PartitionRequest request,
       if (const auto proof =
               analysis::prove_infeasible(design, *budget, library_, label)) {
         stats_.job_infeasible(latency_us_since(submit_ns));
-        return error_response(
+        deliver(error_response(
             request.id, ErrorCode::Infeasible,
             "design does not fit the target (lower bound " +
                 (design.largest_configuration_area() + design.static_base())
                     .to_string() +
-                ", budget " + budget->to_string() + "); " + proof->to_string());
+                ", budget " + budget->to_string() + "); " + proof->to_string()));
+        return;
       }
     }
   }
@@ -255,9 +404,11 @@ std::string Server::admit_job(PartitionRequest request,
   if (simulate) target += ";" + simulate->cache_string();
   if (floorplan) target += ";" + floorplan->cache_string();
   const std::string key = job_cache_key(design, target, request.options);
-  if (std::optional<std::string> hit = cache_.lookup(key)) {
+  if (std::optional<std::string> hit = store_.lookup(key)) {
     stats_.cache_hit(latency_us_since(submit_ns));
-    return ok_response(request.id, *hit);
+    if (!line_key.empty()) line_cache_.store(line_key, *hit);
+    deliver(ok_response(request.id, *hit));
+    return;
   }
   stats_.cache_miss();
 
@@ -265,44 +416,63 @@ std::string Server::admit_job(PartitionRequest request,
                                    submit_ns);
   job->simulate = simulate;
   job->floorplan = floorplan;
+  job->line_key = std::move(line_key);
+  job->deliver = std::move(deliver);
   const std::uint64_t timeout_ms = job->request.timeout_ms != 0
                                        ? job->request.timeout_ms
                                        : options_.default_timeout_ms;
   job->cancel.set_timeout_ms(static_cast<std::int64_t>(timeout_ms));
-  std::future<std::string> response = job->response.get_future();
   // The queue critical section decides admission and nothing else. Stats
-  // are folded in and error responses rendered only after the lock drops:
-  // the stats mutex sits *below* the queue mutex in the hierarchy
-  // (lock_order.hpp), so touching ServerStats here would be an inversion —
-  // exactly the latent bug the lock-order validator caught.
-  enum class Verdict { kAdmitted, kDraining, kQueueFull };
+  // are folded in, notices sent and error responses rendered only after the
+  // lock drops: the stats mutex sits *below* the queue mutex in the
+  // hierarchy (lock_order.hpp), so touching ServerStats here would be an
+  // inversion — exactly the latent bug the lock-order validator caught.
+  enum class Verdict { kAdmitted, kAdmittedQueued, kDraining, kQueueFull };
   Verdict verdict = Verdict::kAdmitted;
+  std::size_t position = 0;
   {
     const MutexLock lock(queue_mutex_);
-    if (draining_)
+    if (draining_) {
       verdict = Verdict::kDraining;
-    else if (queue_.size() >= options_.max_queue)
+    } else if (queue_.size() >= high_watermark()) {
       verdict = Verdict::kQueueFull;
-    else
+    } else {
       queue_.push_back(job);
+      position = queue_.size();
+      if (position > options_.max_queue) verdict = Verdict::kAdmittedQueued;
+    }
   }
   switch (verdict) {
     case Verdict::kDraining:
       stats_.job_rejected();
-      return error_response(job->request.id, ErrorCode::Overloaded,
-                            "server is draining");
+      job->deliver(error_response(job->request.id, ErrorCode::Overloaded,
+                                  "server is draining"));
+      return;
     case Verdict::kQueueFull:
       stats_.job_rejected();
-      return error_response(job->request.id, ErrorCode::Overloaded,
-                            "job queue is full (" +
-                                std::to_string(options_.max_queue) +
-                                " waiting)");
+      job->deliver(error_response(job->request.id, ErrorCode::Overloaded,
+                                  "job queue is full (" +
+                                      std::to_string(high_watermark()) +
+                                      " waiting)"));
+      return;
+    case Verdict::kAdmittedQueued: {
+      stats_.job_accepted();
+      queue_cv_.notify_one();
+      // Soft band: the job is in, but the client learns it will wait. ETA
+      // from the execution-time EWMA; advisory by design.
+      const std::uint64_t ewma_us =
+          exec_ewma_us_.load(std::memory_order_relaxed);
+      const std::uint64_t eta_ms =
+          position * ewma_us / std::max(1u, options_.workers) / 1000;
+      stats_.job_queued_notice();
+      notice(queued_response(job->request.id, position, eta_ms));
+      return;
+    }
     case Verdict::kAdmitted:
-      break;
+      stats_.job_accepted();
+      queue_cv_.notify_one();
+      return;
   }
-  stats_.job_accepted();
-  queue_cv_.notify_one();
-  return response.get();
 }
 
 void Server::worker_loop() {
@@ -333,6 +503,7 @@ void Server::worker_loop() {
 }
 
 void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
+  const std::int64_t exec_start_ns = monotonic_now_ns();
   std::string response;
   try {
     check_cancel(&job.cancel);  // the deadline may have fired while queued
@@ -388,7 +559,7 @@ void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
                                   rerank.overturned);
         if (!rerank.any_feasible) {
           stats_.job_infeasible(latency_us_since(job.submit_ns));
-          job.response.set_value(error_response(
+          job.deliver(error_response(
               job.request.id, ErrorCode::Infeasible,
               "no enumerated scheme has a legal floorplan on " +
                   device->name()));
@@ -409,7 +580,7 @@ void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
           stats_.floorplan_finished(1, plan.feasible ? 0 : 1, false);
           if (!plan.feasible) {
             stats_.job_infeasible(latency_us_since(job.submit_ns));
-            job.response.set_value(error_response(
+            job.deliver(error_response(
                 job.request.id, ErrorCode::Infeasible,
                 "the proposed scheme has no legal floorplan on " +
                     device->name()));
@@ -440,7 +611,8 @@ void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
       }
       // Deterministic engine: the stored bytes equal any future cold run,
       // so cache hits are byte-identical to fresh responses.
-      cache_.store(job.cache_key, payload);
+      store_.store(job.cache_key, payload);
+      if (!job.line_key.empty()) line_cache_.store(job.line_key, payload);
       stats_.job_completed(latency_us_since(job.submit_ns));
       response = ok_response(job.request.id, payload);
     }
@@ -459,11 +631,55 @@ void Server::execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch) {
     stats_.job_failed();
     response = error_response(job.request.id, ErrorCode::Internal, e.what());
   }
-  job.response.set_value(std::move(response));
+  // Fold this execution into the ETA estimate (EWMA, alpha = 1/8).
+  const std::uint64_t sample_us = latency_us_since(exec_start_ns);
+  const std::uint64_t old = exec_ewma_us_.load(std::memory_order_relaxed);
+  const std::uint64_t next =
+      old == 0 ? sample_us
+               : static_cast<std::uint64_t>(
+                     static_cast<std::int64_t>(old) +
+                     (static_cast<std::int64_t>(sample_us) -
+                      static_cast<std::int64_t>(old)) /
+                         8);
+  exec_ewma_us_.store(next, std::memory_order_relaxed);
+  job.deliver(std::move(response));
 }
 
 std::string Server::stats_response(const std::string& id) const {
   return ok_response(id, stats_snapshot().to_json().dump());
+}
+
+std::string Server::metrics_response(const Request& request) const {
+  MetricsExtra extra;
+  extra.io_mode = options_.legacy_io ? "threads" : "epoll";
+  if (reactor_) {
+    extra.connections = reactor_->connections();
+    extra.connections_total = reactor_->connections_total();
+  } else {
+    const MutexLock lock(conns_mutex_);
+    extra.connections = conns_.size();
+    extra.connections_total =
+        legacy_conns_total_.load(std::memory_order_relaxed);
+  }
+  {
+    const MutexLock lock(admission_mutex_);
+    extra.admission_depth = admission_.size();
+  }
+  const ResultCache::Stats ram = store_.ram_stats();
+  extra.ram_entries = ram.entries;
+  extra.ram_evictions = ram.evictions;
+  extra.disk_enabled = store_.disk_enabled();
+  const DiskStore::Stats disk = store_.disk_stats();
+  extra.disk_entries = disk.entries;
+  extra.disk_bytes = disk.bytes;
+  extra.disk_hits = disk.hits;
+  extra.disk_writes = disk.writes;
+  extra.disk_evictions = disk.evictions;
+  const StatsSnapshot snapshot = stats_snapshot();
+  if (request.metrics_text)
+    return ok_response(request.id,
+                       json::Value(metrics_text(snapshot, extra)).dump());
+  return ok_response(request.id, metrics_json(snapshot, extra).dump());
 }
 
 void Server::logger_loop() {

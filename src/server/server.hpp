@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -13,7 +14,9 @@
 #include "device/device.hpp"
 #include "server/cache.hpp"
 #include "server/protocol.hpp"
+#include "server/reactor.hpp"
 #include "server/stats.hpp"
+#include "server/store.hpp"
 #include "util/cancel.hpp"
 #include "util/socket.hpp"
 #include "util/thread_annotations.hpp"
@@ -31,18 +34,40 @@ struct ServerOptions {
   std::uint16_t port = 0;
   /// Scheduler worker threads: how many partition jobs execute at once.
   unsigned workers = 2;
-  /// Admission control: jobs waiting beyond this depth are rejected with
-  /// `overloaded` instead of queueing unboundedly.
+  /// Admission control: beyond this depth the queue is in the *soft* band —
+  /// jobs are still admitted but the client gets an interim `queued` notice
+  /// with its position and ETA. The hard reject sits at `high_watermark`.
   std::size_t max_queue = 16;
+  /// Queue depth at which admission hard-rejects with `overloaded`;
+  /// 0 derives 8 * max_queue. Set equal to max_queue to restore the
+  /// pre-soft-band behaviour (reject as soon as max_queue is reached).
+  std::size_t high_watermark = 0;
   /// Deadline for jobs that do not carry their own timeout_ms; 0 = none.
   std::uint64_t default_timeout_ms = 0;
-  /// Result-cache capacity in entries; 0 disables caching.
+  /// RAM result-cache capacity in entries; 0 disables caching.
   std::size_t cache_entries = 256;
+  /// Directory of the persistent result store; empty disables it. RAM
+  /// evictions spill here, lookups fall back here, and a graceful stop
+  /// flushes here so a restarted server warm-starts its working set.
+  std::string store_dir;
+  /// On-disk store capacity in entries (files); 0 disables the disk layer.
+  std::size_t store_entries = 4096;
   /// Worker threads *inside* one job's region-allocation search (the
   /// existing parallel_for pool), used when the request does not pin its
   /// own `threads`. Kept at 1 by default so K scheduler workers do not
   /// multiply into K x hardware_concurrency search threads.
   unsigned job_threads = 1;
+  /// Serve I/O mode. The default is the epoll reactor: one event-loop
+  /// thread owns every connection and `io_workers` admission threads parse
+  /// and dispatch framed request lines. `legacy_io` restores the
+  /// thread-per-connection front end (the pre-reactor baseline, also what
+  /// bench_serve compares against).
+  bool legacy_io = false;
+  unsigned io_workers = 2;
+  /// Per-connection cap on pipelined requests awaiting a final response;
+  /// at the cap the reactor stops reading the connection (TCP
+  /// backpressure) until a response retires a slot.
+  std::size_t max_inflight_per_conn = 64;
   /// Nullable log sink plus the period of the stats log line (0 = off).
   std::ostream* log = nullptr;
   std::uint64_t log_interval_ms = 0;
@@ -51,16 +76,23 @@ struct ServerOptions {
 /// The `prpart serve` engine: a TCP front end multiplexing the
 /// deterministic partitioning engine across concurrent clients.
 ///
-///   * one accept thread, one handler thread per connection, `workers`
-///     scheduler threads draining a bounded job queue;
-///   * admission control rejects with `overloaded` when the queue is full
-///     or the server is draining;
+///   * a non-blocking epoll reactor owning every connection (or, with
+///     legacy_io, one handler thread per connection), `workers` scheduler
+///     threads draining a bounded job queue;
+///   * pipelining: clients may stream many newline-delimited requests per
+///     connection; responses come back as each job finishes (possibly out
+///     of order) and are matched by `id`;
+///   * graded admission control: a full queue first degrades to `queued`
+///     notices (position + ETA), and only past `high_watermark` — or while
+///     draining — rejects with `overloaded`;
 ///   * per-job cooperative timeouts via CancelToken threaded through
 ///     SearchOptions (deadline runs from admission, so queue wait counts);
-///   * a content-addressed result cache serving byte-identical responses
-///     for repeated submissions;
-///   * stop() drains gracefully: stops accepting, finishes queued and
-///     in-flight jobs, flushes responses, then joins every thread.
+///   * a two-level content-addressed result store (RAM LRU spilling to an
+///     on-disk segment directory) serving byte-identical responses for
+///     repeated submissions, across restarts when store_dir is set;
+///   * stop() drains gracefully: stops accepting and reading, finishes
+///     queued and in-flight jobs, flushes responses and the disk store,
+///     then joins every thread.
 ///
 /// start()/stop() are not thread-safe against each other; everything the
 /// spawned threads touch is internally synchronised. The destructor stops
@@ -74,12 +106,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the listener and spawns the accept, worker and logger threads.
-  /// Throws SocketError when the port cannot be bound.
+  /// Binds the listener and spawns the reactor (or accept), admission,
+  /// worker and logger threads. Throws SocketError when the port cannot be
+  /// bound.
   void start();
 
   /// Bound port (valid after start()).
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return bound_port_; }
 
   /// Graceful drain; idempotent. Safe to call from a signal-driven main
   /// loop or test teardown.
@@ -89,6 +122,11 @@ class Server {
   StatsSnapshot stats_snapshot() const;
 
  private:
+  /// Receives exactly one final response line. Invoked synchronously for
+  /// requests answered inline (errors, cache hits, rejections) and from a
+  /// scheduler worker for everything that went through the queue.
+  using Deliver = std::function<void(std::string&&)>;
+
   struct Job {
     Job(PartitionRequest req, Design parsed, std::string key,
         std::int64_t submitted)
@@ -106,9 +144,13 @@ class Server {
     std::optional<FloorplanParams> floorplan;
     Design design;
     std::string cache_key;
+    /// Request-line cache key (id blanked); empty when the line was not
+    /// eligible. A successful job stores its payload under it so repeat
+    /// submissions of the same line skip parsing entirely.
+    std::string line_key;
     std::int64_t submit_ns;
     CancelToken cancel;
-    std::promise<std::string> response;  ///< the full response line
+    Deliver deliver;  ///< called exactly once with the full response line
   };
 
   struct Connection {
@@ -118,6 +160,14 @@ class Server {
   };
 
   void accept_loop();
+  /// One admission thread (reactor mode): pops framed lines, probes the
+  /// request-line cache, parses and dispatches. Keeps the reactor thread
+  /// free for pure I/O.
+  void io_worker_loop();
+  /// One framed line from connection `token`: the fast path (request-line
+  /// cache) or the full parse/dispatch path, responses posted back through
+  /// the reactor.
+  void handle_line(std::uint64_t token, std::string line);
   /// One job worker. Owns the worker's persistent execution state — a
   /// WorkerPool of job_threads threads and a warm EvalScratch — and reuses
   /// both across every job it runs, so a server in steady state spawns no
@@ -127,31 +177,59 @@ class Server {
   void worker_loop();
   void logger_loop();
   void handle_connection(Connection* conn);
-  /// Parses and dispatches one request line; never throws.
-  std::string handle_request(const std::string& line);
-  std::string handle_partition(PartitionRequest request);
-  std::string handle_simulate(SimulateRequest request);
-  std::string handle_floorplan(FloorplanRequest request);
+  /// Parses and dispatches one request line; never throws. `deliver` gets
+  /// the final response (synchronously or later from a worker); `notice`
+  /// gets at most one interim `queued` line before the final.
+  void handle_request(const std::string& line, std::string line_key,
+                      Deliver deliver, Deliver notice);
   std::string handle_analyze(const AnalyzeRequest& request);
   /// Shared admission path of partition, simulate and floorplan jobs:
-  /// pre-checks, cache lookup, queue admission, response wait.
-  std::string admit_job(PartitionRequest request,
-                        std::optional<SimulateParams> simulate,
-                        std::optional<FloorplanParams> floorplan);
+  /// pre-checks, result-store lookup, queue admission. Calls `deliver`
+  /// exactly once (inline for pre-check errors, store hits and rejections;
+  /// from a worker otherwise) and `notice` at most once, after the queue
+  /// lock is released, when the job landed in the soft band.
+  void admit_job(PartitionRequest request,
+                 std::optional<SimulateParams> simulate,
+                 std::optional<FloorplanParams> floorplan,
+                 std::string line_key, Deliver deliver, Deliver notice);
   /// Runs one job on this worker's persistent pool + scratch.
   void execute_job(Job& job, WorkerPool& pool, EvalScratch& scratch);
   std::string stats_response(const std::string& id) const;
+  std::string metrics_response(const Request& request) const;
+  std::size_t high_watermark() const {
+    return options_.high_watermark != 0 ? options_.high_watermark
+                                        : 8 * options_.max_queue;
+  }
   void log_line(const std::string& line);
 
   const ServerOptions options_;
   const DeviceLibrary library_;
-  ResultCache cache_;
+  /// Two-level result store: canonical design/job hash -> payload.
+  ResultStore store_;
+  /// Request-line fast path (reactor mode only): the raw request line with
+  /// the id blanked -> payload. Warm pipelined submissions skip JSON
+  /// parsing, design parsing and hashing. Same lock level as the semantic
+  /// cache (kResultCache) — the two are only ever probed sequentially.
+  ResultCache line_cache_;
   ServerStats stats_;
 
-  TcpListener listener_;
+  TcpListener listener_;  ///< legacy mode only; the reactor owns its own
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<Reactor> reactor_;
   std::thread accept_thread_;
+  std::vector<std::thread> io_workers_;
   std::vector<std::thread> workers_;
   std::thread logger_thread_;
+
+  // Admission handoff (reactor mode): framed lines queued by the reactor
+  // thread, drained by the io workers. Sits between the connection
+  // registries and the stats lock in the hierarchy (lock_order.hpp).
+  mutable Mutex admission_mutex_{lock_order::Level::kServerAdmission,
+                                 "server.admission"};
+  CondVar admission_cv_;
+  std::deque<std::pair<std::uint64_t, std::string>> admission_
+      PRPART_GUARDED_BY(admission_mutex_);
+  bool admission_closed_ PRPART_GUARDED_BY(admission_mutex_) = false;
 
   // Job queue (admission control + scheduler handoff). Near-leaf in the
   // lock hierarchy (lock_order.hpp): the queue critical sections are pure
@@ -162,9 +240,15 @@ class Server {
   std::size_t in_flight_ PRPART_GUARDED_BY(queue_mutex_) = 0;
   bool draining_ PRPART_GUARDED_BY(queue_mutex_) = false;
 
-  // Connection registry, so stop() can unblock handler threads.
-  Mutex conns_mutex_{lock_order::Level::kServerConns, "server.conns"};
+  /// EWMA of job execution time, feeding the `queued` notice ETA. Relaxed
+  /// atomic: the estimate is advisory.
+  std::atomic<std::uint64_t> exec_ewma_us_{0};
+
+  // Connection registry (legacy mode), so stop() can unblock handler
+  // threads.
+  mutable Mutex conns_mutex_{lock_order::Level::kServerConns, "server.conns"};
   std::list<std::unique_ptr<Connection>> conns_ PRPART_GUARDED_BY(conns_mutex_);
+  std::atomic<std::uint64_t> legacy_conns_total_{0};
 
   // Lifecycle. Outermost level: held across the logger's periodic sleep.
   Mutex lifecycle_mutex_{lock_order::Level::kServerLifecycle,

@@ -7,17 +7,19 @@
 
 namespace prpart::server {
 
-namespace {
-
-std::uint64_t percentile(std::vector<std::uint64_t> sorted, double p) {
-  if (sorted.empty()) return 0;
-  std::sort(sorted.begin(), sorted.end());
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+std::uint64_t LatencyHistogram::percentile(double p) const {
+  const std::uint64_t count = total();
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.5));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return lower_bound_of(i) + width_of(i) / 2;
+  }
+  return lower_bound_of(counts_.size() - 1);
 }
-
-}  // namespace
 
 json::Value StatsSnapshot::to_json() const {
   json::Value v = json::Value::object();
@@ -29,6 +31,7 @@ json::Value StatsSnapshot::to_json() const {
   v.set("failed", json::Value(failed));
   v.set("cache_hits", json::Value(cache_hits));
   v.set("cache_misses", json::Value(cache_misses));
+  v.set("queued_notices", json::Value(queued_notices));
   v.set("queue_depth", json::Value(static_cast<std::uint64_t>(queue_depth)));
   v.set("in_flight", json::Value(static_cast<std::uint64_t>(in_flight)));
   v.set("latency_count", json::Value(latency_count));
@@ -74,6 +77,7 @@ std::string StatsSnapshot::log_line() const {
          " in_flight=" + std::to_string(in_flight) +
          " cache_hits=" + std::to_string(cache_hits) +
          " cache_misses=" + std::to_string(cache_misses) +
+         " queued=" + std::to_string(queued_notices) +
          " p50_us=" + std::to_string(p50_latency_us) +
          " p99_us=" + std::to_string(p99_latency_us) +
          " search_units=" + std::to_string(search_units) +
@@ -127,6 +131,11 @@ void ServerStats::cache_miss() {
   ++cache_misses_;
 }
 
+void ServerStats::job_queued_notice() {
+  const MutexLock lock(mutex_);
+  ++queued_notices_;
+}
+
 void ServerStats::search_finished(const SearchStats& stats) {
   const MutexLock lock(mutex_);
   search_units_ += stats.units;
@@ -157,12 +166,7 @@ void ServerStats::floorplan_finished(std::size_t candidates,
 
 void ServerStats::record_latency(std::uint64_t latency_us) {
   ++latency_count_;
-  if (latencies_.size() < kReservoir) {
-    latencies_.push_back(latency_us);
-  } else {
-    latencies_[latency_next_] = latency_us;
-    latency_next_ = (latency_next_ + 1) % kReservoir;
-  }
+  latencies_.record(latency_us);
 }
 
 StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
@@ -177,11 +181,12 @@ StatsSnapshot ServerStats::snapshot(std::size_t queue_depth,
   s.failed = failed_;
   s.cache_hits = cache_hits_;
   s.cache_misses = cache_misses_;
+  s.queued_notices = queued_notices_;
   s.queue_depth = queue_depth;
   s.in_flight = in_flight;
   s.latency_count = latency_count_;
-  s.p50_latency_us = percentile(latencies_, 0.50);
-  s.p99_latency_us = percentile(latencies_, 0.99);
+  s.p50_latency_us = latencies_.percentile(0.50);
+  s.p99_latency_us = latencies_.percentile(0.99);
   s.search_units = search_units_;
   s.search_units_pruned = search_units_pruned_;
   s.search_move_evaluations = search_move_evaluations_;

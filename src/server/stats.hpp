@@ -1,13 +1,66 @@
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <vector>
 
 #include "core/search.hpp"
 #include "util/json.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace prpart::server {
+
+/// Exact-count latency histogram with logarithmic buckets: every sample is
+/// counted (no reservoir), and a percentile is an O(buckets) cumulative
+/// scan — no sort, no allocation — so a metrics scrape stays cheap no
+/// matter how many jobs the server has seen. Values are bucketed to a
+/// power-of-two range split into 8 linear sub-buckets, bounding the
+/// reported quantile's relative error at 1/8th of its magnitude.
+///
+/// Not synchronised: ServerStats guards it with its own mutex.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t value_us) { ++counts_[index_of(value_us)]; }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counts_) sum += c;
+    return sum;
+  }
+
+  /// Value at quantile p in [0, 1]: the representative (midpoint) of the
+  /// bucket holding the sample of rank ceil(p * total). 0 when empty.
+  std::uint64_t percentile(double p) const;
+
+ private:
+  static constexpr unsigned kSubBits = 3;          ///< 8 sub-buckets/octave
+  static constexpr unsigned kSub = 1u << kSubBits;
+  /// Buckets 0..7 hold exact values 0..7; bucket (b*8 + s) for b >= 1
+  /// covers [ (8+s) << (b-1), (8+s+1) << (b-1) ).
+  static constexpr std::size_t kBuckets =
+      kSub * (64 - kSubBits + 1);  // 496: covers the full uint64 range
+
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) & (kSub - 1);
+    return static_cast<std::size_t>((msb - kSubBits + 1) * kSub + sub);
+  }
+
+  static std::uint64_t lower_bound_of(std::size_t index) {
+    if (index < kSub) return index;
+    const std::uint64_t block = index / kSub;     // >= 1
+    const std::uint64_t sub = index % kSub;
+    return (kSub + sub) << (block - 1);
+  }
+
+  static std::uint64_t width_of(std::size_t index) {
+    return index < kSub ? 1 : std::uint64_t{1} << (index / kSub - 1);
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+};
 
 /// One consistent view of the serving counters, taken under the stats lock.
 struct StatsSnapshot {
@@ -19,6 +72,7 @@ struct StatsSnapshot {
   std::uint64_t failed = 0;          ///< bad_request / internal failures
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t queued_notices = 0;  ///< interim `queued` responses sent
   std::size_t queue_depth = 0;       ///< jobs waiting at snapshot time
   std::size_t in_flight = 0;         ///< jobs executing at snapshot time
   std::uint64_t latency_count = 0;   ///< completed-job latency samples
@@ -53,9 +107,9 @@ struct StatsSnapshot {
   std::string log_line() const;
 };
 
-/// Internally synchronised serving counters plus a bounded reservoir of the
-/// most recent job latencies for the p50/p99 estimates. Everything here is
-/// observability only: no decision in the serving path reads it back.
+/// Internally synchronised serving counters plus an exact latency histogram
+/// feeding the p50/p99 estimates. Everything here is observability only: no
+/// decision in the serving path reads it back.
 class ServerStats {
  public:
   void job_accepted();
@@ -66,6 +120,8 @@ class ServerStats {
   void job_failed();
   void cache_hit(std::uint64_t latency_us);
   void cache_miss();
+  /// One interim `queued` backpressure notice was sent to a client.
+  void job_queued_notice();
   /// Folds one executed job's search stats into the cumulative counters.
   void search_finished(const SearchStats& stats);
   /// Folds one simulate job's replay into the cumulative counters.
@@ -81,9 +137,6 @@ class ServerStats {
  private:
   void record_latency(std::uint64_t latency_us) PRPART_REQUIRES(mutex_);
 
-  /// Last kReservoir latencies; percentile estimates sort a copy.
-  static constexpr std::size_t kReservoir = 4096;
-
   /// Low in the lock hierarchy (lock_order.hpp): counters are folded in
   /// with no scheduler lock held, so stats can never extend — or deadlock
   /// against — the admission/dequeue critical sections.
@@ -96,6 +149,7 @@ class ServerStats {
   std::uint64_t failed_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t cache_hits_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t cache_misses_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t queued_notices_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t latency_count_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t search_units_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t search_units_pruned_ PRPART_GUARDED_BY(mutex_) = 0;
@@ -112,9 +166,7 @@ class ServerStats {
   std::uint64_t floorplan_candidates_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t floorplan_vetoes_ PRPART_GUARDED_BY(mutex_) = 0;
   std::uint64_t floorplan_overturns_ PRPART_GUARDED_BY(mutex_) = 0;
-  /// ring buffer of size <= kReservoir
-  std::vector<std::uint64_t> latencies_ PRPART_GUARDED_BY(mutex_);
-  std::size_t latency_next_ PRPART_GUARDED_BY(mutex_) = 0;
+  LatencyHistogram latencies_ PRPART_GUARDED_BY(mutex_);
 };
 
 }  // namespace prpart::server

@@ -1,0 +1,178 @@
+#include "server/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace prpart::server {
+
+namespace fs = std::filesystem;
+
+DiskStore::DiskStore(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries) {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;  // opportunistic layer: a bad directory disables warm start
+  // Warm start: adopt every segment file already present, oldest first so
+  // the LRU's recency order approximates the previous process's.
+  struct Found {
+    fs::file_time_type mtime;
+    std::string key;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Found> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".res")
+      continue;
+    std::error_code fec;
+    const auto mtime = entry.last_write_time(fec);
+    const auto size = entry.file_size(fec);
+    if (fec) continue;
+    found.push_back(Found{mtime, entry.path().stem().string(), size});
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.key < b.key;
+  });
+  const MutexLock lock(mutex_);
+  for (const Found& f : found) {
+    lru_.push_front(Entry{f.key, f.bytes});
+    index_[f.key] = lru_.begin();
+    bytes_ += f.bytes;
+  }
+  evict_beyond_cap();
+}
+
+std::string DiskStore::path_of(const std::string& key) const {
+  return dir_ + "/" + key + ".res";
+}
+
+std::optional<std::string> DiskStore::load(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  {
+    const MutexLock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  // Read outside the lock: the only racing mutation is an eviction unlink,
+  // which the open below observes as a miss.
+  std::ifstream in(path_of(key), std::ios::binary);
+  if (!in) {
+    const MutexLock lock(mutex_);
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string payload{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (!in.good() && !in.eof()) {
+    const MutexLock lock(mutex_);
+    ++misses_;
+    return std::nullopt;
+  }
+  const MutexLock lock(mutex_);
+  ++hits_;
+  return payload;
+}
+
+void DiskStore::save(const std::string& key, const std::string& payload) {
+  if (!enabled()) return;
+  {
+    const MutexLock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Same key => same deterministic payload; refreshing recency is all
+      // that is left to do.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+  }
+  // Write outside the lock (a search result can be megabytes); the rename
+  // publishes atomically. Concurrent savers of the same key write identical
+  // bytes, so the last rename winning is harmless.
+  const std::string target = path_of(key);
+  const std::string temp = target + ".tmp";
+  bool wrote = false;
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(payload.data(),
+                static_cast<std::streamsize>(payload.size()));
+      wrote = out.good();
+    }
+  }
+  std::error_code ec;
+  if (wrote) {
+    fs::rename(temp, target, ec);
+    wrote = !ec;
+  }
+  if (!wrote) fs::remove(temp, ec);
+  const MutexLock lock(mutex_);
+  if (!wrote) {
+    ++write_errors_;
+    return;
+  }
+  ++writes_;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {  // raced with another saver; keep one entry
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, payload.size()});
+  index_[key] = lru_.begin();
+  bytes_ += payload.size();
+  evict_beyond_cap();
+}
+
+void DiskStore::evict_beyond_cap() {
+  while (lru_.size() > max_entries_) {
+    const Entry& victim = lru_.back();
+    std::error_code ec;
+    fs::remove(path_of(victim.key), ec);
+    bytes_ -= std::min(bytes_, victim.bytes);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+DiskStore::Stats DiskStore::stats() const {
+  const MutexLock lock(mutex_);
+  return Stats{hits_,         misses_,     writes_, evictions_,
+               write_errors_, lru_.size(), bytes_};
+}
+
+ResultStore::ResultStore(std::size_t ram_entries, std::string disk_dir,
+                         std::size_t disk_entries)
+    : ram_(ram_entries), disk_(std::move(disk_dir), disk_entries) {
+  if (disk_.enabled())
+    ram_.set_eviction_sink([this](const std::string& key,
+                                  const std::string& payload) {
+      disk_.save(key, payload);
+    });
+}
+
+std::optional<std::string> ResultStore::lookup(const std::string& key) {
+  if (std::optional<std::string> hit = ram_.lookup(key)) return hit;
+  std::optional<std::string> spilled = disk_.load(key);
+  // Promote: repeat submissions of a warm-started design are RAM hits from
+  // here on (the promotion may spill something else — that is the LRU
+  // doing its job).
+  if (spilled) ram_.store(key, *spilled);
+  return spilled;
+}
+
+void ResultStore::store(const std::string& key, const std::string& payload) {
+  ram_.store(key, payload);
+}
+
+void ResultStore::flush() { ram_.drain_to_sink(); }
+
+}  // namespace prpart::server

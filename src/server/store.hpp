@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "server/cache.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace prpart::server {
+
+/// On-disk segment directory backing the persistent result store: one file
+/// per cache key (`<key>.res`, payload bytes verbatim, written to a temp
+/// name and renamed so readers never observe a torn entry). The in-memory
+/// index is a bounded LRU over the directory; opening an existing directory
+/// warm-starts the index from the files already on disk (oldest first, so
+/// recency survives restarts at mtime granularity).
+///
+/// Internally synchronised. Sits directly below the RAM cache in the lock
+/// hierarchy (lock_order.hpp, kDiskStoreIndex): the cache's eviction sink
+/// calls save() while holding the cache mutex.
+class DiskStore {
+ public:
+  /// An empty `dir` or zero `max_entries` disables the store entirely.
+  DiskStore(std::string dir, std::size_t max_entries);
+
+  bool enabled() const { return !dir_.empty() && max_entries_ > 0; }
+
+  /// Reads the payload for `key` and refreshes its recency; nullopt when
+  /// absent (or the file vanished underneath the index).
+  std::optional<std::string> load(const std::string& key);
+
+  /// Writes/refreshes `key`, evicting (unlinking) the least recently used
+  /// entries beyond capacity. Write errors are swallowed after noting the
+  /// failure: the disk layer is an opportunistic accelerator and must never
+  /// take down the serving path.
+  void save(const std::string& key, const std::string& payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< loads served from disk
+    std::uint64_t misses = 0;      ///< loads that found nothing
+    std::uint64_t writes = 0;      ///< files written (spills + refreshes)
+    std::uint64_t evictions = 0;   ///< files unlinked by the LRU cap
+    std::uint64_t write_errors = 0;
+    std::size_t entries = 0;       ///< files currently indexed
+    std::uint64_t bytes = 0;       ///< payload bytes currently indexed
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t bytes = 0;
+  };
+
+  std::string path_of(const std::string& key) const;
+  void evict_beyond_cap() PRPART_REQUIRES(mutex_);
+
+  const std::string dir_;
+  const std::size_t max_entries_;
+  mutable Mutex mutex_{lock_order::Level::kDiskStoreIndex,
+                       "server.disk_store"};
+  std::list<Entry> lru_ PRPART_GUARDED_BY(mutex_);  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      PRPART_GUARDED_BY(mutex_);
+  std::uint64_t hits_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t writes_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t write_errors_ PRPART_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_ PRPART_GUARDED_BY(mutex_) = 0;
+};
+
+/// The two-level persistent result store: the RAM LRU (ResultCache) in
+/// front, the disk segment directory behind it. Evictions spill to disk,
+/// disk hits are promoted back to RAM, and flush() (called by the server's
+/// graceful drain) spills everything still resident so a restarted server
+/// warm-starts with the full working set. Payload bytes pass through both
+/// layers verbatim, preserving the cache-hit byte-identity contract.
+class ResultStore {
+ public:
+  ResultStore(std::size_t ram_entries, std::string disk_dir,
+              std::size_t disk_entries);
+
+  /// RAM first, then disk (with promotion). The caller counts one logical
+  /// cache hit either way — which layer served it only shows in metrics.
+  std::optional<std::string> lookup(const std::string& key);
+
+  void store(const std::string& key, const std::string& payload);
+
+  /// Spills every RAM-resident entry to disk. Idempotent; no-op when the
+  /// disk layer is disabled.
+  void flush();
+
+  bool disk_enabled() const { return disk_.enabled(); }
+
+  ResultCache::Stats ram_stats() const { return ram_.stats(); }
+  DiskStore::Stats disk_stats() const { return disk_.stats(); }
+
+ private:
+  ResultCache ram_;
+  DiskStore disk_;
+};
+
+}  // namespace prpart::server

@@ -34,9 +34,26 @@ namespace prpart::lock_order {
 /// Gaps between values leave room for new locks without renumbering.
 enum class Level : std::uint32_t {
   kServerLifecycle = 10,  ///< Server start/stop state + logger wakeups
-  kServerConns = 20,      ///< Server connection registry
-  kServerStats = 30,      ///< ServerStats counters + latency reservoir
+  kServerConns = 20,      ///< Server connection registry (legacy thread-per-
+                          ///< connection mode)
+  kReactorConns = 22,     ///< reactor connection registry: the epoll loop's
+                          ///< token -> connection map. Below the stats/cache
+                          ///< layers so a metrics scrape may count
+                          ///< connections first and fold counters after.
+  kServerAdmission = 24,  ///< reactor-mode admission queue of framed request
+                          ///< lines. The reactor pushes with no lock held;
+                          ///< admission workers pop and then walk the full
+                          ///< cache/stats/queue ladder below.
+  kShardRouter = 26,      ///< shard-router per-connection write serialiser
+                          ///< (relay threads interleave responses from
+                          ///< several shards onto one client socket)
+  kServerStats = 30,      ///< ServerStats counters + latency histogram
   kResultCache = 40,      ///< content-addressed LRU result cache
+  kDiskStoreIndex = 42,   ///< on-disk segment index of the spillable result
+                          ///< store. Directly below the RAM cache: the LRU
+                          ///< spills evicted entries to disk while holding
+                          ///< the cache mutex, so cache -> disk nests and
+                          ///< the reverse is illegal.
   kWorkerPool = 45,       ///< persistent WorkerPool dispatch state. Above
                           ///< the server layers (a job submits work while
                           ///< holding no server lock) and below every
@@ -47,6 +64,12 @@ enum class Level : std::uint32_t {
   kCostCacheShard = 60,   ///< one GroupCostCache shard (never two at once)
   kParallelForError = 70, ///< first-exception slot of a parallel_for pool
   kServerQueue = 80,      ///< bounded job queue + admission control
+  kReactorOutbox = 85,    ///< reactor completion queue: finished responses
+                          ///< posted cross-thread for the epoll loop to
+                          ///< write. Above the job queue (a worker may hold
+                          ///< nothing when posting, but the level leaves
+                          ///< room to post from queue-adjacent code) and
+                          ///< below the log leaf.
   kServerLog = 90,        ///< serialised log sink (leaf)
 };
 

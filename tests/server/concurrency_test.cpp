@@ -150,5 +150,84 @@ TEST(ServerConcurrencyTest, MixedJobHammerKeepsCountersConsistent) {
   EXPECT_EQ(snap.in_flight, 0u);
 }
 
+TEST(ServerConcurrencyTest, PipelinedHammerKeepsCounterIdentities) {
+  // The reactor-path twin of the hammer above: every client pipelines its
+  // whole burst on one connection before reading anything, so admission,
+  // the line cache, the result store and the completion outbox all run
+  // concurrently. The identities must hold exactly — a lost or doubled
+  // update under the event loop breaks them.
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 4;
+  options.max_queue = 64;
+  Server server(options);
+  server.start();
+
+  constexpr unsigned kConns = 8;
+  constexpr unsigned kPerConn = 6;
+  std::atomic<std::uint64_t> finals{0};
+  std::atomic<bool> failed{false};
+  auto hammer = [&](unsigned t) {
+    try {
+      TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+      // Round 1 runs cold (every burst is admitted before anything has
+      // completed, so nothing can hit); round 2 repeats the same requests
+      // under fresh ids, which must all be served from the store.
+      for (unsigned round = 0; round < 2; ++round) {
+        std::string burst;
+        for (unsigned i = 0; i < kPerConn; ++i) {
+          // Half shared across connections (cache contention), half unique
+          // per connection; both halves repeat across rounds.
+          const bool shared = i % 2 == 0;
+          const std::string id = (shared ? "ps-" : "pu-") +
+                                 std::to_string(round) + "-" +
+                                 std::to_string(t) + "-" + std::to_string(i);
+          const std::uint64_t evals =
+              shared ? kEvals : kEvals + 100 * t + i + 1;
+          burst +=
+              partition_request_json(partition_request(id, evals)).dump();
+          burst += "\n";
+        }
+        stream.write_all(burst);
+        unsigned seen = 0;
+        while (seen < kPerConn) {
+          const std::optional<std::string> line = stream.read_line();
+          if (!line) break;
+          // Interim queued notices carry no `ok`; finals always do.
+          if (line->find("\"ok\":") == std::string::npos) continue;
+          ++seen;
+          finals.fetch_add(1);
+        }
+      }
+    } catch (...) {
+      failed.store(true);
+    }
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (unsigned t = 0; t < kConns; ++t) clients.emplace_back(hammer, t);
+  for (std::thread& c : clients) c.join();
+  server.stop();
+
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(finals.load(), 2u * kConns * kPerConn);
+  const StatsSnapshot snap = server.stats_snapshot();
+  // Every pipelined submission either hit a cache layer or was accepted;
+  // every miss was accepted; every accepted job completed.
+  EXPECT_EQ(snap.cache_hits + snap.cache_misses,
+            2u * std::uint64_t(kConns) * kPerConn);
+  EXPECT_EQ(snap.accepted, snap.cache_misses);
+  EXPECT_EQ(snap.completed, snap.accepted);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.timed_out, 0u);
+  // Round 2 repeats round 1 with only the ids changed: every one of those
+  // requests is served from a cache layer.
+  EXPECT_GE(snap.cache_hits, std::uint64_t(kConns) * kPerConn);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.in_flight, 0u);
+}
+
 }  // namespace
 }  // namespace prpart::server

@@ -322,6 +322,9 @@ TEST(ServerTest, OverCapacityBurstIsRejectedWithoutWedging) {
   ServerOptions opt = quiet_options();
   opt.workers = 1;
   opt.max_queue = 1;
+  // Collapse the soft `queued` band (high watermark == max_queue): this
+  // test is about the *hard* reject path staying prompt under a burst.
+  opt.high_watermark = 1;
   opt.cache_entries = 0;
   Server server(opt);
   server.start();
@@ -687,6 +690,269 @@ TEST(ServerTest, SimulateWithFloorplanReplaysPlacementTrueFrames) {
   EXPECT_EQ(stats.floorplans, 1u);
   EXPECT_EQ(stats.cache_hits, 0u);
   EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+TEST(ServerTest, PipelinedRequestsAnswerOutOfOrderById) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 1;
+  opt.cache_entries = 0;
+  Server server(opt);
+  server.start();
+
+  // One connection, three requests in a single write: a slow partition
+  // followed by two pings. The pings are answered inline by the admission
+  // workers while the search still runs, so they overtake the job — the
+  // client matches responses by id, not arrival order.
+  TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+  std::string burst =
+      partition_request_json(small_request("slow", 2'000'000)).dump() + "\n";
+  burst += "{\"type\":\"ping\",\"id\":\"p1\"}\n";
+  burst += "{\"type\":\"ping\",\"id\":\"p2\"}\n";
+  stream.write_all(burst);
+
+  std::vector<std::string> order;
+  std::string slow_line;
+  for (int i = 0; i < 3; ++i) {
+    const std::optional<std::string> line = stream.read_line();
+    ASSERT_TRUE(line.has_value());
+    const json::Value doc = json::parse(*line);
+    order.push_back(doc.at("id").as_string());
+    if (order.back() == "slow") slow_line = *line;
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), "slow") << "search should finish after the pings";
+  EXPECT_FALSE(result_payload(slow_line, "slow").empty()) << slow_line;
+}
+
+TEST(ServerTest, BackpressureQueuedNoticeCarriesPositionAndEta) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 1;
+  opt.max_queue = 1;  // soft band: positions 2..high_watermark get notices
+  opt.io_workers = 1;  // admit strictly in arrival order
+  opt.cache_entries = 0;
+  Server server(opt);
+  server.start();
+
+  // Three long jobs pipelined on one connection: with a single worker and a
+  // single firm queue slot, at least the third lands beyond max_queue and
+  // draws an interim `queued` envelope before its final response.
+  TcpStream stream = TcpStream::connect("127.0.0.1", server.port());
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    PartitionRequest req = small_request("q" + std::to_string(i), 300'000);
+    req.options.search.max_move_evaluations += std::uint64_t(i);  // no cache
+    burst += partition_request_json(req).dump() + "\n";
+  }
+  stream.write_all(burst);
+
+  int finals = 0;
+  int notices = 0;
+  while (finals < 3) {
+    const std::optional<std::string> line = stream.read_line();
+    ASSERT_TRUE(line.has_value());
+    const json::Value doc = json::parse(*line);
+    if (!doc.find("ok") && doc.find("queued")) {
+      ++notices;
+      const json::Value& q = doc.at("queued");
+      EXPECT_GT(q.at("position").as_u64(), opt.max_queue);
+      EXPECT_TRUE(q.find("eta_ms") != nullptr) << *line;
+      continue;
+    }
+    EXPECT_TRUE(doc.at("ok").as_bool()) << *line;
+    ++finals;
+  }
+  EXPECT_GE(notices, 1);
+  EXPECT_GE(server.stats_snapshot().queued_notices, std::uint64_t(notices));
+}
+
+TEST(ServerTest, ClientSkipsQueuedNoticesTransparently) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 1;
+  opt.max_queue = 1;
+  opt.cache_entries = 0;
+  Server server(opt);
+  server.start();
+
+  // Several serial clients racing one worker: whoever lands deep in the
+  // soft band sees a notice, which Client::exchange skips silently.
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<std::uint64_t> notices{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      const ClientResponse resp =
+          client.submit(small_request("cq" + std::to_string(i), 200'000 + i));
+      if (resp.ok) ++ok;
+      notices.fetch_add(client.queued_notices_seen());
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);  // soft band absorbs the burst: no rejects
+  EXPECT_EQ(server.stats_snapshot().queued_notices, notices.load());
+}
+
+TEST(ServerTest, MetricsRequestReportsServerAndStoreState) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.submit(small_request("m1")).ok);
+  const ClientResponse resp = client.metrics("m");
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  const json::Value& srv = resp.result.at("server");
+  EXPECT_EQ(srv.at("io_mode").as_string(), "epoll");
+  EXPECT_GE(srv.at("connections").as_u64(), 1u);  // this client
+  EXPECT_GE(srv.at("connections_total").as_u64(), 1u);
+  EXPECT_EQ(srv.at("admission_depth").as_u64(), 0u);
+  // The jobs section is the full stats snapshot.
+  EXPECT_EQ(resp.result.at("jobs").at("completed").as_u64(), 1u);
+  const json::Value& store = resp.result.at("store");
+  EXPECT_EQ(store.at("ram_entries").as_u64(), 1u);
+  EXPECT_FALSE(store.at("disk_enabled").as_bool());
+  EXPECT_EQ(store.at("disk_entries").as_u64(), 0u);
+}
+
+TEST(ServerTest, MetricsTextFormatIsFlatKeyValueLines) {
+  Server server(quiet_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ping().ok);
+  const ClientResponse resp = client.metrics("mt", /*text=*/true);
+  ASSERT_TRUE(resp.ok) << resp.error_message;
+  // The text exposition rides inside the JSON envelope as one string.
+  const std::string text = resp.result.as_string();
+  EXPECT_NE(text.find("# prpart_server_io_mode epoll"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prpart_jobs_completed 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("prpart_store_ram_entries 0"), std::string::npos)
+      << text;
+}
+
+TEST(ServerTest, WarmRestartServesFromDiskWithoutRerunningTheSearch) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("prpart_server_test_" + std::to_string(::getpid()) +
+                        "_" + info->name());
+  fs::create_directories(dir);
+  const json::Value request = partition_request_json(small_request("gen1"));
+
+  ServerOptions opt = quiet_options();
+  opt.store_dir = (dir / "store").string();
+  std::string cold;
+  {
+    Server server(opt);
+    server.start();
+    cold = raw_exchange(server.port(), request);
+    server.stop();  // graceful drain flushes the RAM store to disk
+  }
+  ASSERT_FALSE(result_payload(cold, "gen1").empty()) << cold;
+
+  // A brand-new process image (fresh Server, same directory): the warm
+  // store answers byte-identically without admitting a job or searching.
+  Server restarted(opt);
+  restarted.start();
+  const std::string warm = raw_exchange(restarted.port(), request);
+  EXPECT_EQ(warm, cold);
+  const StatsSnapshot stats = restarted.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.search_move_evaluations, 0u);
+  Client client("127.0.0.1", restarted.port());
+  const ClientResponse metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_TRUE(metrics.result.at("store").at("disk_enabled").as_bool());
+  EXPECT_GE(metrics.result.at("store").at("disk_hits").as_u64(), 1u);
+  restarted.stop();
+  fs::remove_all(dir);
+}
+
+TEST(ServerTest, ThousandPipelinedClientsAreServedInOneProcess) {
+  ServerOptions opt = quiet_options();
+  opt.workers = 2;
+  Server server(opt);
+  server.start();
+
+  // Warm the result store so the partition below is a cache hit for every
+  // client: this test is about connection scale, not search throughput.
+  ASSERT_FALSE(raw_exchange(server.port(),
+                            partition_request_json(small_request("warm")))
+                   .empty());
+
+  // 1024 sockets held open at once, each with 3 pipelined requests written
+  // before any response is read — far beyond what thread-per-connection
+  // could hold on this machine's thread budget.
+  constexpr int kConns = 1024;
+  constexpr int kPerConn = 3;
+  std::vector<TcpStream> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i)
+    conns.push_back(TcpStream::connect("127.0.0.1", server.port()));
+  for (int i = 0; i < kConns; ++i) {
+    const std::string tag = std::to_string(i);
+    std::string burst = "{\"type\":\"ping\",\"id\":\"a" + tag + "\"}\n";
+    burst += partition_request_json(small_request("j" + tag)).dump() + "\n";
+    burst += "{\"type\":\"ping\",\"id\":\"b" + tag + "\"}\n";
+    conns[static_cast<std::size_t>(i)].write_all(burst);
+  }
+  std::size_t responses = 0;
+  for (int i = 0; i < kConns; ++i) {
+    int finals = 0;
+    while (finals < kPerConn) {
+      const std::optional<std::string> line =
+          conns[static_cast<std::size_t>(i)].read_line();
+      ASSERT_TRUE(line.has_value()) << "conn " << i;
+      const json::Value doc = json::parse(*line);
+      if (!doc.find("ok") && doc.find("queued")) continue;
+      EXPECT_TRUE(doc.at("ok").as_bool()) << *line;
+      ++finals;
+      ++responses;
+    }
+  }
+  EXPECT_EQ(responses, static_cast<std::size_t>(kConns) * kPerConn);
+  const StatsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.cache_hits, static_cast<std::uint64_t>(kConns));
+  Client client("127.0.0.1", server.port());
+  const ClientResponse metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_GE(metrics.result.at("server").at("connections_total").as_u64(),
+            static_cast<std::uint64_t>(kConns));
+}
+
+TEST(ServerTest, LegacyIoModeStillServes) {
+  ServerOptions opt = quiet_options();
+  opt.legacy_io = true;
+  Server server(opt);
+  server.start();
+  const json::Value request = partition_request_json(small_request("leg"));
+  const std::string cold = raw_exchange(server.port(), request);
+  const std::string warm = raw_exchange(server.port(), request);
+  EXPECT_EQ(warm, cold);
+  EXPECT_FALSE(result_payload(cold, "leg").empty()) << cold;
+  Client client("127.0.0.1", server.port());
+  const ClientResponse metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.result.at("server").at("io_mode").as_string(), "threads");
+  server.stop();
+}
+
+TEST(ServerTest, ReactorAndLegacyModesAnswerByteIdentically) {
+  // The tentpole refactor must be invisible on the wire: both I/O layers
+  // splice the same payload bytes into the same envelope.
+  const json::Value request = partition_request_json(small_request("xio"));
+  std::string epoll_line, legacy_line;
+  {
+    Server server(quiet_options());
+    server.start();
+    epoll_line = raw_exchange(server.port(), request);
+  }
+  {
+    ServerOptions opt = quiet_options();
+    opt.legacy_io = true;
+    Server server(opt);
+    server.start();
+    legacy_line = raw_exchange(server.port(), request);
+  }
+  EXPECT_EQ(epoll_line, legacy_line);
 }
 
 TEST(ServerTest, ServeCommandDrainsOnSigtermAndExitsZero) {

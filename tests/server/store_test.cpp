@@ -1,0 +1,152 @@
+#include "server/store.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace prpart::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test directory under the system temp root.
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("prpart_store_test_" + std::to_string(::getpid()) + "_" +
+            info->name());
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+TEST_F(StoreTest, DiskRoundTripIsByteIdentical) {
+  DiskStore store(dir(), 16);
+  ASSERT_TRUE(store.enabled());
+  const std::string payload = "{\"schemes\":[1,2,3]}\x01 raw bytes \n pass";
+  store.save("abc123", payload);
+  EXPECT_EQ(store.load("abc123"), payload);
+  EXPECT_FALSE(store.load("missing").has_value());
+  const DiskStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, payload.size());
+}
+
+TEST_F(StoreTest, EmptyDirOrZeroCapDisablesTheStore) {
+  DiskStore no_dir("", 16);
+  EXPECT_FALSE(no_dir.enabled());
+  no_dir.save("k", "v");
+  EXPECT_FALSE(no_dir.load("k").has_value());
+  DiskStore no_cap(dir(), 0);
+  EXPECT_FALSE(no_cap.enabled());
+}
+
+TEST_F(StoreTest, LruCapEvictsOldestFiles) {
+  DiskStore store(dir(), 2);
+  store.save("a", "1");
+  store.save("b", "2");
+  store.save("c", "3");  // evicts a
+  EXPECT_FALSE(store.load("a").has_value());
+  EXPECT_EQ(store.load("b"), "2");
+  store.save("d", "4");  // b was just touched, so c is the victim
+  EXPECT_FALSE(store.load("c").has_value());
+  EXPECT_EQ(store.load("b"), "2");
+  EXPECT_EQ(store.load("d"), "4");
+  const DiskStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST_F(StoreTest, WarmStartIndexesExistingFiles) {
+  {
+    DiskStore store(dir(), 16);
+    store.save("left", "payload-left");
+    store.save("right", "payload-right");
+  }
+  DiskStore reopened(dir(), 16);
+  EXPECT_EQ(reopened.stats().entries, 2u);
+  EXPECT_EQ(reopened.load("left"), "payload-left");
+  EXPECT_EQ(reopened.load("right"), "payload-right");
+}
+
+TEST_F(StoreTest, WarmStartRespectsTheCap) {
+  {
+    DiskStore store(dir(), 16);
+    store.save("a", "1");
+    store.save("b", "2");
+    store.save("c", "3");
+  }
+  // Reopening with a smaller cap trims down to it.
+  DiskStore reopened(dir(), 2);
+  EXPECT_EQ(reopened.stats().entries, 2u);
+}
+
+TEST_F(StoreTest, StrayFilesAreIgnored) {
+  {
+    std::ofstream f(fs::path(dir()) / "README.txt");
+    f << "not a result";
+  }
+  DiskStore store(dir(), 16);
+  EXPECT_EQ(store.stats().entries, 0u);
+}
+
+TEST_F(StoreTest, VanishedFileIsAMissNotACrash) {
+  DiskStore store(dir(), 16);
+  store.save("gone", "soon");
+  fs::remove(fs::path(dir()) / "gone.res");
+  EXPECT_FALSE(store.load("gone").has_value());
+}
+
+TEST_F(StoreTest, ResultStoreSpillsEvictionsAndPromotesDiskHits) {
+  ResultStore store(1, dir(), 16);  // single RAM slot forces spills
+  store.store("first", "payload-1");
+  store.store("second", "payload-2");  // evicts first -> spilled to disk
+  EXPECT_EQ(store.disk_stats().writes, 1u);
+  // The spilled entry still serves — from disk, promoted back to RAM.
+  EXPECT_EQ(store.lookup("first"), "payload-1");
+  EXPECT_EQ(store.disk_stats().hits, 1u);
+  // Promotion made it RAM-resident again (and spilled `second` out).
+  EXPECT_EQ(store.lookup("first"), "payload-1");
+  EXPECT_EQ(store.disk_stats().hits, 1u);  // unchanged: served from RAM
+}
+
+TEST_F(StoreTest, FlushPersistsResidentEntriesForWarmRestart) {
+  {
+    ResultStore store(8, dir(), 16);
+    store.store("k1", "v1");
+    store.store("k2", "v2");
+    EXPECT_EQ(store.disk_stats().writes, 0u);  // nothing evicted yet
+    store.flush();
+    EXPECT_EQ(store.disk_stats().writes, 2u);
+  }
+  ResultStore reopened(8, dir(), 16);
+  EXPECT_EQ(reopened.lookup("k1"), "v1");
+  EXPECT_EQ(reopened.lookup("k2"), "v2");
+}
+
+TEST_F(StoreTest, RamOnlyStoreStillServes) {
+  ResultStore store(4, "", 0);
+  EXPECT_FALSE(store.disk_enabled());
+  store.store("k", "v");
+  EXPECT_EQ(store.lookup("k"), "v");
+  store.flush();  // no-op
+  EXPECT_FALSE(store.lookup("absent").has_value());
+}
+
+}  // namespace
+}  // namespace prpart::server

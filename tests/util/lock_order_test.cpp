@@ -205,6 +205,107 @@ TEST_F(LockOrderTest, HeldDescriptionListsAcquisitionOrder) {
   EXPECT_LT(outer_at, inner_at) << held;
 }
 
+TEST_F(LockOrderTest, ServePathLadderIsClean) {
+  // The full reactor-mode descent: connection registry, admission queue,
+  // stats, RAM cache, disk index, job queue, completion outbox. Every
+  // cross-layer path in the serve stack is a sub-chain of this ladder.
+  Mutex conns(lock_order::Level::kReactorConns, "test.reactor.conns");
+  Mutex admission(lock_order::Level::kServerAdmission, "test.admission");
+  Mutex stats(lock_order::Level::kServerStats, "test.stats");
+  Mutex cache(lock_order::Level::kResultCache, "test.cache");
+  Mutex disk(lock_order::Level::kDiskStoreIndex, "test.disk");
+  Mutex queue(lock_order::Level::kServerQueue, "test.queue");
+  Mutex outbox(lock_order::Level::kReactorOutbox, "test.outbox");
+  {
+    const MutexLock a(conns);
+    const MutexLock b(admission);
+    const MutexLock c(stats);
+    const MutexLock d(cache);
+    const MutexLock e(disk);
+    const MutexLock f(queue);
+    const MutexLock g(outbox);
+  }
+  EXPECT_TRUE(reports().empty()) << reports().front();
+}
+
+TEST_F(LockOrderTest, SpillFromCacheToDiskIsLegal) {
+  // ResultCache evicts to the DiskStore sink while holding the cache
+  // mutex; the disk index sits directly below it for exactly this nest.
+  Mutex cache(lock_order::Level::kResultCache, "test.cache");
+  Mutex disk(lock_order::Level::kDiskStoreIndex, "test.disk");
+  {
+    const MutexLock c(cache);
+    const MutexLock d(disk);
+  }
+  EXPECT_TRUE(reports().empty()) << reports().front();
+}
+
+TEST_F(LockOrderTest, CacheUnderDiskIndexIsAnInversion) {
+  // The reverse of the spill path — a disk-hit promoting into the RAM
+  // cache must not run under the disk index lock. API-level so it also
+  // runs under TSan.
+  int disk_tag = 0;
+  int cache_tag = 0;
+  lock_order::on_acquire(&disk_tag, 42, "test.disk");
+  lock_order::on_acquire(&cache_tag, 40, "test.cache");
+  ASSERT_EQ(reports().size(), 1u);
+  EXPECT_NE(reports()[0].find("test.cache"), std::string::npos) << reports()[0];
+  lock_order::on_release(&cache_tag);
+  lock_order::on_release(&disk_tag);
+}
+
+TEST_F(LockOrderTest, ConnRegistryUnderOutboxIsAnInversion) {
+  // Reactor::drain_posts must swap the outbox out and *release* it before
+  // touching the connection registry; holding both would invert 85 -> 22.
+  int outbox_tag = 0;
+  int conns_tag = 0;
+  lock_order::on_acquire(&outbox_tag, 85, "test.outbox");
+  lock_order::on_acquire(&conns_tag, 22, "test.reactor.conns");
+  ASSERT_EQ(reports().size(), 1u);
+  EXPECT_NE(reports()[0].find("test.reactor.conns"), std::string::npos)
+      << reports()[0];
+  lock_order::on_release(&conns_tag);
+  lock_order::on_release(&outbox_tag);
+}
+
+TEST_F(LockOrderTest, RouterLocksAreSequentialNotNested) {
+  // The router's client registry and per-connection write serialiser share
+  // one level: a relay holds only the write mutex, the acceptor only the
+  // registry. Sequential use is clean; nesting them is flagged.
+  Mutex registry(lock_order::Level::kShardRouter, "test.router.clients");
+  Mutex writer(lock_order::Level::kShardRouter, "test.router.write");
+  {
+    const MutexLock r(registry);
+  }
+  {
+    const MutexLock w(writer);
+  }
+  EXPECT_TRUE(reports().empty()) << reports().front();
+  int registry_tag = 0;
+  int writer_tag = 0;
+  lock_order::on_acquire(&registry_tag, 26, "test.router.clients");
+  lock_order::on_acquire(&writer_tag, 26, "test.router.write");
+  ASSERT_EQ(reports().size(), 1u);
+  EXPECT_NE(reports()[0].find("test.router.write"), std::string::npos)
+      << reports()[0];
+  lock_order::on_release(&writer_tag);
+  lock_order::on_release(&registry_tag);
+}
+
+TEST_F(LockOrderTest, AdmissionWalksFullLadderLegally) {
+  // An admission worker pops a line (24), folds stats (30), probes the
+  // store (40 spilling to 42) and finally queues the job (80) — each step
+  // after dropping the previous lock, but the nested worst case must also
+  // be legal because handle_request holds admission state nowhere lower.
+  Mutex admission(lock_order::Level::kServerAdmission, "test.admission");
+  Mutex queue(lock_order::Level::kServerQueue, "test.queue");
+  {
+    const MutexLock a(admission);
+    const MutexLock q(queue);
+  }
+  EXPECT_TRUE(reports().empty()) << reports().front();
+}
+
 using LockOrderDeathTest = LockOrderTest;
 
 TEST_F(LockOrderDeathTest, DefaultHandlerAborts) {
